@@ -1,0 +1,239 @@
+package waco
+
+// One benchmark per table and figure of the paper (see DESIGN.md's
+// per-experiment index). Each runs the corresponding experiment at
+// QuickScale — seconds per iteration — and reports a headline metric.
+// cmd/waco-bench runs the same experiments at larger scales and renders the
+// full tables recorded in EXPERIMENTS.md.
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"waco/internal/experiments"
+	"waco/internal/generate"
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+)
+
+func reportGeomean(b *testing.B, cmp *experiments.ComparisonResult, baseline string) {
+	b.Helper()
+	sp := cmp.Speedups(baseline)
+	if len(sp) > 0 {
+		b.ReportMetric(experiments.Geomean(sp), "geomean_speedup_vs_"+baseline)
+	}
+}
+
+func BenchmarkTable1_CoOptImpact(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := experiments.Table1CoOptImpact(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_PatternSensitivity(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2PatternSensitivity(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13_SpMMSpeedupCurves(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		_, cmp, err := experiments.Fig13SpMMCurves(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGeomean(b, cmp, "FixedCSR")
+	}
+}
+
+func BenchmarkTable4_VsAutotuners(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		_, results, err := experiments.Tables4And5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGeomean(b, results[schedule.SpMM], "BestFormat")
+	}
+}
+
+func BenchmarkTable5_VsFixed(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.RunComparison(schedule.SpMM, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGeomean(b, cmp, "FixedCSR")
+		reportGeomean(b, cmp, "ASpT")
+	}
+}
+
+func BenchmarkTable6_SpeedupFactors(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.RunComparison(schedule.SpMM, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := experiments.Table6SpeedupFactors(map[schedule.Algorithm]*experiments.ComparisonResult{schedule.SpMM: cmp})
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig14_BlockSizeHeuristic(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig14BlockSizeHeuristic(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15_FeatureExtractors(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig15FeatureExtractors(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16a_SearchStrategies(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig16aSearchStrategies(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16b_SearchBreakdown(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig16bSearchBreakdown(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7_CrossHardware(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table7CrossHardware(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig17_TuningOverhead(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig17TuningOverhead(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable8_EndToEnd(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		_, results, err := experiments.Fig17TuningOverhead(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := experiments.Table8EndToEnd(results)
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkAblation_ExecutorOverhead(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationExecutorOverhead(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_RankingVsMSE(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationRankingVsMSE(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ANNSRecall(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationANNSRecall(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ConcordantSampling(b *testing.B) {
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationConcordantSampling(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Raw kernel micro-benchmarks: the substrate itself, across formats and
+// parallelism, so `-bench` also characterizes the executor.
+func benchmarkKernel(b *testing.B, alg Algorithm, threads int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var coo *COO
+	if alg.SparseOrder() == 3 {
+		base := generate.Uniform(rng, 256, 256, 4000)
+		coo = generate.Tensor3D(rng, base, 32, 2)
+	} else {
+		coo = generate.Uniform(rng, 1024, 1024, 40000)
+	}
+	denseN := 32
+	if alg == SpMV {
+		denseN = 0
+	}
+	wl, err := kernel.NewWorkload(alg, coo, denseN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := wl.Compile(DefaultSchedule(alg, threads), DefaultProfile(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(coo.NNZ()), "nnz")
+}
+
+func BenchmarkKernel(b *testing.B) {
+	for _, alg := range []Algorithm{SpMV, SpMM, SDDMM, MTTKRP} {
+		for _, threads := range []int{1, 4} {
+			b.Run(alg.String()+"/threads="+strconv.Itoa(threads), func(b *testing.B) {
+				benchmarkKernel(b, alg, threads)
+			})
+		}
+	}
+}

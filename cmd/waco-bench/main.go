@@ -1,0 +1,195 @@
+// Command waco-bench regenerates every table and figure of the paper's
+// motivation and evaluation sections on this machine, rendering plain-text
+// tables to stdout and optionally to a file (the source of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	waco-bench -scale quick                  # seconds per experiment
+//	waco-bench -scale default -out results.txt
+//	waco-bench -only table1,fig15            # subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"waco/internal/experiments"
+	"waco/internal/schedule"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(experiments.Scale, io.Writer) error
+}
+
+func renderAll(w io.Writer, tables ...*experiments.Table) {
+	for _, t := range tables {
+		if t != nil {
+			t.Render(w)
+		}
+	}
+}
+
+var catalog = []experiment{
+	{"table1", "co-optimization impact (motivation)", func(s experiments.Scale, w io.Writer) error {
+		tabs, err := experiments.Tables1And2(s)
+		if err != nil {
+			return err
+		}
+		renderAll(w, tabs[0])
+		return nil
+	}},
+	{"table2", "pattern sensitivity (motivation)", func(s experiments.Scale, w io.Writer) error {
+		tabs, err := experiments.Tables1And2(s)
+		if err != nil {
+			return err
+		}
+		renderAll(w, tabs[1])
+		return nil
+	}},
+	{"fig13+tables456", "WACO vs all baselines, speedup tables and factor analysis", func(s experiments.Scale, w io.Writer) error {
+		tabs45, results, err := experiments.Tables4And5(s)
+		if err != nil {
+			return err
+		}
+		renderAll(w, tabs45...)
+		// Figure 13 curves from the SpMM comparison already computed.
+		cmp := results[schedule.SpMM]
+		for _, baseline := range cmp.Methods {
+			if baseline == "WACO" {
+				continue
+			}
+			sp := cmp.Speedups(baseline)
+			t := &experiments.Table{
+				Title:  fmt.Sprintf("Figure 13: WACO speedup over %s on SpMM (sorted)", baseline),
+				Header: []string{"rank", "speedup"},
+			}
+			for i, v := range sp {
+				t.AddRow(fmt.Sprint(i+1), fmt.Sprintf("%.2fx", v))
+			}
+			t.AddNote("geomean %.2fx over %d matrices", experiments.Geomean(sp), len(sp))
+			t.Render(w)
+		}
+		experiments.Table6SpeedupFactors(results).Render(w)
+		return nil
+	}},
+	{"fig14", "backend block-size heuristic", func(s experiments.Scale, w io.Writer) error {
+		t, err := experiments.Fig14BlockSizeHeuristic(s)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}},
+	{"fig15", "feature extractor comparison", func(s experiments.Scale, w io.Writer) error {
+		t, err := experiments.Fig15FeatureExtractors(s)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}},
+	{"fig16", "search strategies and time breakdown", func(s experiments.Scale, w io.Writer) error {
+		a, err := experiments.Fig16aSearchStrategies(s)
+		if err != nil {
+			return err
+		}
+		b, err := experiments.Fig16bSearchBreakdown(s)
+		if err != nil {
+			return err
+		}
+		renderAll(w, a, b)
+		return nil
+	}},
+	{"table7", "cross-hardware generalization", func(s experiments.Scale, w io.Writer) error {
+		t, err := experiments.Table7CrossHardware(s)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}},
+	{"fig17+table8", "tuning overhead and end-to-end scenarios", func(s experiments.Scale, w io.Writer) error {
+		t17, results, err := experiments.Fig17TuningOverhead(s)
+		if err != nil {
+			return err
+		}
+		renderAll(w, t17, experiments.Table8EndToEnd(results))
+		return nil
+	}},
+	{"ablations", "executor overhead, ranking-vs-MSE, ANNS recall, sampling strategy", func(s experiments.Scale, w io.Writer) error {
+		a, err := experiments.AblationExecutorOverhead(s)
+		if err != nil {
+			return err
+		}
+		b, err := experiments.AblationRankingVsMSE(s)
+		if err != nil {
+			return err
+		}
+		c, err := experiments.AblationANNSRecall(s)
+		if err != nil {
+			return err
+		}
+		d, err := experiments.AblationConcordantSampling(s)
+		if err != nil {
+			return err
+		}
+		renderAll(w, a, b, c, d)
+		return nil
+	}},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("waco-bench: ")
+	scaleName := flag.String("scale", "quick", "scale preset: quick|default|paper")
+	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
+	outPath := flag.String("out", "", "also write results to this file")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range catalog {
+			fmt.Printf("%-16s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	s := experiments.ScaleByName(*scaleName)
+	fmt.Fprintf(w, "WACO reproduction experiments — scale=%s, %s\n\n", s.Name, time.Now().Format(time.RFC3339))
+	for _, e := range catalog {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		log.Printf("running %s (%s)...", e.name, e.desc)
+		start := time.Now()
+		if err := e.run(s, w); err != nil {
+			log.Printf("%s FAILED: %v", e.name, err)
+			continue
+		}
+		log.Printf("%s done in %s", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,92 @@
+// Command waco-datagen generates a WACO training dataset: it builds a
+// synthetic sparsity-pattern corpus, samples SuperSchedules for each matrix,
+// measures every (matrix, schedule) pair on this machine, and writes the
+// (matrix, SuperSchedule, runtime) tuples to a gob file consumable by
+// waco-train and waco-tune.
+//
+// Usage:
+//
+//	waco-datagen -alg spmm -scale default -out spmm.dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"waco/internal/dataset"
+	"waco/internal/experiments"
+	"waco/internal/generate"
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+)
+
+func algByName(name string) (schedule.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "spmv":
+		return schedule.SpMV, nil
+	case "spmm":
+		return schedule.SpMM, nil
+	case "sddmm":
+		return schedule.SDDMM, nil
+	case "mttkrp":
+		return schedule.MTTKRP, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want spmv|spmm|sddmm|mttkrp)", name)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("waco-datagen: ")
+	algName := flag.String("alg", "spmm", "algorithm: spmv|spmm|sddmm|mttkrp")
+	scaleName := flag.String("scale", "quick", "scale preset: quick|default|paper")
+	out := flag.String("out", "waco.dataset", "output dataset file")
+	count := flag.Int("count", 0, "override number of training matrices")
+	schedules := flag.Int("schedules", 0, "override schedules sampled per matrix")
+	repeats := flag.Int("repeats", 0, "override repetitions per measurement")
+	seed := flag.Int64("seed", 0, "override RNG seed")
+	augment := flag.Int("augment", 0, "resized variants per matrix (the paper's augmentation)")
+	flag.Parse()
+
+	alg, err := algByName(*algName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := experiments.ScaleByName(*scaleName)
+	if *count > 0 {
+		s.TrainMatrices = *count
+	}
+	if *schedules > 0 {
+		s.SchedulesPerMatrix = *schedules
+	}
+	if *repeats > 0 {
+		s.Repeats = *repeats
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+
+	mats := experiments.CorporaFor(alg, s)
+	if *augment > 0 && alg.SparseOrder() == 2 {
+		mats = generate.Augment(mats, *augment, s.Seed+977, s.MinDim, s.MaxDim)
+	}
+	log.Printf("collecting %v dataset: %d matrices, %d schedules each, %d repeats",
+		alg, len(mats), s.SchedulesPerMatrix, s.Repeats)
+	ds, err := dataset.Collect(mats, experiments.CollectConfigFor(alg, s, kernel.DefaultProfile()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("collected %d samples over %d matrices", ds.NumSamples(), len(ds.Entries))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := ds.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

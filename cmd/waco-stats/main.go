@@ -1,0 +1,116 @@
+// Command waco-stats inspects a sparsity pattern: it prints the pattern
+// statistics WACO's shallow baselines consume, the storage footprint of the
+// classic named formats, and (with -measure) the measured kernel time of
+// each format under a concordant schedule — a quick manual tour of the
+// format space WACO searches automatically.
+//
+// Usage:
+//
+//	waco-stats -matrix m.mtx -alg spmm -measure
+//	waco-stats -family banded -dim 2048 -nnz 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"waco/internal/baselines"
+	"waco/internal/format"
+	"waco/internal/generate"
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("waco-stats: ")
+	matrixPath := flag.String("matrix", "", "MatrixMarket file (optional)")
+	family := flag.String("family", "powerlaw", "synthetic generator family if no -matrix")
+	dim := flag.Int("dim", 1024, "synthetic matrix dimension")
+	nnz := flag.Int("nnz", 50000, "synthetic matrix nonzeros")
+	seed := flag.Int64("seed", 1, "synthetic generator seed")
+	algName := flag.String("alg", "spmm", "algorithm for -measure: spmv|spmm|sddmm")
+	measure := flag.Bool("measure", false, "measure each candidate format's kernel time")
+	denseN := flag.Int("densen", 32, "dense inner dimension for SpMM/SDDMM")
+	flag.Parse()
+
+	var coo *tensor.COO
+	var err error
+	if *matrixPath != "" {
+		f, err2 := os.Open(*matrixPath)
+		if err2 != nil {
+			log.Fatal(err2)
+		}
+		coo, err = tensor.ReadMatrixMarket(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg := generate.DefaultCorpusConfig()
+		cfg.MinDim, cfg.MaxDim, cfg.MaxNNZ = *dim, *dim, *nnz
+		coo = generate.FromFamily(rand.New(rand.NewSource(*seed)), *family, cfg)
+	}
+
+	st := tensor.ComputeStats(coo)
+	fmt.Printf("pattern: %d x %d, %d nonzeros (density %.4g%%)\n",
+		st.NumRows, st.NumCols, st.NNZ, 100*st.Density)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  nnz per row\tmean %.2f, std %.2f, max %d, empty rows %d\n",
+		st.RowNNZMean, st.RowNNZStd, st.RowNNZMax, st.EmptyRows)
+	fmt.Fprintf(tw, "  diagonal\tavg bandwidth %.1f, near-diagonal fraction %.2f\n", st.AvgBandwidth, st.DiagFraction)
+	fmt.Fprintf(tw, "  blocks\t2x2 fill %.2f, 8x8 fill %.2f\n", st.BlockFill2, st.BlockFill8)
+	fmt.Fprintf(tw, "  symmetry\t%.2f\n", st.SymmetryScore)
+	tw.Flush()
+
+	var alg schedule.Algorithm
+	switch strings.ToLower(*algName) {
+	case "spmv":
+		alg = schedule.SpMV
+	case "sddmm":
+		alg = schedule.SDDMM
+	default:
+		alg = schedule.SpMM
+	}
+
+	fmt.Printf("\ncandidate formats (%v):\n", alg)
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  format\tlayout\tstored entries\tbytes\tkernel")
+	var wl *kernel.Workload
+	if *measure {
+		n := *denseN
+		if alg == schedule.SpMV {
+			n = 0
+		}
+		wl, err = kernel.NewWorkload(alg, coo, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, cand := range baselines.CandidateFormats(alg) {
+		stored, err := format.Assemble(coo.Clone(), cand.F, format.AssembleOptions{})
+		if err != nil {
+			fmt.Fprintf(tw, "  %s\t%s\t-\t-\texcluded (%v)\n", cand.Name, cand.F.StringNamed(alg.ModeNames()), err)
+			continue
+		}
+		kcell := "-"
+		if *measure {
+			ss := schedule.BestEffortSchedule(alg, cand.F, 2, 32)
+			d, _, err := wl.MeasureSchedule(ss, kernel.DefaultProfile(), 0, 5)
+			if err == nil {
+				kcell = d.String()
+			} else {
+				kcell = "failed"
+			}
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%d\t%d\t%s\n",
+			cand.Name, cand.F.StringNamed(alg.ModeNames()), stored.NNZStored(), stored.Bytes(), kcell)
+	}
+	tw.Flush()
+}

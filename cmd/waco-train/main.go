@@ -1,0 +1,88 @@
+// Command waco-train trains a WACO cost model from a dataset produced by
+// waco-datagen and writes the model (architecture + weights) to a file
+// consumable by waco-tune.
+//
+// Usage:
+//
+//	waco-train -data spmm.dataset -scale default -out spmm.model
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"waco/internal/costmodel"
+	"waco/internal/dataset"
+	"waco/internal/experiments"
+	"waco/internal/kernel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("waco-train: ")
+	dataPath := flag.String("data", "waco.dataset", "input dataset file from waco-datagen")
+	out := flag.String("out", "waco.model", "output model file")
+	scaleName := flag.String("scale", "quick", "scale preset sizing the network: quick|default|paper")
+	extractor := flag.String("extractor", "", "override feature extractor: waconet|minkowski|denseconv|human")
+	epochs := flag.Int("epochs", 0, "override training epochs")
+	lr := flag.Float64("lr", 0, "override learning rate")
+	valFrac := flag.Float64("val", 0.2, "validation fraction")
+	seed := flag.Int64("seed", 0, "override RNG seed")
+	flag.Parse()
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %v dataset: %d matrices, %d samples", ds.Alg, len(ds.Entries), ds.NumSamples())
+
+	s := experiments.ScaleByName(*scaleName)
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	if *extractor != "" {
+		s.Extractor = costmodel.ExtractorKind(*extractor)
+	}
+	if *epochs > 0 {
+		s.Epochs = *epochs
+	}
+	if *lr > 0 {
+		s.LR = float32(*lr)
+	}
+
+	cfg := experiments.PipelineConfigFor(ds.Alg, s, kernel.DefaultProfile())
+	model, err := costmodel.New(cfg.Collect.Space, cfg.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, val := ds.Split(*valFrac, cfg.Train.Seed)
+	if len(train) == 0 {
+		train = ds.Entries
+	}
+	tc := cfg.Train
+	tc.Verbose = func(line string) { log.Print(line) }
+	if _, err := costmodel.Train(model, train, val, tc); err != nil {
+		log.Fatal(err)
+	}
+	if len(val) > 0 {
+		if acc, err := costmodel.PairAccuracy(model, val, 32, s.Seed); err == nil {
+			log.Printf("validation pair-ranking accuracy: %.1f%%", 100*acc)
+		}
+	}
+
+	w, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	if err := model.Save(w); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

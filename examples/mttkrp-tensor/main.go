@@ -1,0 +1,80 @@
+// Tensor decomposition step: MTTKRP on a 3-D sparse tensor, the workhorse
+// of CP decomposition (D[i,j] = sum A[i,k,l] * B[k,j] * C[l,j]). WACO
+// searches CSF-like level orders, splits, and compressed/uncompressed level
+// formats for the 3-D operand — the paper's fourth algorithm, where it
+// reports a 1.27x geomean over the format-selection baseline.
+//
+//	go run ./examples/mttkrp-tensor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"waco"
+	"waco/internal/generate"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 3-D interaction tensor (user x item x time, say): a clustered 2-D
+	// base pattern extruded into sparse fibers along the third mode.
+	rng := rand.New(rand.NewSource(13))
+	base := generate.Clustered(rng, 512, 512, 60, 200, 6)
+	tsr := generate.Tensor3D(rng, base, 64, 3)
+	const rank = 8 // CP rank (the dense factor width |j|)
+	fmt.Printf("tensor: %v, %d nonzeros, CP rank %d\n", tsr.Dims, tsr.NNZ(), rank)
+
+	corpus := waco.DefaultCorpusConfig()
+	corpus.Count = 12
+	corpus.MaxDim = 512
+	corpus.MaxNNZ = 20000
+	// Bias the corpus toward the pattern families the query resembles.
+	corpus.Include = []string{"clustered", "blockdense", "uniform", "powerlaw"}
+	// MTTKRP needs a 3-D training corpus; extrude the 2-D population.
+	var mats []waco.Matrix
+	crng := rand.New(rand.NewSource(14))
+	for _, m := range waco.Corpus(corpus) {
+		mats = append(mats, waco.Matrix{
+			Name:   m.Name + "-3d",
+			Family: m.Family,
+			COO:    generate.Tensor3D(crng, m.COO, 32, 2),
+		})
+	}
+
+	cfg := waco.DefaultConfig(waco.MTTKRP)
+	cfg.Collect.DenseN = rank
+	cfg.Collect.SchedulesPerMatrix = 24
+	cfg.Collect.Repeats = 2
+	cfg.Train.Epochs = 10
+	cfg.TopK = 12
+	cfg.SearchEf = 96
+	fmt.Println("building WACO pipeline for MTTKRP (3-D WACONet)...")
+	tuner, _, err := waco.Build(mats, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tuned, err := tuner.TuneTensor(tsr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := waco.NewWorkload(waco.MTTKRP, tsr, rank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	csf, _, err := wl.MeasureSchedule(waco.DefaultSchedule(waco.MTTKRP, 4), waco.DefaultProfile(), 0, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nchosen SuperSchedule: %s\n", tuned.Schedule)
+	fmt.Printf("per-MTTKRP: WACO %.6fs vs fixed CSF %.6fs (%.2fx)\n",
+		tuned.KernelSeconds, csf.Seconds(), csf.Seconds()/tuned.KernelSeconds)
+	fmt.Println("\na CP-ALS solver runs one MTTKRP per mode per iteration —")
+	fmt.Printf("50 iterations x 3 modes = 150 calls; tuning costs %.3fs, saving %.3fs total\n",
+		tuned.TuningSeconds+tuned.ConvertSeconds,
+		150*(csf.Seconds()-tuned.KernelSeconds))
+}

@@ -1,0 +1,70 @@
+// Quickstart: train a small WACO pipeline on a synthetic corpus and use it
+// to co-optimize the format and schedule of an unseen sparse matrix.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"waco"
+	"waco/internal/generate"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A training corpus: synthetic sparsity patterns standing in for
+	//    SuiteSparse (banded, blocked, power-law, graph, mesh, ...).
+	corpus := waco.DefaultCorpusConfig()
+	corpus.Count = 18
+	corpus.MaxDim = 768
+	corpus.MaxNNZ = 30000
+	matrices := waco.Corpus(corpus)
+
+	// 2. Build the pipeline: measure sampled SuperSchedules on every
+	//    matrix, train the WACONet cost model with the ranking loss, and
+	//    index the schedules' program embeddings in an HNSW graph.
+	cfg := waco.DefaultConfig(waco.SpMM)
+	cfg.Collect.SchedulesPerMatrix = 32
+	cfg.Collect.Repeats = 3
+	cfg.Train.Epochs = 10
+	cfg.TopK = 8
+	cfg.SearchEf = 64
+	fmt.Println("building WACO pipeline (collect -> train -> index)...")
+	tuner, ds, err := waco.Build(matrices, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d matrices, %d measured (matrix, schedule, runtime) tuples\n",
+		len(ds.Entries), ds.NumSamples())
+	last := tuner.TrainTrace.Epochs[len(tuner.TrainTrace.Epochs)-1]
+	fmt.Printf("cost model: final train loss %.3f, val loss %.3f\n", last.TrainLoss, last.ValLoss)
+
+	// 3. Tune an unseen matrix: ANNS retrieves the top candidates, the top-K
+	//    are measured on this machine, the fastest wins.
+	rng := rand.New(rand.NewSource(42))
+	unseen := generate.PowerLawRows(rng, 1024, 1024, 60000, 1.1)
+	fmt.Printf("\ntuning an unseen %dx%d power-law matrix with %d nonzeros...\n",
+		unseen.Dims[0], unseen.Dims[1], unseen.NNZ())
+	tuned, err := tuner.TuneTensor(unseen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best SuperSchedule: %s\n", tuned.Schedule)
+	fmt.Printf("tuned kernel time : %.6fs\n", tuned.KernelSeconds)
+
+	// 4. Compare against the Fixed CSR default (TACO's default schedule).
+	wl, err := waco.NewWorkload(waco.SpMM, unseen, cfg.Collect.DenseN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	csr, _, err := wl.MeasureSchedule(waco.DefaultSchedule(waco.SpMM, 4), waco.DefaultProfile(), 0, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fixed CSR kernel  : %.6fs\n", csr.Seconds())
+	fmt.Printf("speedup           : %.2fx\n", csr.Seconds()/tuned.KernelSeconds)
+}

@@ -1,0 +1,77 @@
+// Sparse attention scores: SDDMM with a banded (sliding-window) sparsity
+// mask, the kernel at the heart of sparse transformer attention:
+// scores[i,j] = mask[i,j] * (Q[i,:] . K[:,j]). The example shows WACO
+// exploiting SDDMM's unique freedom (§5.2.1): it may parallelize over rows
+// or columns of the sparse matrix, and choose row- or column-major formats
+// accordingly.
+//
+//	go run ./examples/sddmm-attention
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"waco"
+	"waco/internal/generate"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A sliding-window attention mask: each query attends to a window of
+	// neighboring keys (banded), plus a few global tokens (dense columns).
+	rng := rand.New(rand.NewSource(11))
+	const seqLen = 1024
+	const headDim = 32
+	mask := generate.Banded(rng, seqLen, seqLen, 24, 0.9)
+	for p := 0; p < mask.NNZ(); p++ { // keep values deterministic nonzero
+		if mask.Vals[p] == 0 {
+			mask.Vals[p] = 1
+		}
+	}
+	fmt.Printf("attention mask: %d x %d, %d attended pairs, head dim %d\n",
+		seqLen, seqLen, mask.NNZ(), headDim)
+
+	corpus := waco.DefaultCorpusConfig()
+	corpus.Count = 10
+	corpus.MaxDim = 1024
+	corpus.MaxNNZ = 50000
+	cfg := waco.DefaultConfig(waco.SDDMM)
+	cfg.Collect.DenseN = headDim
+	cfg.Collect.SchedulesPerMatrix = 20
+	cfg.Collect.Repeats = 3
+	cfg.Train.Epochs = 6
+	cfg.TopK = 8
+	cfg.SearchEf = 64
+	fmt.Println("building WACO pipeline for SDDMM...")
+	tuner, _, err := waco.Build(waco.Corpus(corpus), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tuned, err := tuner.TuneTensor(mask)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := waco.NewWorkload(waco.SDDMM, mask, headDim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	csr, _, err := wl.MeasureSchedule(waco.DefaultSchedule(waco.SDDMM, 4), waco.DefaultProfile(), 0, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nchosen SuperSchedule: %s\n", tuned.Schedule)
+	par := "rows"
+	if tuned.Schedule.Parallel.Mode == 1 {
+		par = "columns (SDDMM-only freedom)"
+	}
+	fmt.Printf("parallelized over   : %s\n", par)
+	fmt.Printf("per-SDDMM: WACO %.6fs vs Fixed CSR %.6fs (%.2fx)\n",
+		tuned.KernelSeconds, csr.Seconds(), csr.Seconds()/tuned.KernelSeconds)
+	fmt.Printf("tuning overhead     : %.3fs (amortized over every attention layer and training step)\n",
+		tuned.TuningSeconds+tuned.ConvertSeconds)
+}

@@ -1,0 +1,3 @@
+module waco
+
+go 1.22

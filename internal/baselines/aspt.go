@@ -1,0 +1,245 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+// ASpT is the adaptive-sparse-tiling baseline (Hong et al., PPoPP 2019): an
+// inspector partitions the matrix into row panels and, within each panel,
+// separates "dense" columns (columns with enough nonzeros in the panel to
+// reward reuse) from the sparse remainder. The executor processes the dense
+// tiles with panel-wide reuse of the dense operand's rows and the remainder
+// with a CSR-style loop. Like the released artifact, it supports SpMM and
+// SDDMM only.
+type ASpT struct {
+	PanelRows int     // rows per panel (default 64)
+	Threshold float64 // fraction of panel rows a column needs to be "dense" (default 0.25)
+}
+
+// NewASpT returns the baseline with its default tiling parameters.
+func NewASpT() *ASpT { return &ASpT{PanelRows: 64, Threshold: 0.25} }
+
+// Name implements Method.
+func (*ASpT) Name() string { return "ASpT" }
+
+// Supports implements Method.
+func (*ASpT) Supports(alg schedule.Algorithm) bool {
+	return alg == schedule.SpMM || alg == schedule.SDDMM
+}
+
+// asptPanel is one row panel after inspection.
+type asptPanel struct {
+	row0, rowCount int
+	denseCols      []int32
+	dense          []float32 // rowCount x len(denseCols), row-major, explicit zeros
+	denseRowIdx    []int32   // SDDMM: original row per panel row (== row0+r)
+	rowPtr         []int32   // sparse remainder, per panel row
+	colIdx         []int32
+	vals           []float32
+}
+
+// asptMatrix is the inspected representation.
+type asptMatrix struct {
+	rows, cols int
+	panels     []asptPanel
+}
+
+// inspect builds the tiled representation. This is ASpT's format-conversion
+// cost.
+func (a *ASpT) inspect(c *tensor.COO) *asptMatrix {
+	csr, err := c.Clone().ToCSR()
+	if err != nil {
+		return nil
+	}
+	panelRows := a.PanelRows
+	if panelRows < 1 {
+		panelRows = 64
+	}
+	m := &asptMatrix{rows: csr.NumRows, cols: csr.NumCols}
+	colCount := make([]int32, csr.NumCols)
+	for row0 := 0; row0 < csr.NumRows; row0 += panelRows {
+		rowCount := panelRows
+		if row0+rowCount > csr.NumRows {
+			rowCount = csr.NumRows - row0
+		}
+		p := asptPanel{row0: row0, rowCount: rowCount}
+		// Count nonzeros per column within the panel.
+		var touched []int32
+		for r := row0; r < row0+rowCount; r++ {
+			cols, _ := csr.Row(r)
+			for _, cix := range cols {
+				if colCount[cix] == 0 {
+					touched = append(touched, cix)
+				}
+				colCount[cix]++
+			}
+		}
+		thresh := int32(a.Threshold * float64(rowCount))
+		if thresh < 2 {
+			thresh = 2
+		}
+		for _, cix := range touched {
+			if colCount[cix] >= thresh {
+				p.denseCols = append(p.denseCols, cix)
+			}
+		}
+		sort.Slice(p.denseCols, func(x, y int) bool { return p.denseCols[x] < p.denseCols[y] })
+		denseSet := make(map[int32]int32, len(p.denseCols))
+		for i, cix := range p.denseCols {
+			denseSet[cix] = int32(i)
+		}
+		nd := len(p.denseCols)
+		p.dense = make([]float32, rowCount*nd)
+		p.rowPtr = make([]int32, rowCount+1)
+		for r := 0; r < rowCount; r++ {
+			cols, vals := csr.Row(row0 + r)
+			for q, cix := range cols {
+				if di, ok := denseSet[cix]; ok {
+					p.dense[r*nd+int(di)] = vals[q]
+				} else {
+					p.colIdx = append(p.colIdx, cix)
+					p.vals = append(p.vals, vals[q])
+				}
+			}
+			p.rowPtr[r+1] = int32(len(p.colIdx))
+		}
+		// Reset counters.
+		for _, cix := range touched {
+			colCount[cix] = 0
+		}
+		m.panels = append(m.panels, p)
+	}
+	return m
+}
+
+// spmm computes out = A*b using the tiled representation, parallel over
+// panels.
+func (m *asptMatrix) spmm(b, out *tensor.Dense, threads int) {
+	out.Zero()
+	kernel.ParallelFor(int64(len(m.panels)), 1, threads, func(_ int, lo, hi int64) {
+		for pi := lo; pi < hi; pi++ {
+			p := &m.panels[pi]
+			nd := len(p.denseCols)
+			// Dense tiles: iterate panel rows; the B rows of the panel's
+			// dense columns stay hot across the whole panel.
+			for r := 0; r < p.rowCount; r++ {
+				or := out.Row(p.row0 + r)
+				drow := p.dense[r*nd : (r+1)*nd]
+				for ci, v := range drow {
+					if v == 0 {
+						continue
+					}
+					br := b.Row(int(p.denseCols[ci]))
+					for j := range or {
+						or[j] += v * br[j]
+					}
+				}
+				// Sparse remainder.
+				for q := p.rowPtr[r]; q < p.rowPtr[r+1]; q++ {
+					v := p.vals[q]
+					br := b.Row(int(p.colIdx[q]))
+					for j := range or {
+						or[j] += v * br[j]
+					}
+				}
+			}
+		}
+	})
+}
+
+// sddmm computes, for each stored nonzero at (i, j),
+// val * (B[i,:] . C[:,j]) with ct = C^T, writing into per-panel outputs.
+func (m *asptMatrix) sddmm(b, ct *tensor.Dense, outs [][]float32, threads int) {
+	kernel.ParallelFor(int64(len(m.panels)), 1, threads, func(_ int, lo, hi int64) {
+		for pi := lo; pi < hi; pi++ {
+			p := &m.panels[pi]
+			out := outs[pi]
+			nd := len(p.denseCols)
+			k := b.NumCols
+			for r := 0; r < p.rowCount; r++ {
+				br := b.Row(p.row0 + r)
+				drow := p.dense[r*nd : (r+1)*nd]
+				for ci, v := range drow {
+					if v == 0 {
+						continue
+					}
+					cr := ct.Row(int(p.denseCols[ci]))
+					var acc float32
+					for q := 0; q < k; q++ {
+						acc += br[q] * cr[q]
+					}
+					out[r*nd+ci] = v * acc
+				}
+				for q := p.rowPtr[r]; q < p.rowPtr[r+1]; q++ {
+					cr := ct.Row(int(p.colIdx[q]))
+					var acc float32
+					for x := 0; x < k; x++ {
+						acc += br[x] * cr[x]
+					}
+					out[len(p.dense)+int(q)] = p.vals[q] * acc
+				}
+			}
+		}
+	})
+}
+
+// Tune implements Method: inspection is the conversion cost; there is no
+// search (fixed implementation).
+func (a *ASpT) Tune(wl *kernel.Workload, profile kernel.MachineProfile, cfg Config) (*Tuned, error) {
+	if !a.Supports(wl.Alg) {
+		return nil, fmt.Errorf("baselines: ASpT does not support %v", wl.Alg)
+	}
+	t0 := time.Now()
+	m := a.inspect(wl.COO)
+	if m == nil {
+		return nil, fmt.Errorf("baselines: ASpT inspection failed")
+	}
+	convert := time.Since(t0)
+	threads := profileThreads(profile)
+
+	var runs []time.Duration
+	repeats := maxI(1, cfg.Repeats)
+	switch wl.Alg {
+	case schedule.SpMM:
+		out := tensor.NewDense(wl.COO.Dims[0], wl.BMat().NumCols)
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			m.spmm(wl.BMat(), out, threads)
+			runs = append(runs, time.Since(start))
+		}
+	case schedule.SDDMM:
+		outs := make([][]float32, len(m.panels))
+		for i := range outs {
+			p := &m.panels[i]
+			outs[i] = make([]float32, len(p.dense)+len(p.vals))
+		}
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			m.sddmm(wl.BMat(), wl.CMat(), outs, threads)
+			runs = append(runs, time.Since(start))
+		}
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i] < runs[j] })
+	return &Tuned{
+		Method:         "ASpT",
+		KernelSeconds:  runs[len(runs)/2].Seconds(),
+		ConvertSeconds: convert.Seconds(),
+		Info:           fmt.Sprintf("panels=%d", len(m.panels)),
+	}, nil
+}
+
+// SpMMInto exposes the tiled SpMM for correctness tests.
+func (a *ASpT) SpMMInto(c *tensor.COO, b, out *tensor.Dense, threads int) error {
+	m := a.inspect(c)
+	if m == nil {
+		return fmt.Errorf("baselines: ASpT inspection failed")
+	}
+	m.spmm(b, out, threads)
+	return nil
+}

@@ -1,0 +1,275 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"waco/internal/format"
+	"waco/internal/generate"
+	"waco/internal/kernel"
+	"waco/internal/nn"
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+// NamedFormat pairs a candidate format with a display name.
+type NamedFormat struct {
+	Name string
+	F    format.Format
+}
+
+// CandidateFormats returns the handful of formats the BestFormat baseline
+// chooses among — per the paper, a small set of frequently winning formats
+// (five candidates), versus the tens of thousands WACO considers.
+func CandidateFormats(alg schedule.Algorithm) []NamedFormat {
+	if alg.SparseOrder() == 3 {
+		return []NamedFormat{
+			{"CSF(i,k,l)", csfOrdered([]int{0, 1, 2})},
+			{"CSF(k,i,l)", csfOrdered([]int{1, 0, 2})},
+			{"CSF(l,i,k)", csfOrdered([]int{2, 0, 1})},
+			{"CSF(i,l,k)", csfOrdered([]int{0, 2, 1})},
+			{"COO3", format.COOLike(3)},
+		}
+	}
+	return []NamedFormat{
+		{"CSR", format.CSR()},
+		{"CSC", format.CSC()},
+		{"BCSR4", format.BCSR(4, 4)},
+		{"BCSR8", format.BCSR(8, 8)},
+		{"SparseBlock256", sparseBlockFormat(256)},
+	}
+}
+
+// csfOrdered builds a CSF-style format with outer levels in the given mode
+// order (root Uncompressed, deeper levels Compressed, trailing unit inners).
+func csfOrdered(modes []int) format.Format {
+	f := format.Format{Splits: make([]int32, len(modes))}
+	for m := range f.Splits {
+		f.Splits[m] = 1
+	}
+	for i, m := range modes {
+		kind := format.Compressed
+		if i == 0 {
+			kind = format.Uncompressed
+		}
+		f.Levels = append(f.Levels, format.Level{Mode: m, Kind: kind})
+	}
+	for _, m := range modes {
+		f.Levels = append(f.Levels, format.Level{Mode: m, Inner: true, Kind: format.Uncompressed})
+	}
+	return f
+}
+
+// sparseBlockFormat is the §5.2.1 sparse-block layout k1(U) -> i(U) -> k0(C):
+// splitting the reduction dimension with a Compressed inner level improves
+// cache locality on the dense operand.
+func sparseBlockFormat(split int32) format.Format {
+	return format.Format{
+		Splits: []int32{1, split},
+		Levels: []format.Level{
+			{Mode: 1, Kind: format.Uncompressed},
+			{Mode: 0, Kind: format.Uncompressed},
+			{Mode: 1, Inner: true, Kind: format.Compressed},
+			{Mode: 0, Inner: true, Kind: format.Uncompressed},
+		},
+	}
+}
+
+// BestFormat is the format-selection baseline [42, 48]: a learned classifier
+// maps a matrix's features to the best of a few candidate formats; the
+// schedule stays as concordant as the chosen format allows. Tuning at query
+// time is a single classifier inference — cheap, but the tuning space is
+// format-only and tiny.
+type BestFormat struct {
+	Alg        schedule.Algorithm
+	Candidates []NamedFormat
+	clf        *nn.MLP
+	trained    bool
+}
+
+// NewBestFormat creates an untrained classifier baseline.
+func NewBestFormat(alg schedule.Algorithm, seed int64) *BestFormat {
+	rng := rand.New(rand.NewSource(seed))
+	cands := CandidateFormats(alg)
+	return &BestFormat{
+		Alg:        alg,
+		Candidates: cands,
+		clf:        nn.NewMLP("bestformat", []int{tensor.HumanFeatureDim, 32, len(cands)}, rng),
+	}
+}
+
+// TrainConfig controls the offline classifier fit.
+type TrainConfig struct {
+	DenseN  int
+	Repeats int
+	Epochs  int
+	LR      float32
+	Seed    int64
+	Profile kernel.MachineProfile
+}
+
+// Train labels each training matrix with its measured best candidate format
+// and fits the softmax classifier. Matrices where every candidate fails to
+// assemble are skipped.
+func (b *BestFormat) Train(matrices []generate.Matrix, cfg TrainConfig) error {
+	type example struct {
+		feat  []float32
+		label int
+	}
+	var examples []example
+	mcfg := Config{Repeats: maxI(1, cfg.Repeats)}
+	for _, m := range matrices {
+		if m.COO.Order() != b.Alg.SparseOrder() {
+			continue
+		}
+		wl, err := kernel.NewWorkload(b.Alg, m.COO, cfg.DenseN)
+		if err != nil {
+			return err
+		}
+		label, ok := b.measureBest(wl, cfg.Profile, mcfg)
+		if !ok {
+			continue
+		}
+		examples = append(examples, example{feat: tensor.ComputeStats(m.COO).FeatureVector(), label: label})
+	}
+	if len(examples) == 0 {
+		return fmt.Errorf("baselines: no trainable matrices for BestFormat")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := nn.NewAdam(cfg.LR, b.clf.Params()...)
+	epochs := cfg.Epochs
+	if epochs < 1 {
+		epochs = 30
+	}
+	for e := 0; e < epochs; e++ {
+		for _, i := range rng.Perm(len(examples)) {
+			ex := examples[i]
+			var tape nn.Tape
+			logits := b.clf.Apply(&tape, nn.NewGrad(append([]float32(nil), ex.feat...)))
+			softmaxCE(logits, ex.label)
+			tape.Backward()
+			opt.Step()
+		}
+	}
+	b.trained = true
+	return nil
+}
+
+// measureBest returns the index of the fastest assembling candidate.
+func (b *BestFormat) measureBest(wl *kernel.Workload, profile kernel.MachineProfile, cfg Config) (int, bool) {
+	best, bestTime := -1, time.Duration(math.MaxInt64)
+	for i, cand := range b.Candidates {
+		ss := schedule.BestEffortSchedule(b.Alg, cand.F, profileThreads(profile), 32)
+		d, _, err := wl.MeasureSchedule(ss, profile, cfg.MaxEntries, cfg.Repeats)
+		if err != nil {
+			continue
+		}
+		if d < bestTime {
+			best, bestTime = i, d
+		}
+	}
+	return best, best >= 0
+}
+
+// Predict returns the classifier's format choice for a pattern.
+func (b *BestFormat) Predict(c *tensor.COO) int {
+	feat := tensor.ComputeStats(c).FeatureVector()
+	logits := b.clf.Apply(nil, nn.NewGrad(feat))
+	best, bestV := 0, float32(math.Inf(-1))
+	for i, v := range logits.V {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Name implements Method.
+func (*BestFormat) Name() string { return "BestFormat" }
+
+// Supports implements Method: all algorithms (given a matching-order model).
+func (b *BestFormat) Supports(alg schedule.Algorithm) bool {
+	return alg.SparseOrder() == b.Alg.SparseOrder()
+}
+
+// Tune implements Method: one classifier inference (tuning time), then
+// conversion into the predicted format and measurement. Falls back to the
+// first assembling candidate if the predicted one exceeds the storage
+// budget.
+func (b *BestFormat) Tune(wl *kernel.Workload, profile kernel.MachineProfile, cfg Config) (*Tuned, error) {
+	if !b.trained {
+		return nil, fmt.Errorf("baselines: BestFormat used before Train")
+	}
+	t0 := time.Now()
+	choice := b.Predict(wl.COO)
+	tuning := time.Since(t0)
+
+	order := make([]int, 0, len(b.Candidates))
+	order = append(order, choice)
+	for i := range b.Candidates {
+		if i != choice {
+			order = append(order, i)
+		}
+	}
+	for _, i := range order {
+		cand := b.Candidates[i]
+		ss := schedule.BestEffortSchedule(b.Alg, cand.F, profileThreads(profile), 32)
+		t1 := time.Now()
+		plan, err := wl.Compile(ss, profile, cfg.MaxEntries)
+		if err != nil {
+			continue
+		}
+		convert := time.Since(t1)
+		med, err := wl.Measure(plan, cfg.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		return &Tuned{
+			Method:         "BestFormat",
+			KernelSeconds:  med.Seconds(),
+			TuningSeconds:  tuning.Seconds(),
+			ConvertSeconds: convert.Seconds(),
+			Schedule:       ss,
+			Info:           cand.Name,
+		}, nil
+	}
+	return nil, fmt.Errorf("baselines: no candidate format assembles")
+}
+
+// softmaxCE computes cross-entropy of softmax(logits) against the label,
+// writing the gradient p - onehot into logits.D. Returns the loss.
+func softmaxCE(logits *nn.Grad, label int) float32 {
+	maxV := logits.V[0]
+	for _, v := range logits.V {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for _, v := range logits.V {
+		sum += math.Exp(float64(v - maxV))
+	}
+	logZ := math.Log(sum) + float64(maxV)
+	for i, v := range logits.V {
+		p := float32(math.Exp(float64(v) - logZ))
+		logits.D[i] += p
+	}
+	logits.D[label] -= 1
+	return float32(logZ - float64(logits.V[label]))
+}
+
+func profileThreads(p kernel.MachineProfile) int {
+	if p.ThreadCap > 0 {
+		return p.ThreadCap
+	}
+	return 4
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,221 @@
+// Package core assembles the full WACO pipeline (Figure 1): collect a
+// training dataset of measured (matrix, SuperSchedule, runtime) tuples,
+// train the cost model with the pairwise ranking loss, build the KNN graph
+// over program embeddings of the dataset's SuperSchedules, and answer
+// queries — for an input sparse tensor, retrieve the top-K SuperSchedules by
+// approximate nearest neighbor search, measure them on the machine, and
+// return the fastest (the paper's protocol in §5.2).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"waco/internal/baselines"
+	"waco/internal/costmodel"
+	"waco/internal/dataset"
+	"waco/internal/format"
+	"waco/internal/generate"
+	"waco/internal/hnsw"
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+	"waco/internal/search"
+	"waco/internal/tensor"
+)
+
+// Config parameterizes the whole pipeline.
+type Config struct {
+	Alg     schedule.Algorithm
+	Collect dataset.CollectConfig
+	Model   costmodel.Config
+	Train   costmodel.TrainConfig
+	HNSW    hnsw.Config
+	// TopK candidates are measured on the machine after the ANNS retrieval
+	// (the paper reports the fastest of the top 10 from a ~2M-schedule
+	// index). TopK <= 0 selects adaptively: max(10, indexSize/25), keeping
+	// the measured fraction comparable at reduced index sizes.
+	TopK int
+	// SearchEf is the ANNS beam width; raised to 6*K when smaller.
+	SearchEf int
+	// ValFrac is the train/validation split (paper: 20%).
+	ValFrac float64
+}
+
+// DefaultConfig returns reduced-scale defaults for the algorithm.
+func DefaultConfig(alg schedule.Algorithm) Config {
+	return Config{
+		Alg:      alg,
+		Collect:  dataset.DefaultCollectConfig(alg),
+		Model:    costmodel.DefaultConfig(alg),
+		Train:    costmodel.DefaultTrainConfig(),
+		HNSW:     hnsw.DefaultConfig(),
+		TopK:     5,
+		SearchEf: 64,
+		ValFrac:  0.2,
+	}
+}
+
+// Tuner is a trained WACO instance: cost model plus schedule index.
+type Tuner struct {
+	Cfg        Config
+	Model      *costmodel.Model
+	Index      *search.Index
+	TrainTrace costmodel.TrainResult
+}
+
+// Build runs the full offline pipeline on a training corpus.
+func Build(trainMatrices []generate.Matrix, cfg Config) (*Tuner, *dataset.Dataset, error) {
+	ds, err := dataset.Collect(trainMatrices, cfg.Collect)
+	if err != nil {
+		return nil, nil, err
+	}
+	t, err := BuildFromDataset(ds, cfg)
+	return t, ds, err
+}
+
+// BuildFromDataset trains the cost model and builds the index from an
+// existing dataset (e.g. loaded from disk).
+func BuildFromDataset(ds *dataset.Dataset, cfg Config) (*Tuner, error) {
+	if len(ds.Entries) == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	model, err := costmodel.New(cfg.Collect.Space, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	train, val := ds.Split(cfg.ValFrac, cfg.Train.Seed)
+	if len(train) == 0 {
+		train = ds.Entries
+	}
+	trace, err := costmodel.Train(model, train, val, cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+	var scheds []*schedule.SuperSchedule
+	for _, e := range ds.Entries {
+		for _, s := range e.Samples {
+			scheds = append(scheds, s.SS)
+		}
+	}
+	ix, err := search.BuildIndex(model, scheds, cfg.HNSW)
+	if err != nil {
+		return nil, err
+	}
+	return &Tuner{Cfg: cfg, Model: model, Index: ix, TrainTrace: trace}, nil
+}
+
+// NewTuner wraps an already trained model with an index built from the
+// dataset's SuperSchedules (no retraining) — used by cmd/waco-tune with a
+// model file produced by cmd/waco-train.
+func NewTuner(model *costmodel.Model, ds *dataset.Dataset, cfg Config) (*Tuner, error) {
+	var scheds []*schedule.SuperSchedule
+	for _, e := range ds.Entries {
+		for _, s := range e.Samples {
+			scheds = append(scheds, s.SS)
+		}
+	}
+	ix, err := search.BuildIndex(model, scheds, cfg.HNSW)
+	if err != nil {
+		return nil, err
+	}
+	return &Tuner{Cfg: cfg, Model: model, Index: ix}, nil
+}
+
+// Name implements baselines.Method.
+func (t *Tuner) Name() string { return "WACO" }
+
+// Supports implements baselines.Method.
+func (t *Tuner) Supports(alg schedule.Algorithm) bool { return alg == t.Cfg.Alg }
+
+// Tune implements baselines.Method: ANNS retrieval of TopK candidates, then
+// on-machine measurement of each, returning the fastest. Tuning time covers
+// feature extraction, graph search, and candidate measurement; conversion
+// time is the winning format's assembly.
+func (t *Tuner) Tune(wl *kernel.Workload, profile kernel.MachineProfile, cfg baselines.Config) (*baselines.Tuned, error) {
+	if wl.Alg != t.Cfg.Alg {
+		return nil, fmt.Errorf("core: %v tuner on %v workload", t.Cfg.Alg, wl.Alg)
+	}
+	pattern := costmodel.NewPattern(wl.COO)
+	k := t.Cfg.TopK
+	if k <= 0 {
+		k = len(t.Index.Schedules) / 25
+		if k < 10 {
+			k = 10
+		}
+	}
+	ef := t.Cfg.SearchEf
+	if ef < 6*k {
+		ef = 6 * k
+	}
+	res, err := t.Index.Search(pattern, k, ef)
+	if err != nil {
+		return nil, err
+	}
+	tuning := res.FeatureTime + res.SearchTime
+
+	var best *schedule.SuperSchedule
+	var bestTime time.Duration
+	var bestConvert time.Duration
+	measured := 0
+	for _, cand := range res.Candidates {
+		t0 := time.Now()
+		plan, err := wl.Compile(cand.SS, profile, cfg.MaxEntries)
+		if err != nil {
+			if format.IsStorageLimit(err) {
+				continue
+			}
+			return nil, err
+		}
+		if plan.CheckWork(0) != nil {
+			continue // would run unboundedly long on this matrix
+		}
+		convert := time.Since(t0)
+		// Median of 3 probe runs: candidate selection is noise-sensitive at
+		// microsecond kernel scales.
+		d, err := wl.Measure(plan, 3)
+		if err != nil {
+			return nil, err
+		}
+		tuning += convert + d
+		measured++
+		if best == nil || d < bestTime {
+			best, bestTime, bestConvert = cand.SS, d, convert
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no retrieved candidate assembles under the storage budget")
+	}
+	plan, err := wl.Compile(best, profile, cfg.MaxEntries)
+	if err != nil {
+		return nil, err
+	}
+	med, err := wl.Measure(plan, cfg.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	return &baselines.Tuned{
+		Method:         "WACO",
+		KernelSeconds:  med.Seconds(),
+		TuningSeconds:  tuning.Seconds(),
+		ConvertSeconds: bestConvert.Seconds(),
+		Schedule:       best,
+		Info:           fmt.Sprintf("measured %d of top-%d", measured, k),
+	}, nil
+}
+
+// TuneTensor is the convenience entry point: builds a workload for the
+// tensor and tunes it with default measurement settings.
+func (t *Tuner) TuneTensor(coo *tensor.COO) (*baselines.Tuned, error) {
+	wl, err := kernel.NewWorkload(t.Cfg.Alg, coo, t.Cfg.Collect.DenseN)
+	if err != nil {
+		return nil, err
+	}
+	repeats := t.Cfg.Collect.Repeats
+	if repeats < 5 {
+		repeats = 5
+	}
+	return t.Tune(wl, t.Cfg.Collect.Profile, baselines.Config{
+		Repeats:    repeats,
+		MaxEntries: t.Cfg.Collect.MaxEntries,
+	})
+}

@@ -1,0 +1,267 @@
+package costmodel
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"waco/internal/dataset"
+	"waco/internal/generate"
+	"waco/internal/nn"
+	"waco/internal/schedule"
+	"waco/internal/sparseconv"
+)
+
+func tinyConvCfg(dim int) sparseconv.Config {
+	return sparseconv.Config{Dim: dim, Channels: 4, Depth: 3, FirstKernel: 3, OutDim: 12}
+}
+
+func tinyModel(t *testing.T, alg schedule.Algorithm, kind ExtractorKind) *Model {
+	t.Helper()
+	cfg := Config{Extractor: kind, ConvCfg: tinyConvCfg(alg.SparseOrder()), EmbDim: 12, HeadDims: []int{16}, Seed: 3}
+	m, err := New(schedule.DefaultSpace(alg), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func tinyDataset(t *testing.T, alg schedule.Algorithm, nMat int) *dataset.Dataset {
+	t.Helper()
+	cc := generate.DefaultCorpusConfig()
+	cc.Count = nMat
+	cc.MinDim = 64
+	cc.MaxDim = 160
+	cc.MaxNNZ = 2500
+	cfg := dataset.DefaultCollectConfig(alg)
+	cfg.SchedulesPerMatrix = 10
+	cfg.Repeats = 1
+	cfg.DenseN = 8
+	sp := schedule.DefaultSpace(alg)
+	sp.SplitChoices = []int32{1, 2, 4, 8}
+	sp.ThreadChoices = []int{1, 4}
+	cfg.Space = sp
+	ds, err := dataset.Collect(generate.Corpus(cc), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestAllExtractorsProduceFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	coo := generate.Uniform(rng, 64, 64, 300)
+	p := NewPattern(coo)
+	for _, kind := range ExtractorKinds {
+		ex, err := NewExtractor(kind, tinyConvCfg(2), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.Name() != string(kind) {
+			t.Errorf("name %q", ex.Name())
+		}
+		var tape nn.Tape
+		feat, err := ex.Extract(&tape, p)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(feat.V) != ex.Dim() {
+			t.Fatalf("%s: dim %d, want %d", kind, len(feat.V), ex.Dim())
+		}
+		for i := range feat.D {
+			feat.D[i] = 1
+		}
+		tape.Backward()
+		if len(ex.Params()) == 0 {
+			t.Fatalf("%s: no parameters", kind)
+		}
+		var any bool
+		for _, pp := range ex.Params() {
+			for _, g := range pp.G {
+				if g != 0 {
+					any = true
+				}
+				if math.IsNaN(float64(g)) {
+					t.Fatalf("%s: NaN gradient", kind)
+				}
+			}
+		}
+		if !any {
+			t.Fatalf("%s: gradient did not reach parameters", kind)
+		}
+	}
+	if _, err := NewExtractor("bogus", tinyConvCfg(2), rng); err == nil {
+		t.Fatal("accepted unknown extractor kind")
+	}
+}
+
+func TestPatternCaches(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewPattern(generate.Uniform(rng, 50, 50, 200))
+	a, err := p.SparseMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p.SparseMap()
+	if a != b {
+		t.Fatal("sparse map not cached")
+	}
+	if p.Downsampled(8) != p.Downsampled(8) {
+		t.Fatal("downsample not cached")
+	}
+	if len(p.HumanFeatures()) == 0 {
+		t.Fatal("no human features")
+	}
+}
+
+func TestEmbedderDistinguishes(t *testing.T) {
+	sp := schedule.DefaultSpace(schedule.SpMM)
+	rng := rand.New(rand.NewSource(3))
+	e := NewEmbedder(sp, 16, rng)
+	a := sp.Sample(rng)
+	b := a.Clone()
+	b.Threads = pick(sp.ThreadChoices, a.Threads)
+	ea := e.EmbedSchedule(nil, a)
+	eb := e.EmbedSchedule(nil, b)
+	var diff float64
+	for i := range ea.V {
+		diff += math.Abs(float64(ea.V[i] - eb.V[i]))
+	}
+	if diff == 0 {
+		t.Fatal("embeddings identical for different schedules")
+	}
+	// Same schedule, same embedding.
+	ec := e.EmbedSchedule(nil, a.Clone())
+	for i := range ea.V {
+		if ea.V[i] != ec.V[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+}
+
+func pick(choices []int, not int) int {
+	for _, c := range choices {
+		if c != not {
+			return c
+		}
+	}
+	return not
+}
+
+func TestModelPredictAndSaveLoad(t *testing.T) {
+	m := tinyModel(t, schedule.SpMM, KindWACONet)
+	rng := rand.New(rand.NewSource(4))
+	p := NewPattern(generate.Uniform(rng, 48, 48, 200))
+	ss := schedule.DefaultSchedule(schedule.SpMM, 2)
+	c1, err := m.Cost(p, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := tinyModel(t, schedule.SpMM, KindWACONet)
+	// Perturb m2 then restore.
+	m2.Params()[0].W[0] += 10
+	if err := m2.LoadParams(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m2.Cost(NewPattern(p.COO), ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c1-c2) > 1e-6 {
+		t.Fatalf("prediction changed after save/load: %g vs %g", c1, c2)
+	}
+}
+
+func TestLoadParamsRejectsMismatchedModel(t *testing.T) {
+	m := tinyModel(t, schedule.SpMM, KindWACONet)
+	var buf bytes.Buffer
+	if err := m.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := tinyModel(t, schedule.SpMM, KindHumanFeature)
+	if err := other.LoadParams(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("loaded mismatched parameters")
+	}
+}
+
+func TestTrainReducesRankingLoss(t *testing.T) {
+	ds := tinyDataset(t, schedule.SpMM, 6)
+	train, val := ds.Split(0.34, 5)
+	if len(val) == 0 || len(train) == 0 {
+		t.Fatalf("bad split %d/%d", len(train), len(val))
+	}
+	m := tinyModel(t, schedule.SpMM, KindHumanFeature)
+	cfg := TrainConfig{Epochs: 12, PairsPerMatrix: 24, LR: 3e-3, Seed: 6, Loss: LossRank}
+	res, err := Train(m, train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != cfg.Epochs {
+		t.Fatalf("%d epoch stats", len(res.Epochs))
+	}
+	first, last := res.Epochs[0].TrainLoss, res.Epochs[len(res.Epochs)-1].TrainLoss
+	if !(last < first) {
+		t.Fatalf("training loss did not decrease: %g -> %g", first, last)
+	}
+}
+
+func TestTrainMSE(t *testing.T) {
+	ds := tinyDataset(t, schedule.SpMM, 4)
+	train, val := ds.Split(0.25, 7)
+	m := tinyModel(t, schedule.SpMM, KindHumanFeature)
+	cfg := TrainConfig{Epochs: 6, PairsPerMatrix: 16, LR: 1e-3, Seed: 8, Loss: LossMSE}
+	res, err := Train(m, train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Epochs[0].TrainLoss, res.Epochs[len(res.Epochs)-1].TrainLoss
+	if !(last < first) {
+		t.Fatalf("MSE loss did not decrease: %g -> %g", first, last)
+	}
+}
+
+func TestPairAccuracyAboveChance(t *testing.T) {
+	ds := tinyDataset(t, schedule.SpMM, 8)
+	train, _ := ds.Split(0, 9)
+	m := tinyModel(t, schedule.SpMM, KindHumanFeature)
+	cfg := TrainConfig{Epochs: 25, PairsPerMatrix: 32, LR: 3e-3, Seed: 10, Loss: LossRank}
+	if _, err := Train(m, train, nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := PairAccuracy(m, train, 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.58 {
+		t.Fatalf("train-set ranking accuracy %.3f, want > 0.58", acc)
+	}
+}
+
+func TestTrainRejectsBadConfig(t *testing.T) {
+	m := tinyModel(t, schedule.SpMM, KindHumanFeature)
+	if _, err := Train(m, nil, nil, TrainConfig{Epochs: 0}); err == nil {
+		t.Fatal("accepted zero epochs")
+	}
+}
+
+func TestWACONetExtractorOn3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	base := generate.Uniform(rng, 32, 32, 100)
+	t3 := generate.Tensor3D(rng, base, 8, 1)
+	ex, err := NewExtractor(KindWACONet, tinyConvCfg(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat, err := ex.Extract(nil, NewPattern(t3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feat.V) != ex.Dim() {
+		t.Fatal("wrong 3-D feature dim")
+	}
+}

@@ -1,0 +1,75 @@
+package costmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"waco/internal/nn"
+	"waco/internal/schedule"
+)
+
+// Embedder maps a SuperSchedule encoding to a dense program embedding
+// (Figure 11): each categorical parameter passes through a learnable lookup
+// table; each permutation parameter is expanded into a permutation matrix
+// and passed through linear-ReLU layers; everything is concatenated and
+// fused by a final MLP.
+type Embedder struct {
+	Space  schedule.Space
+	CatDim int
+	EmbDim int
+
+	cats  []*nn.Embedding
+	perms []*nn.MLP
+	fuse  *nn.MLP
+}
+
+// NewEmbedder builds an embedder for the space with the given output width.
+func NewEmbedder(space schedule.Space, embDim int, rng *rand.Rand) *Embedder {
+	e := &Embedder{Space: space, CatDim: 4, EmbDim: embDim}
+	permDim := 8
+	total := 0
+	for i, size := range space.CatSizes() {
+		e.cats = append(e.cats, nn.NewEmbedding(fmt.Sprintf("emb.cat%d", i), size, e.CatDim, rng))
+		total += e.CatDim
+	}
+	for i, size := range space.PermSizes() {
+		e.perms = append(e.perms, nn.NewMLP(fmt.Sprintf("emb.perm%d", i), []int{size * size, 16, permDim}, rng))
+		total += permDim
+	}
+	e.fuse = nn.NewMLP("emb.fuse", []int{total, embDim, embDim}, rng)
+	return e
+}
+
+// Params returns all trainable parameters.
+func (e *Embedder) Params() []*nn.Param {
+	var out []*nn.Param
+	for _, c := range e.cats {
+		out = append(out, c.Params()...)
+	}
+	for _, p := range e.perms {
+		out = append(out, p.Params()...)
+	}
+	return append(out, e.fuse.Params()...)
+}
+
+// Embed produces the program embedding for an encoded SuperSchedule.
+func (e *Embedder) Embed(t *nn.Tape, enc schedule.Encoded) *nn.Grad {
+	parts := make([]*nn.Grad, 0, len(e.cats)+len(e.perms))
+	for i, idx := range enc.Cats {
+		parts = append(parts, e.cats[i].Apply(t, idx))
+	}
+	for i, perm := range enc.Perms {
+		n := len(perm)
+		mat := nn.NewGrad(make([]float32, n*n))
+		for pos, v := range perm {
+			mat.V[pos*n+v] = 1
+		}
+		parts = append(parts, e.perms[i].Apply(t, mat))
+	}
+	return e.fuse.Apply(t, nn.Concat(t, parts...))
+}
+
+// EmbedSchedule encodes and embeds in one step.
+func (e *Embedder) EmbedSchedule(t *nn.Tape, ss *schedule.SuperSchedule) *nn.Grad {
+	return e.Embed(t, e.Space.Encode(ss))
+}

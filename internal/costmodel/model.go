@@ -1,0 +1,170 @@
+package costmodel
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"waco/internal/nn"
+	"waco/internal/schedule"
+	"waco/internal/sparseconv"
+)
+
+// Model is WACO's cost model (Figure 6): feature extractor + program
+// embedder + runtime predictor head. Predictions are unitless costs trained
+// only for ranking, not absolute runtime.
+type Model struct {
+	Space     schedule.Space
+	Cfg       Config
+	Extractor FeatureExtractor
+	Embedder  *Embedder
+	Head      *nn.MLP
+}
+
+// Config sizes a cost model.
+type Config struct {
+	Extractor ExtractorKind
+	ConvCfg   sparseconv.Config
+	EmbDim    int
+	HeadDims  []int // hidden widths of the predictor head
+	Seed      int64
+}
+
+// DefaultConfig is the reduced-scale model for the given algorithm.
+func DefaultConfig(alg schedule.Algorithm) Config {
+	return Config{
+		Extractor: KindWACONet,
+		ConvCfg:   sparseconv.DefaultConfig(alg.SparseOrder()),
+		EmbDim:    32,
+		HeadDims:  []int{64, 32},
+		Seed:      1,
+	}
+}
+
+// New builds a cost model for the search space.
+func New(space schedule.Space, cfg Config) (*Model, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ex, err := NewExtractor(cfg.Extractor, cfg.ConvCfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	emb := NewEmbedder(space, cfg.EmbDim, rng)
+	dims := append([]int{ex.Dim() + cfg.EmbDim}, cfg.HeadDims...)
+	dims = append(dims, 1)
+	return &Model{
+		Space:     space,
+		Cfg:       cfg,
+		Extractor: ex,
+		Embedder:  emb,
+		Head:      nn.NewMLP("head", dims, rng),
+	}, nil
+}
+
+// snapshot is the serialized form of a model: enough to reconstruct the
+// architecture plus all weights.
+type snapshot struct {
+	Space  schedule.Space
+	Cfg    Config
+	Params map[string][]float32
+}
+
+// Save serializes the model's architecture configuration and weights.
+func (m *Model) Save(w io.Writer) error {
+	params := map[string][]float32{}
+	for _, p := range m.Params() {
+		if _, dup := params[p.Name]; dup {
+			return fmt.Errorf("costmodel: duplicate parameter name %q", p.Name)
+		}
+		params[p.Name] = p.W
+	}
+	return gob.NewEncoder(w).Encode(snapshot{Space: m.Space, Cfg: m.Cfg, Params: params})
+}
+
+// LoadModel reconstructs a model saved by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	m, err := New(s.Space, s.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range m.Params() {
+		w, ok := s.Params[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("costmodel: snapshot missing parameter %q", p.Name)
+		}
+		if len(w) != len(p.W) {
+			return nil, fmt.Errorf("costmodel: snapshot parameter %q has %d weights, want %d", p.Name, len(w), len(p.W))
+		}
+		copy(p.W, w)
+	}
+	return m, nil
+}
+
+// Params returns every trainable parameter.
+func (m *Model) Params() []*nn.Param {
+	out := m.Extractor.Params()
+	out = append(out, m.Embedder.Params()...)
+	return append(out, m.Head.Params()...)
+}
+
+// PredictWith scores a schedule embedding against an already extracted
+// pattern feature. During search the pattern feature is computed once and
+// reused for every candidate (§5.4, "search time breakdown").
+func (m *Model) PredictWith(t *nn.Tape, feat *nn.Grad, emb *nn.Grad) *nn.Grad {
+	return m.Head.Apply(t, nn.Concat(t, feat, emb))
+}
+
+// Predict scores one (pattern, schedule) pair end to end.
+func (m *Model) Predict(t *nn.Tape, p *Pattern, ss *schedule.SuperSchedule) (*nn.Grad, error) {
+	feat, err := m.Extractor.Extract(t, p)
+	if err != nil {
+		return nil, err
+	}
+	return m.PredictWith(t, feat, m.Embedder.EmbedSchedule(t, ss)), nil
+}
+
+// Cost returns the scalar predicted cost in inference mode.
+func (m *Model) Cost(p *Pattern, ss *schedule.SuperSchedule) (float64, error) {
+	g, err := m.Predict(nil, p, ss)
+	if err != nil {
+		return 0, err
+	}
+	return float64(g.V[0]), nil
+}
+
+// SaveParams writes all parameter tensors (gob of name -> weights). Only
+// weights are persisted; optimizer state is not.
+func (m *Model) SaveParams(w io.Writer) error {
+	params := map[string][]float32{}
+	for _, p := range m.Params() {
+		if _, dup := params[p.Name]; dup {
+			return fmt.Errorf("costmodel: duplicate parameter name %q", p.Name)
+		}
+		params[p.Name] = p.W
+	}
+	return gob.NewEncoder(w).Encode(params)
+}
+
+// LoadParams restores weights saved by SaveParams into an identically
+// configured model.
+func (m *Model) LoadParams(r io.Reader) error {
+	var params map[string][]float32
+	if err := gob.NewDecoder(r).Decode(&params); err != nil {
+		return err
+	}
+	for _, p := range m.Params() {
+		w, ok := params[p.Name]
+		if !ok {
+			return fmt.Errorf("costmodel: saved model missing parameter %q", p.Name)
+		}
+		if len(w) != len(p.W) {
+			return fmt.Errorf("costmodel: parameter %q has %d weights, model expects %d", p.Name, len(w), len(p.W))
+		}
+		copy(p.W, w)
+	}
+	return nil
+}

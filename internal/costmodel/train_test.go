@@ -1,0 +1,107 @@
+package costmodel
+
+import (
+	"bytes"
+	"testing"
+
+	"waco/internal/dataset"
+	"waco/internal/schedule"
+)
+
+// syntheticEntries builds dataset entries with controlled runtimes so loss
+// behavior can be asserted without measurement noise.
+func syntheticEntries(t *testing.T, n int) []*dataset.Entry {
+	t.Helper()
+	ds := tinyDataset(t, schedule.SpMM, n)
+	return ds.Entries
+}
+
+func TestMinRatioFiltersClosePairs(t *testing.T) {
+	entries := syntheticEntries(t, 3)
+	// Force every sample of an entry to nearly identical runtimes: with
+	// MinRatio 1.5 no pair qualifies and the rank loss contributes nothing.
+	for _, e := range entries {
+		for i := range e.Samples {
+			e.Samples[i].Seconds = 1.0 + 1e-9*float64(i)
+		}
+	}
+	m := tinyModel(t, schedule.SpMM, KindHumanFeature)
+	cfg := TrainConfig{Epochs: 2, PairsPerMatrix: 16, LR: 1e-3, Seed: 1, Loss: LossRank, MinRatio: 1.5}
+	res, err := Train(m, entries, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range res.Epochs {
+		if ep.TrainLoss != 0 {
+			t.Fatalf("filtered training produced loss %g", ep.TrainLoss)
+		}
+	}
+}
+
+func TestTrainVerboseCallback(t *testing.T) {
+	entries := syntheticEntries(t, 2)
+	m := tinyModel(t, schedule.SpMM, KindHumanFeature)
+	var lines int
+	cfg := TrainConfig{Epochs: 3, PairsPerMatrix: 4, LR: 1e-3, Seed: 1, Loss: LossRank,
+		Verbose: func(string) { lines++ }}
+	if _, err := Train(m, entries, nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if lines != 3 {
+		t.Fatalf("verbose called %d times, want 3", lines)
+	}
+}
+
+func TestTrainSkipsSingleSampleEntries(t *testing.T) {
+	entries := syntheticEntries(t, 2)
+	for _, e := range entries {
+		e.Samples = e.Samples[:1]
+	}
+	m := tinyModel(t, schedule.SpMM, KindHumanFeature)
+	res, err := Train(m, entries, nil, TrainConfig{Epochs: 1, PairsPerMatrix: 4, LR: 1e-3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs[0].TrainLoss != 0 {
+		t.Fatal("single-sample entries should contribute no loss")
+	}
+}
+
+func TestPairAccuracyNoComparablePairs(t *testing.T) {
+	entries := syntheticEntries(t, 1)
+	for _, e := range entries {
+		for i := range e.Samples {
+			e.Samples[i].Seconds = 2.0 // all identical: no pair differs by >=10%
+		}
+	}
+	m := tinyModel(t, schedule.SpMM, KindHumanFeature)
+	if _, err := PairAccuracy(m, entries, 10, 1); err == nil {
+		t.Fatal("expected error when no pairs are comparable")
+	}
+}
+
+func TestModelSnapshotRoundTrip(t *testing.T) {
+	m := tinyModel(t, schedule.SpMM, KindWACONet)
+	entries := syntheticEntries(t, 2)
+	p := NewPattern(entries[0].COO)
+	ss := entries[0].Samples[0].SS
+	before, err := m.Cost(p, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := back.Cost(NewPattern(entries[0].COO), ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("snapshot changed prediction: %g vs %g", before, after)
+	}
+}

@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"waco/internal/schedule"
+)
+
+// concordantKey reports whether a schedule's loop order follows its format's
+// level order exactly.
+func isConcordant(ss *schedule.SuperSchedule) bool {
+	for i, l := range ss.AFormat.Levels {
+		v := ss.ComputeOrder[i]
+		if v.Mode != l.Mode || v.Inner != l.Inner {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConcordantFracMixesSamples(t *testing.T) {
+	cfg := quickCfg(schedule.SpMM)
+	cfg.SchedulesPerMatrix = 60
+	cfg.ConcordantFrac = 0.5
+	cfg.Dedup = false
+	rng := rand.New(rand.NewSource(17))
+	m := smallCorpus(1)[0]
+	entry, err := CollectEntry(m, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concordant := 0
+	for _, s := range entry.Samples {
+		if isConcordant(s.SS) {
+			concordant++
+		}
+	}
+	// Roughly half the samples should be concordant (allowing for the
+	// hoisted-parallel variant, which breaks exact concordance, and random
+	// samples that happen to be concordant).
+	if concordant < len(entry.Samples)/5 {
+		t.Fatalf("only %d/%d concordant samples with frac 0.5", concordant, len(entry.Samples))
+	}
+
+	cfg.ConcordantFrac = 0
+	rng = rand.New(rand.NewSource(18))
+	entry0, err := CollectEntry(m, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concordant0 := 0
+	for _, s := range entry0.Samples {
+		if isConcordant(s.SS) {
+			concordant0++
+		}
+	}
+	if concordant0 >= concordant {
+		t.Fatalf("uniform sampling produced %d concordant vs %d stratified", concordant0, concordant)
+	}
+}
+
+func TestCollectEntryRespectsMaxWork(t *testing.T) {
+	cfg := quickCfg(schedule.SpMM)
+	cfg.MaxWork = 1 // everything excluded statically
+	rng := rand.New(rand.NewSource(19))
+	entry, err := CollectEntry(smallCorpus(1)[0], cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entry.Samples) != 0 {
+		t.Fatalf("MaxWork=1 still collected %d samples", len(entry.Samples))
+	}
+}

@@ -1,0 +1,214 @@
+// Package dataset implements WACO's training-data pipeline (§4.1.3): for
+// each matrix in a corpus, sample SuperSchedules uniformly from the search
+// space, execute each on the kernel substrate, and record the median
+// wall-clock runtime, producing (sparse matrix, SuperSchedule, ground-truth
+// runtime) tuples. Configurations whose formats blow past the storage budget
+// or whose first run exceeds the slow-run limit are excluded, mirroring the
+// paper's exclusion of >1-minute configurations.
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"waco/internal/format"
+	"waco/internal/generate"
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+// Sample is one measured (SuperSchedule, runtime) pair.
+type Sample struct {
+	SS      *schedule.SuperSchedule
+	Seconds float64
+	Bytes   int64 // assembled storage footprint
+}
+
+// Entry groups the samples measured on one matrix.
+type Entry struct {
+	Name    string
+	Family  string
+	COO     *tensor.COO
+	Samples []Sample
+}
+
+// Dataset is a collection of measured tuples for one algorithm.
+type Dataset struct {
+	Alg     schedule.Algorithm
+	DenseN  int
+	Profile kernel.MachineProfile
+	Entries []*Entry
+}
+
+// CollectConfig controls data generation.
+type CollectConfig struct {
+	Alg                schedule.Algorithm
+	Space              schedule.Space
+	SchedulesPerMatrix int
+	Repeats            int // runs per measurement; the median is recorded
+	Seed               int64
+	DenseN             int
+	MaxEntries         int64         // per-array assembly budget
+	SlowLimit          time.Duration // exclude configurations slower than this (0 = no limit)
+	// MaxWork excludes plans whose statically estimated body-visit count
+	// exceeds it before running them (0 = kernel.DefaultWorkLimit). This is
+	// the static half of the paper's >1-minute exclusion: a pathological
+	// discordant plan cannot be interrupted mid-run, so it must be rejected
+	// up front.
+	MaxWork float64
+	Profile kernel.MachineProfile
+	// Dedup drops repeated SuperSchedules sampled for the same matrix.
+	Dedup bool
+	// ConcordantFrac is the fraction of samples drawn with a traversal
+	// concordant with the sampled format (see Space.SampleConcordant).
+	ConcordantFrac float64
+}
+
+// DefaultCollectConfig returns reduced-scale defaults: 24 schedules per
+// matrix, 5 repetitions, 100 ms slow-run limit.
+func DefaultCollectConfig(alg schedule.Algorithm) CollectConfig {
+	denseN := 0
+	switch alg {
+	case schedule.SpMM, schedule.SDDMM:
+		denseN = 32
+	case schedule.MTTKRP:
+		denseN = 16
+	}
+	return CollectConfig{
+		Alg:                alg,
+		Space:              schedule.DefaultSpace(alg),
+		SchedulesPerMatrix: 24,
+		Repeats:            5,
+		Seed:               1,
+		DenseN:             denseN,
+		MaxEntries:         0, // format.DefaultMaxEntries
+		SlowLimit:          100 * time.Millisecond,
+		Profile:            kernel.DefaultProfile(),
+		Dedup:              true,
+		ConcordantFrac:     0.34,
+	}
+}
+
+// Collect measures cfg.SchedulesPerMatrix sampled SuperSchedules on every
+// matrix. Matrices whose order does not match the algorithm are skipped.
+func Collect(matrices []generate.Matrix, cfg CollectConfig) (*Dataset, error) {
+	ds := &Dataset{Alg: cfg.Alg, DenseN: cfg.DenseN, Profile: cfg.Profile}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, m := range matrices {
+		if m.COO.Order() != cfg.Alg.SparseOrder() {
+			continue
+		}
+		entry, err := CollectEntry(m, cfg, rng)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: matrix %s: %w", m.Name, err)
+		}
+		if len(entry.Samples) > 0 {
+			ds.Entries = append(ds.Entries, entry)
+		}
+	}
+	return ds, nil
+}
+
+// CollectEntry measures one matrix.
+func CollectEntry(m generate.Matrix, cfg CollectConfig, rng *rand.Rand) (*Entry, error) {
+	wl, err := kernel.NewWorkload(cfg.Alg, m.COO, cfg.DenseN)
+	if err != nil {
+		return nil, err
+	}
+	entry := &Entry{Name: m.Name, Family: m.Family, COO: m.COO}
+	seen := make(map[string]bool, cfg.SchedulesPerMatrix)
+	for n := 0; n < cfg.SchedulesPerMatrix; n++ {
+		var ss *schedule.SuperSchedule
+		if cfg.ConcordantFrac > 0 && rng.Float64() < cfg.ConcordantFrac {
+			ss = cfg.Space.SampleConcordant(rng)
+		} else {
+			ss = cfg.Space.Sample(rng)
+		}
+		if cfg.Dedup {
+			k := ss.String()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		sample, ok, err := MeasureSample(wl, ss, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			entry.Samples = append(entry.Samples, sample)
+		}
+	}
+	return entry, nil
+}
+
+// MeasureSample runs one SuperSchedule under the exclusion rules. ok=false
+// means the configuration was excluded (storage blowup or too slow).
+func MeasureSample(wl *kernel.Workload, ss *schedule.SuperSchedule, cfg CollectConfig) (Sample, bool, error) {
+	plan, err := wl.Compile(ss, cfg.Profile, cfg.MaxEntries)
+	if err != nil {
+		if format.IsStorageLimit(err) {
+			return Sample{}, false, nil
+		}
+		return Sample{}, false, err
+	}
+	if plan.CheckWork(cfg.MaxWork) != nil {
+		return Sample{}, false, nil // statically hopeless: excluded
+	}
+	// Exclusion probe: one untimed-budget run.
+	start := time.Now()
+	if _, err := wl.Run(plan); err != nil {
+		return Sample{}, false, err
+	}
+	first := time.Since(start)
+	if cfg.SlowLimit > 0 && first > cfg.SlowLimit {
+		return Sample{}, false, nil
+	}
+	med, err := wl.Measure(plan, cfg.Repeats)
+	if err != nil {
+		return Sample{}, false, err
+	}
+	return Sample{SS: ss, Seconds: med.Seconds(), Bytes: plan.A.Bytes()}, true, nil
+}
+
+// Split partitions entries into train and validation sets (80:20 in the
+// paper) deterministically by seed.
+func (d *Dataset) Split(valFrac float64, seed int64) (train, val []*Entry) {
+	idx := rand.New(rand.NewSource(seed)).Perm(len(d.Entries))
+	nVal := int(float64(len(d.Entries)) * valFrac)
+	for i, j := range idx {
+		if i < nVal {
+			val = append(val, d.Entries[j])
+		} else {
+			train = append(train, d.Entries[j])
+		}
+	}
+	return train, val
+}
+
+// NumSamples returns the total tuple count.
+func (d *Dataset) NumSamples() int {
+	n := 0
+	for _, e := range d.Entries {
+		n += len(e.Samples)
+	}
+	return n
+}
+
+// Save serializes the dataset with gob.
+func (d *Dataset) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// Load deserializes a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

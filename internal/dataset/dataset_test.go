@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"waco/internal/generate"
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+)
+
+func smallCorpus(n int) []generate.Matrix {
+	cfg := generate.DefaultCorpusConfig()
+	cfg.Count = n
+	cfg.MinDim = 64
+	cfg.MaxDim = 192
+	cfg.MaxNNZ = 3000
+	return generate.Corpus(cfg)
+}
+
+func quickCfg(alg schedule.Algorithm) CollectConfig {
+	cfg := DefaultCollectConfig(alg)
+	cfg.SchedulesPerMatrix = 6
+	cfg.Repeats = 1
+	cfg.DenseN = 8
+	sp := schedule.DefaultSpace(alg)
+	sp.SplitChoices = []int32{1, 2, 4, 8}
+	sp.ThreadChoices = []int{1, 2}
+	cfg.Space = sp
+	return cfg
+}
+
+func TestCollectSpMM(t *testing.T) {
+	ds, err := Collect(smallCorpus(5), quickCfg(schedule.SpMM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Entries) == 0 {
+		t.Fatal("no entries collected")
+	}
+	if ds.NumSamples() == 0 {
+		t.Fatal("no samples collected")
+	}
+	for _, e := range ds.Entries {
+		for _, s := range e.Samples {
+			if s.Seconds <= 0 {
+				t.Fatalf("%s: non-positive runtime %g", e.Name, s.Seconds)
+			}
+			if s.Bytes <= 0 {
+				t.Fatalf("%s: non-positive bytes", e.Name)
+			}
+			if err := s.SS.Validate(); err != nil {
+				t.Fatalf("%s: invalid schedule in dataset: %v", e.Name, err)
+			}
+		}
+	}
+}
+
+func TestCollectSkipsWrongOrder(t *testing.T) {
+	ds, err := Collect(smallCorpus(3), quickCfg(schedule.MTTKRP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Entries) != 0 {
+		t.Fatal("collected 2-D matrices for MTTKRP")
+	}
+}
+
+func TestCollectMTTKRP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := generate.Uniform(rng, 48, 48, 300)
+	t3 := generate.Tensor3D(rng, base, 16, 2)
+	cfg := quickCfg(schedule.MTTKRP)
+	cfg.DenseN = 4
+	ds, err := Collect([]generate.Matrix{{Name: "t3", Family: "synthetic", COO: t3}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSamples() == 0 {
+		t.Fatal("no 3-D samples")
+	}
+}
+
+func TestSlowLimitExcludes(t *testing.T) {
+	cfg := quickCfg(schedule.SpMM)
+	cfg.SlowLimit = time.Nanosecond // everything is too slow
+	ds, err := Collect(smallCorpus(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSamples() != 0 {
+		t.Fatalf("slow limit failed: %d samples", ds.NumSamples())
+	}
+}
+
+func TestStorageLimitExcludes(t *testing.T) {
+	cfg := quickCfg(schedule.SpMM)
+	cfg.MaxEntries = 10 // nothing fits
+	ds, err := Collect(smallCorpus(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSamples() != 0 {
+		t.Fatalf("storage limit failed: %d samples", ds.NumSamples())
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := &Dataset{}
+	for i := 0; i < 10; i++ {
+		ds.Entries = append(ds.Entries, &Entry{Name: string(rune('a' + i))})
+	}
+	train, val := ds.Split(0.2, 42)
+	if len(val) != 2 || len(train) != 8 {
+		t.Fatalf("split %d/%d", len(train), len(val))
+	}
+	// Deterministic.
+	t2, v2 := ds.Split(0.2, 42)
+	for i := range val {
+		if val[i].Name != v2[i].Name {
+			t.Fatal("split not deterministic")
+		}
+	}
+	for i := range train {
+		if train[i].Name != t2[i].Name {
+			t.Fatal("split not deterministic")
+		}
+	}
+	// No overlap.
+	seen := map[string]bool{}
+	for _, e := range train {
+		seen[e.Name] = true
+	}
+	for _, e := range val {
+		if seen[e.Name] {
+			t.Fatal("entry in both splits")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds, err := Collect(smallCorpus(3), quickCfg(schedule.SpMM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSamples() != ds.NumSamples() || len(back.Entries) != len(ds.Entries) {
+		t.Fatal("round trip changed sample counts")
+	}
+	if back.Alg != ds.Alg {
+		t.Fatal("round trip changed algorithm")
+	}
+	for i, e := range back.Entries {
+		if e.COO.NNZ() != ds.Entries[i].COO.NNZ() {
+			t.Fatal("round trip changed matrices")
+		}
+		for j, s := range e.Samples {
+			if s.SS.String() != ds.Entries[i].Samples[j].SS.String() {
+				t.Fatal("round trip changed schedules")
+			}
+		}
+	}
+}
+
+func TestDedupAvoidsRepeats(t *testing.T) {
+	cfg := quickCfg(schedule.SpMM)
+	cfg.SchedulesPerMatrix = 40
+	cfg.Space.SplitChoices = []int32{1} // tiny space to force collisions
+	cfg.Space.ThreadChoices = []int{1}
+	cfg.Space.ChunkChoices = []int{8}
+	rng := rand.New(rand.NewSource(9))
+	m := smallCorpus(1)[0]
+	entry, err := CollectEntry(m, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range entry.Samples {
+		k := s.SS.String()
+		if seen[k] {
+			t.Fatalf("duplicate schedule %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestMeasureSampleProfileRespected(t *testing.T) {
+	m := smallCorpus(1)[0]
+	wl, err := kernel.NewWorkload(schedule.SpMM, m.COO, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg(schedule.SpMM)
+	cfg.Profile = kernel.MachineProfile{Name: "uni", ThreadCap: 1}
+	ss := schedule.DefaultSchedule(schedule.SpMM, 8)
+	s, ok, err := MeasureSample(wl, ss, cfg)
+	if err != nil || !ok {
+		t.Fatalf("measure: ok=%v err=%v", ok, err)
+	}
+	if s.Seconds <= 0 {
+		t.Fatal("bad runtime")
+	}
+}

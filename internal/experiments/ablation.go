@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"waco/internal/core"
+	"waco/internal/costmodel"
+	"waco/internal/dataset"
+	"waco/internal/generate"
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+	"waco/internal/search"
+)
+
+// AblationExecutorOverhead measures the cost of the generic schedule-directed
+// executor against a hand-written CSR SpMV — the interpretation overhead the
+// DESIGN.md design decision #2 accepts in exchange for covering the whole
+// format x schedule space with one engine.
+func AblationExecutorOverhead(s Scale) (*Table, error) {
+	rng := rand.New(rand.NewSource(s.Seed + 61))
+	dim := s.MaxDim
+	coo := generate.Uniform(rng, dim, dim, s.MaxNNZ)
+	csr, err := coo.Clone().ToCSR()
+	if err != nil {
+		return nil, err
+	}
+	wl, err := kernel.NewWorkload(schedule.SpMV, coo, 0)
+	if err != nil {
+		return nil, err
+	}
+	ss := schedule.DefaultSchedule(schedule.SpMV, 1) // serial for apples-to-apples
+	plan, err := wl.Compile(ss, kernel.DefaultProfile(), 0)
+	if err != nil {
+		return nil, err
+	}
+
+	reps := s.Repeats * 3
+	median := func(f func()) time.Duration {
+		times := make([]time.Duration, reps)
+		for i := range times {
+			t0 := time.Now()
+			f()
+			times[i] = time.Since(t0)
+		}
+		sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+		return times[len(times)/2]
+	}
+	out := make([]float32, dim)
+	handWritten := median(func() { csr.SpMV(wl.BVec(), out) })
+	generic := median(func() { _, _ = wl.Run(plan) })
+
+	t := &Table{
+		Title:  "Ablation: generic executor vs hand-written CSR SpMV (serial)",
+		Header: []string{"Kernel", "median time", "relative"},
+	}
+	t.AddRow("hand-written CSR", handWritten.String(), "1.00")
+	t.AddRow("generic executor (CSR schedule)", generic.String(), f2(generic.Seconds()/handWritten.Seconds()))
+	t.AddNote("%d rows, %d nnz; the overhead is uniform across schedules, so relative rankings are preserved", dim, coo.NNZ())
+	return t, nil
+}
+
+// AblationRankingVsMSE compares the paper's pairwise ranking loss against
+// plain runtime regression, by the metric that matters for search: the
+// fraction of schedule pairs ranked correctly on held-out matrices.
+func AblationRankingVsMSE(s Scale) (*Table, error) {
+	ds, err := collectSpMM(s)
+	if err != nil {
+		return nil, err
+	}
+	train, val := ds.Split(0.25, s.Seed)
+	if len(val) == 0 {
+		return nil, fmt.Errorf("experiments: empty validation split")
+	}
+	t := &Table{
+		Title:  "Ablation: ranking loss vs MSE regression (SpMM cost model)",
+		Header: []string{"Objective", "val pair accuracy"},
+	}
+	for _, loss := range []costmodel.LossKind{costmodel.LossRank, costmodel.LossMSE} {
+		cfg := s.pipelineConfig(schedule.SpMM, kernel.DefaultProfile())
+		m, err := costmodel.New(cfg.Collect.Space, cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		tc := cfg.Train
+		tc.Loss = loss
+		if _, err := costmodel.Train(m, train, val, tc); err != nil {
+			return nil, err
+		}
+		acc, err := costmodel.PairAccuracy(m, val, 32, s.Seed+62)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(string(loss), fmt.Sprintf("%.1f%%", 100*acc))
+	}
+	return t, nil
+}
+
+// AblationANNSRecall quantifies how close the ANNS retrieval gets to an
+// exhaustive scan of the index under the trained cost model — the retrieval
+// quality that justifies searching a KNN graph instead of scoring every
+// indexed SuperSchedule.
+func AblationANNSRecall(s Scale) (*Table, error) {
+	profile := kernel.DefaultProfile()
+	tuner, ds, err := core.Build(s.TrainCorpus(), s.pipelineConfig(schedule.SpMM, profile))
+	if err != nil {
+		return nil, err
+	}
+	_ = ds
+	test := s.TestCorpus()
+	if len(test) > 6 {
+		test = test[:6]
+	}
+	t := &Table{
+		Title:  "Ablation: ANNS retrieval vs exhaustive cost-model scan over the index",
+		Header: []string{"Matrix", "index size", "evals", "best rank (exhaustive)", "cost gap"},
+	}
+	for _, mat := range test {
+		p := costmodel.NewPattern(mat.COO)
+		res, err := tuner.Index.Search(p, s.TopK, 8*s.TopK)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Candidates) == 0 {
+			continue
+		}
+		ev, err := search.NewEvaluator(tuner.Model, p)
+		if err != nil {
+			return nil, err
+		}
+		best := res.Candidates[0].Cost
+		rank := 0
+		minCost := best
+		for _, ss := range tuner.Index.Schedules {
+			c := ev.Cost(ss)
+			if c < best-1e-9 {
+				rank++
+			}
+			if c < minCost {
+				minCost = c
+			}
+		}
+		t.AddRow(mat.Name, fmt.Sprint(len(tuner.Index.Schedules)), fmt.Sprint(res.Evals),
+			fmt.Sprint(rank), fmt.Sprintf("%.4f", best-minCost))
+	}
+	t.AddNote("rank 0 = ANNS found the exhaustive optimum; evals << index size is the speed win")
+	return t, nil
+}
+
+// AblationConcordantSampling validates the stratified-sampling adaptation
+// (DESIGN.md #2): two identical pipelines, one collecting its dataset with
+// purely uniform SuperSchedule sampling and one mixing in format-concordant
+// traversals, compared by end-to-end tuned speedup over FixedCSR.
+func AblationConcordantSampling(s Scale) (*Table, error) {
+	profile := kernel.DefaultProfile()
+	t := &Table{
+		Title:  "Ablation: uniform vs stratified (concordant-mixed) dataset sampling, SpMM",
+		Header: []string{"Sampling", "dataset size", "geomean speedup vs FixedCSR"},
+	}
+	test := TestCorporaFor(schedule.SpMM, s)
+	for _, frac := range []float64{0, 0.34} {
+		cfg := s.pipelineConfig(schedule.SpMM, profile)
+		cfg.Collect.ConcordantFrac = frac
+		tuner, ds, err := core.Build(CorporaFor(schedule.SpMM, s), cfg)
+		if err != nil {
+			return nil, err
+		}
+		var sp []float64
+		for _, m := range test {
+			wl, err := kernel.NewWorkload(schedule.SpMM, m.COO, s.denseNFor(schedule.SpMM))
+			if err != nil {
+				return nil, err
+			}
+			w, err := tuner.Tune(wl, profile, baselinesConfig(s))
+			if err != nil {
+				continue
+			}
+			f, err := baselinesFixed{}.kernelSeconds(wl, profile, s.Repeats)
+			if err != nil {
+				continue
+			}
+			sp = append(sp, f/w.KernelSeconds)
+		}
+		label := "uniform"
+		if frac > 0 {
+			label = fmt.Sprintf("stratified (%.0f%% concordant)", 100*frac)
+		}
+		t.AddRow(label, datasetStats(ds), speedupStr(Geomean(sp)))
+	}
+	return t, nil
+}
+
+// datasetStats summarizes a dataset (used by cmd tools).
+func datasetStats(ds *dataset.Dataset) string {
+	return fmt.Sprintf("%d matrices, %d samples", len(ds.Entries), ds.NumSamples())
+}

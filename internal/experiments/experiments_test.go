@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"waco/internal/schedule"
+)
+
+// microScale is even smaller than QuickScale, for unit tests.
+func microScale() Scale {
+	s := QuickScale()
+	s.TrainMatrices = 5
+	s.TestMatrices = 4
+	s.MaxDim = 160
+	s.MaxNNZ = 2500
+	s.Repeats = 1
+	s.DenseN = 8
+	s.SchedulesPerMatrix = 8
+	s.Epochs = 1
+	s.Pairs = 4
+	s.Channels = 3
+	s.ConvDepth = 2
+	s.FeatDim = 8
+	s.EmbDim = 8
+	s.TuneSamples = 10
+	s.SearchBudget = 60
+	s.TopK = 2
+	return s
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("n=%d", 3)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T ==", "a", "bb", "note: n=3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Fatalf("geomean %g", g)
+	}
+	if Geomean(nil) != 1 {
+		t.Fatal("empty geomean")
+	}
+	if Geomean([]float64{-1, 0}) != 1 {
+		t.Fatal("non-positive geomean")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	if ScaleByName("paper").Name != "paper" || ScaleByName("default").Name != "default" || ScaleByName("x").Name != "quick" {
+		t.Fatal("scale resolution wrong")
+	}
+}
+
+func TestTables1And2(t *testing.T) {
+	s := microScale()
+	tables, err := Tables1And2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	if len(tables[0].Rows) != 3 || len(tables[1].Rows) != 3 {
+		t.Fatalf("row counts %d/%d", len(tables[0].Rows), len(tables[1].Rows))
+	}
+	// Table 1: F.+S. must be at least as fast as the base (the base
+	// configuration is included in the candidate set).
+	for _, row := range tables[0].Rows {
+		fs := row[len(row)-1]
+		if !strings.HasSuffix(fs, "x") {
+			t.Fatalf("bad cell %q", fs)
+		}
+	}
+}
+
+func TestFig14(t *testing.T) {
+	s := microScale()
+	tab, err := Fig14BlockSizeHeuristic(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+func TestRunComparisonSpMM(t *testing.T) {
+	s := microScale()
+	cmp, err := RunComparison(schedule.SpMM, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) != s.TestMatrices {
+		t.Fatalf("%d results", len(cmp.Results))
+	}
+	// All five methods must be present for SpMM.
+	want := map[string]bool{"FixedCSR": true, "MKL": true, "BestFormat": true, "ASpT": true, "WACO": true}
+	for _, m := range cmp.Methods {
+		delete(want, m)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing methods %v", want)
+	}
+	sp := cmp.Speedups("FixedCSR")
+	if len(sp) == 0 {
+		t.Fatal("no speedups computed")
+	}
+	for i := 1; i < len(sp); i++ {
+		if sp[i] < sp[i-1] {
+			t.Fatal("speedups not sorted")
+		}
+	}
+}
+
+func TestFig13AndTable6(t *testing.T) {
+	s := microScale()
+	tables, cmp, err := Fig13SpMMCurves(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 { // one curve per baseline
+		t.Fatalf("%d figure tables", len(tables))
+	}
+	t6 := Table6SpeedupFactors(map[schedule.Algorithm]*ComparisonResult{schedule.SpMM: cmp})
+	if len(t6.Rows) == 0 {
+		t.Fatal("empty table 6")
+	}
+}
+
+func TestFig15(t *testing.T) {
+	s := microScale()
+	tab, err := Fig15FeatureExtractors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d extractor rows", len(tab.Rows))
+	}
+}
+
+func TestFig16(t *testing.T) {
+	s := microScale()
+	a, err := Fig16aSearchStrategies(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 4 {
+		t.Fatalf("%d strategy rows", len(a.Rows))
+	}
+	b, err := Fig16bSearchBreakdown(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Rows) != 5 {
+		t.Fatalf("%d breakdown rows", len(b.Rows))
+	}
+}
+
+func TestTable7(t *testing.T) {
+	s := microScale()
+	tab, err := Table7CrossHardware(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || len(tab.Rows[0]) != 3 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Rows[0]))
+	}
+}
+
+func TestFig17AndTable8(t *testing.T) {
+	s := microScale()
+	tab, results, err := Fig17TuningOverhead(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty overhead table")
+	}
+	t8 := Table8EndToEnd(results)
+	if len(t8.Rows) != len(PaperScenarios()) {
+		t.Fatalf("%d scenario rows", len(t8.Rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	s := microScale()
+	if _, err := AblationExecutorOverhead(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationRankingVsMSE(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationANNSRecall(s); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"waco/internal/baselines"
+	"waco/internal/kernel"
+)
+
+// baselinesConfig derives the baseline measurement config from the scale.
+func baselinesConfig(s Scale) baselines.Config {
+	return baselines.Config{Repeats: s.Repeats}
+}
+
+// baselinesFixed is a tiny adapter for measuring the FixedCSR reference time.
+type baselinesFixed struct{}
+
+func (baselinesFixed) kernelSeconds(wl *kernel.Workload, profile kernel.MachineProfile, repeats int) (float64, error) {
+	tuned, err := (baselines.FixedCSR{}).Tune(wl, profile, baselines.Config{Repeats: repeats})
+	if err != nil {
+		return 0, err
+	}
+	return tuned.KernelSeconds, nil
+}

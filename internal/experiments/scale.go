@@ -1,0 +1,246 @@
+// Package experiments reproduces every table and figure of the WACO paper's
+// motivation and evaluation sections on the Go substrate. Each experiment is
+// a function returning renderable Tables; bench_test.go at the module root
+// wraps each in a testing.B benchmark, and cmd/waco-bench runs them at
+// larger scales and writes the results used in EXPERIMENTS.md.
+package experiments
+
+import (
+	"runtime"
+
+	"waco/internal/costmodel"
+	"waco/internal/dataset"
+	"waco/internal/generate"
+	"waco/internal/hnsw"
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+	"waco/internal/sparseconv"
+
+	"waco/internal/core"
+)
+
+// Scale bundles every knob that trades fidelity for wall-clock time.
+type Scale struct {
+	Name string
+
+	// Corpus sizes.
+	TrainMatrices int
+	TestMatrices  int
+	MinDim        int
+	MaxDim        int
+	MaxNNZ        int
+
+	// Measurement.
+	Repeats int
+	DenseN  int // dense inner dimension for SpMM/SDDMM (MTTKRP uses half)
+
+	// Dataset collection.
+	SchedulesPerMatrix int
+
+	// Cost model.
+	Extractor costmodel.ExtractorKind
+	Channels  int
+	ConvDepth int
+	FeatDim   int
+	EmbDim    int
+	Epochs    int
+	Pairs     int
+	LR        float32
+
+	// Tuning-time search.
+	TuneSamples  int // direct-measurement samples for Table 1/2 tuning
+	SearchBudget int // cost-model evaluations for Figure 16
+	TopK         int
+
+	Seed int64
+}
+
+// QuickScale finishes in seconds to a couple of minutes per experiment —
+// used by `go test -bench`.
+func QuickScale() Scale {
+	return Scale{
+		Name:          "quick",
+		TrainMatrices: 12, TestMatrices: 6,
+		MinDim: 64, MaxDim: 320, MaxNNZ: 6000,
+		Repeats: 3, DenseN: 16,
+		SchedulesPerMatrix: 24,
+		Extractor:          costmodel.KindWACONet,
+		Channels:           4, ConvDepth: 3, FeatDim: 16, EmbDim: 16,
+		Epochs: 30, Pairs: 32, LR: 1e-3,
+		TuneSamples: 24, SearchBudget: 300, TopK: 10,
+		Seed: 1,
+	}
+}
+
+// DefaultScale finishes in minutes per experiment — cmd/waco-bench default.
+func DefaultScale() Scale {
+	return Scale{
+		Name:          "default",
+		TrainMatrices: 24, TestMatrices: 12,
+		MinDim: 128, MaxDim: 768, MaxNNZ: 25000,
+		Repeats: 3, DenseN: 32,
+		SchedulesPerMatrix: 28,
+		Extractor:          costmodel.KindWACONet,
+		Channels:           8, ConvDepth: 5, FeatDim: 32, EmbDim: 32,
+		Epochs: 25, Pairs: 32, LR: 1e-3,
+		TuneSamples: 80, SearchBudget: 1000, TopK: 10,
+		Seed: 1,
+	}
+}
+
+// PaperScale approaches the paper's configuration (hours to days on CPU).
+func PaperScale() Scale {
+	return Scale{
+		Name:          "paper",
+		TrainMatrices: 400, TestMatrices: 100,
+		MinDim: 256, MaxDim: 65536, MaxNNZ: 2_000_000,
+		Repeats: 9, DenseN: 256,
+		SchedulesPerMatrix: 100,
+		Extractor:          costmodel.KindWACONet,
+		Channels:           32, ConvDepth: 14, FeatDim: 128, EmbDim: 128,
+		Epochs: 70, Pairs: 32, LR: 1e-4,
+		TuneSamples: 400, SearchBudget: 3000, TopK: 10,
+		Seed: 1,
+	}
+}
+
+// ScaleByName resolves quick/default/paper.
+func ScaleByName(name string) Scale {
+	switch name {
+	case "default":
+		return DefaultScale()
+	case "paper":
+		return PaperScale()
+	default:
+		return QuickScale()
+	}
+}
+
+// corpusConfig derives the corpus parameters for a seed offset.
+func (s Scale) corpusConfig(count int, seedOffset int64) generate.CorpusConfig {
+	cfg := generate.DefaultCorpusConfig()
+	cfg.Count = count
+	cfg.Seed = s.Seed + seedOffset
+	cfg.MinDim = s.MinDim
+	cfg.MaxDim = s.MaxDim
+	cfg.MaxNNZ = s.MaxNNZ
+	return cfg
+}
+
+// TrainCorpus returns the training matrix population.
+func (s Scale) TrainCorpus() []generate.Matrix {
+	return generate.Corpus(s.corpusConfig(s.TrainMatrices, 0))
+}
+
+// TestCorpus returns a disjoint test population.
+func (s Scale) TestCorpus() []generate.Matrix {
+	return generate.Corpus(s.corpusConfig(s.TestMatrices, 7_000_003))
+}
+
+// denseNFor returns the algorithm's dense inner dimension (the paper uses
+// 256 for SpMM/SDDMM and 16 for MTTKRP; scaled proportionally here).
+func (s Scale) denseNFor(alg schedule.Algorithm) int {
+	switch alg {
+	case schedule.SpMV:
+		return 0
+	case schedule.MTTKRP:
+		n := s.DenseN / 2
+		if n < 4 {
+			n = 4
+		}
+		return n
+	default:
+		return s.DenseN
+	}
+}
+
+// space returns the SuperSchedule search space for the scale.
+func (s Scale) space(alg schedule.Algorithm) schedule.Space {
+	sp := schedule.DefaultSpace(alg)
+	if s.MaxDim <= 256 {
+		sp.SplitChoices = []int32{1, 2, 4, 8, 16, 32, 64}
+	}
+	threads := runtime.NumCPU()
+	if threads >= 8 {
+		sp.ThreadChoices = []int{1, 2, 4, 8}
+	} else if threads >= 4 {
+		sp.ThreadChoices = []int{1, 2, 4}
+	} else {
+		sp.ThreadChoices = []int{1, 2}
+	}
+	return sp
+}
+
+// collectConfig builds the dataset collection settings.
+func (s Scale) collectConfig(alg schedule.Algorithm, profile kernel.MachineProfile) dataset.CollectConfig {
+	cfg := dataset.DefaultCollectConfig(alg)
+	cfg.Space = s.space(alg)
+	cfg.SchedulesPerMatrix = s.SchedulesPerMatrix
+	if alg == schedule.SpMV {
+		// SpMV kernels are microseconds-cheap; a denser sample of its space
+		// costs little and the 4-variable template benefits from coverage.
+		cfg.SchedulesPerMatrix *= 2
+	}
+	cfg.Repeats = s.Repeats
+	cfg.DenseN = s.denseNFor(alg)
+	cfg.Seed = s.Seed
+	cfg.Profile = profile
+	return cfg
+}
+
+// pipelineConfig assembles the full core.Config for the scale.
+func (s Scale) pipelineConfig(alg schedule.Algorithm, profile kernel.MachineProfile) core.Config {
+	cfg := core.DefaultConfig(alg)
+	cfg.Collect = s.collectConfig(alg, profile)
+	cfg.Model = costmodel.Config{
+		Extractor: s.Extractor,
+		ConvCfg: sparseconv.Config{
+			Dim:         alg.SparseOrder(),
+			Channels:    s.Channels,
+			Depth:       s.ConvDepth,
+			FirstKernel: firstKernel(alg),
+			OutDim:      s.FeatDim,
+		},
+		EmbDim:   s.EmbDim,
+		HeadDims: []int{2 * s.FeatDim, s.FeatDim},
+		Seed:     s.Seed,
+	}
+	cfg.Train = costmodel.TrainConfig{
+		Epochs: s.Epochs, PairsPerMatrix: s.Pairs, LR: s.LR, Seed: s.Seed,
+		Loss: costmodel.LossRank, MinRatio: 1.1,
+	}
+	cfg.HNSW = hnsw.DefaultConfig()
+	cfg.TopK = 0 // adaptive: max(10, indexSize/25)
+	cfg.SearchEf = 8 * s.TopK
+	return cfg
+}
+
+// CorporaFor returns the scale's training corpus for the algorithm
+// (converted to 3-D tensors for MTTKRP).
+func CorporaFor(alg schedule.Algorithm, s Scale) []generate.Matrix {
+	train, _ := s.corpora(alg)
+	return train
+}
+
+// TestCorporaFor returns the disjoint test corpus for the algorithm.
+func TestCorporaFor(alg schedule.Algorithm, s Scale) []generate.Matrix {
+	_, test := s.corpora(alg)
+	return test
+}
+
+// CollectConfigFor exposes the scale's dataset-collection settings.
+func CollectConfigFor(alg schedule.Algorithm, s Scale, profile kernel.MachineProfile) dataset.CollectConfig {
+	return s.collectConfig(alg, profile)
+}
+
+// PipelineConfigFor exposes the scale's full pipeline configuration.
+func PipelineConfigFor(alg schedule.Algorithm, s Scale, profile kernel.MachineProfile) core.Config {
+	return s.pipelineConfig(alg, profile)
+}
+
+func firstKernel(alg schedule.Algorithm) int {
+	if alg.SparseOrder() == 3 {
+		return 3
+	}
+	return 5
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"testing"
+
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+)
+
+func TestScalePresetsAreOrdered(t *testing.T) {
+	q, d, p := QuickScale(), DefaultScale(), PaperScale()
+	if !(q.TrainMatrices < d.TrainMatrices && d.TrainMatrices < p.TrainMatrices) {
+		t.Fatal("corpus sizes not increasing across presets")
+	}
+	if !(q.MaxNNZ < d.MaxNNZ && d.MaxNNZ < p.MaxNNZ) {
+		t.Fatal("matrix sizes not increasing across presets")
+	}
+	if p.Channels != 32 || p.ConvDepth != 14 || p.FeatDim != 128 {
+		t.Fatal("paper preset does not match Figure 9 WACONet")
+	}
+	if p.SchedulesPerMatrix != 100 {
+		t.Fatal("paper preset should sample 100 schedules per matrix")
+	}
+}
+
+func TestCorporaForAdjustsPerAlgorithm(t *testing.T) {
+	s := QuickScale()
+	s.TrainMatrices = 4
+
+	mm := CorporaFor(schedule.SpMM, s)
+	mv := CorporaFor(schedule.SpMV, s)
+	tk := CorporaFor(schedule.MTTKRP, s)
+	if len(mm) != 4 || len(mv) != 4 || len(tk) != 4 {
+		t.Fatalf("corpus sizes %d/%d/%d", len(mm), len(mv), len(tk))
+	}
+	for _, m := range tk {
+		if m.COO.Order() != 3 {
+			t.Fatal("MTTKRP corpus not 3-D")
+		}
+	}
+	// SpMV corpora are scaled up.
+	var mvNNZ, mmNNZ int
+	for i := range mm {
+		mmNNZ += mm[i].COO.NNZ()
+		mvNNZ += mv[i].COO.NNZ()
+	}
+	if mvNNZ <= mmNNZ {
+		t.Fatalf("SpMV corpus (%d nnz) not larger than SpMM corpus (%d nnz)", mvNNZ, mmNNZ)
+	}
+	// Train and test corpora are disjoint populations (different seeds).
+	test := TestCorporaFor(schedule.SpMM, s)
+	if test[0].COO.NNZ() == mm[0].COO.NNZ() && test[0].Name == mm[0].Name {
+		t.Fatal("test corpus identical to train corpus")
+	}
+}
+
+func TestCollectConfigForDoublesSpMV(t *testing.T) {
+	s := QuickScale()
+	prof := kernel.DefaultProfile()
+	mv := CollectConfigFor(schedule.SpMV, s, prof)
+	mm := CollectConfigFor(schedule.SpMM, s, prof)
+	if mv.SchedulesPerMatrix != 2*mm.SchedulesPerMatrix {
+		t.Fatalf("SpMV schedules %d, SpMM %d", mv.SchedulesPerMatrix, mm.SchedulesPerMatrix)
+	}
+	if mv.DenseN != 0 {
+		t.Fatal("SpMV should have no dense inner dimension")
+	}
+	if mm.DenseN != s.DenseN {
+		t.Fatalf("SpMM denseN %d", mm.DenseN)
+	}
+}
+
+func TestDenseNFor(t *testing.T) {
+	s := QuickScale()
+	if s.denseNFor(schedule.SpMV) != 0 {
+		t.Fatal("SpMV denseN")
+	}
+	if s.denseNFor(schedule.MTTKRP) >= s.DenseN {
+		t.Fatal("MTTKRP denseN should be reduced")
+	}
+}
+
+func TestPipelineConfigForConsistency(t *testing.T) {
+	s := QuickScale()
+	for _, alg := range schedule.Algorithms {
+		cfg := PipelineConfigFor(alg, s, kernel.DefaultProfile())
+		if cfg.Model.ConvCfg.Dim != alg.SparseOrder() {
+			t.Fatalf("%v: conv dim %d", alg, cfg.Model.ConvCfg.Dim)
+		}
+		if cfg.Collect.Space.Alg != alg {
+			t.Fatalf("%v: space algorithm mismatch", alg)
+		}
+		if cfg.TopK != 0 {
+			t.Fatalf("%v: TopK should be adaptive (0)", alg)
+		}
+		if cfg.Train.MinRatio <= 1 {
+			t.Fatalf("%v: noise filter disabled", alg)
+		}
+	}
+}

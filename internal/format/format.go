@@ -1,0 +1,245 @@
+// Package format implements the TACO-style sparse tensor format abstraction
+// from Chou et al. (OOPSLA 2018) that WACO searches over: a tensor is viewed
+// as a coordinate hierarchy in which each original mode is split once into an
+// (outer, inner) pair of levels, the levels are stored in an arbitrary order,
+// and each level is stored in either the Uncompressed (U) or Compressed (C)
+// level format.
+//
+// A split size of 1 collapses the inner level (extent 1), so the same
+// template expresses CSR (i:U, k:C with splits 1), CSC (k:U, i:C), BCSR
+// (i1:U, k1:C, i0:U, k0:U with block splits), sparse-block formats such as
+// k1:U, i:U, k0:C, and their higher-order analogs like CSF for 3-D tensors —
+// the representation space of Figure 3 in the WACO paper.
+package format
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LevelKind is the storage discipline of one hierarchy level.
+type LevelKind uint8
+
+const (
+	// Uncompressed stores a dense coordinate interval [0, N): positions are
+	// computed arithmetically and absent coordinates occupy real storage in
+	// descendant levels.
+	Uncompressed LevelKind = iota
+	// Compressed stores only coordinates that contain nonzeros, as a
+	// (pos, crd) segment array.
+	Compressed
+)
+
+// String returns "U" or "C", the paper's abbreviations.
+func (k LevelKind) String() string {
+	if k == Compressed {
+		return "C"
+	}
+	return "U"
+}
+
+// Level identifies one level of the coordinate hierarchy: a (mode, part)
+// pair plus its storage kind. Inner selects the low-order part of the split
+// (x % split) rather than the high-order part (x / split).
+type Level struct {
+	Mode  int
+	Inner bool
+	Kind  LevelKind
+}
+
+// Format describes a complete storage format for a tensor of a given order:
+// the per-mode split sizes and the ordered, formatted hierarchy levels.
+type Format struct {
+	// Splits[m] is the inner extent of mode m's split; 1 means unsplit.
+	Splits []int32
+	// Levels is a permutation of the 2*order (mode, part) pairs with their
+	// storage kinds. Levels[0] is the root of the hierarchy.
+	Levels []Level
+}
+
+// Order returns the tensor order this format applies to.
+func (f Format) Order() int { return len(f.Splits) }
+
+// Validate checks that Levels is a permutation of all (mode, part) pairs and
+// splits are positive.
+func (f Format) Validate() error {
+	n := f.Order()
+	if len(f.Levels) != 2*n {
+		return fmt.Errorf("format: %d levels for order-%d tensor, want %d", len(f.Levels), n, 2*n)
+	}
+	for m, s := range f.Splits {
+		if s < 1 {
+			return fmt.Errorf("format: mode %d split %d < 1", m, s)
+		}
+	}
+	seen := make(map[Level]bool, 2*n)
+	for _, l := range f.Levels {
+		if l.Mode < 0 || l.Mode >= n {
+			return fmt.Errorf("format: level mode %d out of range", l.Mode)
+		}
+		key := Level{Mode: l.Mode, Inner: l.Inner}
+		if seen[key] {
+			return fmt.Errorf("format: duplicate level (mode %d, inner %v)", l.Mode, l.Inner)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// LevelExtent returns the coordinate extent of hierarchy level l for a tensor
+// with the given mode dims: split size for inner levels, ceil(dim/split) for
+// outer levels.
+func (f Format) LevelExtent(l int, dims []int) int32 {
+	lv := f.Levels[l]
+	s := f.Splits[lv.Mode]
+	if lv.Inner {
+		return s
+	}
+	return int32((int64(dims[lv.Mode]) + int64(s) - 1) / int64(s))
+}
+
+// String renders the format compactly, e.g. "i1:U k1:C i0:U k0:U /split i=8 k=8"
+// using mode names m0, m1, ... unless names are supplied via StringNamed.
+func (f Format) String() string { return f.StringNamed(nil) }
+
+// StringNamed renders the format with the given mode names (e.g. ["i","k"]).
+func (f Format) StringNamed(names []string) string {
+	name := func(m int) string {
+		if m < len(names) {
+			return names[m]
+		}
+		return fmt.Sprintf("m%d", m)
+	}
+	var b strings.Builder
+	for i, l := range f.Levels {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		part := "1"
+		if l.Inner {
+			part = "0"
+		}
+		fmt.Fprintf(&b, "%s%s:%s", name(l.Mode), part, l.Kind)
+	}
+	b.WriteString(" /split")
+	for m, s := range f.Splits {
+		fmt.Fprintf(&b, " %s=%d", name(m), s)
+	}
+	return b.String()
+}
+
+// Equal reports structural equality.
+func (f Format) Equal(o Format) bool {
+	if len(f.Splits) != len(o.Splits) || len(f.Levels) != len(o.Levels) {
+		return false
+	}
+	for i := range f.Splits {
+		if f.Splits[i] != o.Splits[i] {
+			return false
+		}
+	}
+	for i := range f.Levels {
+		if f.Levels[i] != o.Levels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (f Format) Clone() Format {
+	return Format{
+		Splits: append([]int32(nil), f.Splits...),
+		Levels: append([]Level(nil), f.Levels...),
+	}
+}
+
+// outerInner builds the canonical (outer levels first, mode order) level list.
+func outerInner(kinds []LevelKind) []Level {
+	n := len(kinds) / 2
+	out := make([]Level, 0, 2*n)
+	for m := 0; m < n; m++ {
+		out = append(out, Level{Mode: m, Kind: kinds[m]})
+	}
+	for m := 0; m < n; m++ {
+		out = append(out, Level{Mode: m, Inner: true, Kind: kinds[n+m]})
+	}
+	return out
+}
+
+// CSR returns the canonical UC row-major matrix format (splits 1).
+func CSR() Format {
+	return Format{
+		Splits: []int32{1, 1},
+		Levels: []Level{
+			{Mode: 0, Kind: Uncompressed},
+			{Mode: 1, Kind: Compressed},
+			{Mode: 0, Inner: true, Kind: Uncompressed},
+			{Mode: 1, Inner: true, Kind: Uncompressed},
+		},
+	}
+}
+
+// CSC returns the UC column-major matrix format.
+func CSC() Format {
+	return Format{
+		Splits: []int32{1, 1},
+		Levels: []Level{
+			{Mode: 1, Kind: Uncompressed},
+			{Mode: 0, Kind: Compressed},
+			{Mode: 1, Inner: true, Kind: Uncompressed},
+			{Mode: 0, Inner: true, Kind: Uncompressed},
+		},
+	}
+}
+
+// BCSR returns the UCUU blocked row-major format with br x bc dense blocks
+// (Figure 3-(b) in the paper).
+func BCSR(br, bc int32) Format {
+	return Format{
+		Splits: []int32{br, bc},
+		Levels: []Level{
+			{Mode: 0, Kind: Uncompressed},
+			{Mode: 1, Kind: Compressed},
+			{Mode: 0, Inner: true, Kind: Uncompressed},
+			{Mode: 1, Inner: true, Kind: Uncompressed},
+		},
+	}
+}
+
+// COOLike returns the all-compressed row-major format (splits 1): one
+// coordinate path per nonzero, analogous to sorted COO / DCSR.
+func COOLike(order int) Format {
+	kinds := make([]LevelKind, 2*order)
+	for m := 0; m < order; m++ {
+		kinds[m] = Compressed
+		kinds[order+m] = Uncompressed
+	}
+	f := Format{Splits: make([]int32, order), Levels: outerInner(kinds)}
+	for m := range f.Splits {
+		f.Splits[m] = 1
+	}
+	return f
+}
+
+// CSF returns the compressed sparse fiber format for an order-n tensor:
+// every outer level Compressed, splits 1 (the paper's CCC / "Fixed CSR"
+// baseline format for MTTKRP).
+func CSF(order int) Format {
+	f := COOLike(order)
+	// CSF and sorted-COO share the same level skeleton under this
+	// abstraction; the root level of CSF is conventionally Uncompressed in
+	// TACO's CSF-with-dense-root variant, but the paper's CCC uses all
+	// compressed levels, which COOLike already provides.
+	return f
+}
+
+// Dense returns the all-Uncompressed row-major format (splits 1).
+func Dense(order int) Format {
+	kinds := make([]LevelKind, 2*order)
+	f := Format{Splits: make([]int32, order), Levels: outerInner(kinds)}
+	for m := range f.Splits {
+		f.Splits[m] = 1
+	}
+	return f
+}

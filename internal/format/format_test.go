@@ -1,0 +1,311 @@
+package format
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"waco/internal/generate"
+	"waco/internal/tensor"
+)
+
+func TestNamedFormatsValidate(t *testing.T) {
+	for name, f := range map[string]Format{
+		"CSR":    CSR(),
+		"CSC":    CSC(),
+		"BCSR":   BCSR(4, 8),
+		"COO":    COOLike(2),
+		"CSF3":   CSF(3),
+		"Dense2": Dense(2),
+		"Dense3": Dense(3),
+	} {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	f := CSR()
+	f.Levels[1] = f.Levels[0] // duplicate level
+	if err := f.Validate(); err == nil {
+		t.Fatal("accepted duplicate level")
+	}
+	g := CSR()
+	g.Splits[0] = 0
+	if err := g.Validate(); err == nil {
+		t.Fatal("accepted zero split")
+	}
+	h := CSR()
+	h.Levels = h.Levels[:3]
+	if err := h.Validate(); err == nil {
+		t.Fatal("accepted missing level")
+	}
+	k := CSR()
+	k.Levels[0].Mode = 9
+	if err := k.Validate(); err == nil {
+		t.Fatal("accepted out-of-range mode")
+	}
+}
+
+func TestLevelExtent(t *testing.T) {
+	f := BCSR(4, 8)
+	dims := []int{10, 16}
+	// Outer i: ceil(10/4) = 3; outer k: ceil(16/8) = 2; inners: 4 and 8.
+	if got := f.LevelExtent(0, dims); got != 3 {
+		t.Fatalf("outer i extent %d", got)
+	}
+	if got := f.LevelExtent(1, dims); got != 2 {
+		t.Fatalf("outer k extent %d", got)
+	}
+	if got := f.LevelExtent(2, dims); got != 4 {
+		t.Fatalf("inner i extent %d", got)
+	}
+	if got := f.LevelExtent(3, dims); got != 8 {
+		t.Fatalf("inner k extent %d", got)
+	}
+}
+
+func TestStringNamed(t *testing.T) {
+	s := CSR().StringNamed([]string{"i", "k"})
+	if !strings.Contains(s, "i1:U") || !strings.Contains(s, "k1:C") {
+		t.Fatalf("unexpected format string %q", s)
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a, b := BCSR(4, 4), BCSR(4, 4)
+	if !a.Equal(b) {
+		t.Fatal("equal formats not Equal")
+	}
+	c := a.Clone()
+	c.Splits[0] = 2
+	if a.Splits[0] != 4 {
+		t.Fatal("Clone shares storage")
+	}
+	if a.Equal(c) {
+		t.Fatal("differing splits compare Equal")
+	}
+	d := a.Clone()
+	d.Levels[0].Kind = Compressed
+	if a.Equal(d) {
+		t.Fatal("differing kinds compare Equal")
+	}
+}
+
+func assembleRoundTrip(t *testing.T, c *tensor.COO, f Format) *Stored {
+	t.Helper()
+	st, err := Assemble(c, f, AssembleOptions{})
+	if err != nil {
+		t.Fatalf("Assemble(%v): %v", f, err)
+	}
+	back := st.ToCOO()
+	c.SortRowMajor()
+	if back.NNZ() != c.NNZ() {
+		t.Fatalf("round trip NNZ %d, want %d (format %v)", back.NNZ(), c.NNZ(), f)
+	}
+	for p := 0; p < c.NNZ(); p++ {
+		for m := 0; m < c.Order(); m++ {
+			if back.Coords[m][p] != c.Coords[m][p] {
+				t.Fatalf("coordinate mismatch at nnz %d mode %d (format %v)", p, m, f)
+			}
+		}
+		if back.Vals[p] != c.Vals[p] {
+			t.Fatalf("value mismatch at nnz %d (format %v)", p, f)
+		}
+	}
+	return st
+}
+
+func TestAssembleRoundTripNamedFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := generate.Uniform(rng, 50, 70, 400)
+	for _, f := range []Format{CSR(), CSC(), BCSR(4, 4), BCSR(3, 5), COOLike(2), Dense(2)} {
+		assembleRoundTrip(t, c.Clone(), f)
+	}
+}
+
+func TestAssembleRoundTrip3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := generate.Uniform(rng, 30, 30, 150)
+	t3 := generate.Tensor3D(rng, base, 16, 2)
+	assembleRoundTrip(t, t3.Clone(), CSF(3))
+	assembleRoundTrip(t, t3.Clone(), Dense(3))
+}
+
+func TestAssembleCSRMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := generate.Uniform(rng, 40, 40, 200)
+	st, err := Assemble(c.Clone(), CSR(), AssembleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := c.Clone().ToCSR()
+	// Level 0 is U over rows; level 1 is C: Pos/Crd must match CSR arrays.
+	l1 := st.Levels[1]
+	if len(l1.Pos) != ref.NumRows+1 {
+		t.Fatalf("pos length %d, want %d", len(l1.Pos), ref.NumRows+1)
+	}
+	for r := 0; r <= ref.NumRows; r++ {
+		if l1.Pos[r] != int64(ref.RowPtr[r]) {
+			t.Fatalf("Pos[%d] = %d, want %d", r, l1.Pos[r], ref.RowPtr[r])
+		}
+	}
+	for p := range ref.ColIdx {
+		if l1.Crd[p] != ref.ColIdx[p] {
+			t.Fatalf("Crd[%d] = %d, want %d", p, l1.Crd[p], ref.ColIdx[p])
+		}
+		if st.Vals[p] != ref.Vals[p] {
+			t.Fatalf("Vals[%d] = %g, want %g", p, st.Vals[p], ref.Vals[p])
+		}
+	}
+}
+
+func TestAssembleBCSRHasExplicitZeros(t *testing.T) {
+	// One nonzero stored in 4x4 blocks: the values array must be a full
+	// 16-entry block with one nonzero.
+	c := tensor.NewCOO([]int{8, 8}, 1)
+	c.Append(5, 1, 2)
+	st, err := Assemble(c, BCSR(4, 4), AssembleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NNZStored() != 16 {
+		t.Fatalf("stored entries %d, want 16", st.NNZStored())
+	}
+	var nonzeros int
+	for _, v := range st.Vals {
+		if v != 0 {
+			nonzeros++
+		}
+	}
+	if nonzeros != 1 {
+		t.Fatalf("nonzero count %d, want 1", nonzeros)
+	}
+}
+
+func TestAssembleStorageLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := generate.Uniform(rng, 1024, 1024, 2000)
+	// Dense 2D of 1M entries against a limit of 1000 must fail.
+	_, err := Assemble(c, Dense(2), AssembleOptions{MaxEntries: 1000})
+	if !errors.Is(err, ErrStorageLimit) {
+		t.Fatalf("err = %v, want ErrStorageLimit", err)
+	}
+	// Sparse-friendly CSR under the same nnz-proportional limit succeeds.
+	if _, err := Assemble(c, CSR(), AssembleOptions{MaxEntries: 8 * int64(c.NNZ())}); err != nil {
+		t.Fatalf("CSR under limit: %v", err)
+	}
+}
+
+func TestAssembleOrderMismatch(t *testing.T) {
+	c := tensor.NewCOO([]int{4, 4, 4}, 0)
+	if _, err := Assemble(c, CSR(), AssembleOptions{}); err == nil {
+		t.Fatal("accepted order mismatch")
+	}
+}
+
+func TestLocateC(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := generate.Uniform(rng, 30, 30, 150)
+	st, err := Assemble(c.Clone(), CSR(), AssembleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := &st.Levels[1]
+	ref, _ := c.Clone().ToCSR()
+	for r := 0; r < ref.NumRows; r++ {
+		cols, vals := ref.Row(r)
+		for q, col := range cols {
+			pos, ok := lvl.LocateC(int64(r), col)
+			if !ok {
+				t.Fatalf("LocateC missed (%d,%d)", r, col)
+			}
+			if st.Vals[pos] != vals[q] {
+				t.Fatalf("LocateC wrong position for (%d,%d)", r, col)
+			}
+		}
+		// A column that is absent must not be found.
+		for probe := int32(0); probe < 30; probe++ {
+			found := false
+			for _, col := range cols {
+				if col == probe {
+					found = true
+				}
+			}
+			if _, ok := lvl.LocateC(int64(r), probe); ok != found {
+				t.Fatalf("LocateC(%d,%d) = %v, want %v", r, probe, ok, found)
+			}
+		}
+	}
+}
+
+// Property: any valid random format round-trips any random matrix.
+func TestQuickRandomFormatRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := generate.Uniform(rng, 1+rng.Intn(40), 1+rng.Intn(40), 1+rng.Intn(120))
+		fm := randomFormat(rng, 2)
+		st, err := Assemble(c.Clone(), fm, AssembleOptions{MaxEntries: 1 << 22})
+		if errors.Is(err, ErrStorageLimit) {
+			return true // legitimately excluded
+		}
+		if err != nil {
+			t.Logf("assemble error for %v: %v", fm, err)
+			return false
+		}
+		back := st.ToCOO()
+		c.SortRowMajor()
+		if back.NNZ() != c.NNZ() {
+			t.Logf("format %v: nnz %d want %d", fm, back.NNZ(), c.NNZ())
+			return false
+		}
+		for p := 0; p < c.NNZ(); p++ {
+			if back.Coords[0][p] != c.Coords[0][p] || back.Coords[1][p] != c.Coords[1][p] || back.Vals[p] != c.Vals[p] {
+				t.Logf("format %v: mismatch at %d", fm, p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomFormat draws a uniformly random valid format: random splits in
+// {1,2,3,4,8}, random level permutation, random level kinds.
+func randomFormat(rng *rand.Rand, order int) Format {
+	splits := []int32{1, 2, 3, 4, 8}
+	f := Format{Splits: make([]int32, order), Levels: make([]Level, 0, 2*order)}
+	for m := 0; m < order; m++ {
+		f.Splits[m] = splits[rng.Intn(len(splits))]
+	}
+	for m := 0; m < order; m++ {
+		f.Levels = append(f.Levels,
+			Level{Mode: m, Kind: LevelKind(rng.Intn(2))},
+			Level{Mode: m, Inner: true, Kind: LevelKind(rng.Intn(2))})
+	}
+	rng.Shuffle(len(f.Levels), func(a, b int) {
+		f.Levels[a], f.Levels[b] = f.Levels[b], f.Levels[a]
+	})
+	return f
+}
+
+func TestBytesAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := generate.Uniform(rng, 64, 64, 300)
+	csr, err := Assemble(c.Clone(), CSR(), AssembleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Assemble(c.Clone(), Dense(2), AssembleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csr.Bytes() >= dense.Bytes() {
+		t.Fatalf("CSR bytes %d >= dense bytes %d for a sparse matrix", csr.Bytes(), dense.Bytes())
+	}
+}

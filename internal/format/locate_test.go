@@ -1,0 +1,91 @@
+package format
+
+import (
+	"math/rand"
+	"testing"
+
+	"waco/internal/generate"
+	"waco/internal/tensor"
+)
+
+func TestStoredLocateFindsEveryNonzero(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	c := generate.Uniform(rng, 60, 45, 400)
+	for _, f := range []Format{CSR(), CSC(), BCSR(4, 4), COOLike(2), Dense(2)} {
+		st, err := Assemble(c.Clone(), f, AssembleOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		for p := 0; p < c.NNZ(); p++ {
+			coords := []int32{c.Coords[0][p], c.Coords[1][p]}
+			pos, ok := st.Locate(coords)
+			if !ok {
+				t.Fatalf("%v: nonzero (%d,%d) not located", f, coords[0], coords[1])
+			}
+			if st.Vals[pos] != c.Vals[p] {
+				t.Fatalf("%v: located wrong value at (%d,%d)", f, coords[0], coords[1])
+			}
+		}
+	}
+}
+
+func TestStoredLocateMissing(t *testing.T) {
+	c := tensor.NewCOO([]int{8, 8}, 2)
+	c.Append(1, 1, 1)
+	c.Append(2, 5, 6)
+	st, err := Assemble(c, CSR(), AssembleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Locate([]int32{1, 2}); ok {
+		t.Fatal("located absent coordinate in compressed level")
+	}
+	if _, ok := st.Locate([]int32{0, 0}); ok {
+		t.Fatal("located absent row")
+	}
+	// Dense storage locates everything in range (explicit zeros).
+	std, err := Assemble(c.Clone(), Dense(2), AssembleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, ok := std.Locate([]int32{1, 2})
+	if !ok {
+		t.Fatal("dense locate failed in range")
+	}
+	if std.Vals[pos] != 0 {
+		t.Fatal("dense absent cell should hold zero")
+	}
+}
+
+func TestStoredLocate3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	base := generate.Uniform(rng, 20, 20, 80)
+	t3 := generate.Tensor3D(rng, base, 10, 2)
+	st, err := Assemble(t3.Clone(), CSF(3), AssembleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < t3.NNZ(); p++ {
+		coords := []int32{t3.Coords[0][p], t3.Coords[1][p], t3.Coords[2][p]}
+		pos, ok := st.Locate(coords)
+		if !ok {
+			t.Fatalf("3-D locate missed %v", coords)
+		}
+		if st.Vals[pos] != t3.Vals[p] {
+			t.Fatalf("3-D locate wrong value at %v", coords)
+		}
+	}
+}
+
+func TestStoredLocateOutOfExtent(t *testing.T) {
+	c := tensor.NewCOO([]int{10, 10}, 1)
+	c.Append(1, 9, 9)
+	st, err := Assemble(c, BCSR(4, 4), AssembleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Padding cell inside the last block: locatable, zero value.
+	if pos, ok := st.Locate([]int32{9, 8}); !ok || st.Vals[pos] != 0 {
+		t.Fatal("padding cell should locate to an explicit zero")
+	}
+}

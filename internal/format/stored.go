@@ -1,0 +1,283 @@
+package format
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"waco/internal/tensor"
+)
+
+// ErrStorageLimit reports that assembling a tensor in a format would exceed
+// the caller's storage budget (e.g. a huge Uncompressed inner level below a
+// Compressed level). The WACO data-generation pipeline treats such formats
+// the way the paper treats >1-minute configurations: excluded from the
+// dataset.
+var ErrStorageLimit = errors.New("format: storage limit exceeded")
+
+// IsStorageLimit reports whether err is (or wraps) ErrStorageLimit.
+func IsStorageLimit(err error) bool { return errors.Is(err, ErrStorageLimit) }
+
+// StoredLevel is one assembled level of a coordinate hierarchy.
+type StoredLevel struct {
+	Kind   LevelKind
+	Extent int32 // coordinate extent of this level
+	// PosCount is the number of positions (nodes) at this level; the next
+	// level has PosCount parents.
+	PosCount int64
+	// Pos/Crd are the Compressed segment arrays: children of parent p occupy
+	// Crd[Pos[p]:Pos[p+1]]. Nil for Uncompressed levels.
+	Pos []int64
+	Crd []int32
+}
+
+// Stored is a sparse tensor assembled into a concrete Format: the coordinate
+// hierarchy plus the values array. Trailing Uncompressed levels materialize
+// explicit zeros, exactly like TACO's dense blocks.
+type Stored struct {
+	Fmt    Format
+	Dims   []int
+	Levels []StoredLevel
+	Vals   []float32
+}
+
+// AssembleOptions bounds assembly.
+type AssembleOptions struct {
+	// MaxEntries caps the length of any single positions/values array.
+	// Zero means DefaultMaxEntries.
+	MaxEntries int64
+}
+
+// DefaultMaxEntries is the default per-array assembly budget (64Mi entries,
+// 256 MiB of float32 values).
+const DefaultMaxEntries = int64(1) << 26
+
+// Assemble stores a COO tensor in the given format. The COO is sorted as a
+// side effect. It returns ErrStorageLimit if any level's position space or
+// the values array would exceed the budget.
+func Assemble(c *tensor.COO, f Format, opts AssembleOptions) (*Stored, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if f.Order() != c.Order() {
+		return nil, fmt.Errorf("format: order-%d format for order-%d tensor", f.Order(), c.Order())
+	}
+	limit := opts.MaxEntries
+	if limit <= 0 {
+		limit = DefaultMaxEntries
+	}
+	nnz := c.NNZ()
+	nLev := len(f.Levels)
+
+	// Per-level coordinates for every nonzero.
+	lc := make([][]int32, nLev)
+	for l, lv := range f.Levels {
+		lc[l] = make([]int32, nnz)
+		split := f.Splits[lv.Mode]
+		src := c.Coords[lv.Mode]
+		if lv.Inner {
+			for p, x := range src {
+				lc[l][p] = x % split
+			}
+		} else {
+			for p, x := range src {
+				lc[l][p] = x / split
+			}
+		}
+	}
+
+	// Sort nonzeros lexicographically by level coordinates in level order.
+	idx := make([]int32, nnz)
+	for p := range idx {
+		idx[p] = int32(p)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := idx[a], idx[b]
+		for l := 0; l < nLev; l++ {
+			ca, cb := lc[l][pa], lc[l][pb]
+			if ca != cb {
+				return ca < cb
+			}
+		}
+		return false
+	})
+
+	st := &Stored{
+		Fmt:    f.Clone(),
+		Dims:   append([]int(nil), c.Dims...),
+		Levels: make([]StoredLevel, nLev),
+	}
+
+	// pos[k] is the position of sorted-nonzero k at the level just built.
+	pos := make([]int64, nnz)
+	parentCount := int64(1)
+	for l := range f.Levels {
+		extent := f.LevelExtent(l, c.Dims)
+		sl := &st.Levels[l]
+		sl.Kind = f.Levels[l].Kind
+		sl.Extent = extent
+		switch sl.Kind {
+		case Uncompressed:
+			pc := parentCount * int64(extent)
+			if pc > limit {
+				return nil, fmt.Errorf("%w: level %d needs %d positions (limit %d)", ErrStorageLimit, l, pc, limit)
+			}
+			for k := 0; k < nnz; k++ {
+				pos[k] = pos[k]*int64(extent) + int64(lc[l][idx[k]])
+			}
+			parentCount = pc
+		case Compressed:
+			if parentCount+1 > limit {
+				return nil, fmt.Errorf("%w: level %d needs %d pos entries (limit %d)", ErrStorageLimit, l, parentCount+1, limit)
+			}
+			sl.Pos = make([]int64, parentCount+1)
+			sl.Crd = make([]int32, 0, nnz)
+			var nPos int64
+			prevParent := int64(-1)
+			var prevCoord int32
+			for k := 0; k < nnz; k++ {
+				coord := lc[l][idx[k]]
+				parent := pos[k]
+				if parent != prevParent || coord != prevCoord || nPos == 0 {
+					sl.Crd = append(sl.Crd, coord)
+					sl.Pos[parent+1] = nPos + 1
+					nPos++
+					prevParent, prevCoord = parent, coord
+				}
+				pos[k] = nPos - 1
+			}
+			sl.PosCount = nPos
+			// Carry forward: Pos[p+1] = 0 means "same as previous".
+			for p := int64(1); p < parentCount+1; p++ {
+				if sl.Pos[p] < sl.Pos[p-1] {
+					sl.Pos[p] = sl.Pos[p-1]
+				}
+			}
+			parentCount = nPos
+			continue
+		}
+		sl.PosCount = parentCount
+	}
+
+	if parentCount > limit {
+		return nil, fmt.Errorf("%w: values array needs %d entries (limit %d)", ErrStorageLimit, parentCount, limit)
+	}
+	st.Vals = make([]float32, parentCount)
+	for k := 0; k < nnz; k++ {
+		st.Vals[pos[k]] = c.Vals[idx[k]]
+	}
+	return st, nil
+}
+
+// NNZStored returns the length of the values array, i.e. stored entries
+// including explicit zeros inside dense blocks.
+func (s *Stored) NNZStored() int { return len(s.Vals) }
+
+// Bytes estimates the storage footprint in bytes: values plus Compressed
+// pos/crd arrays. This feeds the format-conversion cost accounting of the
+// end-to-end experiments (Table 8).
+func (s *Stored) Bytes() int64 {
+	b := int64(len(s.Vals)) * 4
+	for _, l := range s.Levels {
+		b += int64(len(l.Pos))*8 + int64(len(l.Crd))*4
+	}
+	return b
+}
+
+// ToCOO reconstructs coordinate form by walking the full hierarchy. Entries
+// whose stored value is exactly zero are dropped (indistinguishable from
+// dense-block padding). Used for testing and format conversion.
+func (s *Stored) ToCOO() *tensor.COO {
+	out := tensor.NewCOO(s.Dims, len(s.Vals))
+	coords := make([]int32, len(s.Levels))
+	orig := make([]int32, s.Fmt.Order())
+	var walk func(level int, parent int64)
+	walk = func(level int, parent int64) {
+		if level == len(s.Levels) {
+			v := s.Vals[parent]
+			if v == 0 {
+				return
+			}
+			for m := range orig {
+				orig[m] = 0
+			}
+			for l, lv := range s.Fmt.Levels {
+				if lv.Inner {
+					orig[lv.Mode] += coords[l]
+				} else {
+					orig[lv.Mode] += coords[l] * s.Fmt.Splits[lv.Mode]
+				}
+			}
+			out.Append(v, orig...)
+			return
+		}
+		lv := &s.Levels[level]
+		switch lv.Kind {
+		case Uncompressed:
+			for x := int32(0); x < lv.Extent; x++ {
+				coords[level] = x
+				walk(level+1, parent*int64(lv.Extent)+int64(x))
+			}
+		case Compressed:
+			for p := lv.Pos[parent]; p < lv.Pos[parent+1]; p++ {
+				coords[level] = lv.Crd[p]
+				walk(level+1, p)
+			}
+		}
+	}
+	walk(0, 0)
+	out.SortRowMajor()
+	return out
+}
+
+// Locate walks the full hierarchy to the values position of the entry with
+// the given original coordinates, reporting whether the coordinate path
+// exists in storage. Compressed levels are binary-searched; Uncompressed
+// levels are computed arithmetically.
+func (s *Stored) Locate(coords []int32) (int64, bool) {
+	var pos int64
+	for l, lv := range s.Fmt.Levels {
+		x := coords[lv.Mode]
+		split := s.Fmt.Splits[lv.Mode]
+		var coord int32
+		if lv.Inner {
+			coord = x % split
+		} else {
+			coord = x / split
+		}
+		sl := &s.Levels[l]
+		switch sl.Kind {
+		case Uncompressed:
+			if coord >= sl.Extent {
+				return 0, false
+			}
+			pos = pos*int64(sl.Extent) + int64(coord)
+		case Compressed:
+			p, ok := sl.LocateC(pos, coord)
+			if !ok {
+				return 0, false
+			}
+			pos = p
+		}
+	}
+	return pos, true
+}
+
+// LocateC binary-searches for coord among the children of parent in a
+// Compressed level, returning the child position and whether it exists.
+func (l *StoredLevel) LocateC(parent int64, coord int32) (int64, bool) {
+	lo, hi := l.Pos[parent], l.Pos[parent+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := l.Crd[mid]
+		if c == coord {
+			return mid, true
+		}
+		if c < coord {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return 0, false
+}

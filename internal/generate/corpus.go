@@ -1,0 +1,218 @@
+package generate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"waco/internal/tensor"
+)
+
+// CorpusConfig bounds a generated matrix population. The defaults mirror the
+// paper's dataset limits (rows < 131,072 and nnz < 10M) scaled down to keep
+// CPU-only training tractable; raise them for full-scale runs.
+type CorpusConfig struct {
+	Count   int   // number of matrices
+	Seed    int64 // base RNG seed; the corpus is a pure function of this
+	MinDim  int   // minimum rows/cols
+	MaxDim  int   // maximum rows/cols
+	MaxNNZ  int   // per-matrix nonzero cap (generators are parameterized under it)
+	Square  bool  // force square matrices
+	Include []string
+}
+
+// DefaultCorpusConfig is the reduced-scale default population.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{
+		Count:  64,
+		Seed:   1,
+		MinDim: 256,
+		MaxDim: 4096,
+		MaxNNZ: 250_000,
+		Square: true,
+	}
+}
+
+// Families lists the available generator family names, in the order Corpus
+// cycles through them.
+var Families = []string{
+	"uniform", "banded", "diagonals", "blockdense", "blockpartial",
+	"powerlaw", "rmat", "mesh", "clustered",
+}
+
+// Corpus generates cfg.Count matrices cycling deterministically through the
+// generator families (or cfg.Include if non-empty), with per-matrix
+// dimensions and parameters drawn from a seeded RNG. Matrices with zero
+// nonzeros are regenerated with relaxed parameters.
+func Corpus(cfg CorpusConfig) []Matrix {
+	families := Families
+	if len(cfg.Include) > 0 {
+		families = cfg.Include
+	}
+	out := make([]Matrix, 0, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		family := families[i%len(families)]
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		c := FromFamily(rng, family, cfg)
+		if c.NNZ() == 0 {
+			c = Uniform(rng, cfg.MinDim, cfg.MinDim, cfg.MinDim*4)
+		}
+		out = append(out, Matrix{
+			Name:   fmt.Sprintf("%s-%04d", family, i),
+			Family: family,
+			COO:    c,
+		})
+	}
+	return out
+}
+
+// FromFamily draws one matrix from the named generator family with
+// parameters randomized under the config's size limits. Unknown families
+// fall back to uniform.
+func FromFamily(rng *rand.Rand, family string, cfg CorpusConfig) *tensor.COO {
+	rows := dim(rng, cfg)
+	cols := rows
+	if !cfg.Square {
+		cols = dim(rng, cfg)
+	}
+	// Target a density that keeps nnz under the cap.
+	maxNNZ := cfg.MaxNNZ
+	nnz := maxNNZ/8 + rng.Intn(maxNNZ/2+1)
+	if nnz > rows*cols/2 {
+		nnz = rows * cols / 2
+	}
+	switch family {
+	case "banded":
+		hb := 2 + rng.Intn(16)
+		fill := clampFill(float64(nnz) / float64(rows*(2*hb+1)))
+		return Banded(rng, rows, cols, hb, fill)
+	case "diagonals":
+		k := 3 + rng.Intn(6)
+		offsets := make([]int, k)
+		for d := range offsets {
+			offsets[d] = rng.Intn(2*cols/3) - cols/3
+		}
+		fill := clampFill(float64(nnz) / float64(rows*k))
+		return Diagonals(rng, rows, cols, offsets, fill)
+	case "blockdense":
+		bs := []int{4, 8, 16, 32}[rng.Intn(4)]
+		nb := nnz / (bs * bs)
+		if nb == 0 {
+			nb = 1
+		}
+		return BlockDense(rng, rows, cols, bs, nb, 0.85+0.15*rng.Float64())
+	case "blockpartial":
+		// Under-filled blocks: the <50% fill regime of Table 6.
+		bs := []int{8, 16, 32}[rng.Intn(3)]
+		fill := 0.2 + 0.25*rng.Float64()
+		nb := int(float64(nnz) / (fill * float64(bs*bs)))
+		if nb == 0 {
+			nb = 1
+		}
+		return BlockDense(rng, rows, cols, bs, nb, fill)
+	case "powerlaw":
+		return PowerLawRows(rng, rows, cols, nnz, 0.8+0.8*rng.Float64())
+	case "rmat":
+		scale := log2floor(rows)
+		return RMAT(rng, scale, nnz, 0.57, 0.19, 0.19)
+	case "mesh":
+		n := isqrt(rows)
+		if n < 4 {
+			n = 4
+		}
+		return Mesh2D(n)
+	case "clustered":
+		per := 64 + rng.Intn(256)
+		ncl := nnz / per
+		if ncl == 0 {
+			ncl = 1
+		}
+		return Clustered(rng, rows, cols, ncl, per, 2+rng.Float64()*10)
+	default:
+		return Uniform(rng, rows, cols, nnz)
+	}
+}
+
+// Augment expands a corpus by resizing each matrix into variants with
+// rescaled dimensions — the paper's augmentation, which turned 2,893
+// SuiteSparse matrices into 21,400 training matrices (§4.1.3). Each source
+// matrix gains `variants` resized copies with dimensions drawn log-uniformly
+// within [minDim, maxDim]; the originals are kept.
+func Augment(mats []Matrix, variants int, seed int64, minDim, maxDim int) []Matrix {
+	out := make([]Matrix, 0, len(mats)*(variants+1))
+	out = append(out, mats...)
+	rng := rand.New(rand.NewSource(seed))
+	for _, m := range mats {
+		if m.COO.Order() != 2 {
+			continue
+		}
+		for v := 0; v < variants; v++ {
+			cfg := CorpusConfig{MinDim: minDim, MaxDim: maxDim}
+			rows := dim(rng, cfg)
+			cols := dim(rng, cfg)
+			r, err := Resize(m.COO, []int{rows, cols})
+			if err != nil || r.NNZ() == 0 {
+				continue
+			}
+			out = append(out, Matrix{
+				Name:   fmt.Sprintf("%s-aug%d", m.Name, v),
+				Family: m.Family,
+				COO:    r,
+			})
+		}
+	}
+	return out
+}
+
+// Tensor3D generates a 3-D sparse tensor for MTTKRP following the prior-work
+// recipe the paper cites for SpTFS: take a 2-D pattern and extrude each
+// nonzero into a small random set of fibers along the third mode.
+func Tensor3D(rng *rand.Rand, base *tensor.COO, depth, fibersPerNNZ int) *tensor.COO {
+	out := tensor.NewCOO([]int{base.Dims[0], base.Dims[1], depth}, base.NNZ()*fibersPerNNZ)
+	for p := 0; p < base.NNZ(); p++ {
+		i, j := base.Coords[0][p], base.Coords[1][p]
+		for f := 0; f < fibersPerNNZ; f++ {
+			out.Append(val(rng), i, j, int32(rng.Intn(depth)))
+		}
+	}
+	out.SortRowMajor()
+	out.Dedup()
+	return out
+}
+
+func dim(rng *rand.Rand, cfg CorpusConfig) int {
+	if cfg.MaxDim <= cfg.MinDim {
+		return cfg.MinDim
+	}
+	// Log-uniform between MinDim and MaxDim so small and large shapes are
+	// both represented.
+	lo, hi := float64(cfg.MinDim), float64(cfg.MaxDim)
+	return int(lo * math.Pow(hi/lo, rng.Float64()))
+}
+
+func clampFill(f float64) float64 {
+	if f > 1 {
+		return 1
+	}
+	if f < 0.01 {
+		return 0.01
+	}
+	return f
+}
+
+func log2floor(n int) int {
+	s := 0
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
+}
+
+func isqrt(n int) int {
+	x := 0
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}

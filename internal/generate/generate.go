@@ -1,0 +1,249 @@
+// Package generate produces synthetic sparsity patterns. It substitutes for
+// the SuiteSparse matrix collection used by the WACO paper: each generator
+// targets one axis of pattern variation that the paper identifies as
+// performance-relevant (density, dense-block structure, row skew, diagonal
+// banding, graph-like irregularity, global vs. local placement), and the
+// Suite/Corpus helpers assemble deterministic mixed populations for training
+// and test sets.
+//
+// All generators are deterministic given their *rand.Rand and return sorted,
+// deduplicated COO tensors.
+package generate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"waco/internal/tensor"
+)
+
+// Matrix pairs a generated pattern with a descriptive name and the family it
+// was drawn from (used by experiments to stratify results).
+type Matrix struct {
+	Name   string
+	Family string
+	COO    *tensor.COO
+}
+
+// Uniform returns a matrix with nnz nonzeros placed uniformly at random.
+// Duplicates are merged, so the result may have slightly fewer than nnz
+// entries.
+func Uniform(rng *rand.Rand, rows, cols, nnz int) *tensor.COO {
+	c := tensor.NewCOO([]int{rows, cols}, nnz)
+	for p := 0; p < nnz; p++ {
+		c.Append(val(rng), int32(rng.Intn(rows)), int32(rng.Intn(cols)))
+	}
+	finish(c)
+	return c
+}
+
+// Banded returns a matrix whose nonzeros lie within the given half-bandwidth
+// of the diagonal, each in-band position kept with probability fill.
+// Band matrices favor concordant row-major traversal and small dense blocks.
+func Banded(rng *rand.Rand, rows, cols, halfBand int, fill float64) *tensor.COO {
+	c := tensor.NewCOO([]int{rows, cols}, rows*halfBand)
+	for i := 0; i < rows; i++ {
+		lo := i - halfBand
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + halfBand
+		if hi >= cols {
+			hi = cols - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if rng.Float64() < fill {
+				c.Append(val(rng), int32(i), int32(j))
+			}
+		}
+	}
+	finish(c)
+	return c
+}
+
+// Diagonals returns a matrix with nonzeros on the given diagonal offsets
+// (DIA-like structure), each position kept with probability fill.
+func Diagonals(rng *rand.Rand, rows, cols int, offsets []int, fill float64) *tensor.COO {
+	c := tensor.NewCOO([]int{rows, cols}, rows*len(offsets))
+	for i := 0; i < rows; i++ {
+		for _, off := range offsets {
+			j := i + off
+			if j < 0 || j >= cols {
+				continue
+			}
+			if rng.Float64() < fill {
+				c.Append(val(rng), int32(i), int32(j))
+			}
+		}
+	}
+	finish(c)
+	return c
+}
+
+// BlockDense scatters numBlocks dense blockSize x blockSize blocks at random
+// block-aligned positions, filling each block position with probability
+// blockFill. blockFill near 1 produces BCSR-friendly structure; blockFill
+// below 0.5 reproduces the paper's under-filled-block regime (Table 6).
+func BlockDense(rng *rand.Rand, rows, cols, blockSize, numBlocks int, blockFill float64) *tensor.COO {
+	c := tensor.NewCOO([]int{rows, cols}, numBlocks*blockSize*blockSize)
+	bRows := rows / blockSize
+	bCols := cols / blockSize
+	if bRows == 0 || bCols == 0 {
+		finish(c)
+		return c
+	}
+	for b := 0; b < numBlocks; b++ {
+		bi := rng.Intn(bRows) * blockSize
+		bj := rng.Intn(bCols) * blockSize
+		for di := 0; di < blockSize; di++ {
+			for dj := 0; dj < blockSize; dj++ {
+				if rng.Float64() < blockFill {
+					c.Append(val(rng), int32(bi+di), int32(bj+dj))
+				}
+			}
+		}
+	}
+	finish(c)
+	return c
+}
+
+// PowerLawRows gives row r a nonzero budget proportional to (r+1)^-alpha
+// (rows are then shuffled), producing the skewed per-row distribution for
+// which fine-grained load balancing matters. Total entries ~ nnz.
+func PowerLawRows(rng *rand.Rand, rows, cols, nnz int, alpha float64) *tensor.COO {
+	weights := make([]float64, rows)
+	var total float64
+	for r := range weights {
+		weights[r] = math.Pow(float64(r+1), -alpha)
+		total += weights[r]
+	}
+	perm := rng.Perm(rows)
+	c := tensor.NewCOO([]int{rows, cols}, nnz)
+	for r := 0; r < rows; r++ {
+		budget := int(float64(nnz) * weights[r] / total)
+		if budget > cols {
+			budget = cols
+		}
+		row := int32(perm[r])
+		for k := 0; k < budget; k++ {
+			c.Append(val(rng), row, int32(rng.Intn(cols)))
+		}
+	}
+	finish(c)
+	return c
+}
+
+// RMAT generates an R-MAT (recursive matrix) graph adjacency pattern on a
+// 2^scale x 2^scale grid with the given partition probabilities; defaults of
+// (0.57, 0.19, 0.19, 0.05) reproduce the classic skewed social-graph shape.
+func RMAT(rng *rand.Rand, scale, edges int, a, b, c float64) *tensor.COO {
+	n := 1 << scale
+	out := tensor.NewCOO([]int{n, n}, edges)
+	for e := 0; e < edges; e++ {
+		var i, j int
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left quadrant
+			case r < a+b:
+				j |= 1 << bit
+			case r < a+b+c:
+				i |= 1 << bit
+			default:
+				i |= 1 << bit
+				j |= 1 << bit
+			}
+		}
+		out.Append(val(rng), int32(i), int32(j))
+	}
+	finish(out)
+	return out
+}
+
+// Mesh2D returns the 5-point stencil Laplacian of an n x n grid: the
+// archetypal scientific-computing matrix (symmetric, banded, 5 nnz/row).
+func Mesh2D(n int) *tensor.COO {
+	size := n * n
+	c := tensor.NewCOO([]int{size, size}, 5*size)
+	idx := func(x, y int) int32 { return int32(x*n + y) }
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			p := idx(x, y)
+			c.Append(4, p, p)
+			if x > 0 {
+				c.Append(-1, p, idx(x-1, y))
+			}
+			if x < n-1 {
+				c.Append(-1, p, idx(x+1, y))
+			}
+			if y > 0 {
+				c.Append(-1, p, idx(x, y-1))
+			}
+			if y < n-1 {
+				c.Append(-1, p, idx(x, y+1))
+			}
+		}
+	}
+	finish(c)
+	return c
+}
+
+// Clustered places numClusters Gaussian clouds of nonzeros with the given
+// per-cluster count and radius, producing locally dense, globally sparse
+// patterns (the regime where strided sparse convolution beats stride-1).
+func Clustered(rng *rand.Rand, rows, cols, numClusters, perCluster int, radius float64) *tensor.COO {
+	c := tensor.NewCOO([]int{rows, cols}, numClusters*perCluster)
+	for k := 0; k < numClusters; k++ {
+		ci := rng.Float64() * float64(rows)
+		cj := rng.Float64() * float64(cols)
+		for p := 0; p < perCluster; p++ {
+			i := int(ci + rng.NormFloat64()*radius)
+			j := int(cj + rng.NormFloat64()*radius)
+			if i < 0 || i >= rows || j < 0 || j >= cols {
+				continue
+			}
+			c.Append(val(rng), int32(i), int32(j))
+		}
+	}
+	finish(c)
+	return c
+}
+
+// Resize rescales a pattern to new dimensions by remapping coordinates
+// proportionally — the augmentation the paper applies to SuiteSparse
+// matrices (§4.1.3). Collisions after rounding are merged.
+func Resize(c *tensor.COO, newDims []int) (*tensor.COO, error) {
+	if len(newDims) != c.Order() {
+		return nil, fmt.Errorf("generate: resize to %d dims for order-%d tensor", len(newDims), c.Order())
+	}
+	out := tensor.NewCOO(newDims, c.NNZ())
+	coords := make([]int32, c.Order())
+	for p := 0; p < c.NNZ(); p++ {
+		for m := 0; m < c.Order(); m++ {
+			x := int64(c.Coords[m][p]) * int64(newDims[m]) / int64(c.Dims[m])
+			if x >= int64(newDims[m]) {
+				x = int64(newDims[m]) - 1
+			}
+			coords[m] = int32(x)
+		}
+		out.Append(c.Vals[p], coords...)
+	}
+	finish(out)
+	return out, nil
+}
+
+// val draws a nonzero value in [-1, 1) \ {0}.
+func val(rng *rand.Rand) float32 {
+	v := rng.Float32()*2 - 1
+	if v == 0 {
+		v = 0.5
+	}
+	return v
+}
+
+func finish(c *tensor.COO) {
+	c.SortRowMajor()
+	c.Dedup()
+}

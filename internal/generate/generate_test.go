@@ -1,0 +1,266 @@
+package generate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"waco/internal/tensor"
+)
+
+func TestUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := Uniform(rng, 100, 80, 500)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() == 0 || c.NNZ() > 500 {
+		t.Fatalf("NNZ = %d", c.NNZ())
+	}
+}
+
+func TestBandedStaysInBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	hb := 5
+	c := Banded(rng, 200, 200, hb, 0.7)
+	for p := 0; p < c.NNZ(); p++ {
+		d := int(c.Coords[0][p]) - int(c.Coords[1][p])
+		if d < -hb || d > hb {
+			t.Fatalf("entry (%d,%d) outside half-band %d", c.Coords[0][p], c.Coords[1][p], hb)
+		}
+	}
+	st := tensor.ComputeStats(c)
+	if st.AvgBandwidth > float64(hb) {
+		t.Fatalf("AvgBandwidth %g > %d", st.AvgBandwidth, hb)
+	}
+}
+
+func TestDiagonalsOnOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	offsets := []int{-3, 0, 7}
+	c := Diagonals(rng, 100, 100, offsets, 1.0)
+	allowed := map[int]bool{-3: true, 0: true, 7: true}
+	for p := 0; p < c.NNZ(); p++ {
+		d := int(c.Coords[1][p]) - int(c.Coords[0][p])
+		if !allowed[d] {
+			t.Fatalf("entry on offset %d", d)
+		}
+	}
+}
+
+func TestBlockDenseAligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bs := 8
+	c := BlockDense(rng, 128, 128, bs, 10, 1.0)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tensor.ComputeStats(c)
+	if st.BlockFill8 != 1 {
+		t.Fatalf("fully-filled blocks should give BlockFill8=1, got %g", st.BlockFill8)
+	}
+}
+
+func TestBlockDenseTooSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := BlockDense(rng, 4, 4, 8, 3, 1.0) // block larger than matrix
+	if c.NNZ() != 0 {
+		t.Fatalf("expected empty matrix, got %d nnz", c.NNZ())
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := PowerLawRows(rng, 512, 512, 20000, 1.2)
+	st := tensor.ComputeStats(c)
+	if st.RowNNZStd <= st.RowNNZMean {
+		t.Fatalf("power law should be skewed: mean %g std %g", st.RowNNZMean, st.RowNNZStd)
+	}
+}
+
+func TestRMATInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := RMAT(rng, 9, 4000, 0.57, 0.19, 0.19)
+	if c.Dims[0] != 512 {
+		t.Fatalf("dims %v", c.Dims)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMesh2DStructure(t *testing.T) {
+	c := Mesh2D(8)
+	if c.Dims[0] != 64 || c.Dims[1] != 64 {
+		t.Fatalf("dims %v", c.Dims)
+	}
+	// Interior points have 5 entries, corners 3: total = 5n^2 - 4n.
+	want := 5*64 - 4*8
+	if c.NNZ() != want {
+		t.Fatalf("NNZ = %d, want %d", c.NNZ(), want)
+	}
+	st := tensor.ComputeStats(c)
+	if st.SymmetryScore != 1 {
+		t.Fatalf("mesh Laplacian should be symmetric, score %g", st.SymmetryScore)
+	}
+}
+
+func TestClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := Clustered(rng, 1000, 1000, 5, 100, 3)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tensor.ComputeStats(c)
+	// Clusters concentrate nonzeros: the 8x8 block fill should far exceed
+	// what a uniform pattern of the same density would show (~nnz/(n/8)^2).
+	if st.BlockFill8 < 0.02 {
+		t.Fatalf("clusters not locally dense: BlockFill8 = %g", st.BlockFill8)
+	}
+}
+
+func TestResize(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := Uniform(rng, 100, 100, 400)
+	r, err := Resize(c, []int{50, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dims[0] != 50 || r.Dims[1] != 200 {
+		t.Fatalf("dims %v", r.Dims)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.NNZ() > c.NNZ() {
+		t.Fatalf("resize grew NNZ %d -> %d", c.NNZ(), r.NNZ())
+	}
+	if _, err := Resize(c, []int{1, 2, 3}); err == nil {
+		t.Fatal("accepted wrong-order resize")
+	}
+}
+
+func TestQuickResizeInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := Uniform(rng, 64, 64, 100)
+		nd := []int{1 + rng.Intn(128), 1 + rng.Intn(128)}
+		r, err := Resize(c, nd)
+		if err != nil {
+			return false
+		}
+		return r.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.Count = 18
+	cfg.MaxDim = 512
+	cfg.MaxNNZ = 20000
+	a := Corpus(cfg)
+	b := Corpus(cfg)
+	if len(a) != 18 {
+		t.Fatalf("corpus size %d", len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].COO.NNZ() != b[i].COO.NNZ() {
+			t.Fatalf("corpus not deterministic at %d", i)
+		}
+		if a[i].COO.NNZ() == 0 {
+			t.Fatalf("matrix %s empty", a[i].Name)
+		}
+		if err := a[i].COO.Validate(); err != nil {
+			t.Fatalf("matrix %s invalid: %v", a[i].Name, err)
+		}
+	}
+	// All families should appear.
+	seen := map[string]bool{}
+	for _, m := range a {
+		seen[m.Family] = true
+	}
+	for _, f := range Families {
+		if !seen[f] {
+			t.Errorf("family %s missing from corpus", f)
+		}
+	}
+}
+
+func TestCorpusIncludeFilter(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.Count = 4
+	cfg.MaxDim = 256
+	cfg.MaxNNZ = 5000
+	cfg.Include = []string{"banded"}
+	for _, m := range Corpus(cfg) {
+		if m.Family != "banded" {
+			t.Fatalf("unexpected family %s", m.Family)
+		}
+	}
+}
+
+func TestTensor3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	base := Uniform(rng, 64, 64, 200)
+	t3 := Tensor3D(rng, base, 32, 3)
+	if t3.Order() != 3 {
+		t.Fatalf("order %d", t3.Order())
+	}
+	if t3.Dims[2] != 32 {
+		t.Fatalf("dims %v", t3.Dims)
+	}
+	if err := t3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if t3.NNZ() < base.NNZ() {
+		t.Fatalf("3D tensor smaller than base: %d < %d", t3.NNZ(), base.NNZ())
+	}
+}
+
+func TestFromFamilyUnknownFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cfg := DefaultCorpusConfig()
+	cfg.MaxDim = 256
+	cfg.MaxNNZ = 4000
+	c := FromFamily(rng, "no-such-family", cfg)
+	if c.NNZ() == 0 {
+		t.Fatal("fallback produced empty matrix")
+	}
+}
+
+func TestAugment(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.Count = 4
+	cfg.MaxDim = 256
+	cfg.MaxNNZ = 3000
+	base := Corpus(cfg)
+	aug := Augment(base, 2, 5, 64, 512)
+	if len(aug) <= len(base) {
+		t.Fatalf("augmentation added nothing: %d -> %d", len(base), len(aug))
+	}
+	originals := map[string]bool{}
+	for _, b := range base {
+		originals[b.Name] = true
+	}
+	for _, m := range aug {
+		if err := m.COO.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if originals[m.Name] {
+			continue // originals keep their dimensions
+		}
+		for _, d := range m.COO.Dims {
+			if d < 64 || d > 512 {
+				t.Fatalf("%s: dims %v outside augment range", m.Name, m.COO.Dims)
+			}
+		}
+	}
+	// Deterministic.
+	aug2 := Augment(base, 2, 5, 64, 512)
+	if len(aug2) != len(aug) {
+		t.Fatal("augment not deterministic")
+	}
+}

@@ -1,0 +1,312 @@
+// Package hnsw implements the Hierarchical Navigable Small World graph
+// (Malkov & Yashunin) used by WACO's search strategy (§4.2): the graph is
+// *built* on the L2 distance between program embeddings, and *searched* with
+// an arbitrary distance function — in WACO, the cost model's predicted
+// runtime for the query matrix — exploiting the property that a KNN graph
+// built on L2 supports retrieval under generic query metrics (Tan et al.).
+package hnsw
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+)
+
+// Config sizes the graph.
+type Config struct {
+	M              int // neighbors per node per layer (layer 0 keeps 2M)
+	EfConstruction int // beam width during insertion
+	Seed           int64
+}
+
+// DefaultConfig returns typical HNSW parameters.
+func DefaultConfig() Config { return Config{M: 12, EfConstruction: 64, Seed: 1} }
+
+// Graph is an HNSW index over dense float32 vectors.
+type Graph struct {
+	cfg   Config
+	mL    float64
+	rng   *rand.Rand
+	vecs  [][]float32
+	nodes []node
+	entry int
+	top   int // highest occupied layer
+}
+
+type node struct {
+	level int
+	links [][]int32 // links[l] = neighbor ids at layer l, l <= level
+}
+
+// New creates an empty graph.
+func New(cfg Config) *Graph {
+	if cfg.M < 2 {
+		cfg.M = 2
+	}
+	if cfg.EfConstruction < cfg.M {
+		cfg.EfConstruction = cfg.M * 4
+	}
+	return &Graph{
+		cfg:   cfg,
+		mL:    1 / math.Log(float64(cfg.M)),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		entry: -1,
+	}
+}
+
+// Len returns the number of indexed vectors.
+func (g *Graph) Len() int { return len(g.vecs) }
+
+// Vector returns the stored vector for id (shared storage; do not modify).
+func (g *Graph) Vector(id int) []float32 { return g.vecs[id] }
+
+func (g *Graph) l2(a []float32, id int) float64 {
+	b := g.vecs[id]
+	var s float64
+	for i, x := range a {
+		d := float64(x - b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Add inserts a vector and returns its id.
+func (g *Graph) Add(vec []float32) int {
+	id := len(g.vecs)
+	g.vecs = append(g.vecs, vec)
+	level := int(math.Floor(-math.Log(1-g.rng.Float64()) * g.mL))
+	n := node{level: level, links: make([][]int32, level+1)}
+	g.nodes = append(g.nodes, n)
+
+	if g.entry < 0 {
+		g.entry = id
+		g.top = level
+		return id
+	}
+
+	cur := g.entry
+	curDist := g.l2(vec, cur)
+	// Greedy descent through layers above the new node's level.
+	for l := g.top; l > level; l-- {
+		cur, curDist = g.greedyStep(vec, cur, curDist, l)
+	}
+	// Insert at each layer from min(top, level) down to 0.
+	maxL := level
+	if maxL > g.top {
+		maxL = g.top
+	}
+	for l := maxL; l >= 0; l-- {
+		cands := g.searchLayerL2(vec, cur, l, g.cfg.EfConstruction)
+		m := g.cfg.M
+		if l == 0 {
+			m = 2 * g.cfg.M
+		}
+		if len(cands) > m {
+			cands = cands[:m]
+		}
+		for _, c := range cands {
+			g.nodes[id].links[l] = append(g.nodes[id].links[l], int32(c.id))
+			g.nodes[c.id].links[l] = append(g.nodes[c.id].links[l], int32(id))
+			g.pruneNode(c.id, l, m)
+		}
+		if len(cands) > 0 {
+			cur = cands[0].id
+		}
+	}
+	if level > g.top {
+		g.top = level
+		g.entry = id
+	}
+	return id
+}
+
+// greedyStep moves to the closest improving neighbor at layer l until a
+// local minimum is reached.
+func (g *Graph) greedyStep(vec []float32, cur int, curDist float64, l int) (int, float64) {
+	for {
+		improved := false
+		for _, nb := range g.linksAt(cur, l) {
+			if d := g.l2(vec, int(nb)); d < curDist {
+				cur, curDist = int(nb), d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur, curDist
+		}
+	}
+}
+
+func (g *Graph) linksAt(id, l int) []int32 {
+	n := &g.nodes[id]
+	if l > n.level {
+		return nil
+	}
+	return n.links[l]
+}
+
+// pruneNode keeps only the m closest (by L2 to the node's own vector)
+// neighbors of id at layer l.
+func (g *Graph) pruneNode(id, l, m int) {
+	links := g.nodes[id].links[l]
+	if len(links) <= m {
+		return
+	}
+	self := g.vecs[id]
+	type nd struct {
+		id int32
+		d  float64
+	}
+	ds := make([]nd, len(links))
+	for i, nb := range links {
+		ds[i] = nd{nb, g.l2(self, int(nb))}
+	}
+	// Partial selection sort of the m closest.
+	for i := 0; i < m; i++ {
+		best := i
+		for j := i + 1; j < len(ds); j++ {
+			if ds[j].d < ds[best].d {
+				best = j
+			}
+		}
+		ds[i], ds[best] = ds[best], ds[i]
+	}
+	out := make([]int32, m)
+	for i := 0; i < m; i++ {
+		out[i] = ds[i].id
+	}
+	g.nodes[id].links[l] = out
+}
+
+type cand struct {
+	id int
+	d  float64
+}
+
+// candHeap is a min-heap on distance.
+type candHeap []cand
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// maxHeap is a max-heap on distance (for the dynamic result set).
+type maxHeap []cand
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].d > h[j].d }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// searchLayer is the ef-bounded best-first search at one layer under an
+// arbitrary distance; returns candidates sorted ascending by distance.
+func (g *Graph) searchLayer(dist func(id int) float64, entry, l, ef int, visited []bool) []cand {
+	for i := range visited {
+		visited[i] = false
+	}
+	entryDist := dist(entry)
+	cands := candHeap{{entry, entryDist}}
+	results := maxHeap{{entry, entryDist}}
+	visited[entry] = true
+	for len(cands) > 0 {
+		c := heap.Pop(&cands).(cand)
+		if c.d > results[0].d && len(results) >= ef {
+			break
+		}
+		for _, nb := range g.linksAt(c.id, l) {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			d := dist(int(nb))
+			if len(results) < ef || d < results[0].d {
+				heap.Push(&cands, cand{int(nb), d})
+				heap.Push(&results, cand{int(nb), d})
+				if len(results) > ef {
+					heap.Pop(&results)
+				}
+			}
+		}
+	}
+	out := make([]cand, len(results))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&results).(cand)
+	}
+	return out
+}
+
+func (g *Graph) searchLayerL2(vec []float32, entry, l, ef int) []cand {
+	visited := make([]bool, len(g.vecs))
+	return g.searchLayer(func(id int) float64 { return g.l2(vec, id) }, entry, l, ef, visited)
+}
+
+// SearchL2 returns the ids of the k nearest stored vectors to query.
+func (g *Graph) SearchL2(query []float32, k, ef int) []int {
+	ids, _ := g.Search(func(id int) float64 { return g.l2(query, id) }, k, ef)
+	return ids
+}
+
+// Search retrieves the k stored items minimizing an arbitrary distance
+// function, navigating the L2-built graph (WACO's two-metric trick). It
+// returns the ids (ascending by distance) and the number of distance
+// evaluations performed — the "trials" axis of Figure 16.
+func (g *Graph) Search(dist func(id int) float64, k, ef int) ([]int, int) {
+	if g.entry < 0 {
+		return nil, 0
+	}
+	if ef < k {
+		ef = k
+	}
+	evals := 0
+	memo := make(map[int]float64, ef*4)
+	cached := func(id int) float64 {
+		if d, ok := memo[id]; ok {
+			return d
+		}
+		d := dist(id)
+		evals++
+		memo[id] = d
+		return d
+	}
+	cur := g.entry
+	curDist := cached(cur)
+	for l := g.top; l > 0; l-- {
+		for {
+			improved := false
+			for _, nb := range g.linksAt(cur, l) {
+				if d := cached(int(nb)); d < curDist {
+					cur, curDist = int(nb), d
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+	}
+	visited := make([]bool, len(g.vecs))
+	cands := g.searchLayer(cached, cur, 0, ef, visited)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out, evals
+}

@@ -1,0 +1,209 @@
+package hnsw
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randomVecs(rng *rand.Rand, n, dim int) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = rng.Float32()*2 - 1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func bruteForceKNN(vecs [][]float32, q []float32, k int) []int {
+	type nd struct {
+		id int
+		d  float64
+	}
+	ds := make([]nd, len(vecs))
+	for i, v := range vecs {
+		var s float64
+		for j := range q {
+			diff := float64(q[j] - v[j])
+			s += diff * diff
+		}
+		ds[i] = nd{i, s}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ds[i].id
+	}
+	return out
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(DefaultConfig())
+	if ids, evals := g.Search(func(int) float64 { return 0 }, 3, 8); ids != nil || evals != 0 {
+		t.Fatal("search on empty graph returned results")
+	}
+	if g.Len() != 0 {
+		t.Fatal("empty graph has length")
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	g := New(DefaultConfig())
+	g.Add([]float32{1, 2})
+	ids := g.SearchL2([]float32{0, 0}, 1, 4)
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestRecallAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vecs := randomVecs(rng, 500, 8)
+	g := New(Config{M: 12, EfConstruction: 80, Seed: 2})
+	for _, v := range vecs {
+		g.Add(v)
+	}
+	if g.Len() != 500 {
+		t.Fatalf("len %d", g.Len())
+	}
+	const k = 10
+	var hit, total int
+	for q := 0; q < 30; q++ {
+		query := randomVecs(rng, 1, 8)[0]
+		want := bruteForceKNN(vecs, query, k)
+		got := g.SearchL2(query, k, 64)
+		wantSet := map[int]bool{}
+		for _, id := range want {
+			wantSet[id] = true
+		}
+		for _, id := range got {
+			if wantSet[id] {
+				hit++
+			}
+		}
+		total += k
+	}
+	recall := float64(hit) / float64(total)
+	if recall < 0.85 {
+		t.Fatalf("recall %.3f, want >= 0.85", recall)
+	}
+}
+
+func TestSearchResultsSortedByDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vecs := randomVecs(rng, 200, 4)
+	g := New(DefaultConfig())
+	for _, v := range vecs {
+		g.Add(v)
+	}
+	q := randomVecs(rng, 1, 4)[0]
+	dist := func(id int) float64 {
+		var s float64
+		for j := range q {
+			d := float64(q[j] - vecs[id][j])
+			s += d * d
+		}
+		return s
+	}
+	ids, evals := g.Search(dist, 8, 32)
+	if evals <= 0 {
+		t.Fatal("no distance evaluations counted")
+	}
+	for i := 1; i < len(ids); i++ {
+		if dist(ids[i-1]) > dist(ids[i]) {
+			t.Fatal("results not sorted by distance")
+		}
+	}
+}
+
+// The WACO property: search with a *different* metric than the build metric
+// still finds low-cost items, because graph neighborhoods under L2 remain
+// navigable for related metrics.
+func TestGenericMetricSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vecs := randomVecs(rng, 600, 6)
+	g := New(Config{M: 12, EfConstruction: 80, Seed: 5})
+	for _, v := range vecs {
+		g.Add(v)
+	}
+	// Cost = a fixed random linear function of the embedding (a stand-in for
+	// the cost model head).
+	w := randomVecs(rng, 1, 6)[0]
+	cost := func(id int) float64 {
+		var s float64
+		for j, x := range vecs[id] {
+			s += float64(w[j]) * float64(x)
+		}
+		return s
+	}
+	ids, evals := g.Search(cost, 5, 64)
+	if len(ids) != 5 {
+		t.Fatalf("got %d results", len(ids))
+	}
+	// Rank of the best found among all items must be near the top.
+	best := cost(ids[0])
+	rank := 0
+	for id := range vecs {
+		if cost(id) < best {
+			rank++
+		}
+	}
+	if rank > 30 { // top 5% of 600
+		t.Fatalf("generic-metric search found rank-%d item", rank)
+	}
+	if evals >= len(vecs) {
+		t.Fatalf("search evaluated %d >= n distances (not sublinear)", evals)
+	}
+}
+
+func TestEvalsMuchSmallerThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vecs := randomVecs(rng, 2000, 8)
+	g := New(Config{M: 10, EfConstruction: 60, Seed: 7})
+	for _, v := range vecs {
+		g.Add(v)
+	}
+	q := randomVecs(rng, 1, 8)[0]
+	_, evals := g.Search(func(id int) float64 {
+		var s float64
+		for j := range q {
+			d := float64(q[j] - vecs[id][j])
+			s += d * d
+		}
+		return s
+	}, 10, 50)
+	if evals > 1200 {
+		t.Fatalf("evals = %d for n=2000; expected strongly sublinear", evals)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	vecs := randomVecs(rng, 100, 4)
+	build := func() []int {
+		g := New(Config{M: 8, EfConstruction: 32, Seed: 9})
+		for _, v := range vecs {
+			g.Add(v)
+		}
+		return g.SearchL2(vecs[3], 5, 16)
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("build not deterministic")
+		}
+	}
+}
+
+func TestKLargerThanGraph(t *testing.T) {
+	g := New(DefaultConfig())
+	g.Add([]float32{0})
+	g.Add([]float32{1})
+	ids := g.SearchL2([]float32{0.2}, 10, 20)
+	if len(ids) != 2 {
+		t.Fatalf("got %d ids for k=10 over 2 items", len(ids))
+	}
+}

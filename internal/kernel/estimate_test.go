@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"waco/internal/format"
+	"waco/internal/schedule"
+)
+
+func TestEstimateWorkConcordantIsNNZScale(t *testing.T) {
+	coo := testMatrix(50, 200, 200, 3000)
+	wl, _ := NewWorkload(schedule.SpMM, coo, 4)
+	p, err := wl.Compile(schedule.DefaultSchedule(schedule.SpMM, 1), DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.EstimateWork()
+	nnz := float64(coo.NNZ())
+	// Concordant CSR visits each nonzero once; the estimate may include the
+	// row loop but must stay within a small factor of nnz.
+	if w < nnz/4 || w > 8*nnz {
+		t.Fatalf("CSR work estimate %g for nnz %g", w, nnz)
+	}
+}
+
+func TestEstimateWorkDenseLoopsMultiply(t *testing.T) {
+	coo := testMatrix(51, 64, 64, 200)
+	wl, _ := NewWorkload(schedule.SpMM, coo, 4)
+	// Discordant schedule: CSR storage traversed k-outer densely.
+	ss := schedule.DefaultSchedule(schedule.SpMM, 1)
+	ss.ComputeOrder = []schedule.IVar{
+		{Mode: 1}, {Mode: 0}, {Mode: 0, Inner: true}, {Mode: 1, Inner: true},
+	}
+	ss.Parallel = schedule.IVar{Mode: 1}
+	p, err := wl.Compile(ss, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense loops over k (64) and i (64): roughly 4096 probe visits.
+	if w := p.EstimateWork(); w < 2048 {
+		t.Fatalf("discordant work estimate %g, expected thousands", w)
+	}
+	conc, err := wl.Compile(schedule.DefaultSchedule(schedule.SpMM, 1), DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EstimateWork() <= conc.EstimateWork() {
+		t.Fatal("discordant plan should estimate more work than concordant")
+	}
+}
+
+func TestCheckWorkLimit(t *testing.T) {
+	coo := testMatrix(52, 64, 64, 200)
+	wl, _ := NewWorkload(schedule.SpMM, coo, 4)
+	p, err := wl.Compile(schedule.DefaultSchedule(schedule.SpMM, 1), DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckWork(0); err != nil {
+		t.Fatalf("default limit rejected concordant CSR: %v", err)
+	}
+	if err := p.CheckWork(1); !errors.Is(err, ErrWorkLimit) {
+		t.Fatalf("limit 1 accepted: %v", err)
+	}
+}
+
+func TestDefaultWorkLimitScales(t *testing.T) {
+	if DefaultWorkLimit(0) <= 0 {
+		t.Fatal("zero base limit")
+	}
+	if DefaultWorkLimit(1000) >= DefaultWorkLimit(100000) {
+		t.Fatal("limit does not scale with stored size")
+	}
+}
+
+func TestEstimateWorkStoredZerosCount(t *testing.T) {
+	// Dense formats store every cell; the estimate must reflect that.
+	coo := testMatrix(53, 32, 32, 100)
+	wl, _ := NewWorkload(schedule.SpMM, coo, 4)
+	dense := schedule.DefaultSchedule(schedule.SpMM, 1)
+	for l := range dense.AFormat.Levels {
+		dense.AFormat.Levels[l].Kind = format.Uncompressed
+	}
+	p, err := wl.Compile(dense, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := p.EstimateWork(); w < 1024-64 {
+		t.Fatalf("dense work estimate %g, want ~1024", w)
+	}
+}

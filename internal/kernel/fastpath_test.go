@@ -1,0 +1,200 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"waco/internal/format"
+	"waco/internal/generate"
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+// ucuFormat is the Figure 14 one-dimensional dense-block SpMV format:
+// i1:U k1:C i0:U (k0 trivially U).
+func ucuFormat(b int32) format.Format {
+	return format.Format{
+		Splits: []int32{b, 1},
+		Levels: []format.Level{
+			{Mode: 0, Kind: format.Uncompressed},
+			{Mode: 1, Kind: format.Compressed},
+			{Mode: 0, Inner: true, Kind: format.Uncompressed},
+			{Mode: 1, Inner: true, Kind: format.Uncompressed},
+		},
+	}
+}
+
+func TestFastPathEngagesForBlockedSpMV(t *testing.T) {
+	coo := testMatrix(40, 100, 90, 700)
+	wl, err := NewWorkload(schedule.SpMV, coo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := RefSpMV(coo, wl.BVec())
+
+	cases := []struct {
+		name string
+		f    format.Format
+		want fastKind
+	}{
+		{"UCU i-blocked", ucuFormat(8), fastITail},
+		{"BCSR", format.BCSR(4, 4), fastKTail},
+		{"dense rows", format.Format{ // i1:U k1:U -> full dense row dot
+			Splits: []int32{1, 1},
+			Levels: []format.Level{
+				{Mode: 0, Kind: format.Uncompressed},
+				{Mode: 1, Kind: format.Uncompressed},
+				{Mode: 0, Inner: true, Kind: format.Uncompressed},
+				{Mode: 1, Inner: true, Kind: format.Uncompressed},
+			},
+		}, fastKTail},
+		{"CSR (compressed tail: gather dot)", format.CSR(), fastKTailC},
+	}
+	for _, tc := range cases {
+		ss := schedule.BestEffortSchedule(schedule.SpMV, tc.f, 2, 16)
+		p, err := wl.Compile(ss, DefaultProfile(), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if p.fastMode != tc.want {
+			t.Errorf("%s: fastMode = %d, want %d", tc.name, p.fastMode, tc.want)
+		}
+		if _, err := wl.Run(p); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if d := tensor.VecMaxAbsDiff(wl.OutVec(), ref); d > testTol {
+			t.Fatalf("%s: differs from reference by %g", tc.name, d)
+		}
+	}
+}
+
+func TestFastPathCSCConcordant(t *testing.T) {
+	// A concordant column-major traversal gets the scatter-axpy tail; the
+	// best-effort parallel traversal of the same format is discordant
+	// (locates into the i1 level) and must not.
+	coo := testMatrix(44, 90, 80, 600)
+	wl, _ := NewWorkload(schedule.SpMV, coo, 0)
+	ref := RefSpMV(coo, wl.BVec())
+
+	conc := schedule.ConcordantSchedule(schedule.SpMV, format.CSC(), 1, 16)
+	p, err := wl.Compile(conc, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.fastMode != fastITailC {
+		t.Fatalf("concordant CSC fastMode = %d, want %d", p.fastMode, fastITailC)
+	}
+	if _, err := wl.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.VecMaxAbsDiff(wl.OutVec(), ref); d > testTol {
+		t.Fatalf("concordant CSC differs by %g", d)
+	}
+
+	// Hand-hoisted i1-parallel traversal of the column-major format: i1 is a
+	// Compressed level located per iteration, so no fast tail applies.
+	hoisted := schedule.ConcordantSchedule(schedule.SpMV, format.CSC(), 2, 16)
+	hoisted.ComputeOrder = []schedule.IVar{
+		{Mode: 0}, {Mode: 1}, {Mode: 1, Inner: true}, {Mode: 0, Inner: true},
+	}
+	hoisted.Parallel = schedule.IVar{Mode: 0}
+	hoisted.Threads = 2
+	p2, err := wl.Compile(hoisted, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.fastMode != fastNone {
+		t.Fatalf("discordant CSC fastMode = %d, want none", p2.fastMode)
+	}
+	if _, err := wl.Run(p2); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.VecMaxAbsDiff(wl.OutVec(), ref); d > testTol {
+		t.Fatalf("discordant CSC differs by %g", d)
+	}
+}
+
+func TestFastPathDisabledBySwappedLayouts(t *testing.T) {
+	coo := testMatrix(41, 64, 64, 400)
+	wl, _ := NewWorkload(schedule.SpMV, coo, 0)
+	ref := RefSpMV(coo, wl.BVec())
+
+	// BCSR fast path is a dot over b: a swapped b layout must disable it but
+	// stay correct.
+	ss := schedule.BestEffortSchedule(schedule.SpMV, format.BCSR(4, 4), 1, 16)
+	ss.BLayout = schedule.Swapped
+	p, err := wl.Compile(ss, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.fastMode != fastNone {
+		t.Fatalf("fastMode = %d despite swapped b", p.fastMode)
+	}
+	if _, err := wl.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.VecMaxAbsDiff(wl.OutVec(), ref); d > testTol {
+		t.Fatalf("swapped layout differs by %g", d)
+	}
+
+	// Swapped c layout on the UCU i-blocked format likewise.
+	ss2 := schedule.BestEffortSchedule(schedule.SpMV, ucuFormat(8), 1, 16)
+	ss2.CLayout = schedule.Swapped
+	p2, err := wl.Compile(ss2, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.fastMode != fastNone {
+		t.Fatalf("fastMode = %d despite swapped c", p2.fastMode)
+	}
+	if _, err := wl.Run(p2); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.VecMaxAbsDiff(wl.OutVec(), ref); d > testTol {
+		t.Fatalf("swapped c differs by %g", d)
+	}
+}
+
+func TestFastPathPaddingClamped(t *testing.T) {
+	// Dimensions deliberately not divisible by the block size: the fast loop
+	// must clamp at the matrix boundary.
+	rng := rand.New(rand.NewSource(42))
+	coo := generate.Uniform(rng, 61, 53, 500)
+	wl, _ := NewWorkload(schedule.SpMV, coo, 0)
+	ref := RefSpMV(coo, wl.BVec())
+	for _, f := range []format.Format{ucuFormat(8), format.BCSR(8, 8), format.BCSR(3, 7)} {
+		ss := schedule.BestEffortSchedule(schedule.SpMV, f, 2, 8)
+		p, err := wl.Compile(ss, DefaultProfile(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wl.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.VecMaxAbsDiff(wl.OutVec(), ref); d > testTol {
+			t.Fatalf("%v: padding clamp broken, differs by %g", f, d)
+		}
+	}
+}
+
+func TestFastPathParallelSafe(t *testing.T) {
+	coo := testMatrix(43, 128, 128, 1500)
+	wl, _ := NewWorkload(schedule.SpMV, coo, 0)
+	ref := RefSpMV(coo, wl.BVec())
+	ss := schedule.BestEffortSchedule(schedule.SpMV, ucuFormat(16), 4, 2)
+	p, err := wl.Compile(ss, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.fastMode != fastITail {
+		t.Fatalf("fastMode = %d", p.fastMode)
+	}
+	for rep := 0; rep < 10; rep++ {
+		if _, err := wl.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.VecMaxAbsDiff(wl.OutVec(), ref); d > testTol {
+			t.Fatalf("parallel fast path differs by %g on rep %d", d, rep)
+		}
+	}
+}

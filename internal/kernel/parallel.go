@@ -1,0 +1,49 @@
+package kernel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor executes fn over [0, n) split into fixed-size chunks that
+// workers claim dynamically from a shared atomic counter — the semantics of
+// OpenMP's schedule(dynamic, chunk), which the paper's SuperSchedule
+// parallelize directive maps to. fn receives the worker id and a [lo, hi)
+// sub-range. With workers <= 1 the range runs inline on worker 0.
+func ParallelFor(n int64, chunk, workers int, fn func(worker int, lo, hi int64)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	nChunks := (n + int64(chunk) - 1) / int64(chunk)
+	if workers > int(nChunks) {
+		workers = int(nChunks)
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			for {
+				c := next.Add(1) - 1
+				if c >= nChunks {
+					return
+				}
+				lo := c * int64(chunk)
+				hi := lo + int64(chunk)
+				if hi > n {
+					hi = n
+				}
+				fn(id, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,595 @@
+// Package kernel executes sparse tensor programs (SpMV, SpMM, SDDMM,
+// MTTKRP) for any SuperSchedule: any split sizes, any storage level order
+// and level formats for the sparse operand, any compute loop order, and
+// OpenMP-style dynamic parallelism.
+//
+// It plays the role TACO's code generator plays in the paper. Rather than
+// emitting C, Compile turns a (schedule, stored tensor) pair into a Plan — a
+// loop-nest interpreter specialized at plan time: each compute loop either
+// *drives* a storage level (concordant traversal: walk the level's pos/crd
+// arrays directly) or iterates its coordinate space densely, with discordant
+// storage levels resolved by locate operations (binary search on Compressed
+// levels) exactly where TACO-generated code would perform them. Measured
+// wall-clock times of Plans are the ground-truth runtimes used to train
+// WACO's cost model.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"waco/internal/format"
+	"waco/internal/schedule"
+)
+
+// MachineProfile models the execution machine for an experiment. Different
+// profiles stand in for the paper's Intel-vs-AMD hardware study (§5.5): a
+// profile caps the usable worker count, which shifts which load-balancing
+// and blocking configurations win.
+type MachineProfile struct {
+	Name      string
+	ThreadCap int // maximum effective workers; 0 means runtime.NumCPU()
+}
+
+// DefaultProfile uses every available CPU.
+func DefaultProfile() MachineProfile {
+	return MachineProfile{Name: "default", ThreadCap: runtime.NumCPU()}
+}
+
+func (mp MachineProfile) cap() int {
+	if mp.ThreadCap <= 0 {
+		return runtime.NumCPU()
+	}
+	return mp.ThreadCap
+}
+
+// resolveStep locates storage level level once the loop at its depth has
+// bound coordinate cix.
+type resolveStep struct {
+	level int
+	cix   int
+}
+
+// loopPlan is one loop of the compiled nest.
+type loopPlan struct {
+	cix     int   // canonical index of this loop's variable (2*mode+inner)
+	extent  int32 // iteration extent for dense loops
+	drives  int   // storage level driven by this loop, or -1
+	resolve []resolveStep
+}
+
+// Plan is a compiled (algorithm, SuperSchedule, stored tensor) triple, ready
+// to execute repeatedly.
+type Plan struct {
+	Alg schedule.Algorithm
+	SS  *schedule.SuperSchedule
+	A   *format.Stored
+
+	loops   []loopPlan
+	nLevels int
+	splits  []int32 // per mode
+	dims    []int32 // per mode
+	threads int
+	chunk   int
+
+	// SpMV vector layouts.
+	bSwap, cSwap     bool
+	bBlocks, cBlocks int32 // outer extents for swapped layouts
+
+	// SpMV dense-tail fast path: when the deepest non-trivial loop drives a
+	// trailing Uncompressed level whose positions (and the corresponding
+	// dense-vector elements) are contiguous, the innermost iteration runs as
+	// a tight dot-product / axpy loop — the code TACO emits for dense
+	// blocks and dense rows, and the reason dense-block formats pay off on
+	// real backends (Figure 14).
+	fastMode  fastKind
+	fastDepth int
+	fastInner bool // the fast level is a mode's inner (split) part
+}
+
+type fastKind uint8
+
+const (
+	fastNone   fastKind = iota
+	fastKTail           // dense tail over the reduction mode: dot product
+	fastITail           // dense tail over the output mode: axpy
+	fastKTailC          // compressed tail over the reduction mode: gather dot
+	fastITailC          // compressed tail over the output mode: scatter axpy
+)
+
+// Compile builds an execution plan. A must have been assembled in
+// ss.AFormat. The profile caps the worker count.
+func Compile(ss *schedule.SuperSchedule, a *format.Stored, profile MachineProfile) (*Plan, error) {
+	if err := ss.Validate(); err != nil {
+		return nil, err
+	}
+	if !a.Fmt.Equal(ss.AFormat) {
+		return nil, fmt.Errorf("kernel: stored tensor format %v does not match schedule format %v", a.Fmt, ss.AFormat)
+	}
+	n := ss.Alg.SparseOrder()
+	p := &Plan{
+		Alg:     ss.Alg,
+		SS:      ss,
+		A:       a,
+		nLevels: 2 * n,
+		splits:  append([]int32(nil), ss.AFormat.Splits...),
+		dims:    make([]int32, n),
+		threads: ss.Threads,
+		chunk:   ss.Chunk,
+	}
+	if c := profile.cap(); p.threads > c {
+		p.threads = c
+	}
+	for m := 0; m < n; m++ {
+		p.dims[m] = int32(a.Dims[m])
+	}
+
+	// Loop depth of each canonical variable.
+	depthOf := make([]int, 2*n)
+	p.loops = make([]loopPlan, 2*n)
+	for d, v := range ss.ComputeOrder {
+		cix := canonIx(v)
+		depthOf[cix] = d
+		ext := p.splits[v.Mode]
+		if !v.Inner {
+			ext = (p.dims[v.Mode] + ext - 1) / p.splits[v.Mode]
+		}
+		p.loops[d] = loopPlan{cix: cix, extent: ext, drives: -1}
+	}
+
+	// Classify every storage level as driven or located (§3.1: discordant
+	// traversal needs searches over Compressed levels).
+	resolvedAt := -1 // D(l-1): depth at which the previous level is resolved
+	for l, lv := range ss.AFormat.Levels {
+		cix := canonIx(schedule.IVar{Mode: lv.Mode, Inner: lv.Inner})
+		d := depthOf[cix]
+		if d > resolvedAt {
+			// All ancestors resolve strictly earlier: this loop walks the
+			// level directly.
+			p.loops[d].drives = l
+			resolvedAt = d
+		} else {
+			// Discordant: locate once the latest of {ancestors, this
+			// coordinate} is bound.
+			p.loops[resolvedAt].resolve = append(p.loops[resolvedAt].resolve, resolveStep{level: l, cix: cix})
+		}
+	}
+
+	if ss.Alg == schedule.SpMV {
+		p.bSwap = ss.BLayout == schedule.Swapped && p.splits[1] > 1
+		p.cSwap = ss.CLayout == schedule.Swapped && p.splits[0] > 1
+		p.bBlocks = (p.dims[1] + p.splits[1] - 1) / p.splits[1]
+		p.cBlocks = (p.dims[0] + p.splits[0] - 1) / p.splits[0]
+		p.detectFastPath()
+	}
+	return p, nil
+}
+
+// detectFastPath finds the SpMV dense-tail specialization: starting from the
+// deepest loop, skip trivial tails (extent-1 loops with no locates); the loop
+// reached must drive an Uncompressed level with contiguous value positions
+// (every storage level below it is a trivial U), and the level's coordinate
+// must advance the dense vector contiguously (an inner split part, or an
+// outer part with split 1).
+func (p *Plan) detectFastPath() {
+	d := len(p.loops) - 1
+	for d >= 0 {
+		lp := &p.loops[d]
+		if len(lp.resolve) > 0 {
+			return
+		}
+		trivial := false
+		if lp.drives >= 0 {
+			lvl := &p.A.Levels[lp.drives]
+			trivial = lvl.Kind == format.Uncompressed && lvl.Extent == 1
+		} else {
+			trivial = lp.extent == 1
+		}
+		if !trivial {
+			break
+		}
+		d--
+	}
+	if d < 1 { // depth 0 is the parallel loop; keep its chunking exact
+		return
+	}
+	lp := &p.loops[d]
+	if lp.drives < 0 {
+		return
+	}
+	lvl := &p.A.Levels[lp.drives]
+	if lvl.Kind == format.Uncompressed && lvl.Extent <= 1 {
+		return
+	}
+	for l := lp.drives + 1; l < p.nLevels; l++ {
+		if p.A.Levels[l].Kind != format.Uncompressed || p.A.Levels[l].Extent != 1 {
+			return
+		}
+	}
+	flv := p.SS.AFormat.Levels[lp.drives]
+	contiguous := flv.Inner || p.splits[flv.Mode] == 1
+	if !contiguous {
+		return
+	}
+	compressed := lvl.Kind == format.Compressed
+	switch flv.Mode {
+	case 1: // reduction mode: dot product over b
+		if p.bSwap {
+			return
+		}
+		if compressed {
+			p.fastMode = fastKTailC
+		} else {
+			p.fastMode = fastKTail
+		}
+	case 0: // output mode: axpy into c
+		if p.cSwap {
+			return
+		}
+		if compressed {
+			p.fastMode = fastITailC
+		} else {
+			p.fastMode = fastITail
+		}
+	default:
+		return
+	}
+	p.fastDepth = d
+	p.fastInner = flv.Inner
+}
+
+// fastSpMVC executes the compressed-tail specialization: a tight gather dot
+// product or scatter axpy over one segment of the level's crd/vals arrays
+// (compressed levels never contain padding, so only the Uncompressed-derived
+// coordinates need boundary guards).
+func (w *worker) fastSpMVC(lvl *format.StoredLevel, parent int64) {
+	p := w.p
+	lo, hi := lvl.Pos[parent], lvl.Pos[parent+1]
+	if lo >= hi {
+		return
+	}
+	crd := lvl.Crd[lo:hi]
+	vals := p.A.Vals[lo:hi]
+	if p.fastMode == fastKTailC {
+		i := w.coord[0]*p.splits[0] + w.coord[1]
+		if i >= p.dims[0] {
+			return
+		}
+		kBase := int64(0)
+		if p.fastInner {
+			kBase = int64(w.coord[2]) * int64(p.splits[1])
+		}
+		b := w.bVec[kBase:]
+		var acc float32
+		for x, v := range vals {
+			acc += v * b[crd[x]]
+		}
+		ci := int64(i)
+		if p.cSwap {
+			ci = int64(i%p.splits[0])*int64(p.cBlocks) + int64(i/p.splits[0])
+		}
+		w.cVec[ci] += acc
+		return
+	}
+	// fastITailC
+	k := w.coord[2]*p.splits[1] + w.coord[3]
+	if k >= p.dims[1] {
+		return
+	}
+	bi := int64(k)
+	if p.bSwap {
+		bi = int64(k%p.splits[1])*int64(p.bBlocks) + int64(k/p.splits[1])
+	}
+	bk := w.bVec[bi]
+	c := w.cVec
+	iBase := int64(0)
+	if p.fastInner {
+		iBase = int64(w.coord[0]) * int64(p.splits[0])
+	}
+	for x, v := range vals {
+		c[iBase+int64(crd[x])] += v * bk
+	}
+}
+
+// fastSpMV executes the dense-tail specialization for the loop at fastDepth
+// with the given contiguous value base position and level extent.
+func (w *worker) fastSpMV(base int64, extent int32) {
+	p := w.p
+	if p.fastMode == fastKTail {
+		i := w.coord[0]*p.splits[0] + w.coord[1]
+		if i >= p.dims[0] {
+			return
+		}
+		kBase := int64(0)
+		if p.fastInner {
+			kBase = int64(w.coord[2]) * int64(p.splits[1])
+		}
+		ext := int64(extent)
+		if kBase+ext > int64(p.dims[1]) {
+			ext = int64(p.dims[1]) - kBase
+			if ext <= 0 {
+				return
+			}
+		}
+		vals := p.A.Vals[base : base+ext]
+		bseg := w.bVec[kBase : kBase+ext]
+		var acc float32
+		for x, v := range vals {
+			acc += v * bseg[x]
+		}
+		ci := int64(i)
+		if p.cSwap {
+			ci = int64(i%p.splits[0])*int64(p.cBlocks) + int64(i/p.splits[0])
+		}
+		w.cVec[ci] += acc
+		return
+	}
+	// fastITail
+	k := w.coord[2]*p.splits[1] + w.coord[3]
+	if k >= p.dims[1] {
+		return
+	}
+	bi := int64(k)
+	if p.bSwap {
+		bi = int64(k%p.splits[1])*int64(p.bBlocks) + int64(k/p.splits[1])
+	}
+	bk := w.bVec[bi]
+	iBase := int64(0)
+	if p.fastInner {
+		iBase = int64(w.coord[0]) * int64(p.splits[0])
+	}
+	ext := int64(extent)
+	if iBase+ext > int64(p.dims[0]) {
+		ext = int64(p.dims[0]) - iBase
+		if ext <= 0 {
+			return
+		}
+	}
+	vals := p.A.Vals[base : base+ext]
+	cseg := w.cVec[iBase : iBase+ext]
+	for x, v := range vals {
+		cseg[x] += v * bk
+	}
+}
+
+// EstimateWork predicts the loop-nest body visit count of one execution: the
+// product of dense-loop extents and the average fan-out of driven storage
+// levels. A fully concordant plan estimates ~nnz; discordant plans that
+// densely iterate large split extents estimate orders of magnitude more.
+// Callers use it to exclude configurations that would run unboundedly long —
+// the static analog of the paper's >1-minute exclusion rule, needed because
+// a single execution cannot be interrupted once started.
+func (p *Plan) EstimateWork() float64 {
+	work := 1.0
+	for d := range p.loops {
+		lp := &p.loops[d]
+		if lp.drives >= 0 {
+			lvl := &p.A.Levels[lp.drives]
+			parentCount := 1.0
+			if lp.drives > 0 {
+				parentCount = float64(p.A.Levels[lp.drives-1].PosCount)
+			}
+			avg := float64(lvl.PosCount) / parentCount
+			if avg < 1 {
+				avg = 1
+			}
+			work *= avg
+		} else {
+			work *= float64(lp.extent)
+		}
+	}
+	return work
+}
+
+// ErrWorkLimit reports a plan excluded by the work estimate.
+var ErrWorkLimit = errors.New("kernel: estimated work exceeds limit")
+
+// CheckWork returns ErrWorkLimit when the plan's estimated work exceeds
+// maxWork (<= 0 applies DefaultWorkLimit relative to the stored size).
+func (p *Plan) CheckWork(maxWork float64) error {
+	limit := maxWork
+	if limit <= 0 {
+		limit = DefaultWorkLimit(len(p.A.Vals))
+	}
+	if w := p.EstimateWork(); w > limit {
+		return fmt.Errorf("%w: estimated %.3g body visits (limit %.3g)", ErrWorkLimit, w, limit)
+	}
+	return nil
+}
+
+// DefaultWorkLimit allows generous redundancy over the stored entry count
+// before a configuration is considered hopeless (a schedule doing 64x
+// redundant traversal work never wins).
+func DefaultWorkLimit(storedEntries int) float64 {
+	return 2e6 + 64*float64(storedEntries)
+}
+
+func canonIx(v schedule.IVar) int {
+	ix := 2 * v.Mode
+	if v.Inner {
+		ix++
+	}
+	return ix
+}
+
+// worker holds one goroutine's traversal state plus the operand references.
+type worker struct {
+	p     *Plan
+	pos   []int64 // current position per storage level
+	coord []int32 // current coordinate per canonical variable
+
+	// Operands; which fields are set depends on the algorithm.
+	bVec, cVec []float32 // SpMV: input vector, output vector (layout applied)
+	bMat       []float32 // row-major dense operand, rowLen bCols
+	cMat       []float32 // second dense operand (SDDMM: C^T; MTTKRP: C)
+	outMat     []float32 // dense output, row-major
+	outVals    []float32 // SDDMM sparse output values (parallel to A.Vals)
+	denseN     int       // inner dense dimension (row length)
+}
+
+func (p *Plan) newWorker() *worker {
+	return &worker{
+		p:     p,
+		pos:   make([]int64, p.nLevels),
+		coord: make([]int32, p.nLevels),
+	}
+}
+
+// resolveAt performs the locate steps attached to depth d. It reports false
+// when a Compressed locate misses, meaning this coordinate combination has
+// no stored entry.
+func (w *worker) resolveAt(d int) bool {
+	steps := w.p.loops[d].resolve
+	for s := range steps {
+		st := &steps[s]
+		var parent int64
+		if st.level > 0 {
+			parent = w.pos[st.level-1]
+		}
+		lvl := &w.p.A.Levels[st.level]
+		coord := w.coord[st.cix]
+		if lvl.Kind == format.Uncompressed {
+			w.pos[st.level] = parent*int64(lvl.Extent) + int64(coord)
+		} else {
+			q, ok := lvl.LocateC(parent, coord)
+			if !ok {
+				return false
+			}
+			w.pos[st.level] = q
+		}
+	}
+	return true
+}
+
+// exec runs loop depth d and everything below it.
+func (w *worker) exec(d int) {
+	p := w.p
+	lp := &p.loops[d]
+	last := d == len(p.loops)-1
+	if lv := lp.drives; lv >= 0 {
+		level := &p.A.Levels[lv]
+		var parent int64
+		if lv > 0 {
+			parent = w.pos[lv-1]
+		}
+		if level.Kind == format.Uncompressed {
+			base := parent * int64(level.Extent)
+			if p.fastMode != fastNone && d == p.fastDepth {
+				w.fastSpMV(base, level.Extent)
+				return
+			}
+			for x := int32(0); x < level.Extent; x++ {
+				w.coord[lp.cix] = x
+				w.pos[lv] = base + int64(x)
+				if len(lp.resolve) > 0 && !w.resolveAt(d) {
+					continue
+				}
+				if last {
+					w.body()
+				} else {
+					w.exec(d + 1)
+				}
+			}
+		} else {
+			if p.fastMode != fastNone && d == p.fastDepth {
+				w.fastSpMVC(level, parent)
+				return
+			}
+			for q := level.Pos[parent]; q < level.Pos[parent+1]; q++ {
+				w.coord[lp.cix] = level.Crd[q]
+				w.pos[lv] = q
+				if len(lp.resolve) > 0 && !w.resolveAt(d) {
+					continue
+				}
+				if last {
+					w.body()
+				} else {
+					w.exec(d + 1)
+				}
+			}
+		}
+		return
+	}
+	for x := int32(0); x < lp.extent; x++ {
+		w.coord[lp.cix] = x
+		if len(lp.resolve) > 0 && !w.resolveAt(d) {
+			continue
+		}
+		if last {
+			w.body()
+		} else {
+			w.exec(d + 1)
+		}
+	}
+}
+
+// body dispatches the innermost computation. All storage levels are resolved;
+// w.pos[nLevels-1] is the values position.
+func (w *worker) body() {
+	p := w.p
+	switch p.Alg {
+	case schedule.SpMV:
+		i := w.coord[0]*p.splits[0] + w.coord[1]
+		k := w.coord[2]*p.splits[1] + w.coord[3]
+		if i >= p.dims[0] || k >= p.dims[1] {
+			return
+		}
+		v := p.A.Vals[w.pos[p.nLevels-1]]
+		bi, ci := int64(k), int64(i)
+		if p.bSwap {
+			bi = int64(k%p.splits[1])*int64(p.bBlocks) + int64(k/p.splits[1])
+		}
+		if p.cSwap {
+			ci = int64(i%p.splits[0])*int64(p.cBlocks) + int64(i/p.splits[0])
+		}
+		w.cVec[ci] += v * w.bVec[bi]
+
+	case schedule.SpMM:
+		i := w.coord[0]*p.splits[0] + w.coord[1]
+		k := w.coord[2]*p.splits[1] + w.coord[3]
+		if i >= p.dims[0] || k >= p.dims[1] {
+			return
+		}
+		v := p.A.Vals[w.pos[p.nLevels-1]]
+		n := w.denseN
+		br := w.bMat[int(k)*n : int(k)*n+n]
+		cr := w.outMat[int(i)*n : int(i)*n+n]
+		for j := range cr {
+			cr[j] += v * br[j]
+		}
+
+	case schedule.SDDMM:
+		i := w.coord[0]*p.splits[0] + w.coord[1]
+		j := w.coord[2]*p.splits[1] + w.coord[3]
+		if i >= p.dims[0] || j >= p.dims[1] {
+			return
+		}
+		pv := w.pos[p.nLevels-1]
+		a := p.A.Vals[pv]
+		n := w.denseN
+		br := w.bMat[int(i)*n : int(i)*n+n]
+		ct := w.cMat[int(j)*n : int(j)*n+n]
+		var acc float32
+		for q := range br {
+			acc += br[q] * ct[q]
+		}
+		w.outVals[pv] += a * acc
+
+	case schedule.MTTKRP:
+		i := w.coord[0]*p.splits[0] + w.coord[1]
+		k := w.coord[2]*p.splits[1] + w.coord[3]
+		l := w.coord[4]*p.splits[2] + w.coord[5]
+		if i >= p.dims[0] || k >= p.dims[1] || l >= p.dims[2] {
+			return
+		}
+		v := p.A.Vals[w.pos[p.nLevels-1]]
+		n := w.denseN
+		br := w.bMat[int(k)*n : int(k)*n+n]
+		cr := w.cMat[int(l)*n : int(l)*n+n]
+		dr := w.outMat[int(i)*n : int(i)*n+n]
+		for j := range dr {
+			dr[j] += v * br[j] * cr[j]
+		}
+	}
+}

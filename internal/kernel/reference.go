@@ -1,0 +1,65 @@
+package kernel
+
+import (
+	"waco/internal/tensor"
+)
+
+// Reference implementations: straightforward COO-driven computations used as
+// ground truth in tests. They are deliberately schedule-free.
+
+// RefSpMV computes out = A*b directly from coordinates.
+func RefSpMV(a *tensor.COO, b []float32) []float32 {
+	out := make([]float32, a.Dims[0])
+	for p := 0; p < a.NNZ(); p++ {
+		out[a.Coords[0][p]] += a.Vals[p] * b[a.Coords[1][p]]
+	}
+	return out
+}
+
+// RefSpMM computes out = A*b for dense row-major b.
+func RefSpMM(a *tensor.COO, b *tensor.Dense) *tensor.Dense {
+	out := tensor.NewDense(a.Dims[0], b.NumCols)
+	for p := 0; p < a.NNZ(); p++ {
+		i, k := a.Coords[0][p], a.Coords[1][p]
+		v := a.Vals[p]
+		br := b.Row(int(k))
+		or := out.Row(int(i))
+		for j := range or {
+			or[j] += v * br[j]
+		}
+	}
+	return out
+}
+
+// RefSDDMM computes, for each nonzero (i,j) of A, A[i,j] * (B[i,:] . C[:,j]),
+// with C supplied transposed (ct). The result maps "i,j" keys to values.
+func RefSDDMM(a *tensor.COO, b, ct *tensor.Dense) map[[2]int32]float32 {
+	out := make(map[[2]int32]float32, a.NNZ())
+	for p := 0; p < a.NNZ(); p++ {
+		i, j := a.Coords[0][p], a.Coords[1][p]
+		br := b.Row(int(i))
+		cr := ct.Row(int(j))
+		var acc float32
+		for q := range br {
+			acc += br[q] * cr[q]
+		}
+		out[[2]int32{i, j}] = a.Vals[p] * acc
+	}
+	return out
+}
+
+// RefMTTKRP computes out[i,j] = sum_{k,l} A[i,k,l] * b[k,j] * c[l,j].
+func RefMTTKRP(a *tensor.COO, b, c *tensor.Dense) *tensor.Dense {
+	out := tensor.NewDense(a.Dims[0], b.NumCols)
+	for p := 0; p < a.NNZ(); p++ {
+		i, k, l := a.Coords[0][p], a.Coords[1][p], a.Coords[2][p]
+		v := a.Vals[p]
+		br := b.Row(int(k))
+		cr := c.Row(int(l))
+		or := out.Row(int(i))
+		for j := range or {
+			or[j] += v * br[j] * cr[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package kernel
+
+import (
+	"fmt"
+
+	"waco/internal/format"
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+// rootDomain returns the iteration count of the outermost loop.
+func (p *Plan) rootDomain() int64 {
+	lp := &p.loops[0]
+	if lp.drives == 0 {
+		lvl := &p.A.Levels[0]
+		if lvl.Kind == format.Compressed {
+			return lvl.PosCount
+		}
+		return int64(lvl.Extent)
+	}
+	return int64(lp.extent)
+}
+
+// execRoot runs the outermost loop over sub-range [lo, hi) of its domain.
+func (w *worker) execRoot(lo, hi int64) {
+	p := w.p
+	lp := &p.loops[0]
+	last := len(p.loops) == 1
+	if lp.drives == 0 {
+		lvl := &p.A.Levels[0]
+		if lvl.Kind == format.Compressed {
+			for q := lo; q < hi; q++ {
+				w.coord[lp.cix] = lvl.Crd[q]
+				w.pos[0] = q
+				if len(lp.resolve) > 0 && !w.resolveAt(0) {
+					continue
+				}
+				if last {
+					w.body()
+				} else {
+					w.exec(1)
+				}
+			}
+			return
+		}
+		for x := lo; x < hi; x++ {
+			w.coord[lp.cix] = int32(x)
+			w.pos[0] = x
+			if len(lp.resolve) > 0 && !w.resolveAt(0) {
+				continue
+			}
+			if last {
+				w.body()
+			} else {
+				w.exec(1)
+			}
+		}
+		return
+	}
+	for x := lo; x < hi; x++ {
+		w.coord[lp.cix] = int32(x)
+		if len(lp.resolve) > 0 && !w.resolveAt(0) {
+			continue
+		}
+		if last {
+			w.body()
+		} else {
+			w.exec(1)
+		}
+	}
+}
+
+// run executes the plan with the given operand setup applied to each worker.
+func (p *Plan) run(setup func(w *worker)) {
+	n := p.rootDomain()
+	workers := make([]*worker, p.threads)
+	for i := range workers {
+		workers[i] = p.newWorker()
+		setup(workers[i])
+	}
+	ParallelFor(n, p.chunk, p.threads, func(id int, lo, hi int64) {
+		workers[id].execRoot(lo, hi)
+	})
+}
+
+// RunSpMV computes out = A*b. b has length NumCols, out length NumRows.
+// Blocked vector layouts from the SuperSchedule are applied internally
+// (repacking is part of the measured kernel, mirroring the locality cost of
+// a non-canonical dense layout).
+func (p *Plan) RunSpMV(b, out []float32) error {
+	if p.Alg != schedule.SpMV {
+		return fmt.Errorf("kernel: RunSpMV on %v plan", p.Alg)
+	}
+	if len(b) != int(p.dims[1]) || len(out) != int(p.dims[0]) {
+		return fmt.Errorf("kernel: SpMV operand lengths %d/%d, want %d/%d", len(b), len(out), p.dims[1], p.dims[0])
+	}
+	bBuf := b
+	if p.bSwap {
+		bBuf = make([]float32, int64(p.bBlocks)*int64(p.splits[1]))
+		s := int64(p.splits[1])
+		for k := int64(0); k < int64(p.dims[1]); k++ {
+			bBuf[(k%s)*int64(p.bBlocks)+k/s] = b[k]
+		}
+	}
+	cBuf := out
+	if p.cSwap {
+		cBuf = make([]float32, int64(p.cBlocks)*int64(p.splits[0]))
+	} else {
+		for i := range cBuf {
+			cBuf[i] = 0
+		}
+	}
+	p.run(func(w *worker) { w.bVec, w.cVec = bBuf, cBuf })
+	if p.cSwap {
+		s := int64(p.splits[0])
+		for i := int64(0); i < int64(p.dims[0]); i++ {
+			out[i] = cBuf[(i%s)*int64(p.cBlocks)+i/s]
+		}
+	}
+	return nil
+}
+
+// RunSpMM computes out = A*b for dense row-major b (NumCols x N) and out
+// (NumRows x N).
+func (p *Plan) RunSpMM(b, out *tensor.Dense) error {
+	if p.Alg != schedule.SpMM {
+		return fmt.Errorf("kernel: RunSpMM on %v plan", p.Alg)
+	}
+	if b.NumRows != int(p.dims[1]) || out.NumRows != int(p.dims[0]) || b.NumCols != out.NumCols {
+		return fmt.Errorf("kernel: SpMM shapes A=%dx%d b=%dx%d out=%dx%d",
+			p.dims[0], p.dims[1], b.NumRows, b.NumCols, out.NumRows, out.NumCols)
+	}
+	out.Zero()
+	p.run(func(w *worker) { w.bMat, w.outMat, w.denseN = b.Data, out.Data, b.NumCols })
+	return nil
+}
+
+// RunSDDMM computes outVals[p] = A.Vals[p] * (B[i,:] . C[:,j]) for every
+// stored position p of A at coordinates (i, j). b is row-major NumRows x K;
+// ct is C transposed, row-major NumCols x K. outVals must have length
+// len(A.Vals) (the stored positions of the plan's format).
+func (p *Plan) RunSDDMM(b, ct *tensor.Dense, outVals []float32) error {
+	if p.Alg != schedule.SDDMM {
+		return fmt.Errorf("kernel: RunSDDMM on %v plan", p.Alg)
+	}
+	if b.NumRows != int(p.dims[0]) || ct.NumRows != int(p.dims[1]) || b.NumCols != ct.NumCols {
+		return fmt.Errorf("kernel: SDDMM shapes A=%dx%d b=%dx%d ct=%dx%d",
+			p.dims[0], p.dims[1], b.NumRows, b.NumCols, ct.NumRows, ct.NumCols)
+	}
+	if len(outVals) != len(p.A.Vals) {
+		return fmt.Errorf("kernel: SDDMM output length %d, want %d", len(outVals), len(p.A.Vals))
+	}
+	for i := range outVals {
+		outVals[i] = 0
+	}
+	p.run(func(w *worker) { w.bMat, w.cMat, w.outVals, w.denseN = b.Data, ct.Data, outVals, b.NumCols })
+	return nil
+}
+
+// RunMTTKRP computes out[i,j] += A[i,k,l] * b[k,j] * c[l,j] for dense
+// row-major b (dims[1] x J) and c (dims[2] x J), out (dims[0] x J).
+func (p *Plan) RunMTTKRP(b, c, out *tensor.Dense) error {
+	if p.Alg != schedule.MTTKRP {
+		return fmt.Errorf("kernel: RunMTTKRP on %v plan", p.Alg)
+	}
+	if b.NumRows != int(p.dims[1]) || c.NumRows != int(p.dims[2]) || out.NumRows != int(p.dims[0]) ||
+		b.NumCols != out.NumCols || c.NumCols != out.NumCols {
+		return fmt.Errorf("kernel: MTTKRP shapes b=%dx%d c=%dx%d out=%dx%d for A dims %v",
+			b.NumRows, b.NumCols, c.NumRows, c.NumCols, out.NumRows, out.NumCols, p.dims)
+	}
+	out.Zero()
+	p.run(func(w *worker) { w.bMat, w.cMat, w.outMat, w.denseN = b.Data, c.Data, out.Data, b.NumCols })
+	return nil
+}

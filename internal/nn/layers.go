@@ -1,0 +1,197 @@
+package nn
+
+import "math/rand"
+
+// Tape records backward closures during a forward pass. Backward replays
+// them in reverse, accumulating parameter gradients and propagating the
+// input gradient. A nil *Tape runs layers in inference mode.
+type Tape struct {
+	backs []func()
+}
+
+// Push records a backward step.
+func (t *Tape) Push(f func()) {
+	if t != nil {
+		t.backs = append(t.backs, f)
+	}
+}
+
+// Backward replays all recorded steps most-recent-first.
+func (t *Tape) Backward() {
+	for i := len(t.backs) - 1; i >= 0; i-- {
+		t.backs[i]()
+	}
+	t.backs = t.backs[:0]
+}
+
+// Grad is a value with its gradient slot; layers communicate through it so a
+// later layer's backward writes into the upstream gradient buffer.
+type Grad struct {
+	V []float32 // value
+	D []float32 // dLoss/dV, same length
+}
+
+// NewGrad wraps a value with a zeroed gradient slot.
+func NewGrad(v []float32) *Grad { return &Grad{V: v, D: make([]float32, len(v))} }
+
+// Linear is a fully connected layer y = W x + b with W stored row-major
+// (Out x In).
+type Linear struct {
+	In, Out int
+	W, B    *Param
+}
+
+// NewLinear creates a He-initialized linear layer.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{In: in, Out: out, W: NewParam(name+".W", out, in), B: NewParam(name+".B", out, 1)}
+	l.W.InitHe(rng, in)
+	return l
+}
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Apply computes the layer output, recording backward on the tape.
+func (l *Linear) Apply(t *Tape, x *Grad) *Grad {
+	CheckShape("linear input", len(x.V), l.In)
+	y := NewGrad(make([]float32, l.Out))
+	for o := 0; o < l.Out; o++ {
+		row := l.W.W[o*l.In : (o+1)*l.In]
+		acc := l.B.W[o]
+		for i, xi := range x.V {
+			acc += row[i] * xi
+		}
+		y.V[o] = acc
+	}
+	t.Push(func() {
+		for o := 0; o < l.Out; o++ {
+			dy := y.D[o]
+			if dy == 0 {
+				continue
+			}
+			row := l.W.W[o*l.In : (o+1)*l.In]
+			grow := l.W.G[o*l.In : (o+1)*l.In]
+			l.B.G[o] += dy
+			for i, xi := range x.V {
+				grow[i] += dy * xi
+				x.D[i] += dy * row[i]
+			}
+		}
+	})
+	return y
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(t *Tape, x *Grad) *Grad {
+	y := NewGrad(make([]float32, len(x.V)))
+	for i, v := range x.V {
+		if v > 0 {
+			y.V[i] = v
+		}
+	}
+	t.Push(func() {
+		for i, v := range x.V {
+			if v > 0 {
+				x.D[i] += y.D[i]
+			}
+		}
+	})
+	return y
+}
+
+// Concat joins several values into one, splitting the gradient on backward.
+func Concat(t *Tape, xs ...*Grad) *Grad {
+	n := 0
+	for _, x := range xs {
+		n += len(x.V)
+	}
+	y := NewGrad(make([]float32, 0, n))
+	for _, x := range xs {
+		y.V = append(y.V, x.V...)
+	}
+	y.D = make([]float32, n)
+	t.Push(func() {
+		off := 0
+		for _, x := range xs {
+			for i := range x.V {
+				x.D[i] += y.D[off+i]
+			}
+			off += len(x.V)
+		}
+	})
+	return y
+}
+
+// Embedding is a learnable lookup table mapping a categorical choice index
+// to a dense vector (the green boxes of Figure 11).
+type Embedding struct {
+	N, Dim int
+	Table  *Param
+}
+
+// NewEmbedding creates an N-entry table of Dim-dimensional embeddings.
+func NewEmbedding(name string, n, dim int, rng *rand.Rand) *Embedding {
+	e := &Embedding{N: n, Dim: dim, Table: NewParam(name, n, dim)}
+	e.Table.InitUniform(rng, 0.1)
+	return e
+}
+
+// Params returns the trainable table.
+func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
+
+// Apply looks up entry idx.
+func (e *Embedding) Apply(t *Tape, idx int) *Grad {
+	if idx < 0 || idx >= e.N {
+		// Snap out-of-range indexes to the last entry rather than crash:
+		// encodings snap values, but defensive here too.
+		idx = e.N - 1
+	}
+	y := NewGrad(make([]float32, e.Dim))
+	copy(y.V, e.Table.W[idx*e.Dim:(idx+1)*e.Dim])
+	t.Push(func() {
+		g := e.Table.G[idx*e.Dim : (idx+1)*e.Dim]
+		for i := range g {
+			g[i] += y.D[i]
+		}
+	})
+	return y
+}
+
+// MLP is a stack of Linear layers with ReLU between them (none after the
+// last layer).
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP builds an MLP with the given layer widths, e.g. dims = [in, h, out].
+func NewMLP(name string, dims []int, rng *rand.Rand) *MLP {
+	m := &MLP{}
+	for i := 0; i+1 < len(dims); i++ {
+		m.Layers = append(m.Layers, NewLinear(nameIdx(name, i), dims[i], dims[i+1], rng))
+	}
+	return m
+}
+
+func nameIdx(name string, i int) string {
+	return name + "." + string(rune('0'+i))
+}
+
+// Params returns all layer parameters.
+func (m *MLP) Params() []*Param {
+	var out []*Param
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Apply runs the stack.
+func (m *MLP) Apply(t *Tape, x *Grad) *Grad {
+	for i, l := range m.Layers {
+		x = l.Apply(t, x)
+		if i+1 < len(m.Layers) {
+			x = ReLU(t, x)
+		}
+	}
+	return x
+}

@@ -1,0 +1,29 @@
+package nn
+
+// HingeRankLoss is the paper's pairwise ranking objective (§4.1.3):
+//
+//	L = sign(y_slow > y_fast) * max(0, 1 - (yhat_slow - yhat_fast))
+//
+// where y are measured runtimes and yhat predicted costs. Given the
+// predictions for the slower and faster schedule of a pair, it returns the
+// loss and writes the gradients into the predictions' D slots.
+//
+// The cost model is trained to *rank* schedules, not to regress absolute
+// runtimes, so the model only needs the predicted margin to exceed 1.
+func HingeRankLoss(predSlow, predFast *Grad) float32 {
+	margin := predSlow.V[0] - predFast.V[0]
+	if 1-margin <= 0 {
+		return 0
+	}
+	predSlow.D[0] -= 1
+	predFast.D[0] += 1
+	return 1 - margin
+}
+
+// MSELoss is 0.5*(pred-target)^2 with gradient written into pred.D; used by
+// the ranking-vs-regression ablation.
+func MSELoss(pred *Grad, target float32) float32 {
+	d := pred.V[0] - target
+	pred.D[0] += d
+	return 0.5 * d * d
+}

@@ -1,0 +1,259 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericGrad estimates dLoss/dp numerically by central differences.
+func numericGrad(p *Param, i int, loss func() float32) float64 {
+	const h = 1e-3
+	orig := p.W[i]
+	p.W[i] = orig + h
+	lp := float64(loss())
+	p.W[i] = orig - h
+	lm := float64(loss())
+	p.W[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+func TestLinearGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear("l", 4, 3, rng)
+	x := NewGrad([]float32{0.3, -0.7, 1.2, 0.05})
+
+	// Loss = sum of squares of outputs.
+	forward := func(tape *Tape) float32 {
+		y := l.Apply(tape, x)
+		var s float32
+		for i, v := range y.V {
+			s += v * v
+			if tape != nil {
+				y.D[i] = 2 * v
+			}
+		}
+		return s
+	}
+	lossOnly := func() float32 { return forward(nil) }
+
+	var tape Tape
+	forward(&tape)
+	tape.Backward()
+
+	for _, p := range l.Params() {
+		for i := range p.W {
+			want := numericGrad(p, i, lossOnly)
+			got := float64(p.G[i])
+			if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+				t.Fatalf("%s[%d]: analytic %g numeric %g", p.Name, i, got, want)
+			}
+		}
+	}
+	// Input gradient too.
+	for i := range x.V {
+		const h = 1e-3
+		orig := x.V[i]
+		x.V[i] = orig + h
+		lp := float64(lossOnly())
+		x.V[i] = orig - h
+		lm := float64(lossOnly())
+		x.V[i] = orig
+		want := (lp - lm) / (2 * h)
+		if math.Abs(float64(x.D[i])-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Fatalf("x[%d]: analytic %g numeric %g", i, x.D[i], want)
+		}
+	}
+}
+
+func TestMLPGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP("m", []int{5, 7, 1}, rng)
+	x := NewGrad(make([]float32, 5))
+	for i := range x.V {
+		x.V[i] = rng.Float32()*2 - 1
+	}
+	forward := func(tape *Tape) float32 {
+		for i := range x.D {
+			x.D[i] = 0
+		}
+		y := m.Apply(tape, x)
+		if tape != nil {
+			y.D[0] = 1
+		}
+		return y.V[0]
+	}
+	var tape Tape
+	forward(&tape)
+	tape.Backward()
+	for _, p := range m.Params() {
+		for i := 0; i < len(p.W); i += 3 { // sample every third weight
+			want := numericGrad(p, i, func() float32 { return forward(nil) })
+			got := float64(p.G[i])
+			if math.Abs(got-want) > 2e-2*math.Max(1, math.Abs(want)) {
+				t.Fatalf("%s[%d]: analytic %g numeric %g", p.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestEmbeddingGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := NewEmbedding("e", 4, 3, rng)
+	var tape Tape
+	y := e.Apply(&tape, 2)
+	y.D[0], y.D[1], y.D[2] = 1, 2, 3
+	tape.Backward()
+	for i := 0; i < 3; i++ {
+		if e.Table.G[2*3+i] != float32(i+1) {
+			t.Fatalf("gradient row wrong: %v", e.Table.G)
+		}
+	}
+	// Other rows untouched.
+	for i := 0; i < 3; i++ {
+		if e.Table.G[i] != 0 {
+			t.Fatal("gradient leaked to other rows")
+		}
+	}
+	// Out-of-range index snaps instead of panicking.
+	if got := e.Apply(nil, 99); len(got.V) != 3 {
+		t.Fatal("snap lookup failed")
+	}
+}
+
+func TestConcatSplitsGradient(t *testing.T) {
+	a := NewGrad([]float32{1, 2})
+	b := NewGrad([]float32{3})
+	var tape Tape
+	y := Concat(&tape, a, b)
+	if len(y.V) != 3 || y.V[2] != 3 {
+		t.Fatalf("concat value %v", y.V)
+	}
+	y.D[0], y.D[1], y.D[2] = 10, 20, 30
+	tape.Backward()
+	if a.D[0] != 10 || a.D[1] != 20 || b.D[0] != 30 {
+		t.Fatalf("split gradients a=%v b=%v", a.D, b.D)
+	}
+}
+
+func TestReLU(t *testing.T) {
+	x := NewGrad([]float32{-1, 0, 2})
+	var tape Tape
+	y := ReLU(&tape, x)
+	if y.V[0] != 0 || y.V[1] != 0 || y.V[2] != 2 {
+		t.Fatalf("relu %v", y.V)
+	}
+	y.D[0], y.D[1], y.D[2] = 1, 1, 1
+	tape.Backward()
+	if x.D[0] != 0 || x.D[1] != 0 || x.D[2] != 1 {
+		t.Fatalf("relu grad %v", x.D)
+	}
+}
+
+func TestAdamConvergesOnRegression(t *testing.T) {
+	// Fit y = 2x1 - 3x2 + 0.5 with a linear layer.
+	rng := rand.New(rand.NewSource(4))
+	l := NewLinear("fit", 2, 1, rng)
+	opt := NewAdam(0.05, l.Params()...)
+	var lastLoss float32
+	for step := 0; step < 500; step++ {
+		x := NewGrad([]float32{rng.Float32()*2 - 1, rng.Float32()*2 - 1})
+		target := 2*x.V[0] - 3*x.V[1] + 0.5
+		var tape Tape
+		y := l.Apply(&tape, x)
+		lastLoss = MSELoss(y, target)
+		tape.Backward()
+		opt.Step()
+	}
+	if lastLoss > 0.01 {
+		t.Fatalf("regression did not converge: loss %g", lastLoss)
+	}
+	if math.Abs(float64(l.W.W[0]-2)) > 0.2 || math.Abs(float64(l.W.W[1]+3)) > 0.2 {
+		t.Fatalf("weights %v, want ~[2,-3]", l.W.W)
+	}
+}
+
+func TestHingeRankLoss(t *testing.T) {
+	// Correctly ordered with margin > 1: zero loss, zero gradient.
+	slow := NewGrad([]float32{3})
+	fast := NewGrad([]float32{1})
+	if l := HingeRankLoss(slow, fast); l != 0 {
+		t.Fatalf("loss %g, want 0", l)
+	}
+	if slow.D[0] != 0 || fast.D[0] != 0 {
+		t.Fatal("gradient on satisfied pair")
+	}
+	// Misordered: positive loss, gradient pushes slow up and fast down.
+	slow = NewGrad([]float32{0})
+	fast = NewGrad([]float32{2})
+	l := HingeRankLoss(slow, fast)
+	if l != 3 {
+		t.Fatalf("loss %g, want 3", l)
+	}
+	if slow.D[0] != -1 || fast.D[0] != 1 {
+		t.Fatalf("gradients %g %g", slow.D[0], fast.D[0])
+	}
+}
+
+func TestHingeRankLossTrainsOrdering(t *testing.T) {
+	// A 1-layer model must learn to rank inputs by their first feature.
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP("rank", []int{2, 8, 1}, rng)
+	opt := NewAdam(0.01, m.Params()...)
+	sample := func() (*Grad, float32) {
+		x := []float32{rng.Float32(), rng.Float32()}
+		return NewGrad(x), x[0] // runtime = first feature
+	}
+	for step := 0; step < 2000; step++ {
+		a, ya := sample()
+		b, yb := sample()
+		var tape Tape
+		pa := m.Apply(&tape, a)
+		pb := m.Apply(&tape, b)
+		if ya > yb {
+			HingeRankLoss(pa, pb)
+		} else {
+			HingeRankLoss(pb, pa)
+		}
+		tape.Backward()
+		opt.Step()
+	}
+	correct := 0
+	for trial := 0; trial < 200; trial++ {
+		a, ya := sample()
+		b, yb := sample()
+		pa := m.Apply(nil, a)
+		pb := m.Apply(nil, b)
+		if (pa.V[0] > pb.V[0]) == (ya > yb) {
+			correct++
+		}
+	}
+	if correct < 180 {
+		t.Fatalf("ranking accuracy %d/200", correct)
+	}
+}
+
+func TestAdamZeroesGradAfterStep(t *testing.T) {
+	p := NewParam("p", 2, 2)
+	p.G[0] = 5
+	opt := NewAdam(0.1, p)
+	opt.Step()
+	if p.G[0] != 0 {
+		t.Fatal("gradient not cleared")
+	}
+	if p.W[0] == 0 {
+		t.Fatal("weight not updated")
+	}
+	if opt.GradNorm() != 0 {
+		t.Fatal("grad norm nonzero after step")
+	}
+}
+
+func TestCheckShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	CheckShape("x", 3, 4)
+}

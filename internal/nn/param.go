@@ -1,0 +1,122 @@
+// Package nn is a minimal neural-network library sufficient for WACO's cost
+// model: float32 parameters, linear and embedding layers with hand-written
+// backpropagation recorded on a tape, ReLU, Adam, and the pairwise hinge
+// ranking loss of §4.1.3. It is deliberately small — models in this
+// repository are MLPs over concatenated feature vectors plus the sparse
+// convolutional feature extractor in internal/sparseconv, which builds on
+// the same Param/Tape machinery.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is a trainable tensor (matrix or vector) with its gradient
+// accumulator and Adam moment state.
+type Param struct {
+	Name       string
+	Rows, Cols int
+	W          []float32 // row-major data
+	G          []float32 // gradient, accumulated by Backward passes
+	m, v       []float32 // Adam first/second moments
+}
+
+// NewParam allocates a zeroed rows x cols parameter.
+func NewParam(name string, rows, cols int) *Param {
+	n := rows * cols
+	return &Param{
+		Name: name, Rows: rows, Cols: cols,
+		W: make([]float32, n), G: make([]float32, n),
+		m: make([]float32, n), v: make([]float32, n),
+	}
+}
+
+// InitHe fills the parameter with He-normal values scaled by fan-in, the
+// standard initialization for ReLU networks.
+func (p *Param) InitHe(rng *rand.Rand, fanIn int) {
+	std := float32(math.Sqrt(2.0 / float64(maxInt(1, fanIn))))
+	for i := range p.W {
+		p.W[i] = float32(rng.NormFloat64()) * std
+	}
+}
+
+// InitUniform fills with uniform values in [-s, s].
+func (p *Param) InitUniform(rng *rand.Rand, s float64) {
+	for i := range p.W {
+		p.W[i] = float32((rng.Float64()*2 - 1) * s)
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba), the paper's training optimizer
+// (learning rate 1e-4).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+	step                  int
+	params                []*Param
+}
+
+// NewAdam creates an optimizer over the given parameters with standard betas.
+func NewAdam(lr float32, params ...*Param) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+}
+
+// Add registers more parameters.
+func (a *Adam) Add(params ...*Param) { a.params = append(a.params, params...) }
+
+// Params returns the registered parameters.
+func (a *Adam) Params() []*Param { return a.params }
+
+// Step applies one Adam update from the accumulated gradients and zeroes
+// them.
+func (a *Adam) Step() {
+	a.step++
+	b1t := float32(math.Pow(float64(a.Beta1), float64(a.step)))
+	b2t := float32(math.Pow(float64(a.Beta2), float64(a.step)))
+	for _, p := range a.params {
+		for i, g := range p.G {
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mHat := p.m[i] / (1 - b1t)
+			vHat := p.v[i] / (1 - b2t)
+			p.W[i] -= a.LR * mHat / (sqrt32(vHat) + a.Eps)
+			p.G[i] = 0
+		}
+	}
+}
+
+// GradNorm returns the L2 norm of all registered gradients (diagnostics).
+func (a *Adam) GradNorm() float64 {
+	var s float64
+	for _, p := range a.params {
+		for _, g := range p.G {
+			s += float64(g) * float64(g)
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CheckShape panics with a descriptive message if the length does not match
+// the expectation; used at layer boundaries to catch wiring bugs early.
+func CheckShape(what string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("nn: %s length %d, want %d", what, got, want))
+	}
+}

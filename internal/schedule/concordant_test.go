@@ -1,0 +1,80 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"waco/internal/format"
+)
+
+func TestSampleConcordantValidAndConcordant(t *testing.T) {
+	for _, alg := range Algorithms {
+		sp := DefaultSpace(alg)
+		rng := rand.New(rand.NewSource(21))
+		for trial := 0; trial < 100; trial++ {
+			ss := sp.SampleConcordant(rng)
+			if err := ss.Validate(); err != nil {
+				t.Fatalf("%v trial %d: %v", alg, trial, err)
+			}
+			// The traversal must follow the level order, except possibly a
+			// hoisted parallel variable at the front.
+			order := ss.ComputeOrder
+			levels := ss.AFormat.Levels
+			// Find the alignment offset: either fully concordant or the
+			// first var was hoisted.
+			aligned := true
+			for i, v := range order {
+				if levels[i].Mode != v.Mode || levels[i].Inner != v.Inner {
+					aligned = false
+					break
+				}
+			}
+			if aligned {
+				continue
+			}
+			// Hoisted case: order[0] is parallelizable, and the remaining
+			// variables preserve the level order.
+			rest := order[1:]
+			j := 0
+			for _, l := range levels {
+				if l.Mode == order[0].Mode && l.Inner == order[0].Inner {
+					continue
+				}
+				if j >= len(rest) || rest[j].Mode != l.Mode || rest[j].Inner != l.Inner {
+					t.Fatalf("%v trial %d: order %v not concordant with levels %v", alg, trial, order, levels)
+				}
+				j++
+			}
+		}
+	}
+}
+
+func TestBestEffortKeepsSerialForCompressedHoist(t *testing.T) {
+	// CSC's i1 level is Compressed: hoisting would pay a binary search per
+	// iteration, so the schedule must stay serial-concordant.
+	ss := BestEffortSchedule(SpMM, format.CSC(), 8, 32)
+	if ss.Threads != 1 {
+		t.Fatalf("threads %d, want 1", ss.Threads)
+	}
+	for i, l := range ss.AFormat.Levels {
+		v := ss.ComputeOrder[i]
+		if v.Mode != l.Mode || v.Inner != l.Inner {
+			t.Fatal("not concordant")
+		}
+	}
+}
+
+func TestSampleConcordantKeepsLayouts(t *testing.T) {
+	sp := DefaultSpace(SpMV)
+	rng := rand.New(rand.NewSource(22))
+	sawSwapped := false
+	for i := 0; i < 60; i++ {
+		ss := sp.SampleConcordant(rng)
+		if ss.BLayout == Swapped || ss.CLayout == Swapped {
+			sawSwapped = true
+		}
+	}
+	if !sawSwapped {
+		t.Fatal("concordant sampling never produced a swapped vector layout")
+	}
+}

@@ -1,0 +1,112 @@
+package schedule
+
+// Encoded is the embedder-facing encoding of a SuperSchedule (Figure 11 of
+// the paper): every categorical parameter becomes a choice index into a
+// learnable lookup table, and every permutation parameter becomes an explicit
+// permutation (later expanded into a permutation matrix by the embedder).
+type Encoded struct {
+	// Cats[i] indexes into a categorical table of size Space.CatSizes()[i].
+	Cats []int
+	// Perms[i] is a permutation of size Space.PermSizes()[i]: Perms[i][p] is
+	// the canonical index of the variable placed at position p.
+	Perms [][]int
+}
+
+// CatSizes returns the cardinalities of the categorical parameters in
+// encoding order: per-mode split, per-level kind, parallel variable, threads,
+// chunk, and (SpMV only) the two vector layouts.
+func (sp Space) CatSizes() []int {
+	n := sp.Alg.SparseOrder()
+	sizes := make([]int, 0, 3*n+5)
+	for m := 0; m < n; m++ {
+		sizes = append(sizes, len(sp.SplitChoices))
+	}
+	for l := 0; l < 2*n; l++ {
+		sizes = append(sizes, 2)
+	}
+	sizes = append(sizes, 2*n, len(sp.ThreadChoices), len(sp.ChunkChoices))
+	if sp.Alg == SpMV {
+		sizes = append(sizes, 2, 2)
+	}
+	return sizes
+}
+
+// PermSizes returns the sizes of the permutation parameters: the compute
+// loop order and A's level order, both over the 2*order split variables.
+func (sp Space) PermSizes() []int {
+	n := sp.Alg.SparseOrder()
+	return []int{2 * n, 2 * n}
+}
+
+// canonicalIndex maps an IVar to its position in AllIVars order.
+func canonicalIndex(v IVar) int {
+	idx := 2 * v.Mode
+	if v.Inner {
+		idx++
+	}
+	return idx
+}
+
+// Encode converts a SuperSchedule into its categorical/permutation encoding.
+// Parameter values outside the space's choice sets snap to the nearest
+// choice, so hand-built schedules (e.g. baselines) remain encodable.
+func (sp Space) Encode(ss *SuperSchedule) Encoded {
+	n := sp.Alg.SparseOrder()
+	var e Encoded
+	for m := 0; m < n; m++ {
+		e.Cats = append(e.Cats, nearestIndex32(sp.SplitChoices, ss.AFormat.Splits[m]))
+	}
+	// Level kinds in canonical variable order, independent of level order.
+	kinds := make([]int, 2*n)
+	for _, l := range ss.AFormat.Levels {
+		kinds[canonicalIndex(IVar{Mode: l.Mode, Inner: l.Inner})] = int(l.Kind)
+	}
+	e.Cats = append(e.Cats, kinds...)
+	e.Cats = append(e.Cats,
+		canonicalIndex(ss.Parallel),
+		nearestIndexInt(sp.ThreadChoices, ss.Threads),
+		nearestIndexInt(sp.ChunkChoices, ss.Chunk),
+	)
+	if sp.Alg == SpMV {
+		e.Cats = append(e.Cats, int(ss.BLayout), int(ss.CLayout))
+	}
+
+	loop := make([]int, 2*n)
+	for p, v := range ss.ComputeOrder {
+		loop[p] = canonicalIndex(v)
+	}
+	level := make([]int, 2*n)
+	for p, l := range ss.AFormat.Levels {
+		level[p] = canonicalIndex(IVar{Mode: l.Mode, Inner: l.Inner})
+	}
+	e.Perms = [][]int{loop, level}
+	return e
+}
+
+func nearestIndex32(choices []int32, v int32) int {
+	best, bestDiff := 0, int64(1)<<62
+	for i, c := range choices {
+		d := int64(c) - int64(v)
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDiff {
+			best, bestDiff = i, d
+		}
+	}
+	return best
+}
+
+func nearestIndexInt(choices []int, v int) int {
+	best, bestDiff := 0, int(1)<<62
+	for i, c := range choices {
+		d := c - v
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDiff {
+			best, bestDiff = i, d
+		}
+	}
+	return best
+}

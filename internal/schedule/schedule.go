@@ -1,0 +1,229 @@
+// Package schedule defines the SuperSchedule — WACO's unified template that
+// specifies a sparse tensor program's format and schedule together (§4.1.2
+// of the paper). A SuperSchedule fixes, for the sparse operand A:
+//
+//   - the per-mode split sizes (split size 1 collapses a split, so the
+//     template subsumes all less-split algorithms),
+//   - A's storage: level order and per-level U/C formats (the format
+//     schedule),
+//   - the compute schedule: the traversal order of the split iteration
+//     space, which index is parallelized, the worker count, and the
+//     dynamic-scheduling chunk size,
+//   - for SpMV, the blocked layouts of the dense vector operands.
+//
+// The package also defines the search Space (the parameter choice sets of
+// Table 3), uniform sampling with the paper's validity rules, categorical /
+// permutation encoding for the program embedder, and mutation for black-box
+// search baselines.
+package schedule
+
+import (
+	"fmt"
+	"strings"
+
+	"waco/internal/format"
+)
+
+// Algorithm enumerates the four sparse tensor algebra kernels evaluated in
+// the paper.
+type Algorithm uint8
+
+const (
+	// SpMV is C[i] = A[i,k] * B[k].
+	SpMV Algorithm = iota
+	// SpMM is C[i,j] = A[i,k] * B[k,j] with dense row-major B, C.
+	SpMM
+	// SDDMM is D[i,j] = A[i,j] * B[i,k] * C[k,j] with dense row-major B and
+	// column-major C; D shares A's sparsity.
+	SDDMM
+	// MTTKRP is D[i,j] = A[i,k,l] * B[k,j] * C[l,j] with a 3-D sparse A.
+	MTTKRP
+)
+
+// Algorithms lists all supported algorithms in evaluation order.
+var Algorithms = []Algorithm{SpMV, SpMM, SDDMM, MTTKRP}
+
+func (a Algorithm) String() string {
+	switch a {
+	case SpMV:
+		return "SpMV"
+	case SpMM:
+		return "SpMM"
+	case SDDMM:
+		return "SDDMM"
+	case MTTKRP:
+		return "MTTKRP"
+	}
+	return fmt.Sprintf("Algorithm(%d)", uint8(a))
+}
+
+// SparseOrder returns the order of the sparse operand A.
+func (a Algorithm) SparseOrder() int {
+	if a == MTTKRP {
+		return 3
+	}
+	return 2
+}
+
+// ModeNames returns the index-variable names of A's modes.
+func (a Algorithm) ModeNames() []string {
+	switch a {
+	case SDDMM:
+		return []string{"i", "j"}
+	case MTTKRP:
+		return []string{"i", "k", "l"}
+	default:
+		return []string{"i", "k"}
+	}
+}
+
+// ParallelizableModes returns the A-modes whose split index variables may be
+// parallelized without racing on a reduction: the output row modes, plus the
+// column mode for SDDMM (§5.2.1: "it is safe to parallelize both rows and
+// columns of the sparse matrix in SDDMM").
+func (a Algorithm) ParallelizableModes() []int {
+	if a == SDDMM {
+		return []int{0, 1}
+	}
+	return []int{0}
+}
+
+// IVar names one split index variable, e.g. {Mode:0, Inner:false} is i1 and
+// {Mode:1, Inner:true} is k0 for SpMV.
+type IVar struct {
+	Mode  int
+	Inner bool
+}
+
+// NameIn renders the variable with the algorithm's mode names ("i1", "k0").
+func (v IVar) NameIn(a Algorithm) string {
+	part := "1"
+	if v.Inner {
+		part = "0"
+	}
+	return a.ModeNames()[v.Mode] + part
+}
+
+// AllIVars returns the 2*order split index variables in canonical order
+// (i1, i0, k1, k0, ...).
+func AllIVars(a Algorithm) []IVar {
+	n := a.SparseOrder()
+	out := make([]IVar, 0, 2*n)
+	for m := 0; m < n; m++ {
+		out = append(out, IVar{Mode: m}, IVar{Mode: m, Inner: true})
+	}
+	return out
+}
+
+// VecLayout selects the memory layout of a blocked dense vector (SpMV's B
+// and C operands): Canonical keeps element x at flat index x; Swapped stores
+// the outer part innermost (flat = x0*numBlocks + x1), the layout induced by
+// a reversed level order.
+type VecLayout uint8
+
+const (
+	Canonical VecLayout = iota
+	Swapped
+)
+
+func (l VecLayout) String() string {
+	if l == Swapped {
+		return "swapped"
+	}
+	return "canonical"
+}
+
+// SuperSchedule is one point in the joint format x schedule space.
+type SuperSchedule struct {
+	Alg Algorithm
+	// AFormat carries the per-mode splits, A's level order, and A's level
+	// formats — the "format schedule".
+	AFormat format.Format
+	// ComputeOrder is the loop traversal order over all split index
+	// variables; ComputeOrder[0] is the outermost loop.
+	ComputeOrder []IVar
+	// Parallel is the parallelized index variable. The validity rules
+	// require it to be the outermost loop and drawn from the algorithm's
+	// parallelizable modes. Threads == 1 executes serially regardless.
+	Parallel IVar
+	Threads  int
+	// Chunk is the dynamic-scheduling chunk size (in iterations of the
+	// parallel loop), the OpenMP schedule(dynamic, chunk) analog.
+	Chunk int
+	// BLayout/CLayout are the SpMV dense-vector layouts; ignored for other
+	// algorithms.
+	BLayout, CLayout VecLayout
+}
+
+// Splits returns the per-mode split sizes (shared with AFormat).
+func (s *SuperSchedule) Splits() []int32 { return s.AFormat.Splits }
+
+// Validate enforces the template's validity rules.
+func (s *SuperSchedule) Validate() error {
+	n := s.Alg.SparseOrder()
+	if err := s.AFormat.Validate(); err != nil {
+		return err
+	}
+	if s.AFormat.Order() != n {
+		return fmt.Errorf("schedule: format order %d for %v", s.AFormat.Order(), s.Alg)
+	}
+	if len(s.ComputeOrder) != 2*n {
+		return fmt.Errorf("schedule: compute order has %d vars, want %d", len(s.ComputeOrder), 2*n)
+	}
+	seen := make(map[IVar]bool, 2*n)
+	for _, v := range s.ComputeOrder {
+		if v.Mode < 0 || v.Mode >= n {
+			return fmt.Errorf("schedule: compute var mode %d out of range", v.Mode)
+		}
+		if seen[v] {
+			return fmt.Errorf("schedule: duplicate compute var %s", v.NameIn(s.Alg))
+		}
+		seen[v] = true
+	}
+	if s.Threads < 1 {
+		return fmt.Errorf("schedule: %d threads", s.Threads)
+	}
+	if s.Chunk < 1 {
+		return fmt.Errorf("schedule: chunk %d", s.Chunk)
+	}
+	if s.Threads > 1 {
+		if s.ComputeOrder[0] != s.Parallel {
+			return fmt.Errorf("schedule: parallel var %s is not the outermost loop", s.Parallel.NameIn(s.Alg))
+		}
+		ok := false
+		for _, m := range s.Alg.ParallelizableModes() {
+			if s.Parallel.Mode == m {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("schedule: mode of %s is a reduction dimension of %v", s.Parallel.NameIn(s.Alg), s.Alg)
+		}
+	}
+	return nil
+}
+
+// String renders a compact, canonical description usable as a dedup key.
+func (s *SuperSchedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v|fmt=%s|loop=", s.Alg, s.AFormat.StringNamed(s.Alg.ModeNames()))
+	for i, v := range s.ComputeOrder {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(v.NameIn(s.Alg))
+	}
+	fmt.Fprintf(&b, "|par=%s,t=%d,c=%d", s.Parallel.NameIn(s.Alg), s.Threads, s.Chunk)
+	if s.Alg == SpMV {
+		fmt.Fprintf(&b, "|B=%v,C=%v", s.BLayout, s.CLayout)
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy.
+func (s *SuperSchedule) Clone() *SuperSchedule {
+	out := *s
+	out.AFormat = s.AFormat.Clone()
+	out.ComputeOrder = append([]IVar(nil), s.ComputeOrder...)
+	return &out
+}

@@ -1,0 +1,276 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"waco/internal/format"
+)
+
+func TestAlgorithmMetadata(t *testing.T) {
+	cases := []struct {
+		alg   Algorithm
+		order int
+		names []string
+	}{
+		{SpMV, 2, []string{"i", "k"}},
+		{SpMM, 2, []string{"i", "k"}},
+		{SDDMM, 2, []string{"i", "j"}},
+		{MTTKRP, 3, []string{"i", "k", "l"}},
+	}
+	for _, c := range cases {
+		if c.alg.SparseOrder() != c.order {
+			t.Errorf("%v order %d, want %d", c.alg, c.alg.SparseOrder(), c.order)
+		}
+		names := c.alg.ModeNames()
+		for i := range c.names {
+			if names[i] != c.names[i] {
+				t.Errorf("%v names %v, want %v", c.alg, names, c.names)
+			}
+		}
+		if len(AllIVars(c.alg)) != 2*c.order {
+			t.Errorf("%v has %d ivars", c.alg, len(AllIVars(c.alg)))
+		}
+	}
+	if SDDMM.ParallelizableModes()[1] != 1 {
+		t.Error("SDDMM should allow column parallelism")
+	}
+	if len(SpMM.ParallelizableModes()) != 1 {
+		t.Error("SpMM must not allow reduction parallelism")
+	}
+}
+
+func TestSampleIsValid(t *testing.T) {
+	for _, alg := range Algorithms {
+		sp := DefaultSpace(alg)
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 200; trial++ {
+			ss := sp.Sample(rng)
+			if err := ss.Validate(); err != nil {
+				t.Fatalf("%v trial %d: %v\n%s", alg, trial, err, ss)
+			}
+			if ss.ComputeOrder[0] != ss.Parallel {
+				t.Fatalf("%v: parallel var not outermost", alg)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadSchedules(t *testing.T) {
+	ss := DefaultSchedule(SpMM, 4)
+	if err := ss.Validate(); err != nil {
+		t.Fatalf("default schedule invalid: %v", err)
+	}
+
+	bad := ss.Clone()
+	bad.ComputeOrder[0], bad.ComputeOrder[1] = bad.ComputeOrder[1], bad.ComputeOrder[0]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted parallel var not outermost")
+	}
+
+	bad2 := ss.Clone()
+	bad2.Parallel = IVar{Mode: 1} // k is a reduction in SpMM
+	bad2.ComputeOrder = []IVar{{Mode: 1}, {Mode: 0}, {Mode: 0, Inner: true}, {Mode: 1, Inner: true}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("accepted reduction parallelism")
+	}
+
+	bad3 := ss.Clone()
+	bad3.Threads = 0
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("accepted zero threads")
+	}
+
+	bad4 := ss.Clone()
+	bad4.Chunk = 0
+	if err := bad4.Validate(); err == nil {
+		t.Fatal("accepted zero chunk")
+	}
+
+	bad5 := ss.Clone()
+	bad5.ComputeOrder = bad5.ComputeOrder[:3]
+	if err := bad5.Validate(); err == nil {
+		t.Fatal("accepted short compute order")
+	}
+
+	bad6 := ss.Clone()
+	bad6.ComputeOrder[1] = bad6.ComputeOrder[2]
+	if err := bad6.Validate(); err == nil {
+		t.Fatal("accepted duplicate compute var")
+	}
+
+	// Serial schedules may put any variable outermost.
+	serial := ss.Clone()
+	serial.Threads = 1
+	serial.ComputeOrder = []IVar{{Mode: 1}, {Mode: 0}, {Mode: 0, Inner: true}, {Mode: 1, Inner: true}}
+	if err := serial.Validate(); err != nil {
+		t.Fatalf("serial schedule rejected: %v", err)
+	}
+}
+
+func TestDefaultScheduleIsCSRLike(t *testing.T) {
+	ss := DefaultSchedule(SpMV, 2)
+	if !ss.AFormat.Equal(format.CSR()) {
+		t.Fatalf("default SpMV format %v is not CSR", ss.AFormat)
+	}
+	if ss.Chunk != 128 {
+		t.Fatalf("SpMV default chunk %d, want 128", ss.Chunk)
+	}
+	if DefaultSchedule(SpMM, 2).Chunk != 32 {
+		t.Fatal("SpMM default chunk should be 32")
+	}
+	m := DefaultSchedule(MTTKRP, 2)
+	if m.AFormat.Order() != 3 {
+		t.Fatal("MTTKRP default format order")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcordantSchedule(t *testing.T) {
+	// Column-major format: outermost level is the reduction mode k for SpMM,
+	// so the concordant schedule must fall back to serial.
+	ss := ConcordantSchedule(SpMM, format.CSC(), 4, 32)
+	if err := ss.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ss.Threads != 1 {
+		t.Fatalf("CSC concordant SpMM should be serial, got %d threads", ss.Threads)
+	}
+	// Row-major stays parallel.
+	ss2 := ConcordantSchedule(SpMM, format.CSR(), 4, 32)
+	if ss2.Threads != 4 {
+		t.Fatalf("CSR concordant should keep threads, got %d", ss2.Threads)
+	}
+	for l, v := range ss2.ComputeOrder {
+		lv := ss2.AFormat.Levels[l]
+		if v.Mode != lv.Mode || v.Inner != lv.Inner {
+			t.Fatal("concordant order does not follow level order")
+		}
+	}
+}
+
+func TestMutatePreservesValidity(t *testing.T) {
+	for _, alg := range Algorithms {
+		sp := DefaultSpace(alg)
+		rng := rand.New(rand.NewSource(11))
+		ss := sp.Sample(rng)
+		for step := 0; step < 300; step++ {
+			ss = sp.Mutate(rng, ss)
+			if err := ss.Validate(); err != nil {
+				t.Fatalf("%v step %d: %v\n%s", alg, step, err, ss)
+			}
+		}
+	}
+}
+
+func TestMutateDoesNotAliasOriginal(t *testing.T) {
+	sp := DefaultSpace(SpMM)
+	rng := rand.New(rand.NewSource(12))
+	ss := sp.Sample(rng)
+	key := ss.String()
+	for i := 0; i < 50; i++ {
+		sp.Mutate(rng, ss)
+		if ss.String() != key {
+			t.Fatal("Mutate modified the original schedule")
+		}
+	}
+}
+
+func TestEncodeShape(t *testing.T) {
+	for _, alg := range Algorithms {
+		sp := DefaultSpace(alg)
+		rng := rand.New(rand.NewSource(13))
+		ss := sp.Sample(rng)
+		e := sp.Encode(ss)
+		sizes := sp.CatSizes()
+		if len(e.Cats) != len(sizes) {
+			t.Fatalf("%v: %d cats, want %d", alg, len(e.Cats), len(sizes))
+		}
+		for i, c := range e.Cats {
+			if c < 0 || c >= sizes[i] {
+				t.Fatalf("%v: cat %d = %d outside [0,%d)", alg, i, c, sizes[i])
+			}
+		}
+		psizes := sp.PermSizes()
+		if len(e.Perms) != len(psizes) {
+			t.Fatalf("%v: %d perms", alg, len(e.Perms))
+		}
+		for i, p := range e.Perms {
+			if len(p) != psizes[i] {
+				t.Fatalf("%v: perm %d size %d, want %d", alg, i, len(p), psizes[i])
+			}
+			seen := make([]bool, len(p))
+			for _, x := range p {
+				if x < 0 || x >= len(p) || seen[x] {
+					t.Fatalf("%v: perm %d = %v is not a permutation", alg, i, p)
+				}
+				seen[x] = true
+			}
+		}
+	}
+}
+
+func TestEncodeDistinguishesSchedules(t *testing.T) {
+	sp := DefaultSpace(SpMM)
+	rng := rand.New(rand.NewSource(14))
+	a := sp.Sample(rng)
+	b := a.Clone()
+	b.Chunk = a.Chunk*2 + 1
+	ea, eb := sp.Encode(a), sp.Encode(b)
+	same := true
+	for i := range ea.Cats {
+		if ea.Cats[i] != eb.Cats[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different chunk sizes produced identical encodings")
+	}
+}
+
+func TestEncodeSnapsOutOfSpaceValues(t *testing.T) {
+	sp := DefaultSpace(SpMV)
+	ss := DefaultSchedule(SpMV, 999) // threads not in choice set
+	e := sp.Encode(ss)
+	tIdx := sp.Alg.SparseOrder() + 2*sp.Alg.SparseOrder() + 1
+	if got := e.Cats[tIdx]; got != len(sp.ThreadChoices)-1 {
+		t.Fatalf("thread snap index %d, want %d", got, len(sp.ThreadChoices)-1)
+	}
+}
+
+func TestQuickSampleEncodeAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alg := Algorithms[rng.Intn(len(Algorithms))]
+		sp := DefaultSpace(alg)
+		ss := sp.Sample(rng)
+		if ss.Validate() != nil {
+			return false
+		}
+		e := sp.Encode(ss)
+		return len(e.Cats) == len(sp.CatSizes()) && len(e.Perms) == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringIsCanonicalKey(t *testing.T) {
+	sp := DefaultSpace(SpMM)
+	rng := rand.New(rand.NewSource(15))
+	a := sp.Sample(rng)
+	if a.String() != a.Clone().String() {
+		t.Fatal("clone changes key")
+	}
+	b := sp.Sample(rng)
+	if a.String() == b.String() {
+		t.Log("two random samples collided (possible but unlikely); resampling")
+		b = sp.Sample(rng)
+		if a.String() == b.String() {
+			t.Fatal("schedule keys not distinguishing")
+		}
+	}
+}

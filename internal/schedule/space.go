@@ -1,0 +1,261 @@
+package schedule
+
+import (
+	"math/rand"
+
+	"waco/internal/format"
+)
+
+// Space is the set of parameter choices a SuperSchedule is drawn from — the
+// reproduction of Table 3, with the choice sets configurable so reduced-scale
+// runs stay tractable.
+type Space struct {
+	Alg Algorithm
+	// SplitChoices are the candidate inner split sizes (paper: 1..32768 in
+	// powers of two).
+	SplitChoices []int32
+	// ThreadChoices are candidate worker counts (paper: {24, 48}).
+	ThreadChoices []int
+	// ChunkChoices are candidate dynamic chunk sizes (paper: 1..256).
+	ChunkChoices []int
+}
+
+// DefaultSpace returns a reduced-scale space suited to the synthetic corpus:
+// splits to 4096, threads {1, 2, 4, 8}, chunks 1..256 in powers of two.
+func DefaultSpace(alg Algorithm) Space {
+	return Space{
+		Alg:           alg,
+		SplitChoices:  []int32{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096},
+		ThreadChoices: []int{1, 2, 4, 8},
+		ChunkChoices:  []int{1, 2, 4, 8, 16, 32, 64, 128, 256},
+	}
+}
+
+// PaperSpace returns the full Table 3 choice sets.
+func PaperSpace(alg Algorithm) Space {
+	splits := make([]int32, 0, 16)
+	for s := int32(1); s <= 32768; s *= 2 {
+		splits = append(splits, s)
+	}
+	chunks := make([]int, 0, 9)
+	for c := 1; c <= 256; c *= 2 {
+		chunks = append(chunks, c)
+	}
+	return Space{Alg: alg, SplitChoices: splits, ThreadChoices: []int{24, 48}, ChunkChoices: chunks}
+}
+
+// Sample draws one valid SuperSchedule uniformly (up to the validity
+// constraints: the parallelized variable is moved to the outermost loop).
+func (sp Space) Sample(rng *rand.Rand) *SuperSchedule {
+	n := sp.Alg.SparseOrder()
+	ss := &SuperSchedule{Alg: sp.Alg}
+
+	// Format schedule: splits, level order, level kinds.
+	f := format.Format{Splits: make([]int32, n)}
+	for m := 0; m < n; m++ {
+		f.Splits[m] = sp.SplitChoices[rng.Intn(len(sp.SplitChoices))]
+	}
+	f.Levels = make([]format.Level, 0, 2*n)
+	for _, v := range AllIVars(sp.Alg) {
+		f.Levels = append(f.Levels, format.Level{
+			Mode:  v.Mode,
+			Inner: v.Inner,
+			Kind:  format.LevelKind(rng.Intn(2)),
+		})
+	}
+	rng.Shuffle(len(f.Levels), func(a, b int) { f.Levels[a], f.Levels[b] = f.Levels[b], f.Levels[a] })
+	ss.AFormat = f
+
+	// Compute schedule: loop order with the parallel variable outermost.
+	order := AllIVars(sp.Alg)
+	rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+	par := sp.sampleParallelVar(rng)
+	for i, v := range order {
+		if v == par {
+			copy(order[1:i+1], order[:i])
+			order[0] = par
+			break
+		}
+	}
+	ss.ComputeOrder = order
+	ss.Parallel = par
+	ss.Threads = sp.ThreadChoices[rng.Intn(len(sp.ThreadChoices))]
+	ss.Chunk = sp.ChunkChoices[rng.Intn(len(sp.ChunkChoices))]
+	if sp.Alg == SpMV {
+		ss.BLayout = VecLayout(rng.Intn(2))
+		ss.CLayout = VecLayout(rng.Intn(2))
+	}
+	return ss
+}
+
+func (sp Space) sampleParallelVar(rng *rand.Rand) IVar {
+	modes := sp.Alg.ParallelizableModes()
+	return IVar{Mode: modes[rng.Intn(len(modes))], Inner: rng.Intn(2) == 1}
+}
+
+// SampleConcordant draws a random format schedule but pairs it with a
+// traversal concordant with the format's level order (hoisting a
+// parallelizable variable when the root level is a reduction). Dataset
+// collection mixes these in because, at reduced sample budgets, uniformly
+// random loop orders are dominated by heavily discordant configurations,
+// leaving the index without the well-matched schedules TACO users actually
+// run; the paper's 100-samples-per-matrix budget covers them by volume.
+func (sp Space) SampleConcordant(rng *rand.Rand) *SuperSchedule {
+	ss := sp.Sample(rng)
+	out := BestEffortSchedule(sp.Alg, ss.AFormat, ss.Threads, ss.Chunk)
+	out.BLayout, out.CLayout = ss.BLayout, ss.CLayout
+	return out
+}
+
+// Mutate returns a copy of ss with one randomly chosen parameter re-drawn;
+// used by the simulated-annealing and TPE baselines.
+func (sp Space) Mutate(rng *rand.Rand, ss *SuperSchedule) *SuperSchedule {
+	out := ss.Clone()
+	n := sp.Alg.SparseOrder()
+	nKnobs := 8
+	switch rng.Intn(nKnobs) {
+	case 0: // one split size
+		m := rng.Intn(n)
+		out.AFormat.Splits[m] = sp.SplitChoices[rng.Intn(len(sp.SplitChoices))]
+	case 1: // swap two storage levels
+		a, b := rng.Intn(2*n), rng.Intn(2*n)
+		out.AFormat.Levels[a], out.AFormat.Levels[b] = out.AFormat.Levels[b], out.AFormat.Levels[a]
+	case 2: // flip one level kind
+		l := rng.Intn(2 * n)
+		out.AFormat.Levels[l].Kind ^= 1
+	case 3: // swap two non-outermost compute loops
+		if 2*n > 2 {
+			a, b := 1+rng.Intn(2*n-1), 1+rng.Intn(2*n-1)
+			out.ComputeOrder[a], out.ComputeOrder[b] = out.ComputeOrder[b], out.ComputeOrder[a]
+		}
+	case 4: // new parallel variable
+		par := sp.sampleParallelVar(rng)
+		for i, v := range out.ComputeOrder {
+			if v == par {
+				copy(out.ComputeOrder[1:i+1], out.ComputeOrder[:i])
+				out.ComputeOrder[0] = par
+				break
+			}
+		}
+		out.Parallel = par
+	case 5:
+		out.Threads = sp.ThreadChoices[rng.Intn(len(sp.ThreadChoices))]
+	case 6:
+		out.Chunk = sp.ChunkChoices[rng.Intn(len(sp.ChunkChoices))]
+	case 7:
+		if sp.Alg == SpMV {
+			if rng.Intn(2) == 0 {
+				out.BLayout ^= 1
+			} else {
+				out.CLayout ^= 1
+			}
+		}
+	}
+	return out
+}
+
+// DefaultSchedule returns the paper's Fixed CSR baseline configuration: CSR
+// (CSF for MTTKRP) storage with a concordant row-parallel traversal, the
+// given worker count, and the paper's per-algorithm OpenMP chunk sizes
+// (128 for SpMV; 32 for SpMM, SDDMM, MTTKRP).
+func DefaultSchedule(alg Algorithm, threads int) *SuperSchedule {
+	n := alg.SparseOrder()
+	f := format.Format{Splits: make([]int32, n)}
+	for m := range f.Splits {
+		f.Splits[m] = 1
+	}
+	// Outer levels in mode order; mode 0 Uncompressed, deeper modes
+	// Compressed (CSR for matrices, CSF-like for 3-D); trailing inner levels
+	// Uncompressed.
+	for m := 0; m < n; m++ {
+		kind := format.Compressed
+		if m == 0 {
+			kind = format.Uncompressed
+		}
+		f.Levels = append(f.Levels, format.Level{Mode: m, Kind: kind})
+	}
+	for m := 0; m < n; m++ {
+		f.Levels = append(f.Levels, format.Level{Mode: m, Inner: true, Kind: format.Uncompressed})
+	}
+	chunk := 32
+	if alg == SpMV {
+		chunk = 128
+	}
+	order := make([]IVar, 0, 2*n)
+	for m := 0; m < n; m++ {
+		order = append(order, IVar{Mode: m})
+	}
+	for m := 0; m < n; m++ {
+		order = append(order, IVar{Mode: m, Inner: true})
+	}
+	return &SuperSchedule{
+		Alg:          alg,
+		AFormat:      f,
+		ComputeOrder: order,
+		Parallel:     IVar{Mode: 0},
+		Threads:      threads,
+		Chunk:        chunk,
+	}
+}
+
+// BestEffortSchedule returns a schedule that follows the format's level
+// order but hoists a parallelizable variable to the outermost loop when the
+// format's own root level cannot be parallelized (e.g. a column-major format
+// for SpMM, whose root is the reduction dimension). Hoisting makes the
+// traversal discordant at the hoisted variable's level: if that level is
+// Uncompressed the induced locates are cheap arithmetic, but on a Compressed
+// level each iteration would pay a binary search, so the schedule stays
+// concordant and serial instead. This is the schedule policy the format-only
+// baselines use.
+func BestEffortSchedule(alg Algorithm, f format.Format, threads, chunk int) *SuperSchedule {
+	ss := ConcordantSchedule(alg, f, threads, chunk)
+	if ss.Threads == threads {
+		return ss
+	}
+	par := IVar{Mode: alg.ParallelizableModes()[0]}
+	for _, l := range f.Levels {
+		if l.Mode == par.Mode && l.Inner == par.Inner && l.Kind == format.Compressed {
+			return ss // hoisting would binary-search this level per iteration
+		}
+	}
+	order := ss.ComputeOrder
+	for i, v := range order {
+		if v == par {
+			copy(order[1:i+1], order[:i])
+			order[0] = par
+			break
+		}
+	}
+	ss.Parallel = par
+	ss.Threads = threads
+	return ss
+}
+
+// ConcordantSchedule returns a schedule whose traversal order follows the
+// given format's level order (the paper's format-only tuning baseline).
+// When the format's outermost level is not parallelizable the schedule runs
+// serially.
+func ConcordantSchedule(alg Algorithm, f format.Format, threads, chunk int) *SuperSchedule {
+	order := make([]IVar, 0, len(f.Levels))
+	for _, l := range f.Levels {
+		order = append(order, IVar{Mode: l.Mode, Inner: l.Inner})
+	}
+	ss := &SuperSchedule{
+		Alg:          alg,
+		AFormat:      f.Clone(),
+		ComputeOrder: order,
+		Parallel:     order[0],
+		Threads:      threads,
+		Chunk:        chunk,
+	}
+	parallelizable := false
+	for _, m := range alg.ParallelizableModes() {
+		if order[0].Mode == m {
+			parallelizable = true
+		}
+	}
+	if !parallelizable {
+		ss.Threads = 1
+	}
+	return ss
+}

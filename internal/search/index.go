@@ -1,0 +1,108 @@
+// Package search implements WACO's schedule retrieval (§4.2): an index of
+// candidate SuperSchedules whose program embeddings form an HNSW graph built
+// on L2, searched at query time with the cost model's predicted runtime as
+// the distance — plus the black-box baselines of Figure 16 (random search, a
+// simulated-annealing OpenTuner stand-in, and a TPE-style HyperOpt
+// stand-in), all driving the same cost model.
+package search
+
+import (
+	"fmt"
+	"time"
+
+	"waco/internal/costmodel"
+	"waco/internal/hnsw"
+	"waco/internal/nn"
+	"waco/internal/schedule"
+)
+
+// Index holds the candidate SuperSchedules, their frozen program embeddings,
+// and the KNN graph over them (Figure 1-(b)). Because the embeddings are
+// memorized at build time, a query only runs the cost model's final
+// predictor head per candidate — the reason ANNS spends almost all its time
+// in cost evaluation (§5.4).
+type Index struct {
+	Model     *costmodel.Model
+	Schedules []*schedule.SuperSchedule
+	Graph     *hnsw.Graph
+}
+
+// BuildIndex embeds and indexes the given schedules, deduplicating by
+// canonical key. In the paper the index holds the SuperSchedules that
+// appeared in the training dataset.
+func BuildIndex(m *costmodel.Model, schedules []*schedule.SuperSchedule, cfg hnsw.Config) (*Index, error) {
+	ix := &Index{Model: m, Graph: hnsw.New(cfg)}
+	seen := make(map[string]bool, len(schedules))
+	for _, ss := range schedules {
+		key := ss.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		emb := m.Embedder.EmbedSchedule(nil, ss)
+		ix.Graph.Add(emb.V)
+		ix.Schedules = append(ix.Schedules, ss)
+	}
+	if len(ix.Schedules) == 0 {
+		return nil, fmt.Errorf("search: no schedules to index")
+	}
+	return ix, nil
+}
+
+// Candidate is one retrieved schedule with its predicted cost.
+type Candidate struct {
+	SS   *schedule.SuperSchedule
+	Cost float64
+}
+
+// Result is the outcome of one ANNS query, with the §5.4 time breakdown.
+type Result struct {
+	Candidates  []Candidate // ascending by predicted cost
+	Evals       int         // cost-model head evaluations
+	FeatureTime time.Duration
+	SearchTime  time.Duration
+	// EvalTime is the portion of SearchTime spent inside predictor-head
+	// evaluations (the rest is graph traversal bookkeeping).
+	EvalTime time.Duration
+	// Best-so-far predicted cost after each head evaluation.
+	Trace []float64
+}
+
+// Search retrieves the top-k SuperSchedules for the pattern: the sparsity
+// feature is extracted once, then the HNSW graph is traversed with
+// dist(s) = head(feature, embedding(s)).
+func (ix *Index) Search(p *costmodel.Pattern, k, ef int) (*Result, error) {
+	t0 := time.Now()
+	feat, err := ix.Model.Extractor.Extract(nil, p)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{FeatureTime: time.Since(t0)}
+
+	t1 := time.Now()
+	best := inf()
+	dist := func(id int) float64 {
+		e0 := time.Now()
+		emb := nn.NewGrad(ix.Graph.Vector(id))
+		c := float64(ix.Model.PredictWith(nil, feat, emb).V[0])
+		res.EvalTime += time.Since(e0)
+		if c < best {
+			best = c
+		}
+		res.Trace = append(res.Trace, best)
+		return c
+	}
+	ids, evals := ix.Graph.Search(dist, k, ef)
+	res.SearchTime = time.Since(t1)
+	res.Evals = evals
+	for _, id := range ids {
+		emb := nn.NewGrad(ix.Graph.Vector(id))
+		res.Candidates = append(res.Candidates, Candidate{
+			SS:   ix.Schedules[id],
+			Cost: float64(ix.Model.PredictWith(nil, feat, emb).V[0]),
+		})
+	}
+	return res, nil
+}
+
+func inf() float64 { return 1e308 }

@@ -1,0 +1,191 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"waco/internal/costmodel"
+	"waco/internal/generate"
+	"waco/internal/hnsw"
+	"waco/internal/schedule"
+	"waco/internal/sparseconv"
+)
+
+func testModel(t *testing.T) *costmodel.Model {
+	t.Helper()
+	cfg := costmodel.Config{
+		Extractor: costmodel.KindHumanFeature,
+		ConvCfg:   sparseconv.Config{Dim: 2, Channels: 4, Depth: 2, FirstKernel: 3, OutDim: 12},
+		EmbDim:    12,
+		HeadDims:  []int{16},
+		Seed:      1,
+	}
+	m, err := costmodel.New(schedule.DefaultSpace(schedule.SpMM), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func sampleSchedules(n int, seed int64) []*schedule.SuperSchedule {
+	sp := schedule.DefaultSpace(schedule.SpMM)
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*schedule.SuperSchedule, n)
+	for i := range out {
+		out[i] = sp.Sample(rng)
+	}
+	return out
+}
+
+func testPattern(seed int64) *costmodel.Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	return costmodel.NewPattern(generate.Uniform(rng, 64, 64, 400))
+}
+
+func TestBuildIndexDedups(t *testing.T) {
+	m := testModel(t)
+	scheds := sampleSchedules(50, 2)
+	scheds = append(scheds, scheds[0].Clone(), scheds[1].Clone())
+	ix, err := BuildIndex(m, scheds, hnsw.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Schedules) != 50 {
+		t.Fatalf("index holds %d schedules, want 50 after dedup", len(ix.Schedules))
+	}
+	if ix.Graph.Len() != 50 {
+		t.Fatalf("graph holds %d vectors", ix.Graph.Len())
+	}
+}
+
+func TestBuildIndexEmpty(t *testing.T) {
+	if _, err := BuildIndex(testModel(t), nil, hnsw.DefaultConfig()); err == nil {
+		t.Fatal("accepted empty schedule set")
+	}
+}
+
+func TestIndexSearchFindsNearOptimal(t *testing.T) {
+	m := testModel(t)
+	scheds := sampleSchedules(300, 3)
+	ix, err := BuildIndex(m, scheds, hnsw.Config{M: 10, EfConstruction: 60, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPattern(5)
+	res, err := ix.Search(p, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 10 {
+		t.Fatalf("got %d candidates", len(res.Candidates))
+	}
+	for i := 1; i < len(res.Candidates); i++ {
+		if res.Candidates[i-1].Cost > res.Candidates[i].Cost {
+			t.Fatal("candidates not sorted by predicted cost")
+		}
+	}
+	if res.Evals <= 0 || res.Evals >= len(ix.Schedules) {
+		t.Fatalf("evals = %d, want sublinear in %d", res.Evals, len(ix.Schedules))
+	}
+	if res.FeatureTime <= 0 || res.SearchTime <= 0 {
+		t.Fatal("missing time breakdown")
+	}
+	// Compare against exhaustive scan: the retrieved best must rank in the
+	// top 10% of all indexed schedules.
+	ev, err := NewEvaluator(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Candidates[0].Cost
+	rank := 0
+	for _, ss := range ix.Schedules {
+		if ev.Cost(ss) < best-1e-9 {
+			rank++
+		}
+	}
+	if rank > len(ix.Schedules)/10 {
+		t.Fatalf("ANNS best has exhaustive rank %d of %d", rank, len(ix.Schedules))
+	}
+	// Best-so-far trace is monotone nonincreasing.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i] > res.Trace[i-1] {
+			t.Fatal("trace not monotone")
+		}
+	}
+}
+
+func TestStrategiesRespectBudgetAndMonotone(t *testing.T) {
+	m := testModel(t)
+	p := testPattern(6)
+	sp := schedule.DefaultSpace(schedule.SpMM)
+	const budget = 120
+	for _, st := range []Strategy{RandomSearch{}, Annealing{}, TPE{}} {
+		ev, err := NewEvaluator(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := st.Run(ev, sp, budget, 7)
+		if tr.Evals != budget {
+			t.Fatalf("%s: %d evals, want %d", st.Name(), tr.Evals, budget)
+		}
+		if len(tr.Best) != budget {
+			t.Fatalf("%s: trace length %d", st.Name(), len(tr.Best))
+		}
+		for i := 1; i < len(tr.Best); i++ {
+			if tr.Best[i] > tr.Best[i-1] {
+				t.Fatalf("%s: best-so-far increased", st.Name())
+			}
+		}
+		if tr.BestSchedule == nil || math.IsInf(tr.BestCost, 1) {
+			t.Fatalf("%s: no best found", st.Name())
+		}
+		if err := tr.BestSchedule.Validate(); err != nil {
+			t.Fatalf("%s: invalid best schedule: %v", st.Name(), err)
+		}
+		if tr.EvalFraction() <= 0 || tr.EvalFraction() > 1 {
+			t.Fatalf("%s: eval fraction %g", st.Name(), tr.EvalFraction())
+		}
+	}
+}
+
+func TestGuidedStrategiesBeatEarlyRandom(t *testing.T) {
+	// With equal budgets, annealing/TPE should not end up much worse than
+	// random; all three must improve on their own first sample.
+	m := testModel(t)
+	p := testPattern(8)
+	sp := schedule.DefaultSpace(schedule.SpMM)
+	for _, st := range []Strategy{RandomSearch{}, Annealing{}, TPE{}} {
+		ev, _ := NewEvaluator(m, p)
+		tr := st.Run(ev, sp, 200, 9)
+		if !(tr.Best[len(tr.Best)-1] <= tr.Best[0]) {
+			t.Fatalf("%s did not improve over first sample", st.Name())
+		}
+	}
+}
+
+func TestANNSStrategyAdapter(t *testing.T) {
+	m := testModel(t)
+	scheds := sampleSchedules(200, 10)
+	ix, err := BuildIndex(m, scheds, hnsw.Config{M: 8, EfConstruction: 48, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPattern(12)
+	st := ANNSStrategy{Index: ix, P: p, K: 5}
+	tr := st.Run(nil, schedule.Space{}, 200, 0)
+	if tr.Name != "ANNS" {
+		t.Fatal("wrong name")
+	}
+	if tr.BestSchedule == nil {
+		t.Fatal("no best schedule")
+	}
+	if tr.Evals <= 0 {
+		t.Fatal("no evals recorded")
+	}
+	for i := 1; i < len(tr.Best); i++ {
+		if tr.Best[i] > tr.Best[i-1] {
+			t.Fatal("ANNS trace not monotone")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package search
+
+import (
+	"testing"
+	"time"
+
+	"waco/internal/schedule"
+)
+
+func TestEvalFractionEdgeCases(t *testing.T) {
+	tr := &Trace{}
+	if tr.EvalFraction() != 0 {
+		t.Fatal("zero total should give zero fraction")
+	}
+	tr.Total = time.Second
+	tr.EvalTime = 250 * time.Millisecond
+	if f := tr.EvalFraction(); f < 0.24 || f > 0.26 {
+		t.Fatalf("fraction %g", f)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	for _, c := range []struct {
+		s    Strategy
+		want string
+	}{
+		{RandomSearch{}, "Random"},
+		{Annealing{}, "Annealing"},
+		{TPE{}, "TPE"},
+		{ANNSStrategy{}, "ANNS"},
+	} {
+		if c.s.Name() != c.want {
+			t.Fatalf("name %q, want %q", c.s.Name(), c.want)
+		}
+	}
+}
+
+func TestSimilarityCountsMatches(t *testing.T) {
+	sp := schedule.DefaultSpace(schedule.SpMM)
+	ss := schedule.DefaultSchedule(schedule.SpMM, 2)
+	if got := similarity(sp, ss, ss); got != len(sp.CatSizes()) {
+		t.Fatalf("self-similarity %d, want %d", got, len(sp.CatSizes()))
+	}
+	other := ss.Clone()
+	other.Chunk = 256
+	if got := similarity(sp, ss, other); got >= len(sp.CatSizes()) {
+		t.Fatal("different chunk should reduce similarity")
+	}
+}
+
+func TestTPEDefaults(t *testing.T) {
+	// Gamma and NumCands out of range fall back to sane defaults: the run
+	// must still complete and respect the budget.
+	m := testModel(t)
+	p := testPattern(99)
+	ev, err := NewEvaluator(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := TPE{Gamma: 7, NumCands: -1}.Run(ev, schedule.DefaultSpace(schedule.SpMM), 40, 3)
+	if tr.Evals != 40 {
+		t.Fatalf("evals %d", tr.Evals)
+	}
+}
+
+func TestAnnealingRestartPath(t *testing.T) {
+	// A budget above the restart interval (200) exercises the restart
+	// branch.
+	m := testModel(t)
+	p := testPattern(98)
+	ev, err := NewEvaluator(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Annealing{InitTemp: 0.5}.Run(ev, schedule.DefaultSpace(schedule.SpMM), 250, 4)
+	if tr.Evals != 250 || len(tr.Best) != 250 {
+		t.Fatalf("evals %d traces %d", tr.Evals, len(tr.Best))
+	}
+}

@@ -1,0 +1,263 @@
+package sparseconv
+
+import (
+	"math/rand"
+
+	"waco/internal/nn"
+)
+
+// Conv is a sparse convolution layer. With Stride 1 it is a *submanifold*
+// convolution: outputs exist exactly at the input's active sites, so
+// sparsity never dilates as layers stack (Figure 7 of the paper). With
+// Stride 2 it is a strided sparse convolution: output sites are the
+// downsampled images of input sites, which forces the receptive field to
+// grow even when nonzeros sit far apart (Figure 8).
+type Conv struct {
+	Dim, Cin, Cout int
+	Kernel, Stride int // Kernel is odd; Stride is 1 or 2
+	W              *nn.Param
+	B              *nn.Param
+
+	offsets [][]int32 // kernel offset vectors, length nOffsets
+}
+
+// NewConv creates a He-initialized sparse convolution layer.
+func NewConv(name string, dim, cin, cout, kernel, stride int, rng *rand.Rand) *Conv {
+	c := &Conv{Dim: dim, Cin: cin, Cout: cout, Kernel: kernel, Stride: stride}
+	c.offsets = kernelOffsets(dim, kernel)
+	c.W = nn.NewParam(name+".W", len(c.offsets), cout*cin)
+	c.W.InitHe(rng, len(c.offsets)*cin)
+	c.B = nn.NewParam(name+".B", cout, 1)
+	return c
+}
+
+// Params returns the trainable parameters.
+func (c *Conv) Params() []*nn.Param { return []*nn.Param{c.W, c.B} }
+
+// kernelOffsets enumerates {-r..r}^dim in row-major order.
+func kernelOffsets(dim, kernel int) [][]int32 {
+	r := int32(kernel / 2)
+	var out [][]int32
+	cur := make([]int32, dim)
+	var walk func(d int)
+	walk = func(d int) {
+		if d == dim {
+			out = append(out, append([]int32(nil), cur...))
+			return
+		}
+		for x := -r; x <= r; x++ {
+			cur[d] = x
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// pair is one rulebook entry: input site -> output site.
+type pair struct{ in, out int32 }
+
+// Apply runs the convolution, recording backward on the tape. The input's
+// gradient buffer is allocated if a tape is supplied.
+func (c *Conv) Apply(t *nn.Tape, in *SparseMap) *SparseMap {
+	nn.CheckShape("conv input channels", in.C, c.Cin)
+	var out *SparseMap
+	var rulebook [][]pair
+	if c.Stride == 1 {
+		out, rulebook = c.buildSubmanifold(in)
+	} else {
+		out, rulebook = c.buildStrided(in)
+	}
+	out.F = make([]float32, out.NumSites()*c.Cout)
+	// Bias.
+	for s := 0; s < out.NumSites(); s++ {
+		copy(out.F[s*c.Cout:(s+1)*c.Cout], c.B.W)
+	}
+	// Gather-scatter per kernel offset: out[o] += W[off] * in[i].
+	for off, pairs := range rulebook {
+		w := c.W.W[off*c.Cout*c.Cin : (off+1)*c.Cout*c.Cin]
+		for _, pr := range pairs {
+			xi := in.F[int(pr.in)*c.Cin : int(pr.in)*c.Cin+c.Cin]
+			yo := out.F[int(pr.out)*c.Cout : int(pr.out)*c.Cout+c.Cout]
+			for o := 0; o < c.Cout; o++ {
+				row := w[o*c.Cin : o*c.Cin+c.Cin]
+				acc := yo[o]
+				for i, x := range xi {
+					acc += row[i] * x
+				}
+				yo[o] = acc
+			}
+		}
+	}
+	if t != nil {
+		in.EnsureGrad()
+		out.EnsureGrad()
+		t.Push(func() {
+			for s := 0; s < out.NumSites(); s++ {
+				dy := out.D[s*c.Cout : (s+1)*c.Cout]
+				for o, d := range dy {
+					c.B.G[o] += d
+				}
+			}
+			for off, pairs := range rulebook {
+				w := c.W.W[off*c.Cout*c.Cin : (off+1)*c.Cout*c.Cin]
+				gw := c.W.G[off*c.Cout*c.Cin : (off+1)*c.Cout*c.Cin]
+				for _, pr := range pairs {
+					xi := in.F[int(pr.in)*c.Cin : int(pr.in)*c.Cin+c.Cin]
+					dxi := in.D[int(pr.in)*c.Cin : int(pr.in)*c.Cin+c.Cin]
+					dy := out.D[int(pr.out)*c.Cout : int(pr.out)*c.Cout+c.Cout]
+					for o := 0; o < c.Cout; o++ {
+						d := dy[o]
+						if d == 0 {
+							continue
+						}
+						row := w[o*c.Cin : o*c.Cin+c.Cin]
+						grow := gw[o*c.Cin : o*c.Cin+c.Cin]
+						for i, x := range xi {
+							grow[i] += d * x
+							dxi[i] += d * row[i]
+						}
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// buildSubmanifold: output sites = input sites; rulebook[off] pairs each
+// output site with the input neighbor at coordinate(site)+offset, when
+// active.
+func (c *Conv) buildSubmanifold(in *SparseMap) (*SparseMap, [][]pair) {
+	out := newSparseMap(in.Dim, in.Extents, c.Cout, in.NumSites())
+	n := in.NumSites()
+	for s := int32(0); s < int32(n); s++ {
+		out.addSite(in.Site(s))
+	}
+	rulebook := make([][]pair, len(c.offsets))
+	nb := make([]int32, in.Dim)
+	for off, ov := range c.offsets {
+		var pairs []pair
+		for s := int32(0); s < int32(n); s++ {
+			site := in.Site(s)
+			ok := true
+			for d := 0; d < in.Dim; d++ {
+				nb[d] = site[d] + ov[d]
+				if nb[d] < 0 || nb[d] >= in.Extents[d] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if j := in.Lookup(nb); j >= 0 {
+				pairs = append(pairs, pair{in: j, out: s})
+			}
+		}
+		rulebook[off] = pairs
+	}
+	return out, rulebook
+}
+
+// buildStrided: out[o] = sum_delta W[delta] * in[stride*o + delta]; output
+// sites are every o receiving at least one contribution.
+func (c *Conv) buildStrided(in *SparseMap) (*SparseMap, [][]pair) {
+	stride := int32(c.Stride)
+	outExt := make([]int32, in.Dim)
+	for d, e := range in.Extents {
+		outExt[d] = (e + stride - 1) / stride
+		if outExt[d] < 1 {
+			outExt[d] = 1
+		}
+	}
+	out := newSparseMap(in.Dim, outExt, c.Cout, in.NumSites()/2+1)
+	rulebook := make([][]pair, len(c.offsets))
+	oc := make([]int32, in.Dim)
+	for off, ov := range c.offsets {
+		var pairs []pair
+		for s := int32(0); s < int32(in.NumSites()); s++ {
+			site := in.Site(s)
+			ok := true
+			for d := 0; d < in.Dim; d++ {
+				t := site[d] - ov[d]
+				if t < 0 || t%stride != 0 {
+					ok = false
+					break
+				}
+				oc[d] = t / stride
+				if oc[d] >= outExt[d] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			j := out.Lookup(oc)
+			if j < 0 {
+				j = out.addSite(oc)
+			}
+			pairs = append(pairs, pair{in: s, out: j})
+		}
+		rulebook[off] = pairs
+	}
+	return out, rulebook
+}
+
+// ReLUMap applies elementwise ReLU to a sparse map's features.
+func ReLUMap(t *nn.Tape, in *SparseMap) *SparseMap {
+	out := &SparseMap{
+		Dim: in.Dim, Extents: in.Extents, C: in.C,
+		Coords: in.Coords, index: in.index,
+		F: make([]float32, len(in.F)),
+	}
+	for i, v := range in.F {
+		if v > 0 {
+			out.F[i] = v
+		}
+	}
+	if t != nil {
+		in.EnsureGrad()
+		out.EnsureGrad()
+		t.Push(func() {
+			for i, v := range in.F {
+				if v > 0 {
+					in.D[i] += out.D[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// GlobalAvgPool averages features over all sites, returning a C-vector.
+func GlobalAvgPool(t *nn.Tape, in *SparseMap) *nn.Grad {
+	n := in.NumSites()
+	out := nn.NewGrad(make([]float32, in.C))
+	if n == 0 {
+		return out
+	}
+	for s := 0; s < n; s++ {
+		f := in.F[s*in.C : (s+1)*in.C]
+		for c, v := range f {
+			out.V[c] += v
+		}
+	}
+	inv := 1 / float32(n)
+	for c := range out.V {
+		out.V[c] *= inv
+	}
+	if t != nil {
+		in.EnsureGrad()
+		t.Push(func() {
+			for s := 0; s < n; s++ {
+				df := in.D[s*in.C : (s+1)*in.C]
+				for c := range df {
+					df[c] += out.D[c] * inv
+				}
+			}
+		})
+	}
+	return out
+}

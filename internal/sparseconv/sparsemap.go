@@ -1,0 +1,194 @@
+// Package sparseconv implements submanifold and strided sparse convolution
+// (Graham & van der Maaten; Choy et al.) for 2-D and 3-D sparsity patterns,
+// plus the WACONet feature extractor architecture from the WACO paper
+// (Figure 9): a 5x5 stride-1 submanifold layer followed by a stack of 3x3
+// stride-2 convolutions with small channel counts, global average pooling
+// after every strided layer, and concatenation of all intermediate pooled
+// results.
+//
+// A sparse convolution computes outputs only at active (nonzero) sites, so
+// the cost scales with the number of nonzeros rather than the tensor's
+// shape — the property that lets WACO consume the raw sparsity pattern with
+// no downsampling.
+package sparseconv
+
+import (
+	"fmt"
+	"math"
+
+	"waco/internal/tensor"
+)
+
+// SparseMap is a sparse feature map: a set of active coordinate sites each
+// carrying a C-channel feature vector, with an index for O(1) neighbor
+// lookup. F and D (gradients) are site-major: site s's features occupy
+// F[s*C : (s+1)*C].
+type SparseMap struct {
+	Dim     int
+	Extents []int32
+	C       int
+	Coords  []int32 // flat, len n*Dim
+	F       []float32
+	D       []float32
+	index   map[uint64]int32
+}
+
+// NumSites returns the number of active sites.
+func (m *SparseMap) NumSites() int { return len(m.Coords) / max(1, m.Dim) }
+
+// key packs a coordinate tuple into a uint64 (21 bits per dim, supporting
+// extents up to 2^21 — beyond the paper's 131,072-row limit).
+func key(coord []int32) uint64 {
+	var k uint64
+	for _, c := range coord {
+		k = k<<21 | uint64(uint32(c))&0x1FFFFF
+	}
+	return k
+}
+
+// newSparseMap allocates an empty map.
+func newSparseMap(dim int, extents []int32, channels, capacity int) *SparseMap {
+	return &SparseMap{
+		Dim:     dim,
+		Extents: append([]int32(nil), extents...),
+		C:       channels,
+		Coords:  make([]int32, 0, capacity*dim),
+		index:   make(map[uint64]int32, capacity),
+	}
+}
+
+// addSite registers a coordinate (must be new) and returns its site index.
+func (m *SparseMap) addSite(coord []int32) int32 {
+	s := int32(m.NumSites())
+	m.Coords = append(m.Coords, coord...)
+	m.index[key(coord)] = s
+	return s
+}
+
+// Lookup returns the site index at coord, or -1.
+func (m *SparseMap) Lookup(coord []int32) int32 {
+	if s, ok := m.index[key(coord)]; ok {
+		return s
+	}
+	return -1
+}
+
+// Site returns the coordinates of site s (a view into internal storage).
+func (m *SparseMap) Site(s int32) []int32 {
+	return m.Coords[int(s)*m.Dim : int(s)*m.Dim+m.Dim]
+}
+
+// EnsureGrad allocates the gradient buffer for training.
+func (m *SparseMap) EnsureGrad() {
+	if m.D == nil {
+		m.D = make([]float32, len(m.F))
+	}
+}
+
+// ShallowClone returns a copy sharing coordinates and the site index but
+// with fresh feature and gradient buffers, so one immutable conversion can
+// serve many training passes.
+func (m *SparseMap) ShallowClone() *SparseMap {
+	return &SparseMap{
+		Dim:     m.Dim,
+		Extents: m.Extents,
+		C:       m.C,
+		Coords:  m.Coords,
+		F:       append([]float32(nil), m.F...),
+		index:   m.index,
+	}
+}
+
+// FromCOO builds a single-channel sparse map from a sparsity pattern; every
+// stored coordinate becomes an active site with feature 1 (the pattern, not
+// the values, is what WACONet consumes). Duplicate coordinates collapse to
+// one site.
+func FromCOO(c *tensor.COO) (*SparseMap, error) {
+	if c.Order() < 2 || c.Order() > 3 {
+		return nil, fmt.Errorf("sparseconv: order-%d tensor unsupported", c.Order())
+	}
+	for _, d := range c.Dims {
+		if d >= 1<<21 {
+			return nil, fmt.Errorf("sparseconv: extent %d exceeds coordinate packing range", d)
+		}
+	}
+	ext := make([]int32, c.Order())
+	for m, d := range c.Dims {
+		ext[m] = int32(d)
+	}
+	sm := newSparseMap(c.Order(), ext, 1, c.NNZ())
+	coord := make([]int32, c.Order())
+	for p := 0; p < c.NNZ(); p++ {
+		for m := 0; m < c.Order(); m++ {
+			coord[m] = c.Coords[m][p]
+		}
+		if sm.Lookup(coord) < 0 {
+			sm.addSite(coord)
+		}
+	}
+	sm.F = make([]float32, sm.NumSites())
+	for i := range sm.F {
+		sm.F[i] = 1
+	}
+	return sm, nil
+}
+
+// Downsample pools a pattern onto a gridSize^order dense grid, each cell
+// holding log1p of the nonzero count — the downsampled-CNN input of prior
+// work (§3.2.1, DenseConv). Every grid cell is an active site, so a
+// conventional dense CNN is expressible with the same conv layers.
+func Downsample(c *tensor.COO, gridSize int) *SparseMap {
+	order := c.Order()
+	ext := make([]int32, order)
+	for m := range ext {
+		ext[m] = int32(gridSize)
+	}
+	counts := make(map[uint64]float32, c.NNZ())
+	coord := make([]int32, order)
+	for p := 0; p < c.NNZ(); p++ {
+		for m := 0; m < order; m++ {
+			x := int64(c.Coords[m][p]) * int64(gridSize) / int64(c.Dims[m])
+			if x >= int64(gridSize) {
+				x = int64(gridSize) - 1
+			}
+			coord[m] = int32(x)
+		}
+		counts[key(coord)]++
+	}
+	sm := newSparseMap(order, ext, 1, pow(gridSize, order))
+	sm.F = make([]float32, 0, pow(gridSize, order))
+	var walk func(d int)
+	walk = func(d int) {
+		if d == order {
+			sm.addSite(coord)
+			n := counts[key(coord)]
+			sm.F = append(sm.F, log1p32(n))
+			return
+		}
+		for x := int32(0); x < int32(gridSize); x++ {
+			coord[d] = x
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	return sm
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+func log1p32(x float32) float32 {
+	return float32(math.Log1p(float64(x)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+package sparseconv
+
+import (
+	"math/rand"
+
+	"waco/internal/nn"
+)
+
+// Config sizes a WACONet. PaperConfig reproduces Figure 9 exactly; the
+// default is reduced so CPU-only training stays fast. In both cases the
+// architecture is: one 5x5 (3x3x3 for 3-D) stride-1 submanifold convolution,
+// then Depth stride-2 3x3 convolutions with Channels channels each, global
+// average pooling after every strided layer, all pooled vectors concatenated
+// and projected to OutDim by linear-ReLU layers.
+type Config struct {
+	Dim         int // 2 for matrices, 3 for MTTKRP tensors
+	Channels    int
+	Depth       int // number of strided layers
+	FirstKernel int
+	OutDim      int
+}
+
+// DefaultConfig is the reduced-scale network for CPU training.
+func DefaultConfig(dim int) Config {
+	k := 5
+	if dim == 3 {
+		k = 3
+	}
+	return Config{Dim: dim, Channels: 16, Depth: 6, FirstKernel: k, OutDim: 64}
+}
+
+// PaperConfig is the full Figure 9 network: 32 channels, 14 strided layers,
+// 128-d sparsity pattern feature.
+func PaperConfig(dim int) Config {
+	k := 5
+	if dim == 3 {
+		k = 3
+	}
+	return Config{Dim: dim, Channels: 32, Depth: 14, FirstKernel: k, OutDim: 128}
+}
+
+// WACONet is the paper's sparsity-pattern feature extractor.
+type WACONet struct {
+	Cfg   Config
+	First *Conv
+	Convs []*Conv
+	Proj  *nn.MLP
+}
+
+// NewWACONet constructs the network with He initialization.
+func NewWACONet(cfg Config, rng *rand.Rand) *WACONet {
+	w := &WACONet{Cfg: cfg}
+	w.First = NewConv("waconet.first", cfg.Dim, 1, cfg.Channels, cfg.FirstKernel, 1, rng)
+	for i := 0; i < cfg.Depth; i++ {
+		w.Convs = append(w.Convs, NewConv("waconet.conv"+itoa(i), cfg.Dim, cfg.Channels, cfg.Channels, 3, 2, rng))
+	}
+	w.Proj = nn.NewMLP("waconet.proj", []int{cfg.Depth * cfg.Channels, cfg.OutDim, cfg.OutDim}, rng)
+	return w
+}
+
+// Params returns all trainable parameters.
+func (w *WACONet) Params() []*nn.Param {
+	out := w.First.Params()
+	for _, c := range w.Convs {
+		out = append(out, c.Params()...)
+	}
+	return append(out, w.Proj.Params()...)
+}
+
+// Extract produces the OutDim-dimensional sparsity pattern feature.
+func (w *WACONet) Extract(t *nn.Tape, sm *SparseMap) *nn.Grad {
+	x := ReLUMap(t, w.First.Apply(t, sm))
+	pools := make([]*nn.Grad, 0, len(w.Convs))
+	for _, c := range w.Convs {
+		x = ReLUMap(t, c.Apply(t, x))
+		pools = append(pools, GlobalAvgPool(t, x))
+	}
+	return w.Proj.Apply(t, nn.Concat(t, pools...))
+}
+
+// OutDim returns the feature dimensionality.
+func (w *WACONet) OutDim() int { return w.Cfg.OutDim }
+
+// MinkowskiLike is the comparison network of Figure 15: the same sparse
+// convolution machinery but with stride-1 submanifold layers throughout and
+// only the final layer pooled — so when nonzeros are far apart, information
+// cannot propagate between them (Figure 8-(a)).
+type MinkowskiLike struct {
+	Cfg   Config
+	First *Conv
+	Convs []*Conv
+	Proj  *nn.MLP
+}
+
+// NewMinkowskiLike constructs the stride-1 comparison network.
+func NewMinkowskiLike(cfg Config, rng *rand.Rand) *MinkowskiLike {
+	m := &MinkowskiLike{Cfg: cfg}
+	m.First = NewConv("mink.first", cfg.Dim, 1, cfg.Channels, cfg.FirstKernel, 1, rng)
+	for i := 0; i < cfg.Depth; i++ {
+		m.Convs = append(m.Convs, NewConv("mink.conv"+itoa(i), cfg.Dim, cfg.Channels, cfg.Channels, 3, 1, rng))
+	}
+	m.Proj = nn.NewMLP("mink.proj", []int{cfg.Channels, cfg.OutDim, cfg.OutDim}, rng)
+	return m
+}
+
+// Params returns all trainable parameters.
+func (m *MinkowskiLike) Params() []*nn.Param {
+	out := m.First.Params()
+	for _, c := range m.Convs {
+		out = append(out, c.Params()...)
+	}
+	return append(out, m.Proj.Params()...)
+}
+
+// Extract produces the OutDim-dimensional feature from the final layer only.
+func (m *MinkowskiLike) Extract(t *nn.Tape, sm *SparseMap) *nn.Grad {
+	x := ReLUMap(t, m.First.Apply(t, sm))
+	for _, c := range m.Convs {
+		x = ReLUMap(t, c.Apply(t, x))
+	}
+	return m.Proj.Apply(t, GlobalAvgPool(t, x))
+}
+
+// OutDim returns the feature dimensionality.
+func (m *MinkowskiLike) OutDim() int { return m.Cfg.OutDim }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,100 @@
+package tensor
+
+import "fmt"
+
+// CSR is a compressed sparse row matrix: the classic (RowPtr, ColIdx, Vals)
+// triple. Column indices within each row are sorted ascending after
+// COO.ToCSR.
+type CSR struct {
+	NumRows, NumCols int
+	RowPtr           []int32 // length NumRows+1
+	ColIdx           []int32 // length NNZ
+	Vals             []float32
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Vals) }
+
+// Row returns the column indices and values of row r as sub-slices of the
+// matrix's storage (do not modify them structurally).
+func (m *CSR) Row(r int) ([]int32, []float32) {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	return m.ColIdx[lo:hi], m.Vals[lo:hi]
+}
+
+// Validate checks the CSR invariants: monotone row pointers in range and
+// in-range column indices.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.NumRows+1 {
+		return fmt.Errorf("tensor: RowPtr length %d, want %d", len(m.RowPtr), m.NumRows+1)
+	}
+	if m.RowPtr[0] != 0 || int(m.RowPtr[m.NumRows]) != len(m.Vals) {
+		return fmt.Errorf("tensor: RowPtr endpoints [%d,%d], want [0,%d]", m.RowPtr[0], m.RowPtr[m.NumRows], len(m.Vals))
+	}
+	if len(m.ColIdx) != len(m.Vals) {
+		return fmt.Errorf("tensor: %d column indices for %d values", len(m.ColIdx), len(m.Vals))
+	}
+	for r := 0; r < m.NumRows; r++ {
+		if m.RowPtr[r] > m.RowPtr[r+1] {
+			return fmt.Errorf("tensor: RowPtr not monotone at row %d", r)
+		}
+	}
+	for p, cix := range m.ColIdx {
+		if cix < 0 || int(cix) >= m.NumCols {
+			return fmt.Errorf("tensor: nnz %d column %d out of range [0,%d)", p, cix, m.NumCols)
+		}
+	}
+	return nil
+}
+
+// ToCOO converts back to coordinate form (sorted row-major).
+func (m *CSR) ToCOO() *COO {
+	out := NewCOO([]int{m.NumRows, m.NumCols}, m.NNZ())
+	for r := 0; r < m.NumRows; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			out.Append(m.Vals[p], int32(r), m.ColIdx[p])
+		}
+	}
+	return out
+}
+
+// Transpose returns the CSC of the receiver represented as the CSR of its
+// transpose.
+func (m *CSR) Transpose() *CSR {
+	out := &CSR{
+		NumRows: m.NumCols,
+		NumCols: m.NumRows,
+		RowPtr:  make([]int32, m.NumCols+1),
+		ColIdx:  make([]int32, m.NNZ()),
+		Vals:    make([]float32, m.NNZ()),
+	}
+	for _, cix := range m.ColIdx {
+		out.RowPtr[cix+1]++
+	}
+	for c := 0; c < m.NumCols; c++ {
+		out.RowPtr[c+1] += out.RowPtr[c]
+	}
+	next := append([]int32(nil), out.RowPtr[:m.NumCols]...)
+	for r := 0; r < m.NumRows; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			cix := m.ColIdx[p]
+			q := next[cix]
+			next[cix]++
+			out.ColIdx[q] = int32(r)
+			out.Vals[q] = m.Vals[p]
+		}
+	}
+	return out
+}
+
+// SpMV computes y = A*x for this matrix serially. It is the reference kernel
+// used in correctness tests; tuned kernels live in internal/kernel.
+func (m *CSR) SpMV(x, y []float32) {
+	for r := 0; r < m.NumRows; r++ {
+		var acc float32
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			acc += m.Vals[p] * x[m.ColIdx[p]]
+		}
+		y[r] = acc
+	}
+}

@@ -1,0 +1,88 @@
+package tensor
+
+import "fmt"
+
+// Dense is a dense row-major matrix of float32.
+type Dense struct {
+	NumRows, NumCols int
+	Data             []float32 // row-major, length NumRows*NumCols
+}
+
+// NewDense allocates a zeroed NumRows x NumCols dense matrix.
+func NewDense(r, c int) *Dense {
+	return &Dense{NumRows: r, NumCols: c, Data: make([]float32, r*c)}
+}
+
+// At returns element (r, c).
+func (d *Dense) At(r, c int) float32 { return d.Data[r*d.NumCols+c] }
+
+// Set writes element (r, c).
+func (d *Dense) Set(r, c int, v float32) { d.Data[r*d.NumCols+c] = v }
+
+// Row returns row r as a sub-slice of the matrix storage.
+func (d *Dense) Row(r int) []float32 { return d.Data[r*d.NumCols : (r+1)*d.NumCols] }
+
+// Zero sets every element to 0.
+func (d *Dense) Zero() {
+	for i := range d.Data {
+		d.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	return &Dense{NumRows: d.NumRows, NumCols: d.NumCols, Data: append([]float32(nil), d.Data...)}
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between two
+// equally shaped matrices. It panics on shape mismatch.
+func (d *Dense) MaxAbsDiff(o *Dense) float32 {
+	if d.NumRows != o.NumRows || d.NumCols != o.NumCols {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff shape mismatch %dx%d vs %dx%d", d.NumRows, d.NumCols, o.NumRows, o.NumCols))
+	}
+	var m float32
+	for i, v := range d.Data {
+		diff := v - o.Data[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > m {
+			m = diff
+		}
+	}
+	return m
+}
+
+// FillIota fills the matrix with a deterministic, well-conditioned pattern
+// (useful for tests and examples): element (r,c) = small pseudo-random value
+// derived from its position.
+func (d *Dense) FillIota() {
+	for r := 0; r < d.NumRows; r++ {
+		row := d.Row(r)
+		for c := range row {
+			// Cheap position hash mapped into [-0.5, 0.5].
+			h := uint32(r*2654435761) ^ uint32(c*40503)
+			h ^= h >> 13
+			row[c] = float32(h%1024)/1024 - 0.5
+		}
+	}
+}
+
+// VecMaxAbsDiff returns the largest absolute element-wise difference between
+// two equal-length vectors.
+func VecMaxAbsDiff(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: VecMaxAbsDiff length mismatch %d vs %d", len(a), len(b)))
+	}
+	var m float32
+	for i, v := range a {
+		diff := v - b[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > m {
+			m = diff
+		}
+	}
+	return m
+}

@@ -1,0 +1,130 @@
+// Package waco is a Go reproduction of WACO — "Learning Workload-Aware
+// Co-optimization of the Format and Schedule of a Sparse Tensor Program"
+// (Won, Mendis, Emer, Amarasinghe; ASPLOS 2023).
+//
+// WACO auto-tunes sparse tensor programs: given a sparse matrix (or 3-D
+// tensor), it jointly selects the storage format (a TACO-style coordinate
+// hierarchy with Uncompressed/Compressed levels, splits, and level orders)
+// and the schedule (loop order, parallelized index, worker count, dynamic
+// chunk size) that minimize measured runtime. It does so with a learned cost
+// model — a sparse convolutional feature extractor (WACONet) over the raw
+// sparsity pattern plus a SuperSchedule program embedder — and an
+// approximate nearest neighbor search (HNSW) over program embeddings.
+//
+// This package is the public facade; subsystems live in internal packages:
+//
+//	tensor     sparse/dense tensor substrate, Matrix Market I/O
+//	generate   synthetic sparsity-pattern corpus (SuiteSparse substitute)
+//	format     TACO-style format abstraction and assembly
+//	schedule   SuperSchedule template, search space, encoding
+//	kernel     schedule-directed kernel executor (SpMV/SpMM/SDDMM/MTTKRP)
+//	nn         minimal neural network library (float32, Adam, ranking loss)
+//	sparseconv submanifold/strided sparse convolution, WACONet
+//	costmodel  feature extractors + program embedder + runtime predictor
+//	hnsw       hierarchical navigable small world ANNS
+//	search     ANNS schedule retrieval and black-box baselines
+//	baselines  FixedCSR, MKL-like inspector-executor, BestFormat, ASpT
+//	dataset    (matrix, SuperSchedule, runtime) collection pipeline
+//	core       the end-to-end pipeline: Collect -> Train -> Index -> Tune
+//
+// Quick start:
+//
+//	cfg := waco.DefaultConfig(waco.SpMM)
+//	tuner, _, err := waco.Build(waco.Corpus(waco.DefaultCorpusConfig()), cfg)
+//	...
+//	tuned, err := tuner.TuneTensor(myMatrix)
+//	fmt.Println(tuned.Schedule, tuned.KernelSeconds)
+package waco
+
+import (
+	"io"
+
+	"waco/internal/baselines"
+	"waco/internal/core"
+	"waco/internal/dataset"
+	"waco/internal/format"
+	"waco/internal/generate"
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+// Algorithm selects one of the four supported sparse kernels.
+type Algorithm = schedule.Algorithm
+
+// The four algorithms of the paper's evaluation.
+const (
+	SpMV   = schedule.SpMV
+	SpMM   = schedule.SpMM
+	SDDMM  = schedule.SDDMM
+	MTTKRP = schedule.MTTKRP
+)
+
+// Re-exported pipeline types.
+type (
+	// Config parameterizes the end-to-end pipeline.
+	Config = core.Config
+	// Tuner is a trained WACO instance.
+	Tuner = core.Tuner
+	// Tuned is a tuning outcome with kernel/tuning/conversion costs.
+	Tuned = baselines.Tuned
+	// SuperSchedule is the joint format+schedule template point.
+	SuperSchedule = schedule.SuperSchedule
+	// Space is the SuperSchedule search space.
+	Space = schedule.Space
+	// Format is a TACO-style storage format.
+	Format = format.Format
+	// COO is a coordinate-form sparse tensor.
+	COO = tensor.COO
+	// Dense is a dense row-major matrix.
+	Dense = tensor.Dense
+	// Matrix is a named generated pattern.
+	Matrix = generate.Matrix
+	// CorpusConfig bounds a generated matrix population.
+	CorpusConfig = generate.CorpusConfig
+	// Dataset is a collection of measured tuples.
+	Dataset = dataset.Dataset
+	// MachineProfile models the execution machine.
+	MachineProfile = kernel.MachineProfile
+	// Workload bundles a sparse operand with dense operands.
+	Workload = kernel.Workload
+)
+
+// DefaultConfig returns the reduced-scale pipeline configuration.
+func DefaultConfig(alg Algorithm) Config { return core.DefaultConfig(alg) }
+
+// Build collects a dataset on the corpus, trains the cost model, and builds
+// the ANNS index.
+func Build(trainMatrices []Matrix, cfg Config) (*Tuner, *Dataset, error) {
+	return core.Build(trainMatrices, cfg)
+}
+
+// BuildFromDataset trains from pre-collected measurements.
+func BuildFromDataset(ds *Dataset, cfg Config) (*Tuner, error) {
+	return core.BuildFromDataset(ds, cfg)
+}
+
+// Corpus generates a deterministic synthetic matrix population.
+func Corpus(cfg CorpusConfig) []Matrix { return generate.Corpus(cfg) }
+
+// DefaultCorpusConfig is the reduced-scale population config.
+func DefaultCorpusConfig() CorpusConfig { return generate.DefaultCorpusConfig() }
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream.
+func ReadMatrixMarket(r io.Reader) (*COO, error) { return tensor.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket serializes a matrix in MatrixMarket format.
+func WriteMatrixMarket(w io.Writer, c *COO) error { return tensor.WriteMatrixMarket(w, c) }
+
+// NewWorkload prepares operands for measuring schedules on a tensor.
+func NewWorkload(alg Algorithm, coo *COO, denseN int) (*Workload, error) {
+	return kernel.NewWorkload(alg, coo, denseN)
+}
+
+// DefaultSchedule returns the Fixed-CSR baseline schedule for the algorithm.
+func DefaultSchedule(alg Algorithm, threads int) *SuperSchedule {
+	return schedule.DefaultSchedule(alg, threads)
+}
+
+// DefaultProfile uses every available CPU.
+func DefaultProfile() MachineProfile { return kernel.DefaultProfile() }

@@ -1,0 +1,95 @@
+package waco_test
+
+// Integration tests of the public facade: everything a downstream user
+// touches, exercised through the root package only.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"waco"
+)
+
+func randomMatrix(seed int64, rows, cols, nnz int) *waco.COO {
+	rng := rand.New(rand.NewSource(seed))
+	c := &waco.COO{Dims: []int{rows, cols}, Coords: make([][]int32, 2)}
+	for p := 0; p < nnz; p++ {
+		c.Coords[0] = append(c.Coords[0], int32(rng.Intn(rows)))
+		c.Coords[1] = append(c.Coords[1], int32(rng.Intn(cols)))
+		c.Vals = append(c.Vals, rng.Float32())
+	}
+	c.SortRowMajor()
+	c.Dedup()
+	return c
+}
+
+func TestFacadeCorpusAndWorkload(t *testing.T) {
+	cfg := waco.DefaultCorpusConfig()
+	cfg.Count = 4
+	cfg.MaxDim = 128
+	cfg.MaxNNZ = 1500
+	mats := waco.Corpus(cfg)
+	if len(mats) != 4 {
+		t.Fatalf("corpus size %d", len(mats))
+	}
+	wl, err := waco.NewWorkload(waco.SpMM, mats[0].COO, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, bytes, err := wl.MeasureSchedule(waco.DefaultSchedule(waco.SpMM, 2), waco.DefaultProfile(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || bytes <= 0 {
+		t.Fatalf("measurement %v/%d", d, bytes)
+	}
+}
+
+func TestFacadeMatrixMarketRoundTrip(t *testing.T) {
+	m := randomMatrix(1, 30, 40, 150)
+	var buf bytes.Buffer
+	if err := waco.WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := waco.ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != m.NNZ() {
+		t.Fatalf("round trip NNZ %d vs %d", back.NNZ(), m.NNZ())
+	}
+}
+
+func TestFacadeEndToEndPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test in -short mode")
+	}
+	corpus := waco.DefaultCorpusConfig()
+	corpus.Count = 5
+	corpus.MinDim = 64
+	corpus.MaxDim = 160
+	corpus.MaxNNZ = 2000
+	cfg := waco.DefaultConfig(waco.SpMM)
+	cfg.Collect.SchedulesPerMatrix = 8
+	cfg.Collect.Repeats = 1
+	cfg.Collect.DenseN = 8
+	cfg.Train.Epochs = 2
+	tuner, ds, err := waco.Build(waco.Corpus(corpus), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSamples() == 0 {
+		t.Fatal("no samples")
+	}
+	tuned, err := tuner.TuneTensor(randomMatrix(2, 200, 200, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.KernelSeconds <= 0 {
+		t.Fatal("no kernel time")
+	}
+	if err := tuned.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
