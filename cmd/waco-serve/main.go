@@ -1,0 +1,98 @@
+// Command waco-serve runs the WACO auto-tuning service: it loads a sealed
+// tuner artifact (written by waco-train -artifact or waco-tune -artifact)
+// and answers tuning queries over HTTP until interrupted, draining in-flight
+// searches on shutdown.
+//
+// Endpoints:
+//
+//	POST /v1/tune     {"matrix": {...}} or {"matrix_market": "..."} -> best SuperSchedule
+//	POST /v1/predict  same matrix forms + "k"                       -> top-k predicted schedules
+//	GET  /v1/healthz                                                -> liveness
+//	GET  /v1/stats                                                  -> cache/dedup/search counters
+//
+// Usage:
+//
+//	waco-serve -artifact spmm.tuner -addr :8080
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"waco/internal/core"
+	"waco/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("waco-serve: ")
+	artifactPath := flag.String("artifact", "waco.tuner", "sealed tuner artifact file")
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", 1024, "fingerprint cache capacity (entries)")
+	workers := flag.Int("workers", 2, "max concurrent tune/predict searches")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request tuning deadline (0 = none)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight searches")
+	flag.Parse()
+
+	f, err := os.Open(*artifactPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	tuner, err := core.LoadTuner(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	loadSecs := time.Since(t0).Seconds()
+	log.Printf("loaded %v tuner: %d indexed schedules in %.3fs (sealed build took %.3fs, %.0fx faster startup)",
+		tuner.Cfg.Alg, len(tuner.Index.Schedules), loadSecs, tuner.BuildSeconds, speedup(tuner.BuildSeconds, loadSecs))
+
+	srv, err := serve.NewServer(tuner, serve.Options{
+		CacheSize:      *cacheSize,
+		MaxWorkers:     *workers,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("received %v, draining", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(ctx); err != nil {
+		log.Printf("drain: %v (some searches abandoned)", err)
+	}
+	st := srv.Snapshot()
+	log.Printf("served %d tune + %d predict requests (%d searches, %d deduped, %d cache hits)",
+		st.TuneRequests, st.PredictRequests, st.Searches, st.DedupedSearches, st.CacheHits)
+}
+
+func speedup(build, load float64) float64 {
+	if load <= 0 {
+		return 0
+	}
+	return build / load
+}

@@ -1,17 +1,22 @@
 // Command waco-train trains a WACO cost model from a dataset produced by
 // waco-datagen and writes the model (architecture + weights) to a file
-// consumable by waco-tune.
+// consumable by waco-tune. With -artifact it additionally seals a tuner
+// artifact (model + HNSW schedule index + configuration) that waco-serve
+// and waco-tune can load without retraining or re-indexing.
 //
 // Usage:
 //
 //	waco-train -data spmm.dataset -scale default -out spmm.model
+//	waco-train -data spmm.dataset -scale default -out spmm.model -artifact spmm.tuner
 package main
 
 import (
 	"flag"
 	"log"
 	"os"
+	"time"
 
+	"waco/internal/core"
 	"waco/internal/costmodel"
 	"waco/internal/dataset"
 	"waco/internal/experiments"
@@ -23,6 +28,7 @@ func main() {
 	log.SetPrefix("waco-train: ")
 	dataPath := flag.String("data", "waco.dataset", "input dataset file from waco-datagen")
 	out := flag.String("out", "waco.model", "output model file")
+	artifact := flag.String("artifact", "", "also seal a tuner artifact (model + schedule index) to this file")
 	scaleName := flag.String("scale", "quick", "scale preset sizing the network: quick|default|paper")
 	extractor := flag.String("extractor", "", "override feature extractor: waconet|minkowski|denseconv|human")
 	epochs := flag.Int("epochs", 0, "override training epochs")
@@ -57,6 +63,7 @@ func main() {
 	}
 
 	cfg := experiments.PipelineConfigFor(ds.Alg, s, kernel.DefaultProfile())
+	buildStart := time.Now()
 	model, err := costmodel.New(cfg.Collect.Space, cfg.Model)
 	if err != nil {
 		log.Fatal(err)
@@ -80,9 +87,38 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer w.Close()
 	if err := model.Save(w); err != nil {
+		w.Close()
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", *out)
+
+	if *artifact != "" {
+		// Workloads tuned against this artifact must use the dataset's dense
+		// inner dimension, not the scale preset's.
+		cfg.Collect.DenseN = ds.DenseN
+		tuner, err := core.NewTuner(model, ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Record the full offline cost (training + indexing) so cached
+		// startups can report their speedup against it.
+		tuner.BuildSeconds = time.Since(buildStart).Seconds()
+		af, err := os.Create(*artifact)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := core.SaveTuner(af, tuner); err != nil {
+			af.Close()
+			log.Fatal(err)
+		}
+		if err := af.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("sealed tuner artifact %s (%d indexed schedules, built in %.2fs)",
+			*artifact, len(tuner.Index.Schedules), tuner.BuildSeconds)
+	}
 }

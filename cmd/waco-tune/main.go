@@ -1,15 +1,22 @@
 // Command waco-tune co-optimizes the format and schedule of a sparse matrix:
-// it loads a dataset (for the schedule index) and a trained cost model, runs
-// the ANNS retrieval, measures the top-K candidates on this machine, and
-// reports the winner against the Fixed CSR baseline.
+// it loads a trained tuner, runs the ANNS retrieval, measures the top-K
+// candidates on this machine, and reports the winner against the Fixed CSR
+// baseline.
+//
+// Startup takes one of two paths. With -artifact pointing at an existing
+// sealed tuner (from waco-train -artifact or a previous waco-tune run), the
+// tuner is loaded directly — no retraining, no re-embedding, no HNSW
+// rebuild — and the speedup over the original build is printed. Otherwise
+// the tuner is assembled from -data and -model as before, and sealed to
+// -artifact (when given) so the next invocation takes the cached path.
 //
 // The input matrix comes from a MatrixMarket file (-matrix) or a synthetic
 // generator family (-family, -dim, -nnz).
 //
 // Usage:
 //
-//	waco-tune -data spmm.dataset -model spmm.model -matrix web.mtx
-//	waco-tune -data spmm.dataset -model spmm.model -family powerlaw -dim 4096 -nnz 200000
+//	waco-tune -data spmm.dataset -model spmm.model -artifact spmm.tuner -matrix web.mtx
+//	waco-tune -artifact spmm.tuner -family powerlaw -dim 4096 -nnz 200000
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"time"
 
 	"waco/internal/baselines"
 	"waco/internal/core"
@@ -34,6 +42,7 @@ func main() {
 	log.SetPrefix("waco-tune: ")
 	dataPath := flag.String("data", "waco.dataset", "dataset file (provides the schedule index)")
 	modelPath := flag.String("model", "waco.model", "trained cost model file")
+	artifactPath := flag.String("artifact", "", "sealed tuner artifact: loaded if present, sealed after building otherwise")
 	matrixPath := flag.String("matrix", "", "MatrixMarket file to tune (optional)")
 	family := flag.String("family", "powerlaw", "synthetic generator family if no -matrix")
 	dim := flag.Int("dim", 1024, "synthetic matrix dimension")
@@ -43,24 +52,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic generator seed")
 	flag.Parse()
 
-	f, err := os.Open(*dataPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ds, err := dataset.Load(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	mf, err := os.Open(*modelPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	model, err := costmodel.LoadModel(mf)
-	mf.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
+	tuner := loadOrBuildTuner(*artifactPath, *dataPath, *modelPath)
+	tuner.Cfg.TopK = *topK
+	tuner.Cfg.SearchEf = 8 * *topK
+	alg := tuner.Cfg.Alg
 
 	var coo *tensor.COO
 	if *matrixPath != "" {
@@ -77,20 +72,13 @@ func main() {
 		cfg := generate.DefaultCorpusConfig()
 		cfg.MinDim, cfg.MaxDim, cfg.MaxNNZ = *dim, *dim, *nnz
 		coo = generate.FromFamily(rand.New(rand.NewSource(*seed)), *family, cfg)
-		if ds.Alg.SparseOrder() == 3 {
+		if alg.SparseOrder() == 3 {
 			coo = generate.Tensor3D(rand.New(rand.NewSource(*seed+1)), coo, 32, 2)
 		}
 	}
-	log.Printf("tuning %v on a %v-pattern tensor: dims=%v nnz=%d", ds.Alg, *family, coo.Dims, coo.NNZ())
+	log.Printf("tuning %v on a %v-pattern tensor: dims=%v nnz=%d", alg, *family, coo.Dims, coo.NNZ())
 
-	cfg := experiments.PipelineConfigFor(ds.Alg, experiments.ScaleByName("quick"), kernel.DefaultProfile())
-	cfg.TopK = *topK
-	cfg.SearchEf = 8 * *topK
-	tuner, err := core.NewTuner(model, ds, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	wl, err := kernel.NewWorkload(ds.Alg, coo, ds.DenseN)
+	wl, err := kernel.NewWorkload(alg, coo, tuner.Cfg.Collect.DenseN)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,4 +102,70 @@ func main() {
 		amortize := (tuned.TuningSeconds + tuned.ConvertSeconds) / (fixed.KernelSeconds - tuned.KernelSeconds)
 		fmt.Printf("amortizes after   : %.0f kernel invocations\n", amortize)
 	}
+}
+
+// loadOrBuildTuner prefers the sealed artifact; otherwise it assembles the
+// tuner from dataset + model and, when an artifact path was given, seals the
+// result there so subsequent startups are cached.
+func loadOrBuildTuner(artifactPath, dataPath, modelPath string) *core.Tuner {
+	if artifactPath != "" {
+		if f, err := os.Open(artifactPath); err == nil {
+			t0 := time.Now()
+			tuner, err := core.LoadTuner(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("%s: %v", artifactPath, err)
+			}
+			loadSecs := time.Since(t0).Seconds()
+			if loadSecs > 0 && tuner.BuildSeconds > 0 {
+				log.Printf("cached startup: loaded %s in %.3fs vs %.3fs to rebuild (%.0fx faster)",
+					artifactPath, loadSecs, tuner.BuildSeconds, tuner.BuildSeconds/loadSecs)
+			} else {
+				log.Printf("cached startup: loaded %s in %.3fs", artifactPath, loadSecs)
+			}
+			return tuner
+		}
+	}
+
+	f, err := os.Open(dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := costmodel.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := experiments.PipelineConfigFor(ds.Alg, experiments.ScaleByName("quick"), kernel.DefaultProfile())
+	cfg.Collect.DenseN = ds.DenseN
+	tuner, err := core.NewTuner(model, ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("built tuner from %s + %s in %.3fs", dataPath, modelPath, tuner.BuildSeconds)
+
+	if artifactPath != "" {
+		af, err := os.Create(artifactPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := core.SaveTuner(af, tuner); err != nil {
+			af.Close()
+			log.Fatal(err)
+		}
+		if err := af.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("sealed %s for cached startup next run", artifactPath)
+	}
+	return tuner
 }

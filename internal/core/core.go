@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -56,11 +57,19 @@ func DefaultConfig(alg schedule.Algorithm) Config {
 }
 
 // Tuner is a trained WACO instance: cost model plus schedule index.
+//
+// A Tuner is safe for concurrent Tune/TuneContext calls: queries only read
+// the model weights and the index graph (see the concurrency notes on
+// costmodel.Model), and every call builds its own Pattern and Workload.
 type Tuner struct {
 	Cfg        Config
 	Model      *costmodel.Model
 	Index      *search.Index
 	TrainTrace costmodel.TrainResult
+	// BuildSeconds is the wall-clock cost of constructing this tuner
+	// (training and/or index building). It is persisted in sealed artifacts
+	// so the cached startup path can report its speedup.
+	BuildSeconds float64
 }
 
 // Build runs the full offline pipeline on a training corpus.
@@ -76,6 +85,7 @@ func Build(trainMatrices []generate.Matrix, cfg Config) (*Tuner, *dataset.Datase
 // BuildFromDataset trains the cost model and builds the index from an
 // existing dataset (e.g. loaded from disk).
 func BuildFromDataset(ds *dataset.Dataset, cfg Config) (*Tuner, error) {
+	t0 := time.Now()
 	if len(ds.Entries) == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
 	}
@@ -101,13 +111,15 @@ func BuildFromDataset(ds *dataset.Dataset, cfg Config) (*Tuner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tuner{Cfg: cfg, Model: model, Index: ix, TrainTrace: trace}, nil
+	return &Tuner{Cfg: cfg, Model: model, Index: ix, TrainTrace: trace,
+		BuildSeconds: time.Since(t0).Seconds()}, nil
 }
 
 // NewTuner wraps an already trained model with an index built from the
 // dataset's SuperSchedules (no retraining) — used by cmd/waco-tune with a
 // model file produced by cmd/waco-train.
 func NewTuner(model *costmodel.Model, ds *dataset.Dataset, cfg Config) (*Tuner, error) {
+	t0 := time.Now()
 	var scheds []*schedule.SuperSchedule
 	for _, e := range ds.Entries {
 		for _, s := range e.Samples {
@@ -118,7 +130,8 @@ func NewTuner(model *costmodel.Model, ds *dataset.Dataset, cfg Config) (*Tuner, 
 	if err != nil {
 		return nil, err
 	}
-	return &Tuner{Cfg: cfg, Model: model, Index: ix}, nil
+	return &Tuner{Cfg: cfg, Model: model, Index: ix,
+		BuildSeconds: time.Since(t0).Seconds()}, nil
 }
 
 // Name implements baselines.Method.
@@ -132,8 +145,20 @@ func (t *Tuner) Supports(alg schedule.Algorithm) bool { return alg == t.Cfg.Alg 
 // feature extraction, graph search, and candidate measurement; conversion
 // time is the winning format's assembly.
 func (t *Tuner) Tune(wl *kernel.Workload, profile kernel.MachineProfile, cfg baselines.Config) (*baselines.Tuned, error) {
+	return t.TuneContext(context.Background(), wl, profile, cfg)
+}
+
+// TuneContext is Tune with cancellation: the context is checked before the
+// ANNS search and between candidate measurements, so a server can bound a
+// request's tuning time. A single kernel measurement is never interrupted
+// mid-run (the executor has no preemption points), which bounds cancellation
+// latency to one candidate's measurement.
+func (t *Tuner) TuneContext(ctx context.Context, wl *kernel.Workload, profile kernel.MachineProfile, cfg baselines.Config) (*baselines.Tuned, error) {
 	if wl.Alg != t.Cfg.Alg {
 		return nil, fmt.Errorf("core: %v tuner on %v workload", t.Cfg.Alg, wl.Alg)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	pattern := costmodel.NewPattern(wl.COO)
 	k := t.Cfg.TopK
@@ -158,6 +183,9 @@ func (t *Tuner) Tune(wl *kernel.Workload, profile kernel.MachineProfile, cfg bas
 	var bestConvert time.Duration
 	measured := 0
 	for _, cand := range res.Candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t0 := time.Now()
 		plan, err := wl.Compile(cand.SS, profile, cfg.MaxEntries)
 		if err != nil {
@@ -185,6 +213,9 @@ func (t *Tuner) Tune(wl *kernel.Workload, profile kernel.MachineProfile, cfg bas
 	if best == nil {
 		return nil, fmt.Errorf("core: no retrieved candidate assembles under the storage budget")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	plan, err := wl.Compile(best, profile, cfg.MaxEntries)
 	if err != nil {
 		return nil, err
@@ -206,6 +237,11 @@ func (t *Tuner) Tune(wl *kernel.Workload, profile kernel.MachineProfile, cfg bas
 // TuneTensor is the convenience entry point: builds a workload for the
 // tensor and tunes it with default measurement settings.
 func (t *Tuner) TuneTensor(coo *tensor.COO) (*baselines.Tuned, error) {
+	return t.TuneTensorContext(context.Background(), coo)
+}
+
+// TuneTensorContext is TuneTensor with cancellation.
+func (t *Tuner) TuneTensorContext(ctx context.Context, coo *tensor.COO) (*baselines.Tuned, error) {
 	wl, err := kernel.NewWorkload(t.Cfg.Alg, coo, t.Cfg.Collect.DenseN)
 	if err != nil {
 		return nil, err
@@ -214,7 +250,7 @@ func (t *Tuner) TuneTensor(coo *tensor.COO) (*baselines.Tuned, error) {
 	if repeats < 5 {
 		repeats = 5
 	}
-	return t.Tune(wl, t.Cfg.Collect.Profile, baselines.Config{
+	return t.TuneContext(ctx, wl, t.Cfg.Collect.Profile, baselines.Config{
 		Repeats:    repeats,
 		MaxEntries: t.Cfg.Collect.MaxEntries,
 	})

@@ -1,0 +1,75 @@
+package costmodel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"waco/internal/generate"
+	"waco/internal/schedule"
+	"waco/internal/sparseconv"
+	"waco/internal/tensor"
+)
+
+// TestConcurrentInference audits the serving-path contract documented on
+// Model: with a nil tape, concurrent Cost calls on one shared Model (each
+// goroutine holding its own Pattern) are read-only on the weights — run
+// under -race, and checked for determinism against a serial baseline.
+func TestConcurrentInference(t *testing.T) {
+	alg := schedule.SpMM
+	space := schedule.DefaultSpace(alg)
+	m, err := New(space, Config{
+		Extractor: KindWACONet,
+		ConvCfg:   sparseconv.Config{Dim: 2, Channels: 4, Depth: 2, FirstKernel: 3, OutDim: 8},
+		EmbDim:    8,
+		HeadDims:  []int{12},
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	rng := rand.New(rand.NewSource(2))
+	coos := make([]*tensor.COO, goroutines)
+	scheds := make([]*schedule.SuperSchedule, goroutines)
+	want := make([]float64, goroutines)
+	for g := range coos {
+		coos[g] = generate.Uniform(rng, 48, 48, 400)
+		scheds[g] = space.Sample(rng)
+		c, err := m.Cost(NewPattern(coos[g]), scheds[g])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[g] = c
+	}
+
+	var wg sync.WaitGroup
+	got := make([]float64, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Fresh per-goroutine Pattern over the shared model; repeat to
+			// widen the race window.
+			for r := 0; r < 4; r++ {
+				c, err := m.Cost(NewPattern(coos[g]), scheds[g])
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				got[g] = c
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if got[g] != want[g] {
+			t.Fatalf("goroutine %d: concurrent cost %v != serial cost %v", g, got[g], want[g])
+		}
+	}
+}

@@ -17,7 +17,9 @@ import (
 
 // Pattern wraps a sparse tensor with lazily built, cached views consumed by
 // the different extractors, so a matrix converted once can be scored against
-// thousands of schedules.
+// thousands of schedules. The lazy caches make a Pattern single-goroutine:
+// concurrent queries must each wrap their own Pattern (the Model itself is
+// read-only during inference; see Model's doc comment).
 type Pattern struct {
 	COO *tensor.COO
 

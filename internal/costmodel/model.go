@@ -14,6 +14,14 @@ import (
 // Model is WACO's cost model (Figure 6): feature extractor + program
 // embedder + runtime predictor head. Predictions are unitless costs trained
 // only for ranking, not absolute runtime.
+//
+// Concurrency: inference (any Predict/Cost call with a nil *nn.Tape) only
+// reads parameter weights — layers allocate fresh output buffers and a nil
+// tape records no backward closures — so one Model serves concurrent
+// queries safely, which is what internal/serve relies on. Training mutates
+// weights and gradients and must not overlap with inference. A Pattern is
+// NOT safe for concurrent use (it caches converted views lazily); give each
+// goroutine its own.
 type Model struct {
 	Space     schedule.Space
 	Cfg       Config

@@ -1,0 +1,99 @@
+package hnsw
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// persistMagic identifies a serialized HNSW graph; persistVersion is bumped
+// on any incompatible layout change so stale artifacts fail loudly instead
+// of deserializing garbage.
+const (
+	persistMagic   = "WACOHNSW"
+	persistVersion = uint32(1)
+)
+
+// graphDisk is the on-disk mirror of Graph. Links are flattened per node so
+// gob does not pay per-slice overhead on the (node x layer) nesting.
+type graphDisk struct {
+	Cfg    Config
+	Vecs   [][]float32
+	Levels []int32
+	Links  [][][]int32
+	Entry  int
+	Top    int
+}
+
+// Save writes the graph — vectors, every layer's adjacency, and the entry
+// point — in a versioned binary format readable by Load. A loaded graph
+// answers searches identically to the original; the insertion RNG is
+// re-seeded from Cfg.Seed, so subsequent Adds may diverge (sealed artifacts
+// are read-only, which is the intended use).
+func (g *Graph) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, persistMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, persistVersion); err != nil {
+		return err
+	}
+	d := graphDisk{
+		Cfg:    g.cfg,
+		Vecs:   g.vecs,
+		Levels: make([]int32, len(g.nodes)),
+		Links:  make([][][]int32, len(g.nodes)),
+		Entry:  g.entry,
+		Top:    g.top,
+	}
+	for i := range g.nodes {
+		d.Levels[i] = int32(g.nodes[i].level)
+		d.Links[i] = g.nodes[i].links
+	}
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// Load reconstructs a graph written by Save.
+func Load(r io.Reader) (*Graph, error) {
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("hnsw: reading magic: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("hnsw: bad magic %q (not an HNSW graph file)", magic)
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("hnsw: reading version: %w", err)
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("hnsw: format version %d, this build reads %d", version, persistVersion)
+	}
+	var d graphDisk
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("hnsw: decoding graph: %w", err)
+	}
+	if len(d.Levels) != len(d.Vecs) || len(d.Links) != len(d.Vecs) {
+		return nil, fmt.Errorf("hnsw: inconsistent graph: %d vecs, %d levels, %d link sets",
+			len(d.Vecs), len(d.Levels), len(d.Links))
+	}
+	g := New(d.Cfg)
+	g.rng = rand.New(rand.NewSource(d.Cfg.Seed))
+	g.vecs = d.Vecs
+	g.entry = d.Entry
+	g.top = d.Top
+	g.nodes = make([]node, len(d.Vecs))
+	for i := range g.nodes {
+		level := int(d.Levels[i])
+		links := d.Links[i]
+		if len(links) != level+1 {
+			return nil, fmt.Errorf("hnsw: node %d: %d link layers for level %d", i, len(links), level)
+		}
+		g.nodes[i] = node{level: level, links: links}
+	}
+	if len(g.vecs) > 0 && (g.entry < 0 || g.entry >= len(g.vecs)) {
+		return nil, fmt.Errorf("hnsw: entry point %d out of range", g.entry)
+	}
+	return g, nil
+}

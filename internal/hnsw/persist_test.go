@@ -1,0 +1,98 @@
+package hnsw
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vecs := randomVecs(rng, 400, 6)
+	g := New(Config{M: 10, EfConstruction: 48, Seed: 3})
+	for _, v := range vecs {
+		g.Add(v)
+	}
+
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != g.Len() {
+		t.Fatalf("loaded %d vectors, want %d", loaded.Len(), g.Len())
+	}
+
+	// L2 search must be identical: same graph, same traversal, same results.
+	for q := 0; q < 20; q++ {
+		query := randomVecs(rng, 1, 6)[0]
+		a := g.SearchL2(query, 8, 40)
+		b := loaded.SearchL2(query, 8, 40)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: result lengths %d vs %d", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d: result %d differs: %d vs %d", q, i, a[i], b[i])
+			}
+		}
+	}
+
+	// Generic-metric search (the WACO query path) must also be identical,
+	// including the evaluation count.
+	w := randomVecs(rng, 1, 6)[0]
+	cost := func(id int) float64 {
+		var s float64
+		for j, x := range vecs[id] {
+			s += float64(w[j]) * float64(x)
+		}
+		return s
+	}
+	aIDs, aEvals := g.Search(cost, 5, 48)
+	bIDs, bEvals := loaded.Search(cost, 5, 48)
+	if aEvals != bEvals {
+		t.Fatalf("eval counts differ: %d vs %d", aEvals, bEvals)
+	}
+	for i := range aIDs {
+		if aIDs[i] != bIDs[i] {
+			t.Fatalf("generic search result %d differs: %d vs %d", i, aIDs[i], bIDs[i])
+		}
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("accepted empty input")
+	}
+	if _, err := Load(bytes.NewReader([]byte("NOTAGRAPHFILE___"))); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	// Valid magic, wrong version.
+	var buf bytes.Buffer
+	buf.WriteString(persistMagic)
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("accepted bad version")
+	}
+}
+
+func TestSaveLoadEmptyGraph(t *testing.T) {
+	g := New(DefaultConfig())
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 {
+		t.Fatalf("loaded empty graph has %d vectors", loaded.Len())
+	}
+	if ids, _ := loaded.Search(func(int) float64 { return 0 }, 3, 8); ids != nil {
+		t.Fatal("search on loaded empty graph returned results")
+	}
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(8, 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("got %v, %v", v, ok)
+	}
+	c.Put("a", 2)
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatal("Put did not refresh existing key")
+	}
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(2, 1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a") // a is now most recently used
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("new entry c missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+}
+
+func TestCacheSharding(t *testing.T) {
+	c := NewCache(256, 16)
+	if len(c.shards) != 16 {
+		t.Fatalf("%d shards, want 16", len(c.shards))
+	}
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	for i := 0; i < 200; i++ {
+		if v, ok := c.Get(fmt.Sprintf("key-%d", i)); !ok || v.(int) != i {
+			t.Fatalf("key-%d: got %v, %v", i, v, ok)
+		}
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(128, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%64)
+				c.Put(key, i)
+				c.Get(key)
+				c.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestFlightGroupDedups(t *testing.T) {
+	g := newFlightGroup()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	const dups = 5
+
+	var wg sync.WaitGroup
+	results := make([]any, dups+1)
+	shareds := make([]bool, dups+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _, shared := g.Do("k", func() (any, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+		results[0], shareds[0] = v, shared
+	}()
+	<-started // the owner is inside fn; joiners must share its flight
+	for i := 1; i <= dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, shared := g.Do("k", func() (any, error) { return -1, nil })
+			results[i], shareds[i] = v, shared
+		}(i)
+	}
+	// Joiners need to reach Do before release; poll the group's map.
+	for {
+		g.mu.Lock()
+		c, ok := g.m["k"]
+		n := 0
+		if ok {
+			n = c.dups
+		}
+		g.mu.Unlock()
+		if n == dups {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if shareds[0] {
+		t.Fatal("owner reported shared")
+	}
+	for i := 0; i <= dups; i++ {
+		if results[i].(int) != 42 {
+			t.Fatalf("caller %d got %v, want 42", i, results[i])
+		}
+		if i > 0 && !shareds[i] {
+			t.Fatalf("duplicate caller %d did not share the flight", i)
+		}
+	}
+
+	// The key is forgotten after completion: a fresh call runs its own fn.
+	v, _, shared := g.Do("k", func() (any, error) { return 7, nil })
+	if shared || v.(int) != 7 {
+		t.Fatalf("post-completion call: v=%v shared=%v", v, shared)
+	}
+}

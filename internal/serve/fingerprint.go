@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"waco/internal/tensor"
+)
+
+// Fingerprint returns a stable hex digest of a tensor's sparsity pattern:
+// its dimensions and the set of stored coordinates, independent of the order
+// the coordinates were appended in and of the stored values (WACO tunes the
+// pattern, not the values). Two tensors with the same fingerprint get the
+// same SuperSchedule, which is what makes the request cache sound.
+func Fingerprint(c *tensor.COO) string {
+	order := c.Order()
+	nnz := c.NNZ()
+
+	// Canonical point order (row-major over all modes) via an index
+	// permutation, leaving the caller's COO untouched.
+	perm := make([]int32, nnz)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		pa, pb := perm[a], perm[b]
+		for m := 0; m < order; m++ {
+			ca, cb := c.Coords[m][pa], c.Coords[m][pb]
+			if ca != cb {
+				return ca < cb
+			}
+		}
+		return false
+	})
+
+	h := sha256.New()
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], uint64(order))
+	h.Write(scratch[:])
+	for _, d := range c.Dims {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(d))
+		h.Write(scratch[:])
+	}
+	// Buffer coordinate tuples to limit Write-call overhead on large nnz.
+	buf := make([]byte, 0, 4096)
+	var prev int32 = -1
+	for _, p := range perm {
+		// Skip duplicate coordinates: the pattern is a set.
+		if prev >= 0 && samePoint(c, prev, p) {
+			continue
+		}
+		prev = p
+		for m := 0; m < order; m++ {
+			var cb [4]byte
+			binary.LittleEndian.PutUint32(cb[:], uint32(c.Coords[m][p]))
+			buf = append(buf, cb[:]...)
+		}
+		if len(buf) >= 4096-4*order {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	h.Write(buf)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func samePoint(c *tensor.COO, a, b int32) bool {
+	for m := 0; m < c.Order(); m++ {
+		if c.Coords[m][a] != c.Coords[m][b] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"waco/internal/generate"
+	"waco/internal/tensor"
+)
+
+func TestFingerprintIgnoresAppendOrderAndValues(t *testing.T) {
+	a := tensor.NewCOO([]int{4, 4}, 3)
+	a.Append(1, 0, 1)
+	a.Append(1, 2, 3)
+	a.Append(1, 1, 0)
+
+	b := tensor.NewCOO([]int{4, 4}, 3)
+	b.Append(9, 2, 3) // different values, different order
+	b.Append(7, 1, 0)
+	b.Append(3, 0, 1)
+
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("same pattern fingerprints differ across append order / values")
+	}
+}
+
+func TestFingerprintDistinguishesPatterns(t *testing.T) {
+	a := tensor.NewCOO([]int{4, 4}, 1)
+	a.Append(1, 0, 1)
+	b := tensor.NewCOO([]int{4, 4}, 1)
+	b.Append(1, 1, 0)
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("transposed point fingerprints collide")
+	}
+
+	// Same coordinates, different extents: a different tuning problem.
+	c := tensor.NewCOO([]int{8, 8}, 1)
+	c.Append(1, 0, 1)
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Fatal("different dims fingerprints collide")
+	}
+}
+
+func TestFingerprintCollapsesDuplicates(t *testing.T) {
+	a := tensor.NewCOO([]int{4, 4}, 3)
+	a.Append(1, 0, 1)
+	a.Append(1, 0, 1)
+	a.Append(1, 2, 2)
+	b := tensor.NewCOO([]int{4, 4}, 2)
+	b.Append(2, 0, 1)
+	b.Append(1, 2, 2)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("duplicate coordinates change the fingerprint")
+	}
+}
+
+func TestFingerprintDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	coo := generate.Uniform(rng, 64, 64, 300)
+	before := coo.Clone()
+	Fingerprint(coo)
+	for m := range coo.Coords {
+		for p := range coo.Coords[m] {
+			if coo.Coords[m][p] != before.Coords[m][p] {
+				t.Fatal("Fingerprint reordered the input COO")
+			}
+		}
+	}
+}
+
+func TestFingerprint3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	coo2 := generate.Uniform(rng, 32, 32, 100)
+	coo3 := generate.Tensor3D(rand.New(rand.NewSource(5)), coo2, 8, 2)
+	fp := Fingerprint(coo3)
+	if fp == "" || fp == Fingerprint(coo2) {
+		t.Fatal("3-D fingerprint degenerate")
+	}
+}

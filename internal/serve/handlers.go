@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"waco/internal/tensor"
+)
+
+// MatrixJSON is the COO-JSON wire form of a sparse tensor: dims plus
+// mode-major coordinate arrays (coords[m][p] is point p's coordinate along
+// mode m), mirroring tensor.COO. Values are optional — WACO tunes the
+// sparsity pattern — and default to 1.
+type MatrixJSON struct {
+	Dims   []int     `json:"dims"`
+	Coords [][]int32 `json:"coords"`
+	Vals   []float32 `json:"vals,omitempty"`
+}
+
+// TuneRequest is the /v1/tune body: exactly one matrix, as COO-JSON or as
+// Matrix Market text.
+type TuneRequest struct {
+	Matrix       *MatrixJSON `json:"matrix,omitempty"`
+	MatrixMarket string      `json:"matrix_market,omitempty"`
+}
+
+// PredictRequest is the /v1/predict body.
+type PredictRequest struct {
+	Matrix       *MatrixJSON `json:"matrix,omitempty"`
+	MatrixMarket string      `json:"matrix_market,omitempty"`
+	K            int         `json:"k,omitempty"`
+}
+
+// PredictResponse is the /v1/predict answer.
+type PredictResponse struct {
+	Schedules []Predicted `json:"schedules"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds request bodies; a 100M-nonzero COO-JSON matrix is far
+// larger than anything the reduced-scale kernels handle.
+const maxBodyBytes = 64 << 20
+
+// decodeMatrix turns either wire form into a validated COO.
+func decodeMatrix(m *MatrixJSON, mm string) (*tensor.COO, error) {
+	switch {
+	case m != nil && mm != "":
+		return nil, errors.New("provide either matrix or matrix_market, not both")
+	case m != nil:
+		return m.ToCOO()
+	case mm != "":
+		coo, err := tensor.ReadMatrixMarket(strings.NewReader(mm))
+		if err != nil {
+			return nil, err
+		}
+		return coo, nil
+	default:
+		return nil, errors.New("missing matrix: provide matrix (COO-JSON) or matrix_market")
+	}
+}
+
+// ToCOO converts the wire form, validating shape consistency.
+func (m *MatrixJSON) ToCOO() (*tensor.COO, error) {
+	if len(m.Dims) < 2 || len(m.Dims) > 3 {
+		return nil, fmt.Errorf("matrix must have 2 or 3 dims, got %d", len(m.Dims))
+	}
+	if len(m.Coords) != len(m.Dims) {
+		return nil, fmt.Errorf("coords has %d modes, dims has %d", len(m.Coords), len(m.Dims))
+	}
+	nnz := len(m.Coords[0])
+	for mode, cs := range m.Coords {
+		if len(cs) != nnz {
+			return nil, fmt.Errorf("coords mode %d has %d points, mode 0 has %d", mode, len(cs), nnz)
+		}
+	}
+	if nnz == 0 {
+		return nil, errors.New("matrix has no nonzeros")
+	}
+	if m.Vals != nil && len(m.Vals) != nnz {
+		return nil, fmt.Errorf("vals has %d entries for %d nonzeros", len(m.Vals), nnz)
+	}
+	coo := tensor.NewCOO(m.Dims, nnz)
+	point := make([]int32, len(m.Dims))
+	for p := 0; p < nnz; p++ {
+		for mode := range m.Coords {
+			point[mode] = m.Coords[mode][p]
+		}
+		v := float32(1)
+		if m.Vals != nil {
+			v = m.Vals[p]
+		}
+		coo.Append(v, point...)
+	}
+	if err := coo.Validate(); err != nil {
+		return nil, err
+	}
+	return coo, nil
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/tune     — tune one matrix, returns TuneResult
+//	POST /v1/predict  — top-k schedules by predicted cost, no measurement
+//	GET  /v1/healthz  — liveness
+//	GET  /v1/stats    — counters (Stats)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/tune", s.handleTune)
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// statusFor maps service errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func decodeBody[T any](w http.ResponseWriter, r *http.Request) (*T, bool) {
+	defer r.Body.Close()
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req T
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed request body: %w", err))
+		return nil, false
+	}
+	return &req, true
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	req, ok := decodeBody[TuneRequest](w, r)
+	if !ok {
+		return
+	}
+	coo, err := decodeMatrix(req.Matrix, req.MatrixMarket)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if coo.Order() != s.tuner.Cfg.Alg.SparseOrder() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("order-%d tensor for a %v tuner", coo.Order(), s.tuner.Cfg.Alg))
+		return
+	}
+	res, err := s.Tune(r.Context(), coo)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	req, ok := decodeBody[PredictRequest](w, r)
+	if !ok {
+		return
+	}
+	coo, err := decodeMatrix(req.Matrix, req.MatrixMarket)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if coo.Order() != s.tuner.Cfg.Alg.SparseOrder() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("order-%d tensor for a %v tuner", coo.Order(), s.tuner.Cfg.Alg))
+		return
+	}
+	scheds, err := s.Predict(r.Context(), coo, req.K)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Schedules: scheds})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "alg": s.tuner.Cfg.Alg.String()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

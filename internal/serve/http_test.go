@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"waco/internal/core"
+	"waco/internal/costmodel"
+	"waco/internal/generate"
+	"waco/internal/tensor"
+)
+
+// TestEndToEndHTTP drives the full CLI pipeline in-process: the waco-datagen
+// + waco-train stages (core.Build over a generated corpus), artifact sealing
+// (waco-train -artifact), a cold waco-serve start (core.LoadTuner), and an
+// httptest round of the HTTP surface, including the malformed-input 400
+// path.
+func TestEndToEndHTTP(t *testing.T) {
+	// Stage 1+2: datagen + train (shared quick tuner), then seal to disk as
+	// waco-train -artifact would.
+	built := quickTuner(t)
+	artifact := filepath.Join(t.TempDir(), "spmm.tuner")
+	af, err := os.Create(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SaveTuner(af, built); err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage 3: cold waco-serve start from the sealed artifact.
+	rf, err := os.Open(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadTuner(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(loaded, Options{MaxWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(21))
+	coo := generate.Uniform(rng, 96, 96, 800)
+	body := tuneBody(t, coo)
+
+	// Healthz.
+	resp := get(t, ts.URL+"/v1/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Cold tune.
+	var first TuneResult
+	postJSON(t, ts.URL+"/v1/tune", body, http.StatusOK, &first)
+	if first.Cached || first.Schedule == "" || first.KernelSeconds <= 0 {
+		t.Fatalf("cold tune degenerate: %+v", first)
+	}
+
+	// The served schedule must have the same quality as the in-process
+	// core.Tuner path: the loaded artifact retrieves the identical candidate
+	// set (deterministic), and the winner is drawn from it. (Exact winner
+	// comparison would race measurement noise between two hardware runs.)
+	k := built.Cfg.TopK
+	directRes, err := built.Index.Search(newPattern(coo), k, built.Cfg.SearchEf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servedRes, err := loaded.Index.Search(newPattern(coo), k, built.Cfg.SearchEf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := map[string]bool{}
+	for i, c := range directRes.Candidates {
+		if servedRes.Candidates[i].SS.String() != c.SS.String() {
+			t.Fatalf("candidate %d differs between built and loaded tuners", i)
+		}
+		candidates[c.SS.String()] = true
+	}
+	if !candidates[first.Schedule] {
+		t.Fatalf("served schedule is not among the top-%d candidates of the in-process path:\n  %s",
+			k, first.Schedule)
+	}
+
+	// Warm tune: fingerprint cache, no second search.
+	var second TuneResult
+	postJSON(t, ts.URL+"/v1/tune", body, http.StatusOK, &second)
+	if !second.Cached {
+		t.Fatal("repeat request not served from cache")
+	}
+	if second.Schedule != first.Schedule {
+		t.Fatal("cached schedule differs")
+	}
+
+	// Stats confirm one search and one cache hit.
+	var st Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Searches != 1 {
+		t.Fatalf("stats: searches = %d, want 1", st.Searches)
+	}
+	if st.CacheHits != 1 {
+		t.Fatalf("stats: cache hits = %d, want 1", st.CacheHits)
+	}
+	if st.TuneRequests != 2 {
+		t.Fatalf("stats: tune requests = %d, want 2", st.TuneRequests)
+	}
+	if st.IndexSize != len(built.Index.Schedules) {
+		t.Fatalf("stats: index size %d, want %d", st.IndexSize, len(built.Index.Schedules))
+	}
+
+	// Predict over the Matrix Market wire form.
+	var mm bytes.Buffer
+	if err := tensor.WriteMatrixMarket(&mm, coo); err != nil {
+		t.Fatal(err)
+	}
+	preq, _ := json.Marshal(map[string]any{"matrix_market": mm.String(), "k": 3})
+	var pres PredictResponse
+	postJSON(t, ts.URL+"/v1/predict", preq, http.StatusOK, &pres)
+	if len(pres.Schedules) != 3 {
+		t.Fatalf("predict returned %d schedules, want 3", len(pres.Schedules))
+	}
+
+	// Malformed inputs: invalid JSON, inconsistent COO, wrong order, no body.
+	for name, bad := range map[string]string{
+		"truncated json":    `{"matrix": {"dims": [4, 4]`,
+		"unknown field":     `{"matrixx": 3}`,
+		"missing matrix":    `{}`,
+		"ragged coords":     `{"matrix": {"dims": [4,4], "coords": [[0,1],[2]]}}`,
+		"3d for 2d tuner":   `{"matrix": {"dims": [4,4,4], "coords": [[0],[1],[2]]}}`,
+		"out of range":      `{"matrix": {"dims": [4,4], "coords": [[9],[0]]}}`,
+		"empty matrix":      `{"matrix": {"dims": [4,4], "coords": [[],[]]}}`,
+		"both wire forms":   `{"matrix": {"dims": [4,4], "coords": [[0],[1]]}, "matrix_market": "x"}`,
+		"bad matrix market": `{"matrix_market": "not a header"}`,
+	} {
+		r, err := http.Post(ts.URL+"/v1/tune", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, r.StatusCode)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&e); err != nil || e.Error == "" {
+			t.Fatalf("%s: 400 without a JSON error body (%v)", name, err)
+		}
+		r.Body.Close()
+	}
+
+	// Wrong methods.
+	if r := get(t, ts.URL+"/v1/tune"); r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/tune: %d", r.StatusCode)
+	} else {
+		r.Body.Close()
+	}
+	r, err := http.Post(ts.URL+"/v1/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats: %d", r.StatusCode)
+	}
+	r.Body.Close()
+}
+
+func newPattern(coo *tensor.COO) *costmodel.Pattern {
+	return costmodel.NewPattern(coo.Clone())
+}
+
+func tuneBody(t *testing.T, coo *tensor.COO) []byte {
+	t.Helper()
+	m := MatrixJSON{Dims: coo.Dims, Coords: coo.Coords, Vals: coo.Vals}
+	b, err := json.Marshal(TuneRequest{Matrix: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp := get(t, url)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postJSON(t *testing.T, url string, body []byte, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d: %s", url, resp.StatusCode, wantStatus, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: %v: %s", url, err, raw)
+		}
+	}
+}

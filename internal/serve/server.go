@@ -1,0 +1,323 @@
+// Package serve exposes a trained WACO tuner as a long-lived, concurrent
+// auto-tuning service. The paper measures search overhead amortized over
+// repeated kernel executions (§5.4); serving makes that amortization
+// literal: one process loads a sealed tuner artifact (cost model + HNSW
+// index + SuperSchedule space) once and answers tuning queries over HTTP,
+// with a fingerprint-keyed LRU cache so a matrix is only ever searched once,
+// singleflight deduplication so concurrent requests for the same matrix
+// share one search, and a bounded worker pool so tuning load cannot starve
+// the host.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waco/internal/core"
+	"waco/internal/costmodel"
+	"waco/internal/tensor"
+)
+
+// ErrShuttingDown is returned for requests arriving after Close began.
+var ErrShuttingDown = errors.New("serve: server is shutting down")
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize bounds the fingerprint cache (entries). Default 1024.
+	CacheSize int
+	// CacheShards is the shard count of the LRU. Default 16.
+	CacheShards int
+	// MaxWorkers bounds concurrently executing tune/predict searches;
+	// excess requests queue on the pool. Default 2.
+	MaxWorkers int
+	// RequestTimeout bounds one request's search + measurement work.
+	// 0 disables the per-request deadline.
+	RequestTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 1024
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = 2
+	}
+	return o
+}
+
+// TuneResult is the serving-path answer for one matrix. Cached and Deduped
+// are per-request delivery metadata; the rest is what the underlying search
+// produced (and what the cache stores).
+type TuneResult struct {
+	Fingerprint    string  `json:"fingerprint"`
+	Schedule       string  `json:"schedule"`
+	PredictedCost  float64 `json:"predicted_cost"`
+	KernelSeconds  float64 `json:"kernel_seconds"`
+	TuningSeconds  float64 `json:"tuning_seconds"`
+	ConvertSeconds float64 `json:"convert_seconds"`
+	Info           string  `json:"info,omitempty"`
+	Cached         bool    `json:"cached"`
+	Deduped        bool    `json:"deduped"`
+}
+
+// Predicted is one cost-model-ranked schedule from /v1/predict.
+type Predicted struct {
+	Schedule string  `json:"schedule"`
+	Cost     float64 `json:"cost"`
+}
+
+// Server answers tuning and prediction queries against one sealed tuner.
+// All methods are safe for concurrent use.
+type Server struct {
+	tuner  *core.Tuner
+	opts   Options
+	cache  *Cache
+	flight *flightGroup
+	sem    chan struct{}
+	start  time.Time
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+
+	tuneReqs    atomic.Uint64
+	predictReqs atomic.Uint64
+	searches    atomic.Uint64
+	deduped     atomic.Uint64
+	errCount    atomic.Uint64
+	inFlight    atomic.Int64
+}
+
+// NewServer wraps a tuner (typically from core.LoadTuner) for serving.
+func NewServer(t *core.Tuner, opts Options) (*Server, error) {
+	if t == nil || t.Model == nil || t.Index == nil {
+		return nil, fmt.Errorf("serve: tuner is missing a model or index")
+	}
+	opts = opts.withDefaults()
+	return &Server{
+		tuner:  t,
+		opts:   opts,
+		cache:  NewCache(opts.CacheSize, opts.CacheShards),
+		flight: newFlightGroup(),
+		sem:    make(chan struct{}, opts.MaxWorkers),
+		start:  time.Now(),
+	}, nil
+}
+
+// Tuner returns the underlying tuner (read-only use).
+func (s *Server) Tuner() *core.Tuner { return s.tuner }
+
+// begin registers one in-flight request; it fails once Close has started so
+// the drain in Close is not racing new arrivals.
+func (s *Server) begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrShuttingDown
+	}
+	s.wg.Add(1)
+	s.inFlight.Add(1)
+	return nil
+}
+
+func (s *Server) end() {
+	s.inFlight.Add(-1)
+	s.wg.Done()
+}
+
+// acquire takes a worker-pool slot, abandoning the wait if ctx ends first.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// requestCtx applies the per-request timeout.
+func (s *Server) requestCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, s.opts.RequestTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// Tune returns the best SuperSchedule for the matrix: from the fingerprint
+// cache when this pattern was tuned before (O(1), no search), otherwise via
+// one HNSW search + candidate measurement shared among all concurrent
+// requests for the same fingerprint. Duplicates joining an in-progress
+// search inherit its result — and its error, including cancellation of the
+// owning request's context.
+func (s *Server) Tune(ctx context.Context, coo *tensor.COO) (*TuneResult, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	s.tuneReqs.Add(1)
+
+	if err := coo.Validate(); err != nil {
+		s.errCount.Add(1)
+		return nil, err
+	}
+	fp := Fingerprint(coo)
+	if v, ok := s.cache.Get(fp); ok {
+		out := *v.(*TuneResult)
+		out.Cached = true
+		return &out, nil
+	}
+
+	ctx, cancel := s.requestCtx(ctx)
+	defer cancel()
+	v, err, shared := s.flight.Do(fp, func() (any, error) {
+		// Double-check: a caller that missed the cache may have raced a
+		// just-completed flight for the same fingerprint; the result it
+		// cached makes a second search pointless.
+		if v, ok := s.cache.Get(fp); ok {
+			return v, nil
+		}
+		if err := s.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		s.searches.Add(1)
+		tuned, err := s.tuner.TuneTensorContext(ctx, coo)
+		if err != nil {
+			return nil, err
+		}
+		cost, err := s.tuner.Model.Cost(costmodel.NewPattern(coo), tuned.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		res := &TuneResult{
+			Fingerprint:    fp,
+			Schedule:       tuned.Schedule.String(),
+			PredictedCost:  cost,
+			KernelSeconds:  tuned.KernelSeconds,
+			TuningSeconds:  tuned.TuningSeconds,
+			ConvertSeconds: tuned.ConvertSeconds,
+			Info:           tuned.Info,
+		}
+		s.cache.Put(fp, res)
+		return res, nil
+	})
+	if shared {
+		s.deduped.Add(1)
+	}
+	if err != nil {
+		s.errCount.Add(1)
+		return nil, err
+	}
+	out := *v.(*TuneResult)
+	out.Deduped = shared
+	return &out, nil
+}
+
+// Predict runs a pure cost-model query: the top-k indexed SuperSchedules by
+// predicted cost for the matrix, with no hardware measurement. It shares the
+// tune path's worker pool but bypasses the cache (it is cheap relative to
+// tuning and k varies per request).
+func (s *Server) Predict(ctx context.Context, coo *tensor.COO, k int) ([]Predicted, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	s.predictReqs.Add(1)
+
+	if err := coo.Validate(); err != nil {
+		s.errCount.Add(1)
+		return nil, err
+	}
+	if k <= 0 {
+		k = 5
+	}
+	if n := len(s.tuner.Index.Schedules); k > n {
+		k = n
+	}
+	ctx, cancel := s.requestCtx(ctx)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.errCount.Add(1)
+		return nil, err
+	}
+	defer s.release()
+
+	ef := s.tuner.Cfg.SearchEf
+	if ef < 6*k {
+		ef = 6 * k
+	}
+	res, err := s.tuner.Index.Search(costmodel.NewPattern(coo), k, ef)
+	if err != nil {
+		s.errCount.Add(1)
+		return nil, err
+	}
+	out := make([]Predicted, len(res.Candidates))
+	for i, c := range res.Candidates {
+		out[i] = Predicted{Schedule: c.SS.String(), Cost: c.Cost}
+	}
+	return out, nil
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Alg             string  `json:"alg"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	IndexSize       int     `json:"index_size"`
+	BuildSeconds    float64 `json:"artifact_build_seconds"`
+	TuneRequests    uint64  `json:"tune_requests"`
+	PredictRequests uint64  `json:"predict_requests"`
+	Searches        uint64  `json:"searches"`
+	DedupedSearches uint64  `json:"deduped_searches"`
+	CacheHits       uint64  `json:"cache_hits"`
+	CacheMisses     uint64  `json:"cache_misses"`
+	CacheEntries    int     `json:"cache_entries"`
+	Errors          uint64  `json:"errors"`
+	InFlight        int64   `json:"in_flight"`
+}
+
+// Snapshot returns current counters.
+func (s *Server) Snapshot() Stats {
+	return Stats{
+		Alg:             s.tuner.Cfg.Alg.String(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		IndexSize:       len(s.tuner.Index.Schedules),
+		BuildSeconds:    s.tuner.BuildSeconds,
+		TuneRequests:    s.tuneReqs.Load(),
+		PredictRequests: s.predictReqs.Load(),
+		Searches:        s.searches.Load(),
+		DedupedSearches: s.deduped.Load(),
+		CacheHits:       s.cache.Hits(),
+		CacheMisses:     s.cache.Misses(),
+		CacheEntries:    s.cache.Len(),
+		Errors:          s.errCount.Load(),
+		InFlight:        s.inFlight.Load(),
+	}
+}
+
+// Close stops admitting requests and drains the in-flight ones, returning
+// early with ctx's error if the drain outlives the context.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,49 @@
+package serve
+
+import "sync"
+
+// flightGroup deduplicates concurrent calls with the same key: the first
+// caller runs fn, every concurrent duplicate blocks and receives the same
+// result (a minimal, dependency-free analog of x/sync/singleflight). A
+// completed call is forgotten immediately, so sequential repeats re-run fn —
+// in the server the LRU cache, not the flight group, is the memoization
+// layer.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg   sync.WaitGroup
+	val  any
+	err  error
+	dups int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// Do runs fn once per key among concurrent callers. shared reports whether
+// this caller received another caller's result.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (v any, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

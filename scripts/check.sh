@@ -1,0 +1,14 @@
+#!/bin/sh
+# Static checks: vet everything, fail on any file gofmt would rewrite.
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+echo "checks passed"
