@@ -46,7 +46,9 @@ func main() {
 	}
 	t0 := time.Now()
 	tuner, err := core.LoadTuner(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -48,7 +48,9 @@ func main() {
 			log.Fatal(err2)
 		}
 		coo, err = tensor.ReadMatrixMarket(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

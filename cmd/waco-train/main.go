@@ -42,7 +42,9 @@ func main() {
 		log.Fatal(err)
 	}
 	ds, err := dataset.Load(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,12 +89,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := model.Save(w); err != nil {
-		w.Close()
-		log.Fatal(err)
+	saveErr := model.Save(w)
+	if cerr := w.Close(); saveErr == nil {
+		saveErr = cerr
 	}
-	if err := w.Close(); err != nil {
-		log.Fatal(err)
+	if saveErr != nil {
+		log.Fatal(saveErr)
 	}
 	log.Printf("wrote %s", *out)
 
@@ -111,12 +113,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := core.SaveTuner(af, tuner); err != nil {
-			af.Close()
-			log.Fatal(err)
+		sealErr := core.SaveTuner(af, tuner)
+		if cerr := af.Close(); sealErr == nil {
+			sealErr = cerr
 		}
-		if err := af.Close(); err != nil {
-			log.Fatal(err)
+		if sealErr != nil {
+			log.Fatal(sealErr)
 		}
 		log.Printf("sealed tuner artifact %s (%d indexed schedules, built in %.2fs)",
 			*artifact, len(tuner.Index.Schedules), tuner.BuildSeconds)

@@ -64,7 +64,9 @@ func main() {
 			log.Fatal(err)
 		}
 		coo, err = tensor.ReadMatrixMarket(r)
-		r.Close()
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -112,7 +114,9 @@ func loadOrBuildTuner(artifactPath, dataPath, modelPath string) *core.Tuner {
 		if f, err := os.Open(artifactPath); err == nil {
 			t0 := time.Now()
 			tuner, err := core.LoadTuner(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				log.Fatalf("%s: %v", artifactPath, err)
 			}
@@ -132,7 +136,9 @@ func loadOrBuildTuner(artifactPath, dataPath, modelPath string) *core.Tuner {
 		log.Fatal(err)
 	}
 	ds, err := dataset.Load(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -141,7 +147,9 @@ func loadOrBuildTuner(artifactPath, dataPath, modelPath string) *core.Tuner {
 		log.Fatal(err)
 	}
 	model, err := costmodel.LoadModel(mf)
-	mf.Close()
+	if cerr := mf.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -158,12 +166,12 @@ func loadOrBuildTuner(artifactPath, dataPath, modelPath string) *core.Tuner {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := core.SaveTuner(af, tuner); err != nil {
-			af.Close()
-			log.Fatal(err)
+		sealErr := core.SaveTuner(af, tuner)
+		if cerr := af.Close(); sealErr == nil {
+			sealErr = cerr
 		}
-		if err := af.Close(); err != nil {
-			log.Fatal(err)
+		if sealErr != nil {
+			log.Fatal(sealErr)
 		}
 		log.Printf("sealed %s for cached startup next run", artifactPath)
 	}

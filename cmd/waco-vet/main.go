@@ -1,0 +1,60 @@
+// Command waco-vet runs WACO's project-specific static analyzers over the
+// module: the correctness invariants the tuner's reproducibility and the
+// serving path's cancellation guarantees rest on. See internal/wacovet for
+// the rules and the //waco:nolint suppression convention.
+//
+// Usage:
+//
+//	waco-vet [-json] [-list] [packages ...]
+//
+// With no package arguments it analyzes ./... from the current directory.
+// Exit status: 0 clean, 1 findings, 2 load or usage failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"waco/internal/wacovet"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range wacovet.DefaultAnalyzers("waco") {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	m, err := wacovet.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waco-vet:", err)
+		os.Exit(2)
+	}
+	findings := wacovet.RunAnalyzers(m, wacovet.DefaultAnalyzers(m.Path))
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "waco-vet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "waco-vet: %d finding(s) in %d package(s)\n", len(findings), len(m.Packages))
+		}
+		os.Exit(1)
+	}
+}

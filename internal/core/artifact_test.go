@@ -43,11 +43,11 @@ func TestArtifactRoundTrip(t *testing.T) {
 	coo := generate.Uniform(rng, 96, 96, 1200)
 	p1 := costmodel.NewPattern(coo)
 	p2 := costmodel.NewPattern(coo)
-	r1, err := tuner.Index.Search(p1, 4, 24)
+	r1, err := tuner.Index.Search(context.Background(), p1, 4, 24)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := loaded.Index.Search(p2, 4, 24)
+	r2, err := loaded.Index.Search(context.Background(), p2, 4, 24)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -172,7 +172,7 @@ func (t *Tuner) TuneContext(ctx context.Context, wl *kernel.Workload, profile ke
 	if ef < 6*k {
 		ef = 6 * k
 	}
-	res, err := t.Index.Search(pattern, k, ef)
+	res, err := t.Index.Search(ctx, pattern, k, ef)
 	if err != nil {
 		return nil, err
 	}

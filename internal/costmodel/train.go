@@ -120,11 +120,14 @@ func (m *Model) lossOnEntry(tape *nn.Tape, feat *nn.Grad, entry *dataset.Entry, 
 	for q := 0; q < cfg.PairsPerMatrix; q++ {
 		a := &entry.Samples[rng.Intn(len(entry.Samples))]
 		b := &entry.Samples[rng.Intn(len(entry.Samples))]
-		if a.Seconds == b.Seconds {
-			continue
+		if a == b {
+			continue // same sample drawn twice: nothing to rank
 		}
 		if a.Seconds < b.Seconds {
 			a, b = b, a // a is the slower schedule
+		}
+		if a.Seconds <= b.Seconds {
+			continue // exactly tied measurements cannot be ranked
 		}
 		if cfg.MinRatio > 1 && a.Seconds < cfg.MinRatio*b.Seconds {
 			continue // too close to call under measurement noise

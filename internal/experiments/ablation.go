@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -50,7 +51,15 @@ func AblationExecutorOverhead(s Scale) (*Table, error) {
 	}
 	out := make([]float32, dim)
 	handWritten := median(func() { csr.SpMV(wl.BVec(), out) })
-	generic := median(func() { _, _ = wl.Run(plan) })
+	var runErr error
+	generic := median(func() {
+		if _, err := wl.Run(plan); err != nil {
+			runErr = err
+		}
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
 
 	t := &Table{
 		Title:  "Ablation: generic executor vs hand-written CSR SpMV (serial)",
@@ -108,7 +117,6 @@ func AblationANNSRecall(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	_ = ds
 	test := s.TestCorpus()
 	if len(test) > 6 {
 		test = test[:6]
@@ -119,7 +127,7 @@ func AblationANNSRecall(s Scale) (*Table, error) {
 	}
 	for _, mat := range test {
 		p := costmodel.NewPattern(mat.COO)
-		res, err := tuner.Index.Search(p, s.TopK, 8*s.TopK)
+		res, err := tuner.Index.Search(context.Background(), p, s.TopK, 8*s.TopK)
 		if err != nil {
 			return nil, err
 		}
@@ -145,6 +153,7 @@ func AblationANNSRecall(s Scale) (*Table, error) {
 		t.AddRow(mat.Name, fmt.Sprint(len(tuner.Index.Schedules)), fmt.Sprint(res.Evals),
 			fmt.Sprint(rank), fmt.Sprintf("%.4f", best-minCost))
 	}
+	t.AddNote("index built from %s", datasetStats(ds))
 	t.AddNote("rank 0 = ANNS found the exhaustive optimum; evals << index size is the speed win")
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -122,7 +123,7 @@ func Fig16aSearchStrategies(s Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tr := st.Run(ev, sp, budget, s.Seed+52)
+		tr := st.Run(context.Background(), ev, sp, budget, s.Seed+52)
 		t.AddRow(tr.Name, at(tr.Best, 0.1), at(tr.Best, 0.25), at(tr.Best, 1.0),
 			fmt.Sprint(tr.Evals), tr.Total.Round(time.Microsecond).String(),
 			fmt.Sprintf("%.0f%%", 100*tr.EvalFraction()))
@@ -150,7 +151,7 @@ func Fig16bSearchBreakdown(s Scale) (*Table, error) {
 		nnz := s.MaxNNZ / 8 << i
 		dim := s.MaxDim
 		coo := generate.Uniform(rng, dim, dim, nnz)
-		res, err := tuner.Index.Search(costmodel.NewPattern(coo), s.TopK, 8*s.TopK)
+		res, err := tuner.Index.Search(context.Background(), costmodel.NewPattern(coo), s.TopK, 8*s.TopK)
 		if err != nil {
 			return nil, err
 		}

@@ -115,6 +115,8 @@ func maxInt(a, b int) int {
 
 // CheckShape panics with a descriptive message if the length does not match
 // the expectation; used at layer boundaries to catch wiring bugs early.
+//
+//waco:nolint paniccall -- layer shapes are fixed at model construction, so a mismatch is a wiring bug in this repo, never a property of request input
 func CheckShape(what string, got, want int) {
 	if got != want {
 		panic(fmt.Sprintf("nn: %s length %d, want %d", what, got, want))

@@ -1,0 +1,50 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"waco/internal/hnsw"
+	"waco/internal/schedule"
+)
+
+// TestSearchCancelledContext locks in the ctxflow contract: a cancelled
+// context must surface as its error, not as a truncated result.
+func TestSearchCancelledContext(t *testing.T) {
+	m := testModel(t)
+	ix, err := BuildIndex(m, sampleSchedules(30, 2), hnsw.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.Search(ctx, testPattern(3), 5, 16); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Search on cancelled context returned %v, want context.Canceled", err)
+	}
+}
+
+// TestStrategiesStopOnCancel checks every Strategy honors the interface
+// contract of returning promptly with the best-so-far trace once its context
+// is cancelled — here before any evaluation happens.
+func TestStrategiesStopOnCancel(t *testing.T) {
+	m := testModel(t)
+	sp := schedule.DefaultSpace(schedule.SpMM)
+	ev, err := NewEvaluator(m, testPattern(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, st := range []Strategy{&RandomSearch{}, &Annealing{}, &TPE{}} {
+		tr := st.Run(ctx, ev, sp, 100, 9)
+		if tr == nil {
+			t.Fatalf("%T returned nil trace on cancelled context", st)
+		}
+		// Annealing evaluates its start point before entering the loop, so
+		// allow at most one evaluation.
+		if n := len(tr.Best); n > 1 {
+			t.Fatalf("%T ran %d evaluations after cancellation", st, n)
+		}
+	}
+}

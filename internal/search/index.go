@@ -7,6 +7,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -70,8 +71,15 @@ type Result struct {
 
 // Search retrieves the top-k SuperSchedules for the pattern: the sparsity
 // feature is extracted once, then the HNSW graph is traversed with
-// dist(s) = head(feature, embedding(s)).
-func (ix *Index) Search(p *costmodel.Pattern, k, ef int) (*Result, error) {
+// dist(s) = head(feature, embedding(s)). The context is checked before
+// feature extraction and between predictor-head evaluations — once it is
+// done, the remaining traversal degenerates to constant-time bookkeeping and
+// Search returns the context's error, so a cancelled request never keeps
+// burning cost-model time.
+func (ix *Index) Search(ctx context.Context, p *costmodel.Pattern, k, ef int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	feat, err := ix.Model.Extractor.Extract(nil, p)
 	if err != nil {
@@ -81,7 +89,12 @@ func (ix *Index) Search(p *costmodel.Pattern, k, ef int) (*Result, error) {
 
 	t1 := time.Now()
 	best := inf()
+	cancelled := false
 	dist := func(id int) float64 {
+		if cancelled || ctx.Err() != nil {
+			cancelled = true
+			return inf()
+		}
 		e0 := time.Now()
 		emb := nn.NewGrad(ix.Graph.Vector(id))
 		c := float64(ix.Model.PredictWith(nil, feat, emb).V[0])
@@ -95,6 +108,9 @@ func (ix *Index) Search(p *costmodel.Pattern, k, ef int) (*Result, error) {
 	ids, evals := ix.Graph.Search(dist, k, ef)
 	res.SearchTime = time.Since(t1)
 	res.Evals = evals
+	if cancelled {
+		return nil, ctx.Err()
+	}
 	for _, id := range ids {
 		emb := nn.NewGrad(ix.Graph.Vector(id))
 		res.Candidates = append(res.Candidates, Candidate{

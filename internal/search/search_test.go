@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -73,7 +74,7 @@ func TestIndexSearchFindsNearOptimal(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := testPattern(5)
-	res, err := ix.Search(p, 10, 64)
+	res, err := ix.Search(context.Background(), p, 10, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestStrategiesRespectBudgetAndMonotone(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr := st.Run(ev, sp, budget, 7)
+		tr := st.Run(context.Background(), ev, sp, budget, 7)
 		if tr.Evals != budget {
 			t.Fatalf("%s: %d evals, want %d", st.Name(), tr.Evals, budget)
 		}
@@ -157,7 +158,7 @@ func TestGuidedStrategiesBeatEarlyRandom(t *testing.T) {
 	sp := schedule.DefaultSpace(schedule.SpMM)
 	for _, st := range []Strategy{RandomSearch{}, Annealing{}, TPE{}} {
 		ev, _ := NewEvaluator(m, p)
-		tr := st.Run(ev, sp, 200, 9)
+		tr := st.Run(context.Background(), ev, sp, 200, 9)
 		if !(tr.Best[len(tr.Best)-1] <= tr.Best[0]) {
 			t.Fatalf("%s did not improve over first sample", st.Name())
 		}
@@ -173,7 +174,7 @@ func TestANNSStrategyAdapter(t *testing.T) {
 	}
 	p := testPattern(12)
 	st := ANNSStrategy{Index: ix, P: p, K: 5}
-	tr := st.Run(nil, schedule.Space{}, 200, 0)
+	tr := st.Run(context.Background(), nil, schedule.Space{}, 200, 0)
 	if tr.Name != "ANNS" {
 		t.Fatal("wrong name")
 	}

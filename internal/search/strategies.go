@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -64,9 +65,12 @@ func (t *Trace) EvalFraction() float64 {
 }
 
 // Strategy is a black-box schedule optimizer with a fixed evaluation budget.
+// Run checks the context between cost evaluations and returns the
+// best-so-far trace when it is cancelled, so a bounded request can stop a
+// strategy mid-budget without losing the work already done.
 type Strategy interface {
 	Name() string
-	Run(e *Evaluator, space schedule.Space, budget int, seed int64) *Trace
+	Run(ctx context.Context, e *Evaluator, space schedule.Space, budget int, seed int64) *Trace
 }
 
 // RandomSearch samples the space uniformly.
@@ -76,11 +80,11 @@ type RandomSearch struct{}
 func (RandomSearch) Name() string { return "Random" }
 
 // Run implements Strategy.
-func (RandomSearch) Run(e *Evaluator, space schedule.Space, budget int, seed int64) *Trace {
+func (RandomSearch) Run(ctx context.Context, e *Evaluator, space schedule.Space, budget int, seed int64) *Trace {
 	rng := rand.New(rand.NewSource(seed))
 	tr := &Trace{Name: "Random", BestCost: math.Inf(1)}
 	t0 := time.Now()
-	for i := 0; i < budget; i++ {
+	for i := 0; i < budget && ctx.Err() == nil; i++ {
 		ss := space.Sample(rng)
 		c := e.Cost(ss)
 		if c < tr.BestCost {
@@ -107,7 +111,7 @@ type Annealing struct {
 func (Annealing) Name() string { return "Annealing" }
 
 // Run implements Strategy.
-func (a Annealing) Run(e *Evaluator, space schedule.Space, budget int, seed int64) *Trace {
+func (a Annealing) Run(ctx context.Context, e *Evaluator, space schedule.Space, budget int, seed int64) *Trace {
 	rng := rand.New(rand.NewSource(seed))
 	tr := &Trace{Name: "Annealing", BestCost: math.Inf(1)}
 	t0 := time.Now()
@@ -119,7 +123,7 @@ func (a Annealing) Run(e *Evaluator, space schedule.Space, budget int, seed int6
 	curCost := e.Cost(cur)
 	tr.BestCost, tr.BestSchedule = curCost, cur
 	tr.Best = append(tr.Best, tr.BestCost)
-	for i := 1; i < budget; i++ {
+	for i := 1; i < budget && ctx.Err() == nil; i++ {
 		cand := space.Mutate(rng, cur)
 		c := e.Cost(cand)
 		if c < tr.BestCost {
@@ -155,7 +159,7 @@ type TPE struct {
 func (TPE) Name() string { return "TPE" }
 
 // Run implements Strategy.
-func (tp TPE) Run(e *Evaluator, space schedule.Space, budget int, seed int64) *Trace {
+func (tp TPE) Run(ctx context.Context, e *Evaluator, space schedule.Space, budget int, seed int64) *Trace {
 	rng := rand.New(rand.NewSource(seed))
 	gamma := tp.Gamma
 	if gamma <= 0 || gamma >= 1 {
@@ -168,7 +172,7 @@ func (tp TPE) Run(e *Evaluator, space schedule.Space, budget int, seed int64) *T
 	tr := &Trace{Name: "TPE", BestCost: math.Inf(1)}
 	var history []obs
 	t0 := time.Now()
-	for i := 0; i < budget; i++ {
+	for i := 0; i < budget && ctx.Err() == nil; i++ {
 		var cand *schedule.SuperSchedule
 		if len(history) < 8 || rng.Float64() < 0.2 {
 			cand = space.Sample(rng)
@@ -247,7 +251,7 @@ func (ANNSStrategy) Name() string { return "ANNS" }
 
 // Run implements Strategy. The evaluator is unused (the index keeps frozen
 // embeddings); it is accepted for interface uniformity.
-func (a ANNSStrategy) Run(_ *Evaluator, _ schedule.Space, budget int, _ int64) *Trace {
+func (a ANNSStrategy) Run(ctx context.Context, _ *Evaluator, _ schedule.Space, budget int, _ int64) *Trace {
 	k := a.K
 	if k < 1 {
 		k = 1
@@ -256,7 +260,7 @@ func (a ANNSStrategy) Run(_ *Evaluator, _ schedule.Space, budget int, _ int64) *
 	if ef < k {
 		ef = k
 	}
-	res, err := a.Index.Search(a.P, k, ef)
+	res, err := a.Index.Search(ctx, a.P, k, ef)
 	if err != nil {
 		return &Trace{Name: "ANNS", BestCost: math.Inf(1)}
 	}

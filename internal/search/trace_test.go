@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -57,7 +58,7 @@ func TestTPEDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := TPE{Gamma: 7, NumCands: -1}.Run(ev, schedule.DefaultSpace(schedule.SpMM), 40, 3)
+	tr := TPE{Gamma: 7, NumCands: -1}.Run(context.Background(), ev, schedule.DefaultSpace(schedule.SpMM), 40, 3)
 	if tr.Evals != 40 {
 		t.Fatalf("evals %d", tr.Evals)
 	}
@@ -72,7 +73,7 @@ func TestAnnealingRestartPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := Annealing{InitTemp: 0.5}.Run(ev, schedule.DefaultSpace(schedule.SpMM), 250, 4)
+	tr := Annealing{InitTemp: 0.5}.Run(context.Background(), ev, schedule.DefaultSpace(schedule.SpMM), 250, 4)
 	if tr.Evals != 250 || len(tr.Best) != 250 {
 		t.Fatalf("evals %d traces %d", tr.Evals, len(tr.Best))
 	}

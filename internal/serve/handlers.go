@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 
@@ -119,10 +120,17 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// logf reports serving-path faults that have no response channel left (the
+// status line is already gone by the time encoding fails). Swapped out in
+// tests.
+var logf = log.Printf
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		logf("serve: encoding %T response: %v", v, err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// brokenWriter fails every body write, as a hung-up client does.
+type brokenWriter struct {
+	header http.Header
+	status int
+}
+
+func (w *brokenWriter) Header() http.Header       { return w.header }
+func (w *brokenWriter) WriteHeader(status int)    { w.status = status }
+func (w *brokenWriter) Write([]byte) (int, error) { return 0, errors.New("client went away") }
+
+// TestWriteJSONLogsEncodeFailure pins down the behavior when the response
+// body cannot be written: the status line is already gone, so the failure has
+// to land in the log rather than vanish.
+func TestWriteJSONLogsEncodeFailure(t *testing.T) {
+	var logged string
+	orig := logf
+	logf = func(format string, args ...any) { logged = fmt.Sprintf(format, args...) }
+	defer func() { logf = orig }()
+
+	w := &brokenWriter{header: http.Header{}}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+
+	if w.status != http.StatusOK {
+		t.Fatalf("status %d written before body, want %d", w.status, http.StatusOK)
+	}
+	if !strings.Contains(logged, "client went away") {
+		t.Fatalf("encode failure not logged; log captured %q", logged)
+	}
+}
+
+// TestWriteJSONQuietOnSuccess makes sure the log hook stays silent when
+// encoding succeeds.
+func TestWriteJSONQuietOnSuccess(t *testing.T) {
+	logged := false
+	orig := logf
+	logf = func(string, ...any) { logged = true }
+	defer func() { logf = orig }()
+
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]string{"status": "ok"})
+	if logged {
+		t.Fatal("successful encode produced a log line")
+	}
+}

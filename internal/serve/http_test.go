@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math/rand"
@@ -79,11 +80,11 @@ func TestEndToEndHTTP(t *testing.T) {
 	// set (deterministic), and the winner is drawn from it. (Exact winner
 	// comparison would race measurement noise between two hardware runs.)
 	k := built.Cfg.TopK
-	directRes, err := built.Index.Search(newPattern(coo), k, built.Cfg.SearchEf)
+	directRes, err := built.Index.Search(context.Background(), newPattern(coo), k, built.Cfg.SearchEf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	servedRes, err := loaded.Index.Search(newPattern(coo), k, built.Cfg.SearchEf)
+	servedRes, err := loaded.Index.Search(context.Background(), newPattern(coo), k, built.Cfg.SearchEf)
 	if err != nil {
 		t.Fatal(err)
 	}

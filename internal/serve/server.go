@@ -255,7 +255,7 @@ func (s *Server) Predict(ctx context.Context, coo *tensor.COO, k int) ([]Predict
 	if ef < 6*k {
 		ef = 6 * k
 	}
-	res, err := s.tuner.Index.Search(costmodel.NewPattern(coo), k, ef)
+	res, err := s.tuner.Index.Search(ctx, costmodel.NewPattern(coo), k, ef)
 	if err != nil {
 		s.errCount.Add(1)
 		return nil, err

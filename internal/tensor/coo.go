@@ -44,6 +44,8 @@ func (c *COO) Order() int { return len(c.Dims) }
 func (c *COO) NNZ() int { return len(c.Vals) }
 
 // Append adds one nonzero. The number of coordinates must equal the order.
+//
+//waco:nolint paniccall -- Append runs per nonzero on the ingest hot path; the arity of the coords the caller passes is fixed by its own code, not by request data, and serve validates decoded tensors before appending
 func (c *COO) Append(val float32, coords ...int32) {
 	if len(coords) != len(c.Dims) {
 		panic(fmt.Sprintf("tensor: Append got %d coords for order-%d tensor", len(coords), len(c.Dims)))

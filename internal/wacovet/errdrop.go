@@ -1,0 +1,178 @@
+package wacovet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrdropConfig scopes the errdrop check.
+type ErrdropConfig struct {
+	// Allowed holds types.Func.FullName() strings whose error results may
+	// be ignored — plus "<recv type>.<method>" entries matched against the
+	// receiver's static type, so methods promoted from embedded interfaces
+	// (hash.Hash's Write is io.Writer's) can be allowlisted without
+	// exempting the embedded interface everywhere. Calls in defer
+	// statements are always exempt (deferred cleanup has nowhere to report
+	// to).
+	Allowed map[string]bool
+}
+
+// DefaultErrdropConfig allowlists calls whose errors are either impossible
+// by contract (hash.Hash.Write, in-memory builders/buffers) or routed to
+// terminal/stdout streams where the process has no better channel to report
+// the failure on than the one that just failed.
+func DefaultErrdropConfig() ErrdropConfig {
+	allowed := map[string]bool{
+		"hash.Hash.Write":                true, // digest writes never fail by contract
+		"(*text/tabwriter.Writer).Flush": true,
+	}
+	for _, name := range []string{"Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln"} {
+		allowed["fmt."+name] = true
+	}
+	for _, recv := range []string{"(*strings.Builder)", "(*bytes.Buffer)"} {
+		for _, name := range []string{"Write", "WriteString", "WriteByte", "WriteRune"} {
+			allowed[recv+"."+name] = true
+		}
+	}
+	return ErrdropConfig{Allowed: allowed}
+}
+
+// NewErrdropAnalyzer builds the errdrop check.
+func NewErrdropAnalyzer(cfg ErrdropConfig) *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "no `_ =` error discards, unchecked error-returning calls, or side-effect-free blank assignments outside the allowlist",
+		Run:  func(m *Module) []Finding { return runErrdrop(m, cfg) },
+	}
+}
+
+func runErrdrop(m *Module, cfg ErrdropConfig) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch stmt := n.(type) {
+				case *ast.AssignStmt:
+					out = append(out, checkAssign(m, pkg, cfg, stmt)...)
+				case *ast.ExprStmt:
+					if call, ok := stmt.X.(*ast.CallExpr); ok {
+						out = append(out, checkCallStmt(m, pkg, cfg, call)...)
+					}
+				case *ast.DeferStmt, *ast.GoStmt:
+					return false // deferred/async cleanup is exempt
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkAssign flags blank assignments that discard an error value and blank
+// assignments of side-effect-free expressions (dead assignments).
+func checkAssign(m *Module, pkg *Package, cfg ErrdropConfig, stmt *ast.AssignStmt) []Finding {
+	var out []Finding
+	for i, lhs := range stmt.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var rhs ast.Expr
+		var typ types.Type
+		if len(stmt.Rhs) == len(stmt.Lhs) {
+			rhs = stmt.Rhs[i]
+			typ = pkg.Info.Types[rhs].Type
+		} else if len(stmt.Rhs) == 1 {
+			rhs = stmt.Rhs[0]
+			if tup, ok := pkg.Info.Types[rhs].Type.(*types.Tuple); ok && i < tup.Len() {
+				typ = tup.At(i).Type()
+			}
+		}
+		if typ != nil && isErrorType(typ) && !allowedCall(pkg.Info, rhs, cfg) {
+			out = append(out, m.finding(id.Pos(), "errdrop",
+				"error discarded with `_ =`; handle it or allowlist the callee"))
+			continue
+		}
+		if sideEffectFree(rhs) {
+			out = append(out, m.finding(id.Pos(), "errdrop",
+				"dead assignment: `_ = %s` has no effect; use the value or delete it", exprString(rhs)))
+		}
+	}
+	return out
+}
+
+// checkCallStmt flags expression statements whose call drops an error result.
+func checkCallStmt(m *Module, pkg *Package, cfg ErrdropConfig, call *ast.CallExpr) []Finding {
+	typ := pkg.Info.Types[call].Type
+	if typ == nil || !resultHasError(typ) || allowedCall(pkg.Info, call, cfg) {
+		return nil
+	}
+	name := "call"
+	if fn := calleeFunc(pkg.Info, call); fn != nil {
+		name = fn.FullName()
+	}
+	return []Finding{m.finding(call.Pos(), "errdrop",
+		"unchecked error returned by %s", name)}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// resultHasError reports whether a call's result type is or contains error.
+func resultHasError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// allowedCall reports whether expr is a call to an allowlisted function,
+// matched by the callee's full name or by the receiver's static type.
+func allowedCall(info *types.Info, expr ast.Expr, cfg ErrdropConfig) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if cfg.Allowed[fn.FullName()] {
+		return true
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := info.Selections[sel]; s != nil && cfg.Allowed[s.Recv().String()+"."+fn.Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// sideEffectFree reports whether discarding expr discards nothing but a
+// value: bare identifiers and selector chains over them.
+func sideEffectFree(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name != "_" // `_ = _` is not even legal; guard anyway
+	case *ast.SelectorExpr:
+		return sideEffectFree(e.X)
+	}
+	return false
+}
+
+// exprString renders the small expressions sideEffectFree accepts.
+func exprString(expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "..."
+}

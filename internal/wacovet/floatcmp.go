@@ -1,0 +1,86 @@
+package wacovet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatcmpConfig scopes the floatcmp check.
+type FloatcmpConfig struct {
+	// Packages are package paths (exact or "prefix/...") in which ==/!= on
+	// floating-point operands is banned.
+	Packages []string
+}
+
+// DefaultFloatcmpConfig covers the numeric heart of the tuner: the neural
+// network library and the cost model, where exact equality of computed
+// floats is almost always a latent reproducibility bug. Comparison against
+// an exact constant zero stays legal — skipping zero gradients and testing
+// unset sentinels are well-defined.
+func DefaultFloatcmpConfig(module string) FloatcmpConfig {
+	return FloatcmpConfig{
+		Packages: []string{
+			module + "/internal/costmodel",
+			module + "/internal/nn",
+		},
+	}
+}
+
+// NewFloatcmpAnalyzer builds the floatcmp check.
+func NewFloatcmpAnalyzer(cfg FloatcmpConfig) *Analyzer {
+	return &Analyzer{
+		Name: "floatcmp",
+		Doc:  "no ==/!= on floating-point values in cost-model/nn code (exact-zero comparisons excepted)",
+		Run:  func(m *Module) []Finding { return runFloatcmp(m, cfg) },
+	}
+}
+
+func runFloatcmp(m *Module, cfg FloatcmpConfig) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		if !pathApplies(pkg.Path, cfg.Packages) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				cmp, ok := n.(*ast.BinaryExpr)
+				if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pkg.Info, cmp.X) && !isFloat(pkg.Info, cmp.Y) {
+					return true
+				}
+				if isExactZero(pkg.Info, cmp.X) || isExactZero(pkg.Info, cmp.Y) {
+					return true
+				}
+				out = append(out, m.finding(cmp.OpPos, "floatcmp",
+					"floating-point %s comparison; use a tolerance or compare ordinals", cmp.Op))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func isFloat(info *types.Info, expr ast.Expr) bool {
+	t := info.Types[expr].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isExactZero(info *types.Info, expr ast.Expr) bool {
+	v := info.Types[expr].Value
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package wacovet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+}
+
+// Load type-checks the non-test Go files of every package matched by
+// patterns (default "./..."), resolved relative to dir. It shells out to
+// `go list -export -deps` once so dependency packages — including the
+// standard library — are imported from compiled export data rather than
+// re-checked from source; the matched module packages themselves are parsed
+// and type-checked from source so analyzers get their ASTs.
+func Load(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,Standard,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+
+	exports := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no module packages match %s", strings.Join(patterns, " "))
+	}
+	// -deps lists dependencies too; keep only packages the patterns matched,
+	// which `go list` puts after their dependencies (the targets are exactly
+	// the module packages when the pattern is ./..., so filtering by module
+	// membership is sufficient and keeps fixture loads to the named dirs).
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	m := &Module{
+		Dir:  targets[0].Module.Dir,
+		Path: targets[0].Module.Path,
+		Fset: token.NewFileSet(),
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(m.Fset, "gc", lookup)}
+	var loadErrs []error
+	for _, p := range targets {
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(m.Fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				loadErrs = append(loadErrs, err)
+				continue
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: no buildable Go files", p.ImportPath))
+			continue
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		tpkg, err := conf.Check(p.ImportPath, m.Fset, files, info)
+		if err != nil {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: %w", p.ImportPath, err))
+			continue
+		}
+		m.Packages = append(m.Packages, &Package{
+			Path:    p.ImportPath,
+			Dir:     p.Dir,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+			Imports: p.Imports,
+		})
+	}
+	if len(loadErrs) > 0 {
+		return nil, errors.Join(loadErrs...)
+	}
+	return m, nil
+}

@@ -1,0 +1,75 @@
+package wacovet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RngsourceConfig scopes the rngsource check.
+type RngsourceConfig struct {
+	// Packages are package paths (exact or "prefix/...") in which global
+	// math/rand top-level functions are banned.
+	Packages []string
+	// Allowed names the math/rand package-level functions that construct
+	// seedable generators and so stay legal.
+	Allowed map[string]bool
+}
+
+// DefaultRngsourceConfig bans the global generator in the entire module:
+// every draw must come through an injected *rand.Rand built from an explicit
+// seed, so a training run, an index build, or a search can be replayed
+// exactly.
+func DefaultRngsourceConfig(module string) RngsourceConfig {
+	return RngsourceConfig{
+		Packages: []string{module, module + "/..."},
+		Allowed: map[string]bool{
+			"New":        true,
+			"NewSource":  true,
+			"NewZipf":    true,
+			"NewPCG":     true,
+			"NewChaCha8": true,
+		},
+	}
+}
+
+// NewRngsourceAnalyzer builds the rngsource check.
+func NewRngsourceAnalyzer(cfg RngsourceConfig) *Analyzer {
+	return &Analyzer{
+		Name: "rngsource",
+		Doc:  "library code must draw randomness from an injected seeded *rand.Rand, never the global math/rand generator",
+		Run:  func(m *Module) []Finding { return runRngsource(m, cfg) },
+	}
+}
+
+func runRngsource(m *Module, cfg RngsourceConfig) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		if !pathApplies(pkg.Path, cfg.Packages) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				path := fn.Pkg().Path()
+				if path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				if sig == nil || sig.Recv() != nil || cfg.Allowed[fn.Name()] {
+					return true
+				}
+				out = append(out, m.finding(call.Pos(), "rngsource",
+					"call to global %s.%s; inject a seeded *rand.Rand so runs are reproducible", path, fn.Name()))
+				return true
+			})
+		}
+	}
+	return out
+}

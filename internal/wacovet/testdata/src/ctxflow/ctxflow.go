@@ -1,0 +1,65 @@
+// Package ctxflow is a known-bad fixture for the ctxflow analyzer: the
+// test configures this package as both the rule scope and the home of the
+// "measuring" callees.
+package ctxflow
+
+import "context"
+
+type meter struct{}
+
+func (meter) Measure(candidate int) (float64, error) { return float64(candidate), nil }
+
+func (meter) Search(k int) []int { return make([]int, k) }
+
+// BadTune measures every candidate with no way to cancel mid-loop.
+func BadTune(cands []int) (float64, error) { // want ctxflow
+	var best float64
+	m := meter{}
+	for _, c := range cands {
+		s, err := m.Measure(c)
+		if err != nil {
+			return 0, err
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// BadIgnoresCtx accepts a context but never consults it.
+func BadIgnoresCtx(ctx context.Context, k int) []int { // want ctxflow
+	return meter{}.Search(k)
+}
+
+// GoodTune checks its context between measurements.
+func GoodTune(ctx context.Context, cands []int) (float64, error) {
+	var best float64
+	m := meter{}
+	for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return best, err
+		}
+		s, err := m.Measure(c)
+		if err != nil {
+			return 0, err
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// GoodUnrelated calls nothing configured, so no context is required.
+func GoodUnrelated(n int) int { return n * 2 }
+
+// unexportedTune is out of the rule's scope even though it measures.
+func unexportedTune(cands []int) {
+	m := meter{}
+	for _, c := range cands {
+		if _, err := m.Measure(c); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package errdrop is a known-bad fixture for the errdrop analyzer.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Bad collects every shape of dropped error plus a dead assignment.
+func Bad() int {
+	mayFail() // want errdrop
+
+	_ = mayFail() // want errdrop
+
+	n, _ := pair() // want errdrop
+
+	_ = n // want errdrop
+
+	var sb strings.Builder
+	sb.WriteString("builder writes are allowlisted")
+	fmt.Println(sb.String())
+
+	defer mayFail() // deferred cleanup is exempt
+
+	return n
+}
+
+// Good handles everything it calls.
+func Good() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := pair()
+	if err != nil {
+		return err
+	}
+	_, _ = fmt.Println(n)
+	return nil
+}

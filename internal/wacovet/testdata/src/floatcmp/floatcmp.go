@@ -1,0 +1,31 @@
+// Package floatcmp is a known-bad fixture for the floatcmp analyzer.
+package floatcmp
+
+// BadEqual compares computed floats exactly.
+func BadEqual(a, b float64) bool {
+	return a == b // want floatcmp
+}
+
+// BadNotEqual compares against a non-zero constant.
+func BadNotEqual(x float32) bool {
+	return x != 1.5 // want floatcmp
+}
+
+// GoodZeroSentinel compares against exact zero, the legal sentinel idiom.
+func GoodZeroSentinel(gradient float64) bool {
+	return gradient == 0
+}
+
+// GoodTolerance compares with an epsilon, as the rule wants.
+func GoodTolerance(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// GoodInts is out of the rule's type scope entirely.
+func GoodInts(a, b int) bool {
+	return a == b
+}

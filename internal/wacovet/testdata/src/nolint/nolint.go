@@ -1,0 +1,20 @@
+// Package nolint exercises the //waco:nolint suppression convention: one
+// well-formed suppression that must swallow the rngsource finding below, one
+// missing its reason, and one naming a check that does not exist.
+//
+//waco:nolint rngsource -- fixture: this file exists to prove suppression works
+package nolint
+
+import "math/rand"
+
+//waco:nolint floatcmp
+
+// Suppressed would be an rngsource finding without the file-level comment.
+func Suppressed(n int) int {
+	return rand.Intn(n)
+}
+
+//waco:nolint nosuchcheck -- the check name above is deliberately bogus
+
+// Placeholder keeps the package non-trivial.
+func Placeholder() int { return 42 }

@@ -1,0 +1,24 @@
+// Package paniccall is a known-bad fixture for the paniccall analyzer: the
+// test configures this package as its own serving root.
+package paniccall
+
+import "fmt"
+
+// Explode panics on bad input instead of returning an error.
+func Explode(n int) (int, error) {
+	if n < 0 {
+		panic("negative size") // want paniccall
+	}
+	if n > 1<<20 {
+		return 0, fmt.Errorf("size %d too large", n)
+	}
+	return n * 2, nil
+}
+
+// Recoverable returns errors like serving-path code should.
+func Recoverable(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative size %d", n)
+	}
+	return n * 2, nil
+}

@@ -1,0 +1,25 @@
+// Package rngsource is a known-bad fixture for the rngsource analyzer.
+package rngsource
+
+import "math/rand"
+
+// BadDraw taps the global generator, so runs cannot be replayed.
+func BadDraw(n int) int {
+	return rand.Intn(n) // want rngsource
+}
+
+// BadShuffle permutes through the global generator.
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want rngsource
+}
+
+// GoodDraw draws from an injected generator.
+func GoodDraw(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// GoodNew constructs a seeded generator, which stays legal: construction is
+// how the seed gets injected in the first place.
+func GoodNew(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

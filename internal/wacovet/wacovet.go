@@ -1,0 +1,222 @@
+// Package wacovet is WACO's project-specific static-analysis framework.
+// It loads every package of the module with go/parser + go/types (stdlib
+// only; export data for dependencies comes from `go list -export`) and runs
+// a suite of analyzers that enforce the tuner's correctness invariants:
+//
+//	ctxflow    exported functions on the serving path that measure
+//	           candidates or traverse the HNSW index must accept and use a
+//	           context.Context, so cancellation propagates into the search
+//	rngsource  library code must not call global math/rand functions —
+//	           randomness comes from an injected, seeded *rand.Rand so
+//	           training and search are reproducible
+//	errdrop    no discarded or unchecked errors outside a small allowlist,
+//	           and no side-effect-free blank assignments
+//	paniccall  no panic in internal packages reachable from the serving
+//	           path; return errors instead
+//	floatcmp   no ==/!= on floating-point values in cost-model and neural
+//	           network code (except the exact-zero sentinel idiom)
+//
+// A file can opt out of one or more checks with a suppression comment that
+// names the checks and states a reason:
+//
+//	//waco:nolint paniccall -- shape-mismatch panics flag programmer error, not input
+//
+// The suppression applies to the whole file. A nolint comment without a
+// reason, or naming an unknown check, is itself reported as a finding, so
+// suppressions stay auditable.
+package wacovet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position. File is relative to
+// the module root.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// Package is one type-checked, non-test package of the module.
+type Package struct {
+	Path    string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Imports []string
+}
+
+// Module is the loaded package set the analyzers run over.
+type Module struct {
+	Dir      string // module root directory
+	Path     string // module path ("waco")
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// Analyzer is one named check over the whole module.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Module) []Finding
+}
+
+// DefaultAnalyzers returns the full suite configured for the module path
+// (the real module passes "waco"; tests pass fixture-specific configs to the
+// New*Analyzer constructors instead).
+func DefaultAnalyzers(module string) []*Analyzer {
+	return []*Analyzer{
+		NewCtxflowAnalyzer(DefaultCtxflowConfig(module)),
+		NewRngsourceAnalyzer(DefaultRngsourceConfig(module)),
+		NewErrdropAnalyzer(DefaultErrdropConfig()),
+		NewPaniccallAnalyzer(DefaultPaniccallConfig(module)),
+		NewFloatcmpAnalyzer(DefaultFloatcmpConfig(module)),
+	}
+}
+
+// RunAnalyzers runs every analyzer, applies per-file //waco:nolint
+// suppressions, reports malformed suppressions, and returns the surviving
+// findings sorted by position.
+func RunAnalyzers(m *Module, analyzers []*Analyzer) []Finding {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	suppressed, findings := m.collectNolint(known)
+	for _, a := range analyzers {
+		for _, f := range a.Run(m) {
+			if suppressed[f.File][f.Check] {
+				continue
+			}
+			findings = append(findings, f)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return findings
+}
+
+// nolintPrefix introduces a per-file suppression comment.
+const nolintPrefix = "//waco:nolint"
+
+// collectNolint gathers per-file suppressions (file -> check -> true) and
+// returns findings for malformed ones: a missing "-- reason" tail or an
+// unknown check name.
+func (m *Module) collectNolint(known map[string]bool) (map[string]map[string]bool, []Finding) {
+	suppressed := map[string]map[string]bool{}
+	var bad []Finding
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, nolintPrefix) {
+						continue
+					}
+					pos := m.position(c.Pos())
+					spec := strings.TrimSpace(strings.TrimPrefix(c.Text, nolintPrefix))
+					checksPart, reason, found := strings.Cut(spec, "--")
+					if !found || strings.TrimSpace(reason) == "" {
+						bad = append(bad, Finding{
+							File: pos.File, Line: pos.Line, Col: pos.Col, Check: "nolint",
+							Message: `suppression needs a reason: "//waco:nolint <checks> -- <reason>"`,
+						})
+						continue
+					}
+					checks := strings.FieldsFunc(checksPart, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+					if len(checks) == 0 {
+						bad = append(bad, Finding{
+							File: pos.File, Line: pos.Line, Col: pos.Col, Check: "nolint",
+							Message: "suppression names no checks",
+						})
+						continue
+					}
+					for _, check := range checks {
+						if !known[check] {
+							bad = append(bad, Finding{
+								File: pos.File, Line: pos.Line, Col: pos.Col, Check: "nolint",
+								Message: fmt.Sprintf("suppression names unknown check %q", check),
+							})
+							continue
+						}
+						if suppressed[pos.File] == nil {
+							suppressed[pos.File] = map[string]bool{}
+						}
+						suppressed[pos.File][check] = true
+					}
+				}
+			}
+		}
+	}
+	return suppressed, bad
+}
+
+// position resolves a token.Pos to a module-relative file position.
+func (m *Module) position(pos token.Pos) Finding {
+	p := m.Fset.Position(pos)
+	file := p.Filename
+	if rel, ok := strings.CutPrefix(file, m.Dir+"/"); ok {
+		file = rel
+	}
+	return Finding{File: file, Line: p.Line, Col: p.Column}
+}
+
+// finding builds a Finding at pos.
+func (m *Module) finding(pos token.Pos, check, format string, args ...any) Finding {
+	f := m.position(pos)
+	f.Check = check
+	f.Message = fmt.Sprintf(format, args...)
+	return f
+}
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil for builtins, conversions, and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// pathApplies reports whether pkgPath equals one of the entries or sits
+// beneath an entry ending in "/...".
+func pathApplies(pkgPath string, entries []string) bool {
+	for _, e := range entries {
+		if sub, ok := strings.CutSuffix(e, "/..."); ok {
+			if pkgPath == sub || strings.HasPrefix(pkgPath, sub+"/") {
+				return true
+			}
+		} else if pkgPath == e {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+package wacovet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one fixture package under testdata/src by name.
+func loadFixture(t *testing.T, name string) (*Module, *Package) {
+	t.Helper()
+	m, err := Load(".", "./testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	if len(m.Packages) != 1 {
+		t.Fatalf("fixture %s loaded %d packages, want 1", name, len(m.Packages))
+	}
+	return m, m.Packages[0]
+}
+
+// wantLines scans the fixture's source for "// want <check>" markers and
+// returns the 1-based lines that must carry a finding.
+func wantLines(t *testing.T, check string) map[int]bool {
+	t.Helper()
+	path := filepath.Join("testdata", "src", check, check+".go")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	want := map[int]bool{}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "// want "+check) {
+			want[i+1] = true
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("fixture %s has no `// want %s` markers", path, check)
+	}
+	return want
+}
+
+// matchMarkers compares an analyzer's findings against the fixture markers,
+// line by line.
+func matchMarkers(t *testing.T, check string, got []Finding, want map[int]bool) {
+	t.Helper()
+	gotLines := map[int]bool{}
+	for _, f := range got {
+		if f.Check != check {
+			t.Errorf("finding has check %q, want %q: %s", f.Check, check, f)
+			continue
+		}
+		gotLines[f.Line] = true
+	}
+	for line := range want {
+		if !gotLines[line] {
+			t.Errorf("%s: fixture line %d has a want marker but no finding", check, line)
+		}
+	}
+	for line := range gotLines {
+		if !want[line] {
+			t.Errorf("%s: unexpected finding on fixture line %d", check, line)
+		}
+	}
+}
+
+func TestCtxflowFixture(t *testing.T) {
+	m, pkg := loadFixture(t, "ctxflow")
+	cfg := CtxflowConfig{
+		Packages: []string{pkg.Path},
+		Callees:  map[string][]string{pkg.Path: {"Measure", "Search"}},
+	}
+	matchMarkers(t, "ctxflow", NewCtxflowAnalyzer(cfg).Run(m), wantLines(t, "ctxflow"))
+}
+
+func TestRngsourceFixture(t *testing.T) {
+	m, pkg := loadFixture(t, "rngsource")
+	cfg := DefaultRngsourceConfig("ignored")
+	cfg.Packages = []string{pkg.Path}
+	matchMarkers(t, "rngsource", NewRngsourceAnalyzer(cfg).Run(m), wantLines(t, "rngsource"))
+}
+
+func TestErrdropFixture(t *testing.T) {
+	m, _ := loadFixture(t, "errdrop")
+	cfg := DefaultErrdropConfig()
+	matchMarkers(t, "errdrop", NewErrdropAnalyzer(cfg).Run(m), wantLines(t, "errdrop"))
+}
+
+func TestPaniccallFixture(t *testing.T) {
+	m, pkg := loadFixture(t, "paniccall")
+	cfg := PaniccallConfig{Roots: []string{pkg.Path}, Within: []string{pkg.Path}}
+	matchMarkers(t, "paniccall", NewPaniccallAnalyzer(cfg).Run(m), wantLines(t, "paniccall"))
+}
+
+func TestPaniccallUnreachableRootIsSilent(t *testing.T) {
+	m, pkg := loadFixture(t, "paniccall")
+	cfg := PaniccallConfig{Roots: []string{pkg.Path + "/nosuch"}, Within: []string{pkg.Path}}
+	if got := NewPaniccallAnalyzer(cfg).Run(m); len(got) != 0 {
+		t.Errorf("package not reachable from any root still produced %d findings", len(got))
+	}
+}
+
+func TestFloatcmpFixture(t *testing.T) {
+	m, pkg := loadFixture(t, "floatcmp")
+	cfg := FloatcmpConfig{Packages: []string{pkg.Path}}
+	matchMarkers(t, "floatcmp", NewFloatcmpAnalyzer(cfg).Run(m), wantLines(t, "floatcmp"))
+}
+
+// TestNolintFixture checks the suppression convention end to end: a
+// well-formed file-level suppression swallows the rngsource finding, while a
+// reason-less comment and an unknown check name each surface as "nolint"
+// findings of their own.
+func TestNolintFixture(t *testing.T) {
+	m, pkg := loadFixture(t, "nolint")
+	rng := DefaultRngsourceConfig("ignored")
+	rng.Packages = []string{pkg.Path}
+	analyzers := []*Analyzer{
+		NewRngsourceAnalyzer(rng),
+		NewFloatcmpAnalyzer(FloatcmpConfig{Packages: []string{pkg.Path}}),
+	}
+	got := RunAnalyzers(m, analyzers)
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want exactly the 2 malformed suppressions:\n%s", len(got), renderFindings(got))
+	}
+	for _, f := range got {
+		if f.Check != "nolint" {
+			t.Errorf("surviving finding is %q, want all malformed-suppression findings: %s", f.Check, f)
+		}
+	}
+	if !strings.Contains(got[0].Message, "reason") {
+		t.Errorf("first finding should flag the missing reason, got: %s", got[0])
+	}
+	if !strings.Contains(got[1].Message, "unknown check") {
+		t.Errorf("second finding should flag the unknown check name, got: %s", got[1])
+	}
+}
+
+// TestModuleIsVetClean is the repo-wide gate: the module's own code must run
+// clean under the default analyzer suite.
+func TestModuleIsVetClean(t *testing.T) {
+	m, err := Load("../..")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if got := RunAnalyzers(m, DefaultAnalyzers(m.Path)); len(got) > 0 {
+		t.Errorf("module has %d waco-vet findings:\n%s", len(got), renderFindings(got))
+	}
+}
+
+func renderFindings(fs []Finding) string {
+	var sb strings.Builder
+	for _, f := range fs {
+		sb.WriteString("  " + f.String() + "\n")
+	}
+	return sb.String()
+}

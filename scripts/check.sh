@@ -1,14 +1,28 @@
 #!/bin/sh
-# Static checks: vet everything, fail on any file gofmt would rewrite.
+# One gate for the repo: build, vet (standard + project-specific), format,
+# and race-test the concurrency-bearing packages. CI and pre-commit both run
+# exactly this script, so "checks passed" here means the same thing there.
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "==> go build"
+go build ./...
+
+echo "==> go vet"
 go vet ./...
 
+echo "==> gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
 	echo "gofmt needed on:" >&2
 	echo "$unformatted" >&2
 	exit 1
 fi
+
+echo "==> waco-vet"
+go run ./cmd/waco-vet ./...
+
+echo "==> go test -race (serve, costmodel)"
+go test -race ./internal/serve/... ./internal/costmodel/...
+
 echo "checks passed"
