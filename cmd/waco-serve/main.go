@@ -8,18 +8,26 @@
 //	POST /v1/tune     {"matrix": {...}} or {"matrix_market": "..."} -> best SuperSchedule
 //	POST /v1/predict  same matrix forms + "k"                       -> top-k predicted schedules
 //	GET  /v1/healthz                                                -> liveness
-//	GET  /v1/stats                                                  -> cache/dedup/search counters
+//	GET  /v1/stats                                                  -> cache/dedup/search counters (JSON)
+//	GET  /metrics                                                   -> Prometheus text exposition
+//
+// With -debug-addr a second listener serves net/http/pprof (profiles stay
+// off the public port). Each request is access-logged via log/slog with a
+// request id, the matrix fingerprint, and the cached/deduped delivery path;
+// -quiet disables the access log.
 //
 // Usage:
 //
-//	waco-serve -artifact spmm.tuner -addr :8080
+//	waco-serve -artifact spmm.tuner -addr :8080 -debug-addr localhost:6060
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,10 +42,12 @@ func main() {
 	log.SetPrefix("waco-serve: ")
 	artifactPath := flag.String("artifact", "waco.tuner", "sealed tuner artifact file")
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "optional second listen address for net/http/pprof (empty = disabled)")
 	cacheSize := flag.Int("cache", 1024, "fingerprint cache capacity (entries)")
 	workers := flag.Int("workers", 2, "max concurrent tune/predict searches")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request tuning deadline (0 = none)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight searches")
+	quiet := flag.Bool("quiet", false, "disable per-request structured access logging")
 	flag.Parse()
 
 	f, err := os.Open(*artifactPath)
@@ -56,19 +66,40 @@ func main() {
 	log.Printf("loaded %v tuner: %d indexed schedules in %.3fs (sealed build took %.3fs, %.0fx faster startup)",
 		tuner.Cfg.Alg, len(tuner.Index.Schedules), loadSecs, tuner.BuildSeconds, speedup(tuner.BuildSeconds, loadSecs))
 
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	srv, err := serve.NewServer(tuner, serve.Options{
 		CacheSize:      *cacheSize,
 		MaxWorkers:     *workers,
 		RequestTimeout: *timeout,
+		Logger:         logger,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on %s", *addr)
+	log.Printf("serving on %s (metrics at /metrics)", *addr)
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		// pprof on its own mux and listener: profiling endpoints never ride
+		// the public port, and the default-mux registration side effects of
+		// importing net/http/pprof are avoided by registering explicitly.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() { errCh <- debugSrv.ListenAndServe() }()
+		log.Printf("pprof on %s/debug/pprof/", *debugAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -83,6 +114,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			log.Printf("debug shutdown: %v", err)
+		}
 	}
 	if err := srv.Close(ctx); err != nil {
 		log.Printf("drain: %v (some searches abandoned)", err)

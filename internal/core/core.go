@@ -70,6 +70,11 @@ type Tuner struct {
 	// (training and/or index building). It is persisted in sealed artifacts
 	// so the cached startup path can report its speedup.
 	BuildSeconds float64
+	// KernelMetrics, when non-nil, is attached to every workload the tuner
+	// builds (TuneTensor/TuneTensorContext), so candidate probing and final
+	// measurements are recorded. Serving-side instrumentation; never
+	// persisted.
+	KernelMetrics *kernel.Metrics
 }
 
 // Build runs the full offline pipeline on a training corpus.
@@ -246,6 +251,7 @@ func (t *Tuner) TuneTensorContext(ctx context.Context, coo *tensor.COO) (*baseli
 	if err != nil {
 		return nil, err
 	}
+	wl.Metrics = t.KernelMetrics
 	repeats := t.Cfg.Collect.Repeats
 	if repeats < 5 {
 		repeats = 5

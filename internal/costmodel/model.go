@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
 
 	"waco/internal/nn"
 	"waco/internal/schedule"
@@ -28,6 +29,13 @@ type Model struct {
 	Extractor FeatureExtractor
 	Embedder  *Embedder
 	Head      *nn.MLP
+
+	// headEvals counts predictor-head forward passes over the model's
+	// lifetime (atomic; not persisted). It is the ground truth behind the
+	// §5.4 "evals" breakdown: the search layer's per-query counts must add
+	// up to deltas of this counter, which tests and the metrics exporter
+	// both rely on.
+	headEvals atomic.Uint64
 }
 
 // Config sizes a cost model.
@@ -123,8 +131,12 @@ func (m *Model) Params() []*nn.Param {
 // pattern feature. During search the pattern feature is computed once and
 // reused for every candidate (§5.4, "search time breakdown").
 func (m *Model) PredictWith(t *nn.Tape, feat *nn.Grad, emb *nn.Grad) *nn.Grad {
+	m.headEvals.Add(1)
 	return m.Head.Apply(t, nn.Concat(t, feat, emb))
 }
+
+// HeadEvals returns the lifetime number of predictor-head evaluations.
+func (m *Model) HeadEvals() uint64 { return m.headEvals.Load() }
 
 // Predict scores one (pattern, schedule) pair end to end.
 func (m *Model) Predict(t *nn.Tape, p *Pattern, ss *schedule.SuperSchedule) (*nn.Grad, error) {

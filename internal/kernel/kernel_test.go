@@ -7,6 +7,7 @@ import (
 
 	"waco/internal/format"
 	"waco/internal/generate"
+	"waco/internal/metrics"
 	"waco/internal/schedule"
 	"waco/internal/tensor"
 )
@@ -283,6 +284,47 @@ func TestMeasureSchedule(t *testing.T) {
 	}
 	if _, _, err := wl.MeasureSchedule(dense, DefaultProfile(), 100, 1); !errors.Is(err, format.ErrStorageLimit) {
 		t.Fatalf("expected storage limit, got %v", err)
+	}
+}
+
+// TestMeasureRecordsMetrics checks the serving-side instrumentation: an
+// attached kernel.Metrics sees every Measure call with exact repeat and run
+// totals, and an unattached workload pays nothing (nil receiver no-op).
+func TestMeasureRecordsMetrics(t *testing.T) {
+	coo := testMatrix(15, 96, 96, 800)
+	wl, err := NewWorkload(schedule.SpMM, coo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Metrics = NewMetrics(metrics.NewRegistry())
+	p, err := wl.Compile(schedule.DefaultSchedule(schedule.SpMM, 2), DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wl.Measure(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wl.Measure(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	m := wl.Metrics
+	if got := m.Measurements.Value(); got != 2 {
+		t.Fatalf("measurements = %v, want 2", got)
+	}
+	if got := m.Runs.Value(); got != 8 {
+		t.Fatalf("runs = %v, want 3+5", got)
+	}
+	if m.Repeats.Count() != 2 || m.Repeats.Sum() != 8 {
+		t.Fatalf("repeats histogram count=%d sum=%v, want 2/8", m.Repeats.Count(), m.Repeats.Sum())
+	}
+	if m.RunSeconds.Count() != 8 || m.BusySeconds.Value() <= 0 {
+		t.Fatalf("run seconds count=%d busy=%v", m.RunSeconds.Count(), m.BusySeconds.Value())
+	}
+
+	// Unattached workload: Measure still works.
+	wl.Metrics = nil
+	if _, err := wl.Measure(p, 1); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,52 @@
+package kernel
+
+import (
+	"time"
+
+	"waco/internal/metrics"
+)
+
+// Metrics instruments kernel measurement — the dominant cost of a tuning
+// request (candidate probing plus the final median protocol). Attach one to
+// a Workload to record every Measure call against it.
+type Metrics struct {
+	Measurements *metrics.Counter   // Measure calls (one per candidate or final protocol)
+	Runs         *metrics.Counter   // individual kernel executions across all repeats
+	Repeats      *metrics.Histogram // repeats per Measure call
+	RunSeconds   *metrics.Histogram // wall seconds of each kernel execution
+	BusySeconds  *metrics.Counter   // total wall seconds spent executing kernels
+}
+
+// NewMetrics registers the kernel instruments on reg. Call once at startup
+// (the waco-vet metricreg check holds registration to init/constructors).
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		Measurements: reg.NewCounter("waco_kernel_measurements_total",
+			"Measure calls: one median-of-repeats measurement of one (matrix, schedule) pair.", nil),
+		Runs: reg.NewCounter("waco_kernel_runs_total",
+			"Individual kernel executions, summed over all measurement repeats.", nil),
+		Repeats: reg.NewHistogram("waco_kernel_repeats",
+			"Repeats per Measure call (the paper's median-of-N protocol, 4.1.3).",
+			metrics.ExpBuckets(1, 2, 8), nil),
+		RunSeconds: reg.NewHistogram("waco_kernel_run_seconds",
+			"Wall-clock seconds of each individual kernel execution.",
+			metrics.MicroBuckets(), nil),
+		BusySeconds: reg.NewCounter("waco_kernel_busy_seconds_total",
+			"Total wall-clock seconds spent executing kernels.", nil),
+	}
+}
+
+// observeMeasure records one completed Measure call; nil receivers no-op so
+// offline pipelines (dataset collection, experiments) pay nothing.
+func (m *Metrics) observeMeasure(repeats int, runs []time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Measurements.Inc()
+	m.Repeats.Observe(float64(repeats))
+	for _, d := range runs {
+		m.Runs.Inc()
+		m.RunSeconds.Observe(d.Seconds())
+		m.BusySeconds.Add(d.Seconds())
+	}
+}

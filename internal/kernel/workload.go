@@ -18,6 +18,11 @@ type Workload struct {
 	COO    *tensor.COO
 	DenseN int // inner dense dimension (N for SpMM, K for SDDMM, J for MTTKRP)
 
+	// Metrics, when non-nil, records every Measure call (repeats, per-run
+	// seconds, total kernel busy time). Attached by the serving path;
+	// offline pipelines leave it nil.
+	Metrics *Metrics
+
 	bVec   []float32
 	outVec []float32
 	bMat   *tensor.Dense
@@ -124,6 +129,7 @@ func (wl *Workload) Measure(p *Plan, repeats int) (time.Duration, error) {
 		}
 		times[r] = time.Since(start)
 	}
+	wl.Metrics.observeMeasure(repeats, times)
 	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
 	return times[len(times)/2], nil
 }

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets (cumulative `le` upper
+// bounds in the rendered form) and tracks their sum. Observe is lock-free:
+// one binary search plus three atomic adds, cheap enough for per-eval
+// recording inside the HNSW traversal.
+//
+// A scrape that races Observe may see a bucket increment before the matching
+// sum/count update (or vice versa); Prometheus histograms are by convention
+// eventually consistent across a scrape, never torn within one atomic.
+type Histogram struct {
+	upper  []float64 // ascending bucket upper bounds; +Inf is counts[len(upper)]
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	sort.Float64s(upper)
+	// Drop duplicates: two identical le bounds render an invalid exposition.
+	dedup := upper[:0]
+	for i, b := range upper {
+		if i == 0 || b != upper[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	upper = dedup
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot returns cumulative bucket counts aligned with upper (+Inf last).
+func (h *Histogram) snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// DefBuckets are general latency buckets in seconds (Prometheus' defaults):
+// 5ms to 10s, suited to tune/predict request latencies.
+func DefBuckets() []float64 {
+	return []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+}
+
+// MicroBuckets are fine-grained sub-second buckets (1µs to ~1s) for hot-path
+// stages: predictor-head evaluation time, feature extraction, queue waits,
+// and single kernel measurements.
+func MicroBuckets() []float64 {
+	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 2.5e-2, 1e-1, 5e-1, 1}
+}
+
+// ExpBuckets returns count buckets starting at start and growing by factor —
+// e.g. ExpBuckets(1, 2, 12) covers 1..2048 for evals-per-query counts.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+// Package metrics is WACO's stdlib-only observability layer: a Registry of
+// named counters, gauges, and fixed-bucket histograms rendered in the
+// Prometheus text exposition format. Instruments are lock-free on the
+// observation path (sync/atomic only), so they are safe inside the serving
+// hot path — the tune/predict handlers, the HNSW traversal's predictor-head
+// evaluations, and the kernel measurement loop all record into them.
+//
+// Registration is a startup-time activity: instruments are created once, in
+// package init or a New* constructor, and then only observed. The waco-vet
+// metricreg check enforces that convention, because per-request registration
+// would both allocate on the hot path and silently fork time series.
+//
+//waco:nolint paniccall -- misregistration (duplicate or malformed metric names) is a programmer error surfaced at startup, never reachable from request input
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels are constant key=value pairs attached to an instrument at
+// registration time. Prometheus treats each distinct label set as its own
+// time series within the metric family.
+type Labels map[string]string
+
+// Registry holds the registered instruments and renders them. The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	series map[string]*series
+}
+
+type series struct {
+	labels string // canonical rendered label block, "" or `{k="v",...}`
+	value  func() float64
+	hist   *Histogram
+	metric any // returned instrument, for idempotent re-registration
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter is a monotonically nondecreasing value. All methods are atomic.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (counters only go
+// up).
+func (c *Counter) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can go up and down. All methods are atomic.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by v (negative to decrease).
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// Inc and Dec shift by ±1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec shifts by -1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// addFloat atomically adds v to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// NewCounter registers (or returns the previously registered) counter.
+func (r *Registry) NewCounter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	got := r.register(name, help, "counter", labels, c.Value, nil, c)
+	return got.(*Counter)
+}
+
+// NewGauge registers (or returns the previously registered) gauge.
+func (r *Registry) NewGauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	got := r.register(name, help, "gauge", labels, g.Value, nil, g)
+	return got.(*Gauge)
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at render
+// time — the bridge for components that already keep their own atomic
+// counters (the serve.Cache hit/miss totals, the server's request atomics),
+// so /metrics and /v1/stats can never disagree about a shared total.
+func (r *Registry) NewCounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, "counter", labels, fn, nil, fn)
+}
+
+// NewGaugeFunc registers a gauge read from fn at render time.
+func (r *Registry) NewGaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, "gauge", labels, fn, nil, fn)
+}
+
+// NewHistogram registers (or returns the previously registered) histogram
+// with the given bucket upper bounds (ascending; +Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	h := newHistogram(buckets)
+	got := r.register(name, help, "histogram", labels, nil, h, h)
+	return got.(*Histogram)
+}
+
+// register adds one series, enforcing name/type/label discipline. Exact
+// re-registration of the same series returns the existing instrument (so a
+// constructor can be called twice against the same registry in tests);
+// conflicting re-registration panics — a startup programming error that must
+// not be papered over.
+func (r *Registry) register(name, help, typ string, labels Labels, value func() float64, hist *Histogram, metric any) any {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for k := range labels {
+		if !validName(k) || k == "le" {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", k, name))
+		}
+	}
+	key := renderLabels(labels, "", "")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ, series: map[string]*series{}}
+		r.families[name] = fam
+	}
+	if fam.typ != typ {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s, was %s", name, typ, fam.typ))
+	}
+	if s, ok := fam.series[key]; ok {
+		if fmt.Sprintf("%T", s.metric) != fmt.Sprintf("%T", metric) {
+			panic(fmt.Sprintf("metrics: duplicate series %s%s with different instrument type", name, key))
+		}
+		return s.metric
+	}
+	fam.series[key] = &series{labels: key, value: value, hist: hist, metric: metric}
+	return metric
+}
+
+// validName checks the Prometheus metric/label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		letter := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels builds the canonical `{k="v",...}` block with keys sorted,
+// optionally appending one extra pair (used for histogram le buckets).
+func renderLabels(labels Labels, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(labels[k]))
+		sb.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraVal))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentInstruments hammers every instrument kind from many
+// goroutines; run under -race this is the lock-freedom audit, and the exact
+// totals prove no increment is lost.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("waco_test_ops_total", "ops", nil)
+	g := r.NewGauge("waco_test_depth", "depth", nil)
+	h := r.NewHistogram("waco_test_seconds", "latency", []float64{0.25, 0.5, 0.75}, nil)
+
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(j%4) / 4) // 0, 0.25, 0.5, 0.75
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if got := c.Value(); got != total {
+		t.Fatalf("counter = %v, want %d", got, total)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	wantSum := float64(total) / 4 * (0 + 0.25 + 0.5 + 0.75)
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Fatalf("histogram sum = %v, want %v", got, wantSum)
+	}
+	// le semantics (v <= upper) put both 0 and 0.25 in the first bucket;
+	// 0.5 and 0.75 get one each; the +Inf overflow bucket stays empty.
+	cum := h.snapshot()
+	for i, want := range []uint64{total / 2, 3 * total / 4, total, total} {
+		if cum[i] != want {
+			t.Fatalf("cumulative bucket %d = %d, want %d", i, cum[i], want)
+		}
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	c.Add(math.NaN())
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %v, want 5 (negative and NaN adds ignored)", got)
+	}
+}
+
+func TestReregistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("waco_test_total", "h", Labels{"endpoint": "tune"})
+	b := r.NewCounter("waco_test_total", "h", Labels{"endpoint": "tune"})
+	if a != b {
+		t.Fatal("exact re-registration returned a different instrument")
+	}
+	other := r.NewCounter("waco_test_total", "h", Labels{"endpoint": "predict"})
+	if other == a {
+		t.Fatal("different label set shares an instrument")
+	}
+	a.Inc()
+	if v, ok := r.Value("waco_test_total", Labels{"endpoint": "tune"}); !ok || v != 1 {
+		t.Fatalf("Value = %v/%v, want 1/true", v, ok)
+	}
+	if v, ok := r.Value("waco_test_total", Labels{"endpoint": "predict"}); !ok || v != 0 {
+		t.Fatalf("Value(predict) = %v/%v, want 0/true", v, ok)
+	}
+	if _, ok := r.Value("waco_absent_total", nil); ok {
+		t.Fatal("Value found an unregistered series")
+	}
+}
+
+func TestConflictingRegistrationPanics(t *testing.T) {
+	for name, reg := range map[string]func(r *Registry){
+		"type change": func(r *Registry) {
+			r.NewCounter("waco_x_total", "h", nil)
+			r.NewGauge("waco_x_total", "h", nil)
+		},
+		"invalid name": func(r *Registry) { r.NewCounter("waco bad", "h", nil) },
+		"reserved le":  func(r *Registry) { r.NewHistogram("waco_h", "h", DefBuckets(), Labels{"le": "x"}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			reg(NewRegistry())
+		}()
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 2, 1}) // unsorted + duplicate input
+	if len(h.upper) != 2 {
+		t.Fatalf("buckets = %v, want deduped [1 2]", h.upper)
+	}
+	h.Observe(1) // on the boundary: le="1" includes it
+	h.Observe(1.5)
+	h.Observe(99) // overflow bucket
+	cum := h.snapshot()
+	if cum[0] != 1 || cum[1] != 2 || cum[2] != 3 {
+		t.Fatalf("cumulative = %v, want [1 2 3]", cum)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}

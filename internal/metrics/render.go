@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series within
+// a family sorted by label block, histograms as cumulative le buckets plus
+// _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var sb strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
+		r.mu.Lock()
+		ss := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			ss = append(ss, s)
+		}
+		r.mu.Unlock()
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		for _, s := range ss {
+			if s.hist != nil {
+				writeHistogram(&sb, f.name, s)
+				continue
+			}
+			fmt.Fprintf(&sb, "%s%s %s\n", f.name, s.labels, formatValue(s.value()))
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func writeHistogram(sb *strings.Builder, name string, s *series) {
+	h := s.hist
+	cum := h.snapshot()
+	for i, upper := range h.upper {
+		fmt.Fprintf(sb, "%s_bucket%s %d\n", name, withLE(s.labels, formatValue(upper)), cum[i])
+	}
+	fmt.Fprintf(sb, "%s_bucket%s %d\n", name, withLE(s.labels, "+Inf"), cum[len(cum)-1])
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, s.labels, formatValue(h.Sum()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, s.labels, h.Count())
+}
+
+// withLE splices the le label into an already rendered label block.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return strings.TrimSuffix(labels, "}") + `,le="` + le + `"}`
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves GET /metrics for the registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The status line is already written; nothing to send the client.
+			return
+		}
+	})
+}
+
+// Value returns the current value of a counter or gauge series, or false if
+// the series does not exist or is a histogram. Intended for tests and
+// in-process assertions, not the scrape path.
+func (r *Registry) Value(name string, labels Labels) (float64, bool) {
+	key := renderLabels(labels, "", "")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		return 0, false
+	}
+	s, ok := fam.series[key]
+	if !ok || s.value == nil {
+		return 0, false
+	}
+	return s.value(), true
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition: family ordering by
+// name, series ordering by label block, cumulative le buckets, escaping.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("waco_requests_total", "Requests by endpoint.", Labels{"endpoint": "tune"})
+	c.Add(3)
+	r.NewCounter("waco_requests_total", "Requests by endpoint.", Labels{"endpoint": "predict"}).Inc()
+	g := r.NewGauge("waco_in_flight", "In-flight requests.", nil)
+	g.Set(2)
+	h := r.NewHistogram("waco_request_seconds", "Latency.", []float64{0.1, 1}, Labels{"endpoint": "tune"})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.NewGaugeFunc("waco_uptime_seconds", `Uptime "so far"`+"\nsecond line.", nil, func() float64 { return 12.5 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP waco_in_flight In-flight requests.
+# TYPE waco_in_flight gauge
+waco_in_flight 2
+# HELP waco_request_seconds Latency.
+# TYPE waco_request_seconds histogram
+waco_request_seconds_bucket{endpoint="tune",le="0.1"} 1
+waco_request_seconds_bucket{endpoint="tune",le="1"} 2
+waco_request_seconds_bucket{endpoint="tune",le="+Inf"} 3
+waco_request_seconds_sum{endpoint="tune"} 5.55
+waco_request_seconds_count{endpoint="tune"} 3
+# HELP waco_requests_total Requests by endpoint.
+# TYPE waco_requests_total counter
+waco_requests_total{endpoint="predict"} 1
+waco_requests_total{endpoint="tune"} 3
+# HELP waco_uptime_seconds Uptime "so far"\nsecond line.
+# TYPE waco_uptime_seconds gauge
+waco_uptime_seconds 12.5
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerServesText(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("waco_ok_total", "ok", nil).Inc()
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "waco_ok_total 1") {
+		t.Fatalf("body missing sample:\n%s", body)
+	}
+
+	post, err := http.Post(ts.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d, want 405", post.StatusCode)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("waco_esc_total", "h", Labels{"path": "a\\b\"c\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `waco_esc_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaped sample %q not found in:\n%s", want, sb.String())
+	}
+}

@@ -26,6 +26,12 @@ type Index struct {
 	Model     *costmodel.Model
 	Schedules []*schedule.SuperSchedule
 	Graph     *hnsw.Graph
+
+	// Metrics, when non-nil, receives the §5.4 per-query breakdown
+	// (feature/eval/traversal time, evals per query) as histograms. It is
+	// serving-side instrumentation attached by serve.NewServer, never
+	// persisted in sealed artifacts.
+	Metrics *Metrics
 }
 
 // BuildIndex embeds and indexes the given schedules, deduplicating by
@@ -90,7 +96,15 @@ func (ix *Index) Search(ctx context.Context, p *costmodel.Pattern, k, ef int) (*
 	t1 := time.Now()
 	best := inf()
 	cancelled := false
+	// costs memoizes the head evaluation per candidate id, so assembling
+	// Candidates below reuses what the traversal already computed instead of
+	// re-running the predictor head — and Evals counts exactly the distinct
+	// evaluations (post-cancellation sentinel returns are not evals).
+	costs := make(map[int]float64, ef)
 	dist := func(id int) float64 {
+		if c, ok := costs[id]; ok {
+			return c
+		}
 		if cancelled || ctx.Err() != nil {
 			cancelled = true
 			return inf()
@@ -99,25 +113,33 @@ func (ix *Index) Search(ctx context.Context, p *costmodel.Pattern, k, ef int) (*
 		emb := nn.NewGrad(ix.Graph.Vector(id))
 		c := float64(ix.Model.PredictWith(nil, feat, emb).V[0])
 		res.EvalTime += time.Since(e0)
+		costs[id] = c
 		if c < best {
 			best = c
 		}
 		res.Trace = append(res.Trace, best)
 		return c
 	}
-	ids, evals := ix.Graph.Search(dist, k, ef)
+	ids, _ := ix.Graph.Search(dist, k, ef)
 	res.SearchTime = time.Since(t1)
-	res.Evals = evals
+	res.Evals = len(costs)
 	if cancelled {
 		return nil, ctx.Err()
 	}
 	for _, id := range ids {
-		emb := nn.NewGrad(ix.Graph.Vector(id))
-		res.Candidates = append(res.Candidates, Candidate{
-			SS:   ix.Schedules[id],
-			Cost: float64(ix.Model.PredictWith(nil, feat, emb).V[0]),
-		})
+		cost, ok := costs[id]
+		if !ok {
+			// Defensive: every returned id was scored by dist during the
+			// traversal, so this path only runs if the graph ever returns an
+			// unvisited id.
+			emb := nn.NewGrad(ix.Graph.Vector(id))
+			cost = float64(ix.Model.PredictWith(nil, feat, emb).V[0])
+			costs[id] = cost
+			res.Evals++
+		}
+		res.Candidates = append(res.Candidates, Candidate{SS: ix.Schedules[id], Cost: cost})
 	}
+	ix.Metrics.observe(res)
 	return res, nil
 }
 

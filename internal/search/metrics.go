@@ -1,0 +1,52 @@
+package search
+
+import (
+	"waco/internal/metrics"
+)
+
+// Metrics is the §5.4 search-time breakdown as histograms: where an ANNS
+// query's time goes (sparsity-feature extraction vs. predictor-head
+// evaluation vs. graph-traversal bookkeeping) and how many head evaluations
+// each query costs. One Metrics instance aggregates every query against the
+// Index it is attached to.
+type Metrics struct {
+	FeatureSeconds   *metrics.Histogram
+	EvalSeconds      *metrics.Histogram
+	TraversalSeconds *metrics.Histogram
+	EvalsPerQuery    *metrics.Histogram
+	Queries          *metrics.Counter
+}
+
+// NewMetrics registers the search histograms on reg. Call once at startup
+// (the waco-vet metricreg check holds registration to init/constructors).
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		FeatureSeconds: reg.NewHistogram("waco_search_feature_seconds",
+			"Sparsity-feature extraction time per ANNS query (5.4 breakdown).",
+			metrics.MicroBuckets(), nil),
+		EvalSeconds: reg.NewHistogram("waco_search_eval_seconds",
+			"Total predictor-head evaluation time per ANNS query (5.4 breakdown).",
+			metrics.MicroBuckets(), nil),
+		TraversalSeconds: reg.NewHistogram("waco_search_traversal_seconds",
+			"Graph-traversal bookkeeping time per ANNS query: search time minus head evaluations.",
+			metrics.MicroBuckets(), nil),
+		EvalsPerQuery: reg.NewHistogram("waco_search_evals_per_query",
+			"Distinct predictor-head evaluations per ANNS query.",
+			metrics.ExpBuckets(1, 2, 14), nil),
+		Queries: reg.NewCounter("waco_search_queries_total",
+			"Completed ANNS queries.", nil),
+	}
+}
+
+// observe records one completed query's breakdown; a nil receiver is a no-op
+// so uninstrumented indexes (offline experiments, tests) pay nothing.
+func (m *Metrics) observe(res *Result) {
+	if m == nil {
+		return
+	}
+	m.FeatureSeconds.Observe(res.FeatureTime.Seconds())
+	m.EvalSeconds.Observe(res.EvalTime.Seconds())
+	m.TraversalSeconds.Observe((res.SearchTime - res.EvalTime).Seconds())
+	m.EvalsPerQuery.Observe(float64(res.Evals))
+	m.Queries.Inc()
+}

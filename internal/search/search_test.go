@@ -9,6 +9,7 @@ import (
 	"waco/internal/costmodel"
 	"waco/internal/generate"
 	"waco/internal/hnsw"
+	"waco/internal/metrics"
 	"waco/internal/schedule"
 	"waco/internal/sparseconv"
 )
@@ -113,6 +114,83 @@ func TestIndexSearchFindsNearOptimal(t *testing.T) {
 		if res.Trace[i] > res.Trace[i-1] {
 			t.Fatal("trace not monotone")
 		}
+	}
+}
+
+// TestSearchEvalsCountDistinctHeadEvals is the satellite-bug regression:
+// assembling the returned candidates must reuse the costs the traversal
+// already computed, so one query performs exactly Result.Evals predictor-head
+// forward passes — no uncounted re-evaluations of the top-k (the model's
+// lifetime HeadEvals counter is the ground truth).
+func TestSearchEvalsCountDistinctHeadEvals(t *testing.T) {
+	m := testModel(t)
+	scheds := sampleSchedules(150, 13)
+	ix, err := BuildIndex(m, scheds, hnsw.Config{M: 8, EfConstruction: 48, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPattern(15)
+	const k = 8
+	before := m.HeadEvals()
+	res, err := ix.Search(context.Background(), p, k, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := m.HeadEvals() - before
+	if uint64(res.Evals) != delta {
+		t.Fatalf("Result.Evals = %d but the model ran %d head evaluations (candidate assembly must reuse memoized costs)",
+			res.Evals, delta)
+	}
+	if res.Evals != len(res.Trace) {
+		t.Fatalf("Evals = %d, trace length %d: every counted eval appends one trace point", res.Evals, len(res.Trace))
+	}
+	if len(res.Candidates) != k {
+		t.Fatalf("got %d candidates", len(res.Candidates))
+	}
+	// The reused costs are the same values an independent recomputation
+	// yields (inference is deterministic).
+	ev, err := NewEvaluator(m, testPattern(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Candidates {
+		if got := ev.Cost(c.SS); got != c.Cost {
+			t.Fatalf("candidate %d cost %v, recomputed %v", i, c.Cost, got)
+		}
+	}
+}
+
+// TestSearchMetricsObserve checks the 5.4 breakdown lands in the attached
+// histograms once per completed query.
+func TestSearchMetricsObserve(t *testing.T) {
+	m := testModel(t)
+	ix, err := BuildIndex(m, sampleSchedules(80, 21), hnsw.Config{M: 8, EfConstruction: 48, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Metrics = NewMetrics(metrics.NewRegistry())
+	const queries = 3
+	for i := 0; i < queries; i++ {
+		if _, err := ix.Search(context.Background(), testPattern(int64(30+i)), 5, 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sm := ix.Metrics
+	if got := sm.Queries.Value(); got != queries {
+		t.Fatalf("queries counter = %v, want %d", got, queries)
+	}
+	for name, h := range map[string]*metrics.Histogram{
+		"feature":   sm.FeatureSeconds,
+		"eval":      sm.EvalSeconds,
+		"traversal": sm.TraversalSeconds,
+		"evals":     sm.EvalsPerQuery,
+	} {
+		if h.Count() != queries {
+			t.Fatalf("%s histogram has %d observations, want %d", name, h.Count(), queries)
+		}
+	}
+	if sm.EvalsPerQuery.Sum() <= 0 {
+		t.Fatal("evals-per-query histogram observed nothing")
 	}
 }
 

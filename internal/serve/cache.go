@@ -10,9 +10,10 @@ import (
 // the key's first byte keeps lock contention off the hot read path when many
 // goroutines hit the cache concurrently; each shard holds its own LRU list.
 type Cache struct {
-	shards []*cacheShard
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	shards    []*cacheShard
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 type cacheShard struct {
@@ -84,6 +85,21 @@ func (c *Cache) Get(key string) (any, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
+// Peek returns the cached value for key without touching the hit/miss
+// counters or the LRU order. It exists for double-check lookups that already
+// counted their outcome once (the server's pre-flight Get): counting the
+// same request's miss twice would skew every hit-rate derived downstream.
+func (c *Cache) Peek(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.m[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).val, true
+}
+
 // Put inserts or refreshes key, evicting the shard's LRU entry when full.
 func (c *Cache) Put(key string, val any) {
 	s := c.shard(key)
@@ -99,6 +115,7 @@ func (c *Cache) Put(key string, val any) {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
 		delete(s.m, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -113,6 +130,8 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// Hits and Misses return the lifetime lookup counters.
-func (c *Cache) Hits() uint64   { return c.hits.Load() }
-func (c *Cache) Misses() uint64 { return c.misses.Load() }
+// Hits, Misses, and Evictions return the lifetime counters. Peek lookups are
+// excluded by design; evictions count LRU displacements, not Put refreshes.
+func (c *Cache) Hits() uint64      { return c.hits.Load() }
+func (c *Cache) Misses() uint64    { return c.misses.Load() }
+func (c *Cache) Evictions() uint64 { return c.evictions.Load() }

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -23,6 +25,38 @@ func TestCacheGetPut(t *testing.T) {
 	}
 	if c.Hits() != 2 || c.Misses() != 1 {
 		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+// TestCachePeekDoesNotCount pins the non-counting lookup the server's
+// in-flight double-check uses: Peek sees cached values but never moves the
+// hit/miss counters, so each request's outcome is counted exactly once.
+func TestCachePeekDoesNotCount(t *testing.T) {
+	c := NewCache(8, 1)
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("peek hit on empty cache")
+	}
+	c.Put("a", 1)
+	if v, ok := c.Peek("a"); !ok || v.(int) != 1 {
+		t.Fatalf("peek got %v, %v", v, ok)
+	}
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatalf("peek moved counters: hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheCountsEvictions(t *testing.T) {
+	c := NewCache(2, 1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 3) // refresh, not an eviction
+	if c.Evictions() != 0 {
+		t.Fatalf("evictions = %d before overflow", c.Evictions())
+	}
+	c.Put("c", 4)
+	c.Put("d", 5)
+	if c.Evictions() != 2 {
+		t.Fatalf("evictions = %d, want 2", c.Evictions())
 	}
 }
 
@@ -91,7 +125,7 @@ func TestFlightGroupDedups(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		v, _, shared := g.Do("k", func() (any, error) {
+		v, _, shared := g.Do(context.Background(), "k", func() (any, error) {
 			close(started)
 			<-release
 			return 42, nil
@@ -103,7 +137,7 @@ func TestFlightGroupDedups(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, _, shared := g.Do("k", func() (any, error) { return -1, nil })
+			v, _, shared := g.Do(context.Background(), "k", func() (any, error) { return -1, nil })
 			results[i], shareds[i] = v, shared
 		}(i)
 	}
@@ -137,8 +171,64 @@ func TestFlightGroupDedups(t *testing.T) {
 	}
 
 	// The key is forgotten after completion: a fresh call runs its own fn.
-	v, _, shared := g.Do("k", func() (any, error) { return 7, nil })
+	v, _, shared := g.Do(context.Background(), "k", func() (any, error) { return 7, nil })
 	if shared || v.(int) != 7 {
 		t.Fatalf("post-completion call: v=%v shared=%v", v, shared)
+	}
+}
+
+// TestFlightFollowerHonorsContext is the satellite-bug regression: a deduped
+// follower whose own context ends must return immediately with ctx.Err()
+// instead of riding out the leader's full search — while the leader still
+// completes and later followers still get its result.
+func TestFlightFollowerHonorsContext(t *testing.T) {
+	g := newFlightGroup()
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	leaderDone := make(chan struct{})
+	var leaderVal any
+	go func() {
+		defer close(leaderDone)
+		leaderVal, _, _ = g.Do(context.Background(), "k", func() (any, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+	}()
+	<-started
+
+	// Follower with an already-cancelled context: must not block on the
+	// leader.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	followerReturned := make(chan struct{})
+	var fv any
+	var ferr error
+	var fshared bool
+	go func() {
+		defer close(followerReturned)
+		fv, ferr, fshared = g.Do(ctx, "k", func() (any, error) { return -1, nil })
+	}()
+	select {
+	case <-followerReturned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled follower still blocked on the leader's flight")
+	}
+	if !errors.Is(ferr, context.Canceled) {
+		t.Fatalf("follower error = %v, want context.Canceled", ferr)
+	}
+	if fv != nil || !fshared {
+		t.Fatalf("follower got v=%v shared=%v, want nil/true", fv, fshared)
+	}
+	if got := g.abandonedCount(); got != 1 {
+		t.Fatalf("abandoned = %d, want 1", got)
+	}
+
+	// The leader is unaffected by the follower's departure.
+	close(release)
+	<-leaderDone
+	if leaderVal.(int) != 42 {
+		t.Fatalf("leader got %v, want 42", leaderVal)
 	}
 }

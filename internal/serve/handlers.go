@@ -110,13 +110,19 @@ func (m *MatrixJSON) ToCOO() (*tensor.COO, error) {
 //	POST /v1/tune     — tune one matrix, returns TuneResult
 //	POST /v1/predict  — top-k schedules by predicted cost, no measurement
 //	GET  /v1/healthz  — liveness
-//	GET  /v1/stats    — counters (Stats)
+//	GET  /v1/stats    — counter snapshot (Stats)
+//	GET  /metrics     — Prometheus text exposition of the same counters plus
+//	                    latency/stage histograms
+//
+// Every endpoint runs under the instrument middleware (request counters,
+// latency histograms, structured access log).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/tune", s.handleTune)
-	mux.HandleFunc("/v1/predict", s.handlePredict)
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/tune", s.instrument("tune", s.handleTune))
+	mux.HandleFunc("/v1/predict", s.instrument("predict", s.handlePredict))
+	mux.HandleFunc("/v1/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("/metrics", s.instrument("metrics", s.metrics.reg.Handler().ServeHTTP))
 	return mux
 }
 
@@ -188,6 +194,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	annotate(r.Context(), res.Fingerprint, res.Cached, res.Deduped)
 	writeJSON(w, http.StatusOK, res)
 }
 

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -180,6 +181,147 @@ func TestEndToEndHTTP(t *testing.T) {
 		t.Fatalf("POST /v1/stats: %d", r.StatusCode)
 	}
 	r.Body.Close()
+}
+
+// TestMetricsEndpointAgreesWithStats is the acceptance check for the
+// observability layer: after N distinct and M duplicate tune requests the
+// Prometheus exposition on /metrics must report cache_misses == N and agree
+// with /v1/stats on every shared total — the two surfaces read the same
+// atomics, so any drift is a bug.
+func TestMetricsEndpointAgreesWithStats(t *testing.T) {
+	s, err := NewServer(quickTuner(t), Options{MaxWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const distinct = 3
+	const dupsPer = 2
+	tunePosts := 0
+	for seed := int64(0); seed < distinct; seed++ {
+		body := tuneBody(t, testMatrix(300+seed))
+		for rep := 0; rep <= dupsPer; rep++ {
+			var res TuneResult
+			postJSON(t, ts.URL+"/v1/tune", body, http.StatusOK, &res)
+			tunePosts++
+			if rep > 0 && !res.Cached {
+				t.Fatalf("seed %d rep %d not served from cache", seed, rep)
+			}
+		}
+	}
+	var pres PredictResponse
+	preq, _ := json.Marshal(map[string]any{
+		"matrix": &MatrixJSON{Dims: []int{4, 4}, Coords: [][]int32{{0, 1}, {1, 2}}, Vals: []float32{1, 2}},
+		"k":      2,
+	})
+	postJSON(t, ts.URL+"/v1/predict", preq, http.StatusOK, &pres)
+
+	var st Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
+
+	resp := get(t, ts.URL+"/metrics")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := parsePrometheus(t, string(raw))
+
+	// The headline acceptance numbers: exactly one miss per distinct matrix,
+	// every repeat a hit, no dedup or abandonment under sequential load.
+	for name, want := range map[string]uint64{
+		"waco_cache_misses_total":     distinct,
+		"waco_cache_hits_total":       distinct * dupsPer,
+		"waco_searches_total":         distinct,
+		"waco_deduped_searches_total": 0,
+		"waco_flight_abandoned_total": 0,
+		"waco_tune_requests_total":    distinct * (dupsPer + 1),
+		"waco_predict_requests_total": 1,
+		"waco_request_errors_total":   0,
+		"waco_cache_evictions_total":  0,
+	} {
+		if got, ok := mm[name]; !ok || got != float64(want) {
+			t.Fatalf("%s = %v (present=%v), want %d", name, got, ok, want)
+		}
+	}
+
+	// Exposition and JSON stats are two views of the same counters.
+	for name, want := range map[string]uint64{
+		"waco_tune_requests_total":    st.TuneRequests,
+		"waco_predict_requests_total": st.PredictRequests,
+		"waco_searches_total":         st.Searches,
+		"waco_deduped_searches_total": st.DedupedSearches,
+		"waco_flight_abandoned_total": st.FlightAbandoned,
+		"waco_cache_hits_total":       st.CacheHits,
+		"waco_cache_misses_total":     st.CacheMisses,
+		"waco_cache_evictions_total":  st.CacheEvictions,
+		"waco_cache_entries":          uint64(st.CacheEntries),
+		"waco_index_size":             uint64(st.IndexSize),
+	} {
+		if mm[name] != float64(want) {
+			t.Fatalf("%s = %v disagrees with /v1/stats value %d", name, mm[name], want)
+		}
+	}
+
+	// Per-endpoint HTTP counters and latency histograms saw every request.
+	if got := mm[`waco_http_requests_total{endpoint="tune"}`]; got != float64(tunePosts) {
+		t.Fatalf("http tune requests = %v, want %d", got, tunePosts)
+	}
+	if got := mm[`waco_http_request_seconds_count{endpoint="tune"}`]; got != float64(tunePosts) {
+		t.Fatalf("http tune latency count = %v, want %d", got, tunePosts)
+	}
+	if got := mm[`waco_http_requests_total{endpoint="stats"}`]; got != 1 {
+		t.Fatalf("http stats requests = %v, want 1", got)
+	}
+	if got := mm[`waco_http_errors_total{endpoint="tune"}`]; got != 0 {
+		t.Fatalf("http tune errors = %v, want 0", got)
+	}
+
+	// Search-side 5.4 instruments observed one entry per executed search.
+	if got := mm["waco_search_queries_total"]; got != distinct+1 { // +1 predict
+		t.Fatalf("search queries = %v, want %d", got, distinct+1)
+	}
+	if got := mm["waco_search_evals_per_query_count"]; got != distinct+1 {
+		t.Fatalf("evals-per-query observations = %v, want %d", got, distinct+1)
+	}
+	if mm["waco_costmodel_head_evals_total"] <= 0 {
+		t.Fatal("no head evals exported")
+	}
+	// Kernel measurements ran once per full tune (the measured winner).
+	if mm["waco_kernel_measurements_total"] <= 0 || mm["waco_kernel_runs_total"] <= 0 {
+		t.Fatalf("kernel instruments empty: measurements=%v runs=%v",
+			mm["waco_kernel_measurements_total"], mm["waco_kernel_runs_total"])
+	}
+}
+
+// parsePrometheus reads text exposition format into series -> value, keyed by
+// the full series name including its label set.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
 }
 
 func newPattern(coo *tensor.COO) *costmodel.Pattern {

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// annotation carries per-request delivery metadata from a handler body back
+// to the instrument middleware, which owns the access-log line. Handlers
+// fill it after their service call succeeds; requests that fail before a
+// result leave it empty.
+type annotation struct {
+	fingerprint string
+	cached      bool
+	deduped     bool
+	has         bool
+}
+
+type annotationKey struct{}
+
+func withAnnotation(ctx context.Context) (context.Context, *annotation) {
+	ann := &annotation{}
+	return context.WithValue(ctx, annotationKey{}, ann), ann
+}
+
+// annotate records delivery metadata for the in-flight request, if the
+// request came through the instrument middleware.
+func annotate(ctx context.Context, fingerprint string, cached, deduped bool) {
+	if ann, ok := ctx.Value(annotationKey{}).(*annotation); ok {
+		ann.fingerprint, ann.cached, ann.deduped, ann.has = fingerprint, cached, deduped, true
+	}
+}
+
+// statusWriter captures the response status for metrics and logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint handler with the serving telemetry: a
+// monotonically increasing request id, the per-endpoint request/error
+// counters and latency histogram, and one structured access-log line when a
+// logger is configured.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.metrics.endpoints[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqSeq.Add(1)
+		start := time.Now()
+		ctx, ann := withAnnotation(r.Context())
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+
+		em.requests.Inc()
+		em.latency.Observe(elapsed.Seconds())
+		if sw.status >= 400 {
+			em.errors.Inc()
+		}
+		if s.logger != nil {
+			attrs := []slog.Attr{
+				slog.Uint64("id", id),
+				slog.String("endpoint", endpoint),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", elapsed),
+			}
+			if ann.has {
+				attrs = append(attrs,
+					slog.String("fingerprint", ann.fingerprint),
+					slog.Bool("cached", ann.cached),
+					slog.Bool("deduped", ann.deduped))
+			}
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+		}
+	}
+}

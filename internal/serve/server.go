@@ -13,12 +13,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"waco/internal/core"
 	"waco/internal/costmodel"
+	"waco/internal/kernel"
+	"waco/internal/metrics"
+	"waco/internal/search"
 	"waco/internal/tensor"
 )
 
@@ -37,6 +41,13 @@ type Options struct {
 	// RequestTimeout bounds one request's search + measurement work.
 	// 0 disables the per-request deadline.
 	RequestTimeout time.Duration
+	// Registry receives the server's metrics (exposed at GET /metrics).
+	// nil creates a private registry, retrievable via Server.Registry.
+	Registry *metrics.Registry
+	// Logger, when non-nil, receives one structured line per HTTP request
+	// (request id, endpoint, status, duration, and for tune requests the
+	// fingerprint and cached/deduped delivery path).
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -93,23 +104,42 @@ type Server struct {
 	deduped     atomic.Uint64
 	errCount    atomic.Uint64
 	inFlight    atomic.Int64
+	reqSeq      atomic.Uint64
+
+	metrics *serverMetrics
+	logger  *slog.Logger
 }
 
-// NewServer wraps a tuner (typically from core.LoadTuner) for serving.
+// NewServer wraps a tuner (typically from core.LoadTuner) for serving. It
+// instruments the tuner in place — the index's search breakdown and the
+// workloads' kernel measurements report into the server's registry — so a
+// tuner should back at most one server at a time.
 func NewServer(t *core.Tuner, opts Options) (*Server, error) {
 	if t == nil || t.Model == nil || t.Index == nil {
 		return nil, fmt.Errorf("serve: tuner is missing a model or index")
 	}
 	opts = opts.withDefaults()
-	return &Server{
+	reg := opts.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{
 		tuner:  t,
 		opts:   opts,
 		cache:  NewCache(opts.CacheSize, opts.CacheShards),
 		flight: newFlightGroup(),
 		sem:    make(chan struct{}, opts.MaxWorkers),
 		start:  time.Now(),
-	}, nil
+		logger: opts.Logger,
+	}
+	s.metrics = newServerMetrics(reg, s)
+	t.Index.Metrics = search.NewMetrics(reg)
+	t.KernelMetrics = kernel.NewMetrics(reg)
+	return s, nil
 }
+
+// Registry returns the server's metrics registry (the /metrics source).
+func (s *Server) Registry() *metrics.Registry { return s.metrics.reg }
 
 // Tuner returns the underlying tuner (read-only use).
 func (s *Server) Tuner() *core.Tuner { return s.tuner }
@@ -133,9 +163,13 @@ func (s *Server) end() {
 }
 
 // acquire takes a worker-pool slot, abandoning the wait if ctx ends first.
+// Successful waits are recorded in the queue-wait histogram — the signal
+// that MaxWorkers, not search cost, is what requests are paying for.
 func (s *Server) acquire(ctx context.Context) error {
+	start := time.Now()
 	select {
 	case s.sem <- struct{}{}:
+		s.metrics.queueWait.Observe(time.Since(start).Seconds())
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -178,11 +212,13 @@ func (s *Server) Tune(ctx context.Context, coo *tensor.COO) (*TuneResult, error)
 
 	ctx, cancel := s.requestCtx(ctx)
 	defer cancel()
-	v, err, shared := s.flight.Do(fp, func() (any, error) {
+	v, err, shared := s.flight.Do(ctx, fp, func() (any, error) {
 		// Double-check: a caller that missed the cache may have raced a
 		// just-completed flight for the same fingerprint; the result it
-		// cached makes a second search pointless.
-		if v, ok := s.cache.Get(fp); ok {
+		// cached makes a second search pointless. Peek, not Get: this
+		// request's miss was already counted at the pre-flight lookup, and
+		// counting it twice would halve every derived hit rate.
+		if v, ok := s.cache.Peek(fp); ok {
 			return v, nil
 		}
 		if err := s.acquire(ctx); err != nil {
@@ -277,8 +313,10 @@ type Stats struct {
 	PredictRequests uint64  `json:"predict_requests"`
 	Searches        uint64  `json:"searches"`
 	DedupedSearches uint64  `json:"deduped_searches"`
+	FlightAbandoned uint64  `json:"flight_abandoned"`
 	CacheHits       uint64  `json:"cache_hits"`
 	CacheMisses     uint64  `json:"cache_misses"`
+	CacheEvictions  uint64  `json:"cache_evictions"`
 	CacheEntries    int     `json:"cache_entries"`
 	Errors          uint64  `json:"errors"`
 	InFlight        int64   `json:"in_flight"`
@@ -295,8 +333,10 @@ func (s *Server) Snapshot() Stats {
 		PredictRequests: s.predictReqs.Load(),
 		Searches:        s.searches.Load(),
 		DedupedSearches: s.deduped.Load(),
+		FlightAbandoned: s.flight.abandonedCount(),
 		CacheHits:       s.cache.Hits(),
 		CacheMisses:     s.cache.Misses(),
+		CacheEvictions:  s.cache.Evictions(),
 		CacheEntries:    s.cache.Len(),
 		Errors:          s.errCount.Load(),
 		InFlight:        s.inFlight.Load(),

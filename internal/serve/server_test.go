@@ -106,13 +106,44 @@ func TestTuneCachesByFingerprint(t *testing.T) {
 	if st.Searches != 1 {
 		t.Fatalf("searches = %d, want 1", st.Searches)
 	}
-	// The cold path counts two misses: the fast-path lookup and the
-	// double-check inside the flight.
-	if st.CacheHits != 1 || st.CacheMisses != 2 {
-		t.Fatalf("cache hits=%d misses=%d, want 1/2", st.CacheHits, st.CacheMisses)
+	// Exactly one miss for the one uncached request: the in-flight
+	// double-check is a non-counting Peek, so the cold path no longer
+	// counts twice.
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("cache hits=%d misses=%d, want 1/1", st.CacheHits, st.CacheMisses)
 	}
 	if st.TuneRequests != 2 {
 		t.Fatalf("tune requests = %d, want 2", st.TuneRequests)
+	}
+}
+
+// TestCacheCountsAreExact is the satellite-bug regression at the server
+// level: after N distinct and M duplicate (sequential, so cache-served) tune
+// requests, misses == N and hits == M — the totals any hit-rate dashboard
+// divides.
+func TestCacheCountsAreExact(t *testing.T) {
+	s := newTestServer(t, Options{})
+	const distinct = 3
+	const repeatsPer = 2
+	for seed := int64(0); seed < distinct; seed++ {
+		for rep := 0; rep <= repeatsPer; rep++ {
+			if _, err := s.Tune(context.Background(), testMatrix(200+seed)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := s.Snapshot()
+	if st.CacheMisses != distinct {
+		t.Fatalf("cache misses = %d, want exactly %d (one per distinct matrix)", st.CacheMisses, distinct)
+	}
+	if st.CacheHits != distinct*repeatsPer {
+		t.Fatalf("cache hits = %d, want %d", st.CacheHits, distinct*repeatsPer)
+	}
+	if st.Searches != distinct {
+		t.Fatalf("searches = %d, want %d", st.Searches, distinct)
+	}
+	if st.DedupedSearches != 0 || st.FlightAbandoned != 0 {
+		t.Fatalf("sequential requests deduped=%d abandoned=%d, want 0/0", st.DedupedSearches, st.FlightAbandoned)
 	}
 }
 

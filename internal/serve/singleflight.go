@@ -1,23 +1,34 @@
 package serve
 
-import "sync"
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
 
 // flightGroup deduplicates concurrent calls with the same key: the first
-// caller runs fn, every concurrent duplicate blocks and receives the same
-// result (a minimal, dependency-free analog of x/sync/singleflight). A
-// completed call is forgotten immediately, so sequential repeats re-run fn —
-// in the server the LRU cache, not the flight group, is the memoization
-// layer.
+// caller (the leader) runs fn, every concurrent duplicate (a follower)
+// blocks and receives the same result (a minimal, dependency-free analog of
+// x/sync/singleflight). A completed call is forgotten immediately, so
+// sequential repeats re-run fn — in the server the LRU cache, not the flight
+// group, is the memoization layer.
+//
+// A follower's wait is bounded by its own context: when ctx ends first the
+// follower returns ctx.Err() immediately instead of riding out the leader's
+// full search, releasing whatever accounting (request slots, drain
+// WaitGroups) the caller holds. The leader is unaffected — it still
+// completes, caches, and serves any followers that kept waiting.
 type flightGroup struct {
-	mu sync.Mutex
-	m  map[string]*flightCall
+	mu        sync.Mutex
+	m         map[string]*flightCall
+	abandoned atomic.Uint64 // followers that left via their own ctx
 }
 
 type flightCall struct {
-	wg   sync.WaitGroup
+	done chan struct{} // closed when val/err are final
 	val  any
 	err  error
-	dups int
+	dups int // followers that joined (guarded by flightGroup.mu)
 }
 
 func newFlightGroup() *flightGroup {
@@ -25,17 +36,22 @@ func newFlightGroup() *flightGroup {
 }
 
 // Do runs fn once per key among concurrent callers. shared reports whether
-// this caller received another caller's result.
-func (g *flightGroup) Do(key string, fn func() (any, error)) (v any, err error, shared bool) {
+// this caller joined another caller's flight (true even when the join was
+// abandoned via ctx — the caller never ran its own search).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error)) (v any, err error, shared bool) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
 		c.dups++
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			g.abandoned.Add(1)
+			return nil, ctx.Err(), true
+		}
 	}
-	c := &flightCall{}
-	c.wg.Add(1)
+	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
@@ -44,6 +60,9 @@ func (g *flightGroup) Do(key string, fn func() (any, error)) (v any, err error, 
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()
-	c.wg.Done()
+	close(c.done)
 	return c.val, c.err, false
 }
+
+// abandonedCount returns how many followers gave up waiting.
+func (g *flightGroup) abandonedCount() uint64 { return g.abandoned.Load() }

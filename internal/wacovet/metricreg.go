@@ -1,0 +1,89 @@
+package wacovet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MetricregConfig scopes the metricreg check.
+type MetricregConfig struct {
+	// Packages are package paths (exact or "prefix/...") whose code the
+	// check inspects.
+	Packages []string
+	// MetricsPkg is the package whose exported New* methods mint and
+	// register instruments (the real module passes "waco/internal/metrics").
+	MetricsPkg string
+}
+
+// DefaultMetricregConfig confines instrument registration to initialization:
+// metric families are a fixed vocabulary declared when a component is built,
+// so every registration (a Registry.New* call) must happen in a package-level
+// var initializer, an init function, or a New*/new* constructor. A
+// registration reached per request would allocate a new series map entry on
+// the hot path and, worse, silently alias or panic on a name collision under
+// load instead of at startup.
+func DefaultMetricregConfig(module string) MetricregConfig {
+	return MetricregConfig{
+		Packages:   []string{module, module + "/..."},
+		MetricsPkg: module + "/internal/metrics",
+	}
+}
+
+// NewMetricregAnalyzer builds the metricreg check.
+func NewMetricregAnalyzer(cfg MetricregConfig) *Analyzer {
+	return &Analyzer{
+		Name: "metricreg",
+		Doc:  "instruments are registered at init or construction (package-level var, init, or New*/new* functions), never on the request path",
+		Run:  func(m *Module) []Finding { return runMetricreg(m, cfg) },
+	}
+}
+
+// registrationAllowed reports whether a function name marks an
+// initialization context: init, or an exported/unexported constructor.
+func registrationAllowed(name string) bool {
+	return name == "init" ||
+		strings.HasPrefix(name, "New") ||
+		strings.HasPrefix(name, "new")
+}
+
+func runMetricreg(m *Module, cfg MetricregConfig) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		if !pathApplies(pkg.Path, cfg.Packages) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					// Package-level var initializers run once at program
+					// start; any registration there is fine.
+					continue
+				}
+				if registrationAllowed(fd.Name.Name) {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeFunc(pkg.Info, call)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != cfg.MetricsPkg {
+						return true
+					}
+					sig, _ := fn.Type().(*types.Signature)
+					if sig == nil || sig.Recv() == nil || !strings.HasPrefix(fn.Name(), "New") {
+						return true
+					}
+					out = append(out, m.finding(call.Pos(), "metricreg",
+						"%s.%s called inside %s; register instruments once at init or in a New* constructor, not per request",
+						fn.Pkg().Name(), fn.Name(), fd.Name.Name))
+					return true
+				})
+			}
+		}
+	}
+	return out
+}

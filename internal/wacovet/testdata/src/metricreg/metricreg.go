@@ -1,0 +1,59 @@
+// Package metricreg is a known-bad fixture for the metricreg analyzer. The
+// Registry type stands in for waco/internal/metrics.Registry: the test points
+// MetricsPkg at this package, and the analyzer recognizes registration as any
+// exported New* method of that package.
+package metricreg
+
+// Registry mints named instruments; every New* method is a registration.
+type Registry struct{}
+
+// Counter is a minted instrument.
+type Counter struct{}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name string) *Counter { return &Counter{} }
+
+// NewRegistry constructs an empty registry (not itself a registration — it
+// has no receiver).
+func NewRegistry() *Registry { return &Registry{} }
+
+// Package-level initializers run once at program start: allowed.
+var pkgCounter = NewRegistry().NewCounter("ok_at_package_level")
+
+var pkgReg = NewRegistry()
+
+func init() {
+	pkgReg.NewCounter("ok_in_init")
+}
+
+type server struct {
+	reg  *Registry
+	reqs *Counter
+}
+
+// NewServer registers at construction: allowed.
+func NewServer() *server {
+	s := &server{reg: NewRegistry()}
+	s.reqs = s.reg.NewCounter("ok_in_constructor")
+	return s
+}
+
+// newLocal is an unexported constructor: allowed.
+func newLocal(r *Registry) *Counter { return r.NewCounter("ok_unexported_new") }
+
+// HandleRequest registers on the request path: a fresh series per call, and a
+// name collision surfaces under load instead of at startup.
+func (s *server) HandleRequest() {
+	c := s.reg.NewCounter("request_scoped") // want metricreg
+	_ = c
+	_ = pkgCounter
+	_ = newLocal(s.reg)
+}
+
+// Observe hides the registration in a closure, but the enclosing function is
+// still the request path: flagged.
+func (s *server) Observe() func() {
+	return func() {
+		s.reg.NewCounter("closure_scoped") // want metricreg
+	}
+}

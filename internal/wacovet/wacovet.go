@@ -15,6 +15,9 @@
 //	           path; return errors instead
 //	floatcmp   no ==/!= on floating-point values in cost-model and neural
 //	           network code (except the exact-zero sentinel idiom)
+//	metricreg  instruments are registered once, at init or in a New*
+//	           constructor — never on the request path, where a fresh
+//	           series or a name collision would surface under load
 //
 // A file can opt out of one or more checks with a suppression comment that
 // names the checks and states a reason:
@@ -84,6 +87,7 @@ func DefaultAnalyzers(module string) []*Analyzer {
 		NewErrdropAnalyzer(DefaultErrdropConfig()),
 		NewPaniccallAnalyzer(DefaultPaniccallConfig(module)),
 		NewFloatcmpAnalyzer(DefaultFloatcmpConfig(module)),
+		NewMetricregAnalyzer(DefaultMetricregConfig(module)),
 	}
 }
 

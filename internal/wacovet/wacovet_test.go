@@ -107,6 +107,12 @@ func TestFloatcmpFixture(t *testing.T) {
 	matchMarkers(t, "floatcmp", NewFloatcmpAnalyzer(cfg).Run(m), wantLines(t, "floatcmp"))
 }
 
+func TestMetricregFixture(t *testing.T) {
+	m, pkg := loadFixture(t, "metricreg")
+	cfg := MetricregConfig{Packages: []string{pkg.Path}, MetricsPkg: pkg.Path}
+	matchMarkers(t, "metricreg", NewMetricregAnalyzer(cfg).Run(m), wantLines(t, "metricreg"))
+}
+
 // TestNolintFixture checks the suppression convention end to end: a
 // well-formed file-level suppression swallows the rngsource finding, while a
 // reason-less comment and an unknown check name each surface as "nolint"

@@ -22,7 +22,7 @@ fi
 echo "==> waco-vet"
 go run ./cmd/waco-vet ./...
 
-echo "==> go test -race (serve, costmodel)"
-go test -race ./internal/serve/... ./internal/costmodel/...
+echo "==> go test -race (serve, metrics, costmodel)"
+go test -race ./internal/serve/... ./internal/metrics/... ./internal/costmodel/...
 
 echo "checks passed"
