@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"waco/internal/dataset"
 	"waco/internal/experiments"
@@ -48,7 +51,11 @@ func main() {
 	repeats := flag.Int("repeats", 0, "override repetitions per measurement")
 	seed := flag.Int64("seed", 0, "override RNG seed")
 	augment := flag.Int("augment", 0, "resized variants per matrix (the paper's augmentation)")
+	workers := flag.Int("workers", 0, "matrices measured concurrently (0 = one per CPU; sampled schedules are identical for any value, but concurrent measurement adds timing noise — use 1 for the cleanest runtimes)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	alg, err := algByName(*algName)
 	if err != nil {
@@ -74,7 +81,9 @@ func main() {
 	}
 	log.Printf("collecting %v dataset: %d matrices, %d schedules each, %d repeats",
 		alg, len(mats), s.SchedulesPerMatrix, s.Repeats)
-	ds, err := dataset.Collect(mats, experiments.CollectConfigFor(alg, s, kernel.DefaultProfile()))
+	ccfg := experiments.CollectConfigFor(alg, s, kernel.DefaultProfile())
+	ccfg.Workers = *workers
+	ds, err := dataset.CollectContext(ctx, mats, ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}

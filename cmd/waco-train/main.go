@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"waco/internal/core"
@@ -35,7 +38,11 @@ func main() {
 	lr := flag.Float64("lr", 0, "override learning rate")
 	valFrac := flag.Float64("val", 0.2, "validation fraction")
 	seed := flag.Int64("seed", 0, "override RNG seed")
+	workers := flag.Int("workers", 0, "worker goroutines for training and indexing (0 = one per CPU; results are identical for any value)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	f, err := os.Open(*dataPath)
 	if err != nil {
@@ -65,6 +72,7 @@ func main() {
 	}
 
 	cfg := experiments.PipelineConfigFor(ds.Alg, s, kernel.DefaultProfile())
+	cfg.Workers = *workers
 	buildStart := time.Now()
 	model, err := costmodel.New(cfg.Collect.Space, cfg.Model)
 	if err != nil {
@@ -75,8 +83,9 @@ func main() {
 		train = ds.Entries
 	}
 	tc := cfg.Train
+	tc.Workers = *workers
 	tc.Verbose = func(line string) { log.Print(line) }
-	if _, err := costmodel.Train(model, train, val, tc); err != nil {
+	if _, err := costmodel.TrainContext(ctx, model, train, val, tc); err != nil {
 		log.Fatal(err)
 	}
 	if len(val) > 0 {
@@ -102,7 +111,7 @@ func main() {
 		// Workloads tuned against this artifact must use the dataset's dense
 		// inner dimension, not the scale preset's.
 		cfg.Collect.DenseN = ds.DenseN
-		tuner, err := core.NewTuner(model, ds, cfg)
+		tuner, err := core.NewTunerContext(ctx, model, ds, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

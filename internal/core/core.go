@@ -19,6 +19,7 @@ import (
 	"waco/internal/generate"
 	"waco/internal/hnsw"
 	"waco/internal/kernel"
+	"waco/internal/parallelism"
 	"waco/internal/schedule"
 	"waco/internal/search"
 	"waco/internal/tensor"
@@ -40,6 +41,39 @@ type Config struct {
 	SearchEf int
 	// ValFrac is the train/validation split (paper: 20%).
 	ValFrac float64
+	// Workers bounds the offline pipeline's parallelism (collection,
+	// training, index construction). <1 means one worker per CPU. It is a
+	// pure throughput knob: every stage is deterministic in (config, seed)
+	// regardless of worker count. A stage whose own Workers field is set
+	// explicitly (Collect.Workers, Train.Workers, HNSW.Workers) keeps it.
+	Workers int
+	// PoolMetrics, when non-nil, instruments the offline worker pool across
+	// all stages. Runtime wiring; never persisted in sealed artifacts.
+	PoolMetrics *parallelism.Metrics
+}
+
+// withWorkers resolves the pipeline-wide worker count into any stage that
+// did not set its own, and fans the pool instruments out the same way.
+func (cfg Config) withWorkers() Config {
+	w := parallelism.Workers(cfg.Workers)
+	if cfg.Collect.Workers == 0 {
+		cfg.Collect.Workers = w
+	}
+	if cfg.Train.Workers == 0 {
+		cfg.Train.Workers = w
+	}
+	if cfg.HNSW.Workers == 0 {
+		cfg.HNSW.Workers = w
+	}
+	if cfg.PoolMetrics != nil {
+		if cfg.Collect.PoolMetrics == nil {
+			cfg.Collect.PoolMetrics = cfg.PoolMetrics
+		}
+		if cfg.Train.Metrics == nil {
+			cfg.Train.Metrics = cfg.PoolMetrics
+		}
+	}
+	return cfg
 }
 
 // DefaultConfig returns reduced-scale defaults for the algorithm.
@@ -79,17 +113,31 @@ type Tuner struct {
 
 // Build runs the full offline pipeline on a training corpus.
 func Build(trainMatrices []generate.Matrix, cfg Config) (*Tuner, *dataset.Dataset, error) {
-	ds, err := dataset.Collect(trainMatrices, cfg.Collect)
+	return BuildContext(context.Background(), trainMatrices, cfg)
+}
+
+// BuildContext is Build with cancellation; cfg.Workers bounds every stage's
+// parallelism without changing its output.
+func BuildContext(ctx context.Context, trainMatrices []generate.Matrix, cfg Config) (*Tuner, *dataset.Dataset, error) {
+	cfg = cfg.withWorkers()
+	ds, err := dataset.CollectContext(ctx, trainMatrices, cfg.Collect)
 	if err != nil {
 		return nil, nil, err
 	}
-	t, err := BuildFromDataset(ds, cfg)
+	t, err := BuildFromDatasetContext(ctx, ds, cfg)
 	return t, ds, err
 }
 
 // BuildFromDataset trains the cost model and builds the index from an
 // existing dataset (e.g. loaded from disk).
 func BuildFromDataset(ds *dataset.Dataset, cfg Config) (*Tuner, error) {
+	return BuildFromDatasetContext(context.Background(), ds, cfg)
+}
+
+// BuildFromDatasetContext is BuildFromDataset with cancellation and the
+// pipeline-wide worker pool.
+func BuildFromDatasetContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Tuner, error) {
+	cfg = cfg.withWorkers()
 	t0 := time.Now()
 	if len(ds.Entries) == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
@@ -102,17 +150,11 @@ func BuildFromDataset(ds *dataset.Dataset, cfg Config) (*Tuner, error) {
 	if len(train) == 0 {
 		train = ds.Entries
 	}
-	trace, err := costmodel.Train(model, train, val, cfg.Train)
+	trace, err := costmodel.TrainContext(ctx, model, train, val, cfg.Train)
 	if err != nil {
 		return nil, err
 	}
-	var scheds []*schedule.SuperSchedule
-	for _, e := range ds.Entries {
-		for _, s := range e.Samples {
-			scheds = append(scheds, s.SS)
-		}
-	}
-	ix, err := search.BuildIndex(model, scheds, cfg.HNSW)
+	ix, err := buildIndex(ctx, model, ds, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -124,19 +166,31 @@ func BuildFromDataset(ds *dataset.Dataset, cfg Config) (*Tuner, error) {
 // dataset's SuperSchedules (no retraining) — used by cmd/waco-tune with a
 // model file produced by cmd/waco-train.
 func NewTuner(model *costmodel.Model, ds *dataset.Dataset, cfg Config) (*Tuner, error) {
+	return NewTunerContext(context.Background(), model, ds, cfg)
+}
+
+// NewTunerContext is NewTuner with cancellation and the worker pool.
+func NewTunerContext(ctx context.Context, model *costmodel.Model, ds *dataset.Dataset, cfg Config) (*Tuner, error) {
+	cfg = cfg.withWorkers()
 	t0 := time.Now()
+	ix, err := buildIndex(ctx, model, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Tuner{Cfg: cfg, Model: model, Index: ix,
+		BuildSeconds: time.Since(t0).Seconds()}, nil
+}
+
+// buildIndex indexes every SuperSchedule appearing in the dataset.
+func buildIndex(ctx context.Context, model *costmodel.Model, ds *dataset.Dataset, cfg Config) (*search.Index, error) {
 	var scheds []*schedule.SuperSchedule
 	for _, e := range ds.Entries {
 		for _, s := range e.Samples {
 			scheds = append(scheds, s.SS)
 		}
 	}
-	ix, err := search.BuildIndex(model, scheds, cfg.HNSW)
-	if err != nil {
-		return nil, err
-	}
-	return &Tuner{Cfg: cfg, Model: model, Index: ix,
-		BuildSeconds: time.Since(t0).Seconds()}, nil
+	return search.BuildIndexContext(ctx, model, scheds, cfg.HNSW,
+		search.BuildOptions{Workers: cfg.Workers, Metrics: cfg.PoolMetrics})
 }
 
 // Name implements baselines.Method.

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"waco/internal/costmodel"
+	"waco/internal/schedule"
+	"waco/internal/search"
+)
+
+// sealedTunerBytes builds the smallest valid artifact: an untrained model
+// over a handful of sampled schedules (training is irrelevant to the
+// serialization surface under test).
+func sealedTunerBytes(f *testing.F) []byte {
+	f.Helper()
+	cfg := quickConfig(schedule.SpMM)
+	model, err := costmodel.New(cfg.Collect.Space, cfg.Model)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sp := cfg.Collect.Space
+	rng := rand.New(rand.NewSource(5))
+	var scheds []*schedule.SuperSchedule
+	for i := 0; i < 12; i++ {
+		scheds = append(scheds, sp.Sample(rng))
+	}
+	ix, err := search.BuildIndex(model, scheds, cfg.HNSW)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTuner(&buf, &Tuner{Cfg: cfg, Model: model, Index: ix}); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadTuner feeds LoadTuner corrupt, truncated, and bit-flipped sealed
+// artifacts: it must either return a working tuner or an error, never
+// panic. The seed corpus covers the interesting prefixes (bad magic, bad
+// version, truncated header, truncated payload) plus a pristine artifact so
+// mutations explore the gob payload too.
+func FuzzLoadTuner(f *testing.F) {
+	valid := sealedTunerBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:8])  // magic only
+	f.Add(valid[:10]) // magic + partial version
+	f.Add([]byte("WACOTUNRtrailing-garbage"))
+	f.Add([]byte("NOTMAGIC"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)/2] ^= 0xff
+	f.Add(mutated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tuner, err := LoadTuner(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// An accepted artifact must uphold the invariants serving relies on.
+		if tuner.Model == nil || tuner.Index == nil {
+			t.Fatal("LoadTuner accepted an artifact without model or index")
+		}
+		if len(tuner.Index.Schedules) != tuner.Index.Graph.Len() {
+			t.Fatalf("LoadTuner accepted %d schedules over a %d-node graph",
+				len(tuner.Index.Schedules), tuner.Index.Graph.Len())
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"waco/internal/schedule"
+)
+
+// TestBuildWorkersEquivalent locks the whole offline pipeline end to end:
+// Build with Workers=1 and Workers=3 must produce tuners with bit-identical
+// model weights, the same indexed schedules, and the same graph adjacency.
+// (Measured runtimes inside the dataset differ run to run, which is why the
+// comparison is between the tuners, not the datasets — training consumes
+// the runtimes, so this holds only because both builds share one dataset.)
+func TestBuildWorkersEquivalent(t *testing.T) {
+	cfg := quickConfig(schedule.SpMM)
+	cfg.Collect.SlowLimit = 0 // keep the sample set timing-independent
+	mats := testCorpus(4)
+	cfg.Workers = 1
+	_, ds, err := Build(mats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wantW [][]float32
+	var wantKeys []string
+	var wantLinks [][][]int32
+	for _, workers := range []int{1, 3} {
+		cfg.Workers = workers
+		tuner, err := BuildFromDataset(ds, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var w [][]float32
+		for _, p := range tuner.Model.Params() {
+			w = append(w, append([]float32(nil), p.W...))
+		}
+		var keys []string
+		for _, ss := range tuner.Index.Schedules {
+			keys = append(keys, ss.String())
+		}
+		g := tuner.Index.Graph
+		links := make([][][]int32, g.Len())
+		for id := 0; id < g.Len(); id++ {
+			for l := 0; l <= g.Level(id); l++ {
+				links[id] = append(links[id], g.Neighbors(id, l))
+			}
+		}
+		if wantW == nil {
+			wantW, wantKeys, wantLinks = w, keys, links
+			continue
+		}
+		if !reflect.DeepEqual(w, wantW) {
+			t.Fatalf("workers=%d: model weights diverged from workers=1", workers)
+		}
+		if !reflect.DeepEqual(keys, wantKeys) {
+			t.Fatalf("workers=%d: indexed schedules diverged from workers=1", workers)
+		}
+		if !reflect.DeepEqual(links, wantLinks) {
+			t.Fatalf("workers=%d: index graph diverged from workers=1", workers)
+		}
+	}
+}

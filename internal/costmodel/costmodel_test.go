@@ -17,7 +17,7 @@ func tinyConvCfg(dim int) sparseconv.Config {
 	return sparseconv.Config{Dim: dim, Channels: 4, Depth: 3, FirstKernel: 3, OutDim: 12}
 }
 
-func tinyModel(t *testing.T, alg schedule.Algorithm, kind ExtractorKind) *Model {
+func tinyModel(t testing.TB, alg schedule.Algorithm, kind ExtractorKind) *Model {
 	t.Helper()
 	cfg := Config{Extractor: kind, ConvCfg: tinyConvCfg(alg.SparseOrder()), EmbDim: 12, HeadDims: []int{16}, Seed: 3}
 	m, err := New(schedule.DefaultSpace(alg), cfg)
@@ -27,7 +27,7 @@ func tinyModel(t *testing.T, alg schedule.Algorithm, kind ExtractorKind) *Model 
 	return m
 }
 
-func tinyDataset(t *testing.T, alg schedule.Algorithm, nMat int) *dataset.Dataset {
+func tinyDataset(t testing.TB, alg schedule.Algorithm, nMat int) *dataset.Dataset {
 	t.Helper()
 	cc := generate.DefaultCorpusConfig()
 	cc.Count = nMat
@@ -174,6 +174,35 @@ func TestModelPredictAndSaveLoad(t *testing.T) {
 	}
 	if math.Abs(c1-c2) > 1e-6 {
 		t.Fatalf("prediction changed after save/load: %g vs %g", c1, c2)
+	}
+}
+
+// TestSaveBytesDeterministic pins the byte-level reproducibility of model
+// serialization: the same weights must always serialize to the same bytes
+// (gob map fields would break this — maps encode in randomized iteration
+// order — so parameters are persisted as a name-sorted slice). This is what
+// lets `cmp` on two model files or sealed artifacts stand in for a weight
+// comparison in the parallel-vs-sequential equivalence story.
+func TestSaveBytesDeterministic(t *testing.T) {
+	m := tinyModel(t, schedule.SpMM, KindWACONet)
+	var a, b, pa, pb bytes.Buffer
+	if err := m.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two Save calls on the same model produced different bytes")
+	}
+	if err := m.SaveParams(&pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SaveParams(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pa.Bytes(), pb.Bytes()) {
+		t.Error("two SaveParams calls on the same model produced different bytes")
 	}
 }
 

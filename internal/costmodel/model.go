@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 
 	"waco/internal/nn"
@@ -77,22 +78,68 @@ func New(space schedule.Space, cfg Config) (*Model, error) {
 	}, nil
 }
 
+// namedParam is one parameter tensor in a serialized model. Weights are
+// persisted as a name-sorted slice, not a map: gob writes map entries in
+// Go's randomized iteration order, which made saving the same weights
+// produce different bytes on every run and broke byte-level comparison of
+// model files and sealed artifacts.
+type namedParam struct {
+	Name string
+	W    []float32
+}
+
+// sortedParams flattens the model's parameters into name order, rejecting
+// duplicate names (which would silently lose weights on load).
+func (m *Model) sortedParams() ([]namedParam, error) {
+	ps := m.Params()
+	seen := make(map[string]bool, len(ps))
+	out := make([]namedParam, 0, len(ps))
+	for _, p := range ps {
+		if seen[p.Name] {
+			return nil, fmt.Errorf("costmodel: duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+		out = append(out, namedParam{Name: p.Name, W: p.W})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// restoreParams copies saved weights into the model's parameters by name.
+func (m *Model) restoreParams(saved []namedParam, what string) error {
+	byName := make(map[string][]float32, len(saved))
+	for _, np := range saved {
+		byName[np.Name] = np.W
+	}
+	for _, p := range m.Params() {
+		w, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("costmodel: %s missing parameter %q", what, p.Name)
+		}
+		if len(w) != len(p.W) {
+			return fmt.Errorf("costmodel: %s parameter %q has %d weights, model expects %d", what, p.Name, len(w), len(p.W))
+		}
+		copy(p.W, w)
+	}
+	return nil
+}
+
 // snapshot is the serialized form of a model: enough to reconstruct the
 // architecture plus all weights.
 type snapshot struct {
 	Space  schedule.Space
 	Cfg    Config
-	Params map[string][]float32
+	Params []namedParam
 }
 
 // Save serializes the model's architecture configuration and weights.
+// Identical weights always serialize to identical bytes, so model files and
+// sealed artifacts can be compared with cmp/sha256 across runs and worker
+// counts.
 func (m *Model) Save(w io.Writer) error {
-	params := map[string][]float32{}
-	for _, p := range m.Params() {
-		if _, dup := params[p.Name]; dup {
-			return fmt.Errorf("costmodel: duplicate parameter name %q", p.Name)
-		}
-		params[p.Name] = p.W
+	params, err := m.sortedParams()
+	if err != nil {
+		return err
 	}
 	return gob.NewEncoder(w).Encode(snapshot{Space: m.Space, Cfg: m.Cfg, Params: params})
 }
@@ -107,15 +154,8 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range m.Params() {
-		w, ok := s.Params[p.Name]
-		if !ok {
-			return nil, fmt.Errorf("costmodel: snapshot missing parameter %q", p.Name)
-		}
-		if len(w) != len(p.W) {
-			return nil, fmt.Errorf("costmodel: snapshot parameter %q has %d weights, want %d", p.Name, len(w), len(p.W))
-		}
-		copy(p.W, w)
+	if err := m.restoreParams(s.Params, "snapshot"); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
@@ -156,15 +196,13 @@ func (m *Model) Cost(p *Pattern, ss *schedule.SuperSchedule) (float64, error) {
 	return float64(g.V[0]), nil
 }
 
-// SaveParams writes all parameter tensors (gob of name -> weights). Only
-// weights are persisted; optimizer state is not.
+// SaveParams writes all parameter tensors (gob of name-sorted weights,
+// byte-deterministic like Save). Only weights are persisted; optimizer
+// state is not.
 func (m *Model) SaveParams(w io.Writer) error {
-	params := map[string][]float32{}
-	for _, p := range m.Params() {
-		if _, dup := params[p.Name]; dup {
-			return fmt.Errorf("costmodel: duplicate parameter name %q", p.Name)
-		}
-		params[p.Name] = p.W
+	params, err := m.sortedParams()
+	if err != nil {
+		return err
 	}
 	return gob.NewEncoder(w).Encode(params)
 }
@@ -172,19 +210,9 @@ func (m *Model) SaveParams(w io.Writer) error {
 // LoadParams restores weights saved by SaveParams into an identically
 // configured model.
 func (m *Model) LoadParams(r io.Reader) error {
-	var params map[string][]float32
+	var params []namedParam
 	if err := gob.NewDecoder(r).Decode(&params); err != nil {
 		return err
 	}
-	for _, p := range m.Params() {
-		w, ok := params[p.Name]
-		if !ok {
-			return fmt.Errorf("costmodel: saved model missing parameter %q", p.Name)
-		}
-		if len(w) != len(p.W) {
-			return fmt.Errorf("costmodel: parameter %q has %d weights, model expects %d", p.Name, len(w), len(p.W))
-		}
-		copy(p.W, w)
-	}
-	return nil
+	return m.restoreParams(params, "saved model")
 }

@@ -1,0 +1,39 @@
+package costmodel
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"waco/internal/schedule"
+)
+
+// benchTrain runs full trainings at a fixed worker count and reports
+// samples/sec, where a sample is one (matrix, epoch) gradient computation —
+// the unit the pool distributes. Comparing Workers=1 against Workers=4/N
+// gives the parallel-training speedup on this machine; the equivalence
+// suite guarantees the answers are bit-identical, so the speedup is free.
+func benchTrain(b *testing.B, workers int) {
+	ds := tinyDataset(b, schedule.SpMM, 8)
+	cfg := TrainConfig{Epochs: 4, PairsPerMatrix: 24, LR: 1e-3, Seed: 1,
+		Loss: LossRank, BatchMatrices: 8, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := tinyModel(b, schedule.SpMM, KindWACONet)
+		if _, err := Train(m, ds.Entries, nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	gradComputations := float64(b.N) * float64(cfg.Epochs) * float64(len(ds.Entries))
+	b.ReportMetric(gradComputations/b.Elapsed().Seconds(), "samples/sec")
+}
+
+func BenchmarkTrainWorkers1(b *testing.B) { benchTrain(b, 1) }
+func BenchmarkTrainWorkers4(b *testing.B) { benchTrain(b, 4) }
+
+// BenchmarkTrainWorkersN uses one worker per CPU (the -workers default).
+func BenchmarkTrainWorkersN(b *testing.B) {
+	b.Run(fmt.Sprintf("n=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		benchTrain(b, runtime.GOMAXPROCS(0))
+	})
+}

@@ -1,0 +1,55 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"waco/internal/nn"
+)
+
+// replica is a worker-private view of a Model for parallel training: the
+// replica's parameters alias the canonical model's weight slices (so each
+// batch's forward passes read the post-step weights without copying) but
+// keep their own gradient accumulators, so concurrent backward passes never
+// race. One replica belongs to one worker goroutine at a time; its tape and
+// gradient buffers are as single-goroutine as any nn.Tape.
+type replica struct {
+	model  *Model
+	params []*nn.Param
+}
+
+// newReplica clones m's architecture and aliases its weights. The clone is
+// built from m's own Space and Cfg, so the parameter lists correspond
+// one-to-one; any mismatch means the model was hand-assembled inconsistently
+// and is reported rather than silently mistrained.
+func newReplica(m *Model) (*replica, error) {
+	clone, err := New(m.Space, m.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: replica: %w", err)
+	}
+	cp, mp := clone.Params(), m.Params()
+	if len(cp) != len(mp) {
+		return nil, fmt.Errorf("costmodel: replica has %d params, model %d", len(cp), len(mp))
+	}
+	for i := range cp {
+		if cp[i].Name != mp[i].Name {
+			return nil, fmt.Errorf("costmodel: replica param %d is %q, model has %q", i, cp[i].Name, mp[i].Name)
+		}
+		if len(cp[i].W) != len(mp[i].W) {
+			return nil, fmt.Errorf("costmodel: replica param %q has %d weights, model %d", cp[i].Name, len(cp[i].W), len(mp[i].W))
+		}
+		cp[i].W = mp[i].W // alias canonical weights; G/m/v stay private
+	}
+	return &replica{model: clone, params: cp}, nil
+}
+
+// takeGrads snapshots the replica's accumulated gradients in canonical
+// parameter order and zeroes them for the next item. The snapshot is what
+// the training loop folds into the canonical model in fixed batch order.
+func (r *replica) takeGrads() [][]float32 {
+	out := make([][]float32, len(r.params))
+	for i, p := range r.params {
+		out[i] = append([]float32(nil), p.G...)
+		p.ZeroGrad()
+	}
+	return out
+}

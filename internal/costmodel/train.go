@@ -1,12 +1,14 @@
 package costmodel
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"waco/internal/dataset"
 	"waco/internal/nn"
+	"waco/internal/parallelism"
 )
 
 // LossKind selects the training objective.
@@ -31,15 +33,33 @@ type TrainConfig struct {
 	// measurement noise would otherwise drown the ranking signal; the
 	// paper's second-scale kernels did not need this. 0 disables filtering.
 	MinRatio float64
+	// Workers bounds the goroutines that compute per-matrix gradients and
+	// validation losses. <= 0 means one per CPU. The result is bit-identical
+	// for every worker count: work is sharded per matrix with per-shard
+	// random streams, and gradients merge in canonical matrix order (see
+	// BatchMatrices).
+	Workers int
+	// BatchMatrices is the number of matrices whose gradients are computed
+	// against the same weights and applied in one optimizer step — the unit
+	// of parallelism. <= 0 means 1: one step per matrix, the classic
+	// sequential cadence, which leaves nothing to fan out. Raising it trades
+	// step count for intra-step parallelism; determinism does not depend on
+	// it, but changing it changes the canonical result (it is part of the
+	// training schedule, like the seed).
+	BatchMatrices int
+	// Metrics, when non-nil, receives worker-pool and per-phase series.
+	Metrics *parallelism.Metrics
 	// Verbose, if non-nil, receives one line per epoch.
 	Verbose func(string)
 }
 
 // DefaultTrainConfig uses the paper's Adam optimizer with reduced-scale
 // epochs and a raised learning rate suited to the smaller networks (the
-// paper trains 70 epochs at 1e-4 on far larger datasets).
+// paper trains 70 epochs at 1e-4 on far larger datasets). BatchMatrices 8
+// enables the parallel gradient fan-out without making steps too coarse at
+// reduced corpus sizes.
 func DefaultTrainConfig() TrainConfig {
-	return TrainConfig{Epochs: 10, PairsPerMatrix: 16, LR: 1e-3, Seed: 1, Loss: LossRank, MinRatio: 1.1}
+	return TrainConfig{Epochs: 10, PairsPerMatrix: 16, LR: 1e-3, Seed: 1, Loss: LossRank, MinRatio: 1.1, BatchMatrices: 8}
 }
 
 // EpochStats records one epoch's losses (Figure 15's curves).
@@ -54,46 +74,134 @@ type TrainResult struct {
 }
 
 // Train fits the model on the training entries, evaluating the loss on the
-// validation entries after every epoch. Patterns are converted and cached on
-// first use; the pattern feature is extracted once per matrix per epoch and
-// shared across all pairs, exactly as the cost model is used in search.
+// validation entries after every epoch. See TrainContext.
 func Train(m *Model, train, val []*dataset.Entry, cfg TrainConfig) (TrainResult, error) {
+	return TrainContext(context.Background(), m, train, val, cfg)
+}
+
+// TrainContext is Train with cancellation and worker fan-out. Patterns are
+// converted and cached on first use; the pattern feature is extracted once
+// per matrix per epoch and shared across all pairs, exactly as the cost
+// model is used in search.
+//
+// Determinism contract: the result depends only on (model weights, data,
+// cfg.Seed, cfg.BatchMatrices) — never on cfg.Workers or scheduling. Each
+// epoch derives an epoch seed from cfg.Seed; the visit order is a
+// permutation drawn from it; every matrix draws its schedule pairs from its
+// own parallelism.ShardRand stream keyed by matrix index; and each batch's
+// gradients are computed against frozen weights on per-worker replicas
+// (weights shared, gradient buffers private — each worker records on its
+// own nn.Tape, which is single-goroutine), then accumulated into the
+// canonical parameters in batch order before the one Adam step for that
+// batch. Floating-point accumulation order is therefore fixed.
+func TrainContext(ctx context.Context, m *Model, train, val []*dataset.Entry, cfg TrainConfig) (TrainResult, error) {
 	if cfg.Epochs < 1 {
 		return TrainResult{}, fmt.Errorf("costmodel: %d epochs", cfg.Epochs)
 	}
 	if cfg.Loss == "" {
 		cfg.Loss = LossRank
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	workers := parallelism.Workers(cfg.Workers)
+	batch := cfg.BatchMatrices
+	if batch < 1 {
+		batch = 1
+	}
 	opt := nn.NewAdam(cfg.LR, m.Params()...)
 
 	trainPats := makePatterns(train)
 	valPats := makePatterns(val)
 	logMean, logStd := logRuntimeStats(train)
 
+	// Per-worker model replicas: weights aliased to m (read-only while a
+	// batch is in flight), gradient buffers private. With one worker (or
+	// batch 1) the single replica runs the same code path inline, so the
+	// sequential result is the parallel result by construction.
+	nRep := workers
+	if nRep > batch {
+		nRep = batch
+	}
+	reps := make([]*replica, nRep)
+	for i := range reps {
+		r, err := newReplica(m)
+		if err != nil {
+			return TrainResult{}, err
+		}
+		reps[i] = r
+	}
+	canonical := m.Params()
+
+	// itemResult carries one matrix's contribution out of the pool; grads
+	// is nil for skipped matrices (fewer than two samples).
+	type itemResult struct {
+		grads [][]float32
+		loss  float64
+		count int
+	}
+
 	var result TrainResult
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		order := rng.Perm(len(train))
+		if err := ctx.Err(); err != nil {
+			return result, err
+		}
+		epochSeed := parallelism.ShardSeed(cfg.Seed, int64(epoch))
+		order := rand.New(rand.NewSource(epochSeed)).Perm(len(train))
 		var lossSum float64
 		var lossCount int
-		for _, mi := range order {
-			entry := train[mi]
-			if len(entry.Samples) < 2 {
-				continue
+		for lo := 0; lo < len(order); lo += batch {
+			hi := lo + batch
+			if hi > len(order) {
+				hi = len(order)
 			}
-			var tape nn.Tape
-			feat, err := m.Extractor.Extract(&tape, trainPats[mi])
+			items := order[lo:hi]
+			results := make([]itemResult, len(items))
+			err := parallelism.ForEach(ctx, cfg.Metrics, parallelism.PhaseTrain, len(items), workers, func(worker, k int) error {
+				mi := items[k]
+				entry := train[mi]
+				if len(entry.Samples) < 2 {
+					return nil
+				}
+				rep := reps[worker]
+				var tape nn.Tape
+				feat, err := rep.model.Extractor.Extract(&tape, trainPats[mi])
+				if err != nil {
+					return fmt.Errorf("costmodel: extract %s: %w", entry.Name, err)
+				}
+				rng := parallelism.ShardRand(epochSeed, 1+int64(mi))
+				l, n := rep.model.lossOnEntry(&tape, feat, entry, cfg, rng, logMean, logStd)
+				tape.Backward()
+				results[k] = itemResult{grads: rep.takeGrads(), loss: l, count: n}
+				return nil
+			})
 			if err != nil {
-				return result, fmt.Errorf("costmodel: extract %s: %w", entry.Name, err)
+				return result, err
 			}
-			l, n := m.lossOnEntry(&tape, feat, entry, cfg, rng, logMean, logStd)
-			lossSum += l
-			lossCount += n
-			tape.Backward()
-			opt.Step()
+			// Merge in batch order — the canonical accumulation order — and
+			// take one optimizer step over the whole batch.
+			stepped := false
+			for _, r := range results {
+				if r.grads == nil {
+					continue
+				}
+				for pi, g := range r.grads {
+					dst := canonical[pi].G
+					for j, v := range g {
+						dst[j] += v
+					}
+				}
+				lossSum += r.loss
+				lossCount += r.count
+				stepped = true
+			}
+			if stepped {
+				opt.Step()
+			}
 		}
 		stats := EpochStats{TrainLoss: safeDiv(lossSum, lossCount)}
-		stats.ValLoss = m.evalLoss(val, valPats, cfg, rng, logMean, logStd)
+		valLoss, err := m.evalLoss(ctx, val, valPats, cfg, epochSeed, logMean, logStd, workers)
+		if err != nil {
+			return result, err
+		}
+		stats.ValLoss = valLoss
 		result.Epochs = append(result.Epochs, stats)
 		if cfg.Verbose != nil {
 			cfg.Verbose(fmt.Sprintf("epoch %d: train loss %.4f, val loss %.4f", epoch, stats.TrainLoss, stats.ValLoss))
@@ -140,23 +248,40 @@ func (m *Model) lossOnEntry(tape *nn.Tape, feat *nn.Grad, entry *dataset.Entry, 
 	return lossSum, count
 }
 
-// evalLoss computes the average loss over entries without training.
-func (m *Model) evalLoss(entries []*dataset.Entry, pats []*Pattern, cfg TrainConfig, rng *rand.Rand, logMean, logStd float64) float64 {
-	var lossSum float64
-	var count int
-	for i, entry := range entries {
+// evalLoss computes the average loss over entries without training,
+// fanning the (read-only, nil-tape) per-entry evaluations across workers.
+// Entry i draws from the shard stream keyed -1-i, disjoint from the
+// non-negative training shards, and the loss sums reduce in entry order.
+func (m *Model) evalLoss(ctx context.Context, entries []*dataset.Entry, pats []*Pattern, cfg TrainConfig, epochSeed int64, logMean, logStd float64, workers int) (float64, error) {
+	type entryLoss struct {
+		loss  float64
+		count int
+	}
+	res := make([]entryLoss, len(entries))
+	err := parallelism.ForEach(ctx, cfg.Metrics, parallelism.PhaseEval, len(entries), workers, func(_, i int) error {
+		entry := entries[i]
 		if len(entry.Samples) < 2 {
-			continue
+			return nil
 		}
 		feat, err := m.Extractor.Extract(nil, pats[i])
 		if err != nil {
-			continue
+			return nil // unscorable entry: contributes nothing, as in search
 		}
+		rng := parallelism.ShardRand(epochSeed, -1-int64(i))
 		l, n := m.lossOnEntry(nil, feat, entry, cfg, rng, logMean, logStd)
-		lossSum += l
-		count += n
+		res[i] = entryLoss{loss: l, count: n}
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return safeDiv(lossSum, count)
+	var lossSum float64
+	var count int
+	for _, r := range res {
+		lossSum += r.loss
+		count += r.count
+	}
+	return safeDiv(lossSum, count), nil
 }
 
 // PairAccuracy measures the fraction of schedule pairs whose predicted order

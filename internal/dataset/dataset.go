@@ -8,6 +8,7 @@
 package dataset
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"waco/internal/format"
 	"waco/internal/generate"
 	"waco/internal/kernel"
+	"waco/internal/parallelism"
 	"waco/internal/schedule"
 	"waco/internal/tensor"
 )
@@ -66,6 +68,21 @@ type CollectConfig struct {
 	// ConcordantFrac is the fraction of samples drawn with a traversal
 	// concordant with the sampled format (see Space.SampleConcordant).
 	ConcordantFrac float64
+
+	// Workers bounds the per-matrix measurement fan-out (<1 = one per CPU).
+	// Every matrix draws its schedules from a private stream derived from
+	// (Seed, corpus position), so the collected dataset is identical for
+	// every worker count — though measured runtimes are always hardware
+	// noise, and concurrent measurement adds contention noise on top (see
+	// DESIGN.md); use Workers=1 when measurement fidelity matters more than
+	// collection speed.
+	Workers int
+	// PoolMetrics, when non-nil, records the fan-out under the "collect"
+	// phase of the pool instruments. Never persisted.
+	PoolMetrics *parallelism.Metrics
+	// KernelMetrics, when non-nil, is attached to every workload so each
+	// measurement is recorded. Never persisted.
+	KernelMetrics *kernel.Metrics
 }
 
 // DefaultCollectConfig returns reduced-scale defaults: 24 schedules per
@@ -96,16 +113,43 @@ func DefaultCollectConfig(alg schedule.Algorithm) CollectConfig {
 // Collect measures cfg.SchedulesPerMatrix sampled SuperSchedules on every
 // matrix. Matrices whose order does not match the algorithm are skipped.
 func Collect(matrices []generate.Matrix, cfg CollectConfig) (*Dataset, error) {
+	return CollectContext(context.Background(), matrices, cfg)
+}
+
+// CollectContext is Collect with cancellation and a worker pool: eligible
+// matrices are measured concurrently, each drawing schedules from its own
+// rand stream keyed by (cfg.Seed, corpus position), and the finished entries
+// join the dataset in corpus order — so the schedules collected (not their
+// measured runtimes, which are always noisy) are independent of Workers.
+func CollectContext(ctx context.Context, matrices []generate.Matrix, cfg CollectConfig) (*Dataset, error) {
 	ds := &Dataset{Alg: cfg.Alg, DenseN: cfg.DenseN, Profile: cfg.Profile}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for _, m := range matrices {
+	type job struct {
+		m     generate.Matrix
+		shard int64 // corpus position, stable under eligibility filtering
+	}
+	var jobs []job
+	for i, m := range matrices {
 		if m.COO.Order() != cfg.Alg.SparseOrder() {
 			continue
 		}
-		entry, err := CollectEntry(m, cfg, rng)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: matrix %s: %w", m.Name, err)
-		}
+		jobs = append(jobs, job{m: m, shard: int64(i)})
+	}
+	entries := make([]*Entry, len(jobs))
+	workers := parallelism.Workers(cfg.Workers)
+	err := parallelism.ForEach(ctx, cfg.PoolMetrics, parallelism.PhaseCollect, len(jobs), workers,
+		func(_, i int) error {
+			rng := parallelism.ShardRand(cfg.Seed, jobs[i].shard)
+			entry, err := CollectEntry(jobs[i].m, cfg, rng)
+			if err != nil {
+				return fmt.Errorf("matrix %s: %w", jobs[i].m.Name, err)
+			}
+			entries[i] = entry
+			return nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	for _, entry := range entries {
 		if len(entry.Samples) > 0 {
 			ds.Entries = append(ds.Entries, entry)
 		}
@@ -113,12 +157,13 @@ func Collect(matrices []generate.Matrix, cfg CollectConfig) (*Dataset, error) {
 	return ds, nil
 }
 
-// CollectEntry measures one matrix.
+// CollectEntry measures one matrix, drawing its schedules from rng.
 func CollectEntry(m generate.Matrix, cfg CollectConfig, rng *rand.Rand) (*Entry, error) {
 	wl, err := kernel.NewWorkload(cfg.Alg, m.COO, cfg.DenseN)
 	if err != nil {
 		return nil, err
 	}
+	wl.Metrics = cfg.KernelMetrics
 	entry := &Entry{Name: m.Name, Family: m.Family, COO: m.COO}
 	seen := make(map[string]bool, cfg.SchedulesPerMatrix)
 	for n := 0; n < cfg.SchedulesPerMatrix; n++ {

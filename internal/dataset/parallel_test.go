@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"waco/internal/kernel"
+	"waco/internal/metrics"
+	"waco/internal/parallelism"
+	"waco/internal/schedule"
+)
+
+// TestCollectWorkersSameSchedules is the collection part of the equivalence
+// suite. Measured runtimes are hardware noise and can never be pinned, but
+// everything else — which matrices survive, in what order, and which
+// schedules were sampled and kept for each — must be identical for every
+// worker count, because each matrix owns a (Seed, corpus position) stream.
+func TestCollectWorkersSameSchedules(t *testing.T) {
+	mats := smallCorpus(6)
+	cfg := quickCfg(schedule.SpMM)
+	cfg.SlowLimit = 0 // timing-dependent exclusions would differ across runs
+
+	type shape struct {
+		name   string
+		scheds []string
+		bytes  []int64
+	}
+	var want []shape
+	for _, workers := range []int{1, 2, 8} {
+		cfg.Workers = workers
+		ds, err := Collect(mats, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var got []shape
+		for _, e := range ds.Entries {
+			s := shape{name: e.Name}
+			for _, smp := range e.Samples {
+				s.scheds = append(s.scheds, smp.SS.String())
+				s.bytes = append(s.bytes, smp.Bytes)
+			}
+			got = append(got, s)
+		}
+		if want == nil {
+			want = got
+			if len(want) == 0 {
+				t.Fatal("sequential collection produced no entries")
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d entries, sequential had %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].name != want[i].name {
+				t.Fatalf("workers=%d: entry %d is %s, sequential had %s", workers, i, got[i].name, want[i].name)
+			}
+			if len(got[i].scheds) != len(want[i].scheds) {
+				t.Fatalf("workers=%d: %s has %d samples, sequential had %d",
+					workers, got[i].name, len(got[i].scheds), len(want[i].scheds))
+			}
+			for j := range got[i].scheds {
+				if got[i].scheds[j] != want[i].scheds[j] || got[i].bytes[j] != want[i].bytes[j] {
+					t.Fatalf("workers=%d: %s sample %d = (%s, %d bytes), sequential had (%s, %d bytes)",
+						workers, got[i].name, j, got[i].scheds[j], got[i].bytes[j],
+						want[i].scheds[j], want[i].bytes[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCollectCancellation: a cancelled context aborts collection.
+func TestCollectCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := quickCfg(schedule.SpMM)
+	cfg.Workers = 2
+	if _, err := CollectContext(ctx, smallCorpus(3), cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestCollectRecordsMetrics wires both instrument families through a real
+// collection: the pool's "collect" phase and the per-measurement kernel
+// counters.
+func TestCollectRecordsMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := quickCfg(schedule.SpMM)
+	cfg.Workers = 2
+	cfg.PoolMetrics = parallelism.NewMetrics(reg)
+	cfg.KernelMetrics = kernel.NewMetrics(reg)
+	ds, err := Collect(smallCorpus(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.PoolMetrics.PhaseItems(parallelism.PhaseCollect); got != 3 {
+		t.Fatalf("collect phase items %v, want 3", got)
+	}
+	if cfg.PoolMetrics.PhaseWallSeconds(parallelism.PhaseCollect) <= 0 {
+		t.Fatal("collect phase wall seconds not recorded")
+	}
+	if ds.NumSamples() > 0 && cfg.KernelMetrics.Measurements.Value() == 0 {
+		t.Fatal("kernel measurements not recorded through CollectConfig.KernelMetrics")
+	}
+}

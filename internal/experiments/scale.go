@@ -207,7 +207,7 @@ func (s Scale) pipelineConfig(alg schedule.Algorithm, profile kernel.MachineProf
 	}
 	cfg.Train = costmodel.TrainConfig{
 		Epochs: s.Epochs, PairsPerMatrix: s.Pairs, LR: s.LR, Seed: s.Seed,
-		Loss: costmodel.LossRank, MinRatio: 1.1,
+		Loss: costmodel.LossRank, MinRatio: 1.1, BatchMatrices: 8,
 	}
 	cfg.HNSW = hnsw.DefaultConfig()
 	cfg.TopK = 0 // adaptive: max(10, indexSize/25)

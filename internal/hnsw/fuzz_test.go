@@ -1,0 +1,51 @@
+package hnsw
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds Load corrupt, truncated, and bit-flipped graph files. The
+// contract under fuzz: Load either succeeds or returns an error — it never
+// panics — and a graph it accepts is safe to search (every link and the
+// entry point are in range).
+func FuzzLoad(f *testing.F) {
+	var buf bytes.Buffer
+	if err := buildGraph(Config{M: 4, EfConstruction: 16, Seed: 3}, testVectors(7, 40, 4)).Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:8])  // magic only
+	f.Add(valid[:11]) // magic + partial version
+	f.Add([]byte("WACOHNSWgarbage"))
+	f.Add([]byte("NOTMAGIC"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[20] ^= 0xff
+	f.Add(mutated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if g.Len() == 0 {
+			return
+		}
+		if e := g.EntryPoint(); e < 0 || e >= g.Len() {
+			t.Fatalf("Load accepted a graph with entry point %d of %d nodes", e, g.Len())
+		}
+		for id := 0; id < g.Len(); id++ {
+			for l := 0; l <= g.Level(id); l++ {
+				for _, nb := range g.Neighbors(id, l) {
+					if nb < 0 || int(nb) >= g.Len() {
+						t.Fatalf("Load accepted node %d with out-of-range link %d", id, nb)
+					}
+				}
+			}
+		}
+		// A loaded graph must answer searches without panicking.
+		g.SearchL2(g.Vector(g.EntryPoint()), 3, 8)
+	})
+}

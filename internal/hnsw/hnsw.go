@@ -10,6 +10,9 @@ import (
 	"container/heap"
 	"math"
 	"math/rand"
+	"sync"
+
+	"waco/internal/parallelism"
 )
 
 // Config sizes the graph.
@@ -17,6 +20,13 @@ type Config struct {
 	M              int // neighbors per node per layer (layer 0 keeps 2M)
 	EfConstruction int // beam width during insertion
 	Seed           int64
+
+	// Workers bounds the goroutines used to batch L2 distance evaluations
+	// of a popped candidate's unvisited neighbors during insertion. It
+	// affects build speed only, never graph structure: the batch computes a
+	// pure function and its results are consumed in neighbor order, so any
+	// Workers value yields a bit-identical graph. <= 1 evaluates inline.
+	Workers int
 }
 
 // DefaultConfig returns typical HNSW parameters.
@@ -59,6 +69,19 @@ func (g *Graph) Len() int { return len(g.vecs) }
 
 // Vector returns the stored vector for id (shared storage; do not modify).
 func (g *Graph) Vector(id int) []float32 { return g.vecs[id] }
+
+// EntryPoint returns the id of the graph's entry node (-1 when empty).
+func (g *Graph) EntryPoint() int { return g.entry }
+
+// Level returns the highest layer node id participates in.
+func (g *Graph) Level(id int) int { return g.nodes[id].level }
+
+// Neighbors returns a copy of id's adjacency list at the given layer (nil
+// above the node's level). The equivalence suite uses Level and Neighbors to
+// assert that worker counts never change graph structure.
+func (g *Graph) Neighbors(id, layer int) []int32 {
+	return append([]int32(nil), g.linksAt(id, layer)...)
+}
 
 func (g *Graph) l2(a []float32, id int) float64 {
 	b := g.vecs[id]
@@ -215,7 +238,13 @@ func (h *maxHeap) Pop() interface{} {
 
 // searchLayer is the ef-bounded best-first search at one layer under an
 // arbitrary distance; returns candidates sorted ascending by distance.
-func (g *Graph) searchLayer(dist func(id int) float64, entry, l, ef int, visited []bool) []cand {
+//
+// batch, when non-nil, fills out[i] with the distance of ids[i] for a whole
+// unvisited-neighbor set at once; otherwise dist evaluates one id at a time.
+// Either way the distances of a popped candidate's neighbors are consumed in
+// adjacency-list order, so a parallel batch evaluator cannot change which
+// nodes are pushed — only how fast the distances arrive.
+func (g *Graph) searchLayer(dist func(id int) float64, batch func(ids []int32, out []float64), entry, l, ef int, visited []bool) []cand {
 	for i := range visited {
 		visited[i] = false
 	}
@@ -223,18 +252,34 @@ func (g *Graph) searchLayer(dist func(id int) float64, entry, l, ef int, visited
 	cands := candHeap{{entry, entryDist}}
 	results := maxHeap{{entry, entryDist}}
 	visited[entry] = true
+	var nbuf []int32
+	var dbuf []float64
 	for len(cands) > 0 {
 		c := heap.Pop(&cands).(cand)
 		if c.d > results[0].d && len(results) >= ef {
 			break
 		}
+		nbuf = nbuf[:0]
 		for _, nb := range g.linksAt(c.id, l) {
 			if visited[nb] {
 				continue
 			}
 			visited[nb] = true
-			d := dist(int(nb))
-			if len(results) < ef || d < results[0].d {
+			nbuf = append(nbuf, nb)
+		}
+		if cap(dbuf) < len(nbuf) {
+			dbuf = make([]float64, len(nbuf))
+		}
+		ds := dbuf[:len(nbuf)]
+		if batch != nil {
+			batch(nbuf, ds)
+		} else {
+			for i, nb := range nbuf {
+				ds[i] = dist(int(nb))
+			}
+		}
+		for i, nb := range nbuf {
+			if d := ds[i]; len(results) < ef || d < results[0].d {
 				heap.Push(&cands, cand{int(nb), d})
 				heap.Push(&results, cand{int(nb), d})
 				if len(results) > ef {
@@ -250,9 +295,43 @@ func (g *Graph) searchLayer(dist func(id int) float64, entry, l, ef int, visited
 	return out
 }
 
+// l2BatchGrain is the minimum batch size worth fanning out: below it the
+// goroutine handoff costs more than the distance arithmetic it parallelizes.
+const l2BatchGrain = 16
+
 func (g *Graph) searchLayerL2(vec []float32, entry, l, ef int) []cand {
 	visited := make([]bool, len(g.vecs))
-	return g.searchLayer(func(id int) float64 { return g.l2(vec, id) }, entry, l, ef, visited)
+	dist := func(id int) float64 { return g.l2(vec, id) }
+	var batch func(ids []int32, out []float64)
+	if g.cfg.Workers > 1 {
+		batch = func(ids []int32, out []float64) { g.l2Batch(vec, ids, out) }
+	}
+	return g.searchLayer(dist, batch, entry, l, ef, visited)
+}
+
+// l2Batch fills out[i] = ||vec - vecs[ids[i]]||^2, splitting the batch over
+// up to cfg.Workers goroutines when it is large enough to amortize them.
+// Each worker writes only its own span of out, and out is read strictly
+// after Wait, so the result is identical to the sequential loop.
+func (g *Graph) l2Batch(vec []float32, ids []int32, out []float64) {
+	workers := g.cfg.Workers
+	if len(ids) < l2BatchGrain || workers <= 1 {
+		for i, id := range ids {
+			out[i] = g.l2(vec, int(id))
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sp := range parallelism.Partition(len(ids), workers) {
+		wg.Add(1)
+		go func(sp parallelism.Span) {
+			defer wg.Done()
+			for i := sp.Lo; i < sp.Hi; i++ {
+				out[i] = g.l2(vec, int(ids[i]))
+			}
+		}(sp)
+	}
+	wg.Wait()
 }
 
 // SearchL2 returns the ids of the k nearest stored vectors to query.
@@ -300,7 +379,9 @@ func (g *Graph) Search(dist func(id int) float64, k, ef int) ([]int, int) {
 		}
 	}
 	visited := make([]bool, len(g.vecs))
-	cands := g.searchLayer(cached, cur, 0, ef, visited)
+	// The generic dist path stays sequential: dist closures memoize and
+	// trace (Search-side state), so only the pure L2 build path batches.
+	cands := g.searchLayer(cached, nil, cur, 0, ef, visited)
 	if len(cands) > k {
 		cands = cands[:k]
 	}

@@ -1,0 +1,75 @@
+package hnsw
+
+import (
+	"reflect"
+	"testing"
+)
+
+// graphShape flattens everything structural about a graph — entry point,
+// top layer, per-node level, and per-node per-layer adjacency — through the
+// exported accessors, so two graphs can be compared without peeking at
+// internals.
+type graphShape struct {
+	entry, n int
+	levels   []int
+	links    [][][]int32
+}
+
+func shapeOf(g *Graph) graphShape {
+	s := graphShape{entry: g.EntryPoint(), n: g.Len()}
+	for id := 0; id < g.Len(); id++ {
+		lv := g.Level(id)
+		s.levels = append(s.levels, lv)
+		layers := make([][]int32, lv+1)
+		for l := 0; l <= lv; l++ {
+			layers[l] = g.Neighbors(id, l)
+		}
+		s.links = append(s.links, layers)
+	}
+	return s
+}
+
+// TestBuildWorkersIdenticalGraph is the HNSW half of the equivalence suite:
+// the batched L2 evaluator must be invisible in the built structure, so
+// sequential and multi-worker builds over the same vectors and seed agree on
+// every level and every link. M is set high enough (2M = 32 >= l2BatchGrain)
+// that layer-0 neighbor batches actually cross the fan-out threshold.
+func TestBuildWorkersIdenticalGraph(t *testing.T) {
+	vecs := testVectors(17, 400, 8)
+	var want graphShape
+	for _, workers := range []int{1, 2, 8} {
+		g := buildGraph(Config{M: 16, EfConstruction: 48, Seed: 9, Workers: workers}, vecs)
+		got := shapeOf(g)
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			for id := range got.links {
+				if got.levels[id] != want.levels[id] || !reflect.DeepEqual(got.links[id], want.links[id]) {
+					t.Fatalf("workers=%d: node %d diverged from sequential build:\n%v (level %d)\nvs\n%v (level %d)",
+						workers, id, got.links[id], got.levels[id], want.links[id], want.levels[id])
+				}
+			}
+			t.Fatalf("workers=%d: graph diverged (entry %d vs %d, top via levels)", workers, got.entry, want.entry)
+		}
+	}
+}
+
+// TestNeighborsAccessor pins the accessor contract: a copy (mutating the
+// return must not corrupt the graph) and nil above the node's level.
+func TestNeighborsAccessor(t *testing.T) {
+	g := buildGraph(Config{M: 4, EfConstruction: 16, Seed: 2}, testVectors(3, 50, 4))
+	id := g.EntryPoint()
+	nbs := g.Neighbors(id, 0)
+	if len(nbs) == 0 {
+		t.Fatal("entry node has no layer-0 neighbors in a 50-node graph")
+	}
+	nbs[0] = -7
+	if g.Neighbors(id, 0)[0] == -7 {
+		t.Fatal("Neighbors returned shared storage, not a copy")
+	}
+	if got := g.Neighbors(id, g.Level(id)+1); got != nil {
+		t.Fatalf("Neighbors above node level = %v, want nil", got)
+	}
+}

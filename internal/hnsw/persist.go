@@ -84,16 +84,45 @@ func Load(r io.Reader) (*Graph, error) {
 	g.entry = d.Entry
 	g.top = d.Top
 	g.nodes = make([]node, len(d.Vecs))
+	maxLevel := 0
+	for i, v := range d.Vecs {
+		// Ragged vectors would index out of range inside l2 at search time.
+		if len(v) != len(d.Vecs[0]) {
+			return nil, fmt.Errorf("hnsw: vector %d has dim %d, vector 0 has %d", i, len(v), len(d.Vecs[0]))
+		}
+	}
 	for i := range g.nodes {
 		level := int(d.Levels[i])
+		if level < 0 {
+			return nil, fmt.Errorf("hnsw: node %d: negative level %d", i, level)
+		}
 		links := d.Links[i]
 		if len(links) != level+1 {
 			return nil, fmt.Errorf("hnsw: node %d: %d link layers for level %d", i, len(links), level)
 		}
+		// A link to an id outside the graph would turn the first search
+		// into an out-of-range panic; reject the artifact instead.
+		for l, layer := range links {
+			for _, nb := range layer {
+				if nb < 0 || int(nb) >= len(d.Vecs) {
+					return nil, fmt.Errorf("hnsw: node %d layer %d links to %d, graph has %d nodes",
+						i, l, nb, len(d.Vecs))
+				}
+			}
+		}
 		g.nodes[i] = node{level: level, links: links}
+		if level > maxLevel {
+			maxLevel = level
+		}
 	}
-	if len(g.vecs) > 0 && (g.entry < 0 || g.entry >= len(g.vecs)) {
-		return nil, fmt.Errorf("hnsw: entry point %d out of range", g.entry)
+	if len(g.vecs) > 0 {
+		if g.entry < 0 || g.entry >= len(g.vecs) {
+			return nil, fmt.Errorf("hnsw: entry point %d out of range", g.entry)
+		}
+		// An inflated top would make every search walk the phantom layers.
+		if g.top < 0 || g.top > maxLevel {
+			return nil, fmt.Errorf("hnsw: top layer %d, highest node level is %d", g.top, maxLevel)
+		}
 	}
 	return g, nil
 }

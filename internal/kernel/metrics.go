@@ -36,10 +36,18 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 	}
 }
 
+// GobEncode makes Metrics persistence-inert: instrument handles are runtime
+// wiring, so configs that embed one (dataset.CollectConfig inside a sealed
+// tuner artifact) serialize it as nothing.
+func (m *Metrics) GobEncode() ([]byte, error) { return nil, nil }
+
+// GobDecode restores a persistence-inert Metrics as an inactive handle.
+func (m *Metrics) GobDecode([]byte) error { return nil }
+
 // observeMeasure records one completed Measure call; nil receivers no-op so
 // offline pipelines (dataset collection, experiments) pay nothing.
 func (m *Metrics) observeMeasure(repeats int, runs []time.Duration) {
-	if m == nil {
+	if m == nil || m.Measurements == nil { // nil or gob-revived inactive handle
 		return
 	}
 	m.Measurements.Inc()

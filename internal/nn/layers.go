@@ -5,6 +5,14 @@ import "math/rand"
 // Tape records backward closures during a forward pass. Backward replays
 // them in reverse, accumulating parameter gradients and propagating the
 // input gradient. A nil *Tape runs layers in inference mode.
+//
+// A Tape is strictly single-goroutine: Push appends to an unguarded slice
+// and the recorded closures write into shared parameter gradient buffers,
+// so a Tape must never be captured by a goroutine other than the one that
+// created it, sent over a channel, or shared between concurrent forward
+// passes. Parallel training gives every worker its own Tape (and its own
+// gradient buffers via a model replica); the waco-vet tapeshare analyzer
+// enforces the convention statically.
 type Tape struct {
 	backs []func()
 }

@@ -1,0 +1,156 @@
+package parallelism
+
+import (
+	"time"
+
+	"waco/internal/metrics"
+)
+
+// Phase names one offline pipeline stage for the per-phase series. The set
+// is closed so every series is registered up front (the waco-vet metricreg
+// convention: registration at init/constructor time, never per call).
+type Phase string
+
+const (
+	// PhaseTrain is per-matrix gradient computation in costmodel.Train.
+	PhaseTrain Phase = "train"
+	// PhaseEval is the per-epoch validation loss pass.
+	PhaseEval Phase = "eval"
+	// PhaseIndex is schedule embedding in search.BuildIndex.
+	PhaseIndex Phase = "index"
+	// PhaseCollect is matrix measurement in dataset.Collect.
+	PhaseCollect Phase = "collect"
+)
+
+// Phases lists every known phase in registration order.
+var Phases = []Phase{PhaseTrain, PhaseEval, PhaseIndex, PhaseCollect}
+
+// Metrics instruments the worker pool: queue depth and busy workers as
+// gauges, plus per-phase wall-clock and cpu (summed per-item) seconds, so
+// an operator can see where offline build time goes and how well it
+// overlaps. A nil *Metrics disables instrumentation at zero cost.
+type Metrics struct {
+	QueueDepth *metrics.Gauge // indices submitted to ForEach but not yet claimed
+	Busy       *metrics.Gauge // workers currently executing an index
+
+	phases map[Phase]*phaseInstruments
+}
+
+type phaseInstruments struct {
+	wall  *metrics.Counter
+	cpu   *metrics.Counter
+	items *metrics.Counter
+}
+
+// NewMetrics registers the pool instruments on reg. Call once at startup.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	m := &Metrics{
+		QueueDepth: reg.NewGauge("waco_pool_queue_depth",
+			"Work items submitted to the offline worker pool and not yet claimed.", nil),
+		Busy: reg.NewGauge("waco_pool_busy_workers",
+			"Worker goroutines currently executing a work item.", nil),
+		phases: map[Phase]*phaseInstruments{},
+	}
+	for _, p := range Phases {
+		labels := metrics.Labels{"phase": string(p)}
+		m.phases[p] = &phaseInstruments{
+			wall: reg.NewCounter("waco_phase_wall_seconds_total",
+				"Wall-clock seconds spent inside each offline pipeline phase.", labels),
+			cpu: reg.NewCounter("waco_phase_cpu_seconds_total",
+				"Per-item execution seconds summed across workers in each phase (cpu-seconds when workers run on distinct cores).", labels),
+			items: reg.NewCounter("waco_phase_items_total",
+				"Work items completed in each offline pipeline phase.", labels),
+		}
+	}
+	return m
+}
+
+// PhaseWallSeconds returns the accumulated wall seconds for a phase (0 for
+// a nil receiver or unknown phase) — the test- and report-facing read side.
+func (m *Metrics) PhaseWallSeconds(p Phase) float64 {
+	if m == nil || m.phases[p] == nil {
+		return 0
+	}
+	return m.phases[p].wall.Value()
+}
+
+// PhaseCPUSeconds returns the accumulated per-item seconds for a phase.
+func (m *Metrics) PhaseCPUSeconds(p Phase) float64 {
+	if m == nil || m.phases[p] == nil {
+		return 0
+	}
+	return m.phases[p].cpu.Value()
+}
+
+// PhaseItems returns the number of completed items for a phase.
+func (m *Metrics) PhaseItems(p Phase) float64 {
+	if m == nil || m.phases[p] == nil {
+		return 0
+	}
+	return m.phases[p].items.Value()
+}
+
+// GobEncode makes Metrics persistence-inert: a Metrics handle is runtime
+// wiring, not state, so configs embedding one (e.g. TrainConfig inside a
+// saved tuner artifact) serialize it as nothing instead of dragging the
+// instrument internals into gob.
+func (m *Metrics) GobEncode() ([]byte, error) { return nil, nil }
+
+// GobDecode restores a persistence-inert Metrics as an inactive handle.
+func (m *Metrics) GobDecode([]byte) error { return nil }
+
+// phaseRun tracks one ForEach invocation against the instruments. All
+// methods tolerate a nil receiver so the uninstrumented path stays free of
+// branches at call sites.
+type phaseRun struct {
+	m    *Metrics
+	inst *phaseInstruments
+	n    int
+	t0   time.Time
+}
+
+// begin opens a phase run covering n items. An inactive handle (nil, or one
+// revived by GobDecode with no registered instruments) records nothing.
+func (m *Metrics) begin(p Phase, n int) *phaseRun {
+	if m == nil || m.QueueDepth == nil {
+		return nil
+	}
+	m.QueueDepth.Add(float64(n))
+	return &phaseRun{m: m, inst: m.phases[p], n: n, t0: time.Now()}
+}
+
+// itemStart marks one index claimed; the returned time feeds itemEnd.
+func (r *phaseRun) itemStart() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	r.m.QueueDepth.Dec()
+	r.m.Busy.Inc()
+	return time.Now()
+}
+
+// itemEnd marks one index finished, attributing its execution time.
+func (r *phaseRun) itemEnd(start time.Time) {
+	if r == nil {
+		return
+	}
+	r.m.Busy.Dec()
+	if r.inst != nil {
+		r.inst.cpu.Add(time.Since(start).Seconds())
+		r.inst.items.Inc()
+	}
+}
+
+// end closes the run: records wall time and returns unclaimed indices to a
+// zero queue contribution (an aborted run must not leave the gauge high).
+func (r *phaseRun) end(started int64) {
+	if r == nil {
+		return
+	}
+	if leftover := int64(r.n) - started; leftover > 0 {
+		r.m.QueueDepth.Add(-float64(leftover))
+	}
+	if r.inst != nil {
+		r.inst.wall.Add(time.Since(r.t0).Seconds())
+	}
+}

@@ -1,0 +1,193 @@
+// Package parallelism is the worker-pool and sharding layer behind WACO's
+// multicore offline pipeline (training, index construction, dataset
+// collection). Its design constraint is determinism: using N workers must
+// produce bit-identical results to using 1 worker, so the layer never lets
+// scheduling order leak into outputs. The rules it provides to callers:
+//
+//   - Work is identified by index. ForEach runs fn(worker, i) for every
+//     i in [0, n); which worker runs which index is scheduling-dependent,
+//     so fn must write only into its own index's output slot and draw
+//     randomness only from a stream derived from i (ShardRand), never from
+//     a stream shared across indices.
+//   - Reductions happen after the pool drains, in index order, on the
+//     caller's goroutine. Floating-point accumulation order is therefore
+//     fixed regardless of worker count.
+//   - Partition splits a range into contiguous near-equal shards whose
+//     boundaries depend only on (n, parts) — never on worker availability.
+//
+// Cancellation flows through a context: once ctx is done, idle workers stop
+// claiming indices, and ForEach returns ctx.Err() joined with any errors fn
+// already produced. Errors are joined in index order so a failing run
+// reports deterministically.
+package parallelism
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values < 1 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS(0)), matching the -workers flag
+// defaults on waco-train and waco-datagen.
+func Workers(requested int) int {
+	if requested >= 1 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Span is one contiguous shard [Lo, Hi) of a partitioned range.
+type Span struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Partition splits [0, n) into at most parts contiguous near-equal spans.
+// The split depends only on (n, parts): the first n%parts spans hold one
+// extra element. Empty spans are never returned, so len(result) =
+// min(n, parts). Partition is the deterministic-chunking primitive: a
+// caller that shards per-span state (an RNG stream, a gradient buffer) gets
+// the same shard boundaries on every run.
+func Partition(n, parts int) []Span {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Span, 0, parts)
+	base := n / parts
+	extra := n % parts
+	lo := 0
+	for p := 0; p < parts; p++ {
+		size := base
+		if p < extra {
+			size++
+		}
+		out = append(out, Span{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
+// ForEach runs fn(worker, i) for every i in [0, n) on up to workers
+// goroutines, claiming indices dynamically from a shared counter. worker is
+// a stable id in [0, workers): fn may use it to own per-worker scratch
+// state (a model replica, a Tape). Determinism contract: fn must derive any
+// randomness from i (see ShardRand) and must not let results depend on
+// claim order; reductions belong after ForEach returns, in index order.
+//
+// The first fn error (or ctx cancellation) stops further claims; indices
+// already claimed finish. All fn errors are returned joined in index order;
+// a context error, if any, is joined last. With workers <= 1 the loop runs
+// inline on the calling goroutine as worker 0 — the exact sequential
+// semantics every parallel run must reproduce.
+//
+// m, when non-nil, observes pool activity (queue depth, busy workers) for
+// the given phase; pass nil to run uninstrumented.
+func ForEach(ctx context.Context, m *Metrics, phase Phase, n, workers int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	run := m.begin(phase, n)
+	if workers <= 1 {
+		started := int64(0)
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			started++
+			t0 := run.itemStart()
+			errs[i] = fn(0, i)
+			run.itemEnd(t0)
+			if errs[i] != nil {
+				break
+			}
+		}
+		run.end(started)
+		return joinIndexed(errs, ctx.Err())
+	}
+
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				t0 := run.itemStart()
+				err := fn(worker, i)
+				run.itemEnd(t0)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	started := next.Load()
+	if started > int64(n) {
+		started = int64(n)
+	}
+	run.end(started)
+	return joinIndexed(errs, ctx.Err())
+}
+
+// joinIndexed joins the non-nil errors in index order, appending ctxErr
+// last. It returns nil when everything is nil.
+func joinIndexed(errs []error, ctxErr error) error {
+	var all []error
+	for _, err := range errs {
+		if err != nil {
+			all = append(all, err)
+		}
+	}
+	if ctxErr != nil {
+		all = append(all, ctxErr)
+	}
+	return errors.Join(all...)
+}
+
+// ShardSeed derives the RNG seed for one shard of a seeded computation. The
+// derivation is a SplitMix64 mix of (seed, shard), so neighboring shards get
+// statistically independent streams (a plain seed+shard would make shard k
+// of seed s collide with shard k-1 of seed s+1). The mapping is frozen: the
+// shard-stream regression test pins its outputs, because changing it would
+// silently change every "same seed" training run and dataset collection.
+func ShardSeed(seed, shard int64) int64 {
+	z := uint64(seed) ^ (uint64(shard)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// ShardRand returns the per-shard random stream for (seed, shard): a fresh
+// generator every call, so a shard replays identically no matter which
+// worker runs it or what ran before it.
+func ShardRand(seed, shard int64) *rand.Rand {
+	return rand.New(rand.NewSource(ShardSeed(seed, shard)))
+}

@@ -1,0 +1,232 @@
+package parallelism
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"waco/internal/metrics"
+)
+
+func TestPartitionCoversRangeExactly(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 1}, {1, 8}, {7, 3}, {8, 3}, {9, 3}, {100, 7}, {5, 5}, {5, 100},
+	} {
+		spans := Partition(tc.n, tc.parts)
+		if tc.n == 0 {
+			if spans != nil {
+				t.Errorf("Partition(0, %d) = %v, want nil", tc.parts, spans)
+			}
+			continue
+		}
+		want := tc.parts
+		if want > tc.n {
+			want = tc.n
+		}
+		if len(spans) != want {
+			t.Errorf("Partition(%d, %d) has %d spans, want %d", tc.n, tc.parts, len(spans), want)
+		}
+		next := 0
+		for _, s := range spans {
+			if s.Lo != next || s.Hi <= s.Lo {
+				t.Fatalf("Partition(%d, %d): bad span %+v after %d", tc.n, tc.parts, s, next)
+			}
+			next = s.Hi
+		}
+		if next != tc.n {
+			t.Errorf("Partition(%d, %d) covers [0, %d)", tc.n, tc.parts, next)
+		}
+		// Near-equal: sizes differ by at most one.
+		minLen, maxLen := spans[0].Len(), spans[0].Len()
+		for _, s := range spans {
+			if s.Len() < minLen {
+				minLen = s.Len()
+			}
+			if s.Len() > maxLen {
+				maxLen = s.Len()
+			}
+		}
+		if maxLen-minLen > 1 {
+			t.Errorf("Partition(%d, %d) spans range %d..%d in size", tc.n, tc.parts, minLen, maxLen)
+		}
+	}
+}
+
+func TestPartitionIsDeterministic(t *testing.T) {
+	a := Partition(997, 13)
+	b := Partition(997, 13)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("span %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		const n = 100
+		var counts [n]atomic.Int32
+		err := ForEach(context.Background(), nil, PhaseTrain, n, workers, func(worker, i int) error {
+			if worker < 0 || worker >= workers {
+				return fmt.Errorf("worker id %d out of range", worker)
+			}
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachJoinsErrorsInIndexOrder(t *testing.T) {
+	// With one worker, index 3 fails and stops the loop: exactly one error.
+	errBoom := errors.New("boom")
+	err := ForEach(context.Background(), nil, PhaseTrain, 10, 1, func(_, i int) error {
+		if i >= 3 {
+			return fmt.Errorf("index %d: %w", i, errBoom)
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("error lost: %v", err)
+	}
+	if got := err.Error(); got != "index 3: boom" {
+		t.Fatalf("sequential failure should stop at the first error, got %q", got)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEach(ctx, nil, PhaseTrain, 1000, 4, func(_, i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran.Load() >= 1000 {
+		t.Fatal("cancellation did not stop the pool early")
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), nil, PhaseTrain, 0, 4, func(_, _ int) error {
+		t.Fatal("fn called for empty range")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardSeedDerivationPinned is the shard-stream regression test: the
+// (seed, shard) -> seed mapping is part of the determinism contract (it
+// decides which schedule pairs a training run draws), so its outputs are
+// pinned. If this test fails, the derivation changed and every "same seed"
+// run in the wild silently changed with it.
+func TestShardSeedDerivationPinned(t *testing.T) {
+	pinned := []struct {
+		seed, shard, want int64
+	}{
+		{1, 0, -1956407806741107680},
+		{1, 1, -4689498862643123097},
+		{1, 2, 4048727598324417001},
+		{2, 0, -7541218347953203506},
+		{42, 7, -5461621313036580413},
+	}
+	for _, p := range pinned {
+		if got := ShardSeed(p.seed, p.shard); got != p.want {
+			t.Errorf("ShardSeed(%d, %d) = %d, want %d", p.seed, p.shard, got, p.want)
+		}
+	}
+}
+
+func TestShardStreamsDifferAcrossShardsAndSeeds(t *testing.T) {
+	seen := map[int64]string{}
+	for seed := int64(0); seed < 8; seed++ {
+		for shard := int64(0); shard < 64; shard++ {
+			s := ShardSeed(seed, shard)
+			key := fmt.Sprintf("seed=%d shard=%d", seed, shard)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("derived seed collision: %s and %s both map to %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+	// The additive failure mode ShardSeed exists to prevent: seed s, shard
+	// k+1 must not equal seed s+1, shard k.
+	if ShardSeed(1, 2) == ShardSeed(2, 1) {
+		t.Fatal("shard streams collide across (seed, shard) diagonals")
+	}
+	// And replaying a shard yields the same stream.
+	a, b := ShardRand(3, 7), ShardRand(3, 7)
+	for i := 0; i < 16; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("ShardRand is not replayable")
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Fatal("defaulted worker count must be at least 1")
+	}
+}
+
+func TestForEachRecordsMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	if err := ForEach(context.Background(), m, PhaseIndex, 12, 3, func(_, _ int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PhaseItems(PhaseIndex); got != 12 {
+		t.Fatalf("phase items %v, want 12", got)
+	}
+	if m.PhaseWallSeconds(PhaseIndex) <= 0 {
+		t.Fatal("phase wall seconds not recorded")
+	}
+	if m.PhaseCPUSeconds(PhaseIndex) < 0 {
+		t.Fatal("phase cpu seconds negative")
+	}
+	if q := m.QueueDepth.Value(); q != 0 {
+		t.Fatalf("queue depth %v after drain, want 0", q)
+	}
+	if b := m.Busy.Value(); b != 0 {
+		t.Fatalf("busy workers %v after drain, want 0", b)
+	}
+	// Other phases stay untouched.
+	if m.PhaseItems(PhaseTrain) != 0 {
+		t.Fatal("unrelated phase recorded items")
+	}
+}
+
+func TestForEachAbortLeavesQueueDrained(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	errBoom := errors.New("boom")
+	err := ForEach(context.Background(), m, PhaseCollect, 50, 2, func(_, i int) error {
+		if i == 0 {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("error lost: %v", err)
+	}
+	if q := m.QueueDepth.Value(); q != 0 {
+		t.Fatalf("queue depth %v after aborted run, want 0", q)
+	}
+}

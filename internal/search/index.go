@@ -14,6 +14,7 @@ import (
 	"waco/internal/costmodel"
 	"waco/internal/hnsw"
 	"waco/internal/nn"
+	"waco/internal/parallelism"
 	"waco/internal/schedule"
 )
 
@@ -34,24 +35,65 @@ type Index struct {
 	Metrics *Metrics
 }
 
+// BuildOptions tunes how BuildIndexContext spends the machine; none of its
+// fields can change the index that comes out.
+type BuildOptions struct {
+	// Workers bounds the embedding fan-out (and, unless cfg.Workers is
+	// already set, the HNSW batch evaluator). <1 means one per CPU.
+	Workers int
+	// Metrics, when non-nil, records the embedding fan-out under the
+	// "index" phase of the pool instruments.
+	Metrics *parallelism.Metrics
+}
+
 // BuildIndex embeds and indexes the given schedules, deduplicating by
 // canonical key. In the paper the index holds the SuperSchedules that
 // appeared in the training dataset.
 func BuildIndex(m *costmodel.Model, schedules []*schedule.SuperSchedule, cfg hnsw.Config) (*Index, error) {
-	ix := &Index{Model: m, Graph: hnsw.New(cfg)}
+	return BuildIndexContext(context.Background(), m, schedules, cfg, BuildOptions{})
+}
+
+// BuildIndexContext is BuildIndex with cancellation and a worker pool. The
+// pipeline is: deduplicate in input order, embed every unique schedule
+// concurrently (nil-tape inference only reads frozen weights, so workers
+// share the model), then insert the embeddings into the HNSW graph strictly
+// in input order. Insertion order and Config.Seed fully determine the graph,
+// so the result is bit-identical for every worker count.
+func BuildIndexContext(ctx context.Context, m *costmodel.Model, schedules []*schedule.SuperSchedule, cfg hnsw.Config, opts BuildOptions) (*Index, error) {
 	seen := make(map[string]bool, len(schedules))
+	unique := make([]*schedule.SuperSchedule, 0, len(schedules))
 	for _, ss := range schedules {
 		key := ss.String()
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
-		emb := m.Embedder.EmbedSchedule(nil, ss)
-		ix.Graph.Add(emb.V)
-		ix.Schedules = append(ix.Schedules, ss)
+		unique = append(unique, ss)
 	}
-	if len(ix.Schedules) == 0 {
+	if len(unique) == 0 {
 		return nil, fmt.Errorf("search: no schedules to index")
+	}
+
+	workers := parallelism.Workers(opts.Workers)
+	embs := make([][]float32, len(unique))
+	err := parallelism.ForEach(ctx, opts.Metrics, parallelism.PhaseIndex, len(unique), workers,
+		func(_, i int) error {
+			embs[i] = m.Embedder.EmbedSchedule(nil, unique[i]).V
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Workers == 0 {
+		cfg.Workers = workers
+	}
+	ix := &Index{Model: m, Graph: hnsw.New(cfg), Schedules: unique}
+	for _, emb := range embs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ix.Graph.Add(emb)
 	}
 	return ix, nil
 }

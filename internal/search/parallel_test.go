@@ -1,0 +1,125 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"waco/internal/hnsw"
+	"waco/internal/metrics"
+	"waco/internal/parallelism"
+)
+
+// indexFingerprint captures everything BuildIndex produces that a worker
+// count could conceivably disturb: schedule order, embedding bits, and the
+// full graph adjacency.
+func indexFingerprint(t *testing.T, ix *Index) ([]string, [][]float32, [][][]int32) {
+	t.Helper()
+	keys := make([]string, len(ix.Schedules))
+	for i, ss := range ix.Schedules {
+		keys[i] = ss.String()
+	}
+	vecs := make([][]float32, ix.Graph.Len())
+	links := make([][][]int32, ix.Graph.Len())
+	for id := 0; id < ix.Graph.Len(); id++ {
+		vecs[id] = append([]float32(nil), ix.Graph.Vector(id)...)
+		for l := 0; l <= ix.Graph.Level(id); l++ {
+			links[id] = append(links[id], ix.Graph.Neighbors(id, l))
+		}
+	}
+	return keys, vecs, links
+}
+
+// TestBuildIndexWorkersIdentical is the index half of the equivalence
+// suite: BuildIndexContext with 1, 2, and 8 workers must yield the same
+// schedules in the same order, bit-identical embeddings, and the same
+// neighbors per node.
+func TestBuildIndexWorkersIdentical(t *testing.T) {
+	m := testModel(t)
+	scheds := sampleSchedules(200, 7)
+	scheds = append(scheds, scheds[3].Clone(), scheds[0].Clone()) // dedup must also be order-stable
+
+	var wantKeys []string
+	var wantVecs [][]float32
+	var wantLinks [][][]int32
+	for _, workers := range []int{1, 2, 8} {
+		ix, err := BuildIndexContext(context.Background(), m, scheds,
+			hnsw.Config{M: 10, EfConstruction: 40, Seed: 4}, BuildOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		keys, vecs, links := indexFingerprint(t, ix)
+		if wantKeys == nil {
+			wantKeys, wantVecs, wantLinks = keys, vecs, links
+			if len(keys) != 200 {
+				t.Fatalf("indexed %d schedules, want 200 after dedup", len(keys))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(keys, wantKeys) {
+			t.Fatalf("workers=%d: schedule order diverged", workers)
+		}
+		if !reflect.DeepEqual(vecs, wantVecs) {
+			t.Fatalf("workers=%d: embeddings diverged", workers)
+		}
+		if !reflect.DeepEqual(links, wantLinks) {
+			t.Fatalf("workers=%d: graph adjacency diverged", workers)
+		}
+	}
+}
+
+// TestBuildIndexCancellation: a cancelled context aborts the build instead
+// of returning a partial index.
+func TestBuildIndexCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := BuildIndexContext(ctx, testModel(t), sampleSchedules(20, 1),
+		hnsw.DefaultConfig(), BuildOptions{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestBuildIndexRecordsPoolMetrics wires the "index" phase instruments
+// through a real build.
+func TestBuildIndexRecordsPoolMetrics(t *testing.T) {
+	pm := parallelism.NewMetrics(metrics.NewRegistry())
+	_, err := BuildIndexContext(context.Background(), testModel(t), sampleSchedules(30, 2),
+		hnsw.DefaultConfig(), BuildOptions{Workers: 2, Metrics: pm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pm.PhaseItems(parallelism.PhaseIndex); got != 30 {
+		t.Fatalf("index phase items %v, want 30", got)
+	}
+	if pm.PhaseWallSeconds(parallelism.PhaseIndex) <= 0 {
+		t.Fatal("index phase wall seconds not recorded")
+	}
+}
+
+func benchBuildIndex(b *testing.B, workers int) {
+	m := testModel(b)
+	scheds := sampleSchedules(400, 5)
+	cfg := hnsw.Config{M: 12, EfConstruction: 48, Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildIndexContext(context.Background(), m, scheds, cfg,
+			BuildOptions{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(scheds))/b.Elapsed().Seconds(), "schedules/sec")
+}
+
+func BenchmarkBuildIndexWorkers1(b *testing.B) { benchBuildIndex(b, 1) }
+func BenchmarkBuildIndexWorkers4(b *testing.B) { benchBuildIndex(b, 4) }
+
+// BenchmarkBuildIndexWorkersN uses one worker per CPU (the default).
+func BenchmarkBuildIndexWorkersN(b *testing.B) {
+	b.Run(fmt.Sprintf("n=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		benchBuildIndex(b, runtime.GOMAXPROCS(0))
+	})
+}

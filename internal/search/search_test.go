@@ -14,7 +14,7 @@ import (
 	"waco/internal/sparseconv"
 )
 
-func testModel(t *testing.T) *costmodel.Model {
+func testModel(t testing.TB) *costmodel.Model {
 	t.Helper()
 	cfg := costmodel.Config{
 		Extractor: costmodel.KindHumanFeature,

@@ -1,0 +1,92 @@
+// COO round-trip fuzzing lives in an external test package: it drives
+// format.Assemble, and format imports tensor.
+package tensor_test
+
+import (
+	"testing"
+
+	"waco/internal/format"
+	"waco/internal/tensor"
+)
+
+// FuzzCOORoundTrip asserts that assembling a canonical COO tensor into any
+// format and walking the storage back out reproduces the tensor exactly.
+// The fuzz input packs (dims, format selector, block shape) plus a byte
+// stream of nonzeros; values are built strictly positive so the round trip
+// cannot confuse a stored entry with dense-block padding (ToCOO drops exact
+// zeros by design).
+func FuzzCOORoundTrip(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(0), uint8(1), uint8(1), []byte{0, 0, 1, 1, 1, 2, 7, 7, 3})
+	f.Add(uint8(16), uint8(5), uint8(1), uint8(2), uint8(2), []byte{3, 4, 250, 3, 4, 250})
+	f.Add(uint8(63), uint8(63), uint8(2), uint8(7), uint8(3), []byte{62, 62, 1, 0, 62, 2, 62, 0, 3})
+	f.Add(uint8(4), uint8(4), uint8(3), uint8(1), uint8(1), []byte{1, 2, 3})
+	f.Add(uint8(9), uint8(9), uint8(4), uint8(1), uint8(1), []byte{8, 0, 5, 0, 8, 6})
+	f.Add(uint8(6), uint8(6), uint8(5), uint8(4), uint8(1), []byte{5, 5, 3, 9, 0, 1, 2, 1, 0, 3, 2, 8})
+	f.Fuzz(func(t *testing.T, rows, cols, fsel, br, bc uint8, data []byte) {
+		order := 2
+		var fm format.Format
+		switch fsel % 6 {
+		case 0:
+			fm = format.CSR()
+		case 1:
+			fm = format.CSC()
+		case 2:
+			fm = format.BCSR(int32(br%8)+1, int32(bc%8)+1)
+		case 3:
+			fm = format.COOLike(2)
+		case 4:
+			fm = format.Dense(2)
+		case 5:
+			fm = format.CSF(3)
+			order = 3
+		}
+		dims := []int{int(rows%64) + 1, int(cols%64) + 1}
+		if order == 3 {
+			dims = append(dims, int(bc%16)+1)
+		}
+
+		stride := order + 1
+		coo := tensor.NewCOO(dims, len(data)/stride)
+		coords := make([]int32, order)
+		for i := 0; i+stride <= len(data); i += stride {
+			for m := 0; m < order; m++ {
+				coords[m] = int32(int(data[i+m]) % dims[m])
+			}
+			// Values are small positive integers, so duplicate sums are
+			// exact in float32 and never cancel to zero.
+			coo.Append(float32(data[i+order])+1, coords...)
+		}
+		if err := coo.Validate(); err != nil {
+			t.Fatalf("constructed COO invalid: %v", err)
+		}
+		coo.SortRowMajor()
+		coo.Dedup()
+		want := coo.Clone()
+
+		st, err := format.Assemble(coo, fm, format.AssembleOptions{MaxEntries: 1 << 18})
+		if err != nil {
+			if format.IsStorageLimit(err) {
+				t.Skip("format exceeds the assembly budget for these dims")
+			}
+			t.Fatalf("assemble %v: %v", fm, err)
+		}
+		got := st.ToCOO()
+		if err := got.Validate(); err != nil {
+			t.Fatalf("round-tripped COO invalid: %v", err)
+		}
+		if got.NNZ() != want.NNZ() {
+			t.Fatalf("format %v: round trip has %d nonzeros, want %d", fm, got.NNZ(), want.NNZ())
+		}
+		for p := 0; p < want.NNZ(); p++ {
+			for m := 0; m < order; m++ {
+				if got.Coords[m][p] != want.Coords[m][p] {
+					t.Fatalf("format %v: nnz %d mode %d coord %d, want %d",
+						fm, p, m, got.Coords[m][p], want.Coords[m][p])
+				}
+			}
+			if got.Vals[p] != want.Vals[p] {
+				t.Fatalf("format %v: nnz %d value %v, want %v", fm, p, got.Vals[p], want.Vals[p])
+			}
+		}
+	})
+}

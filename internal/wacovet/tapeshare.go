@@ -1,0 +1,114 @@
+package wacovet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TapeshareConfig scopes the tapeshare check.
+type TapeshareConfig struct {
+	// Packages are package paths (exact or "prefix/...") the check runs in.
+	Packages []string
+	// TapeType is the fully qualified named type ("pkg/path.Name") whose
+	// values are single-goroutine: the autodiff tape, which appends backward
+	// closures to an unguarded slice and writes shared gradient buffers.
+	TapeType string
+}
+
+// DefaultTapeshareConfig guards nn.Tape across the entire module: parallel
+// training hands every worker its own tape (and its own gradient buffers via
+// a model replica), so a tape crossing a goroutine boundary is always a bug
+// — a data race at best, silently corrupted gradients at worst.
+func DefaultTapeshareConfig(module string) TapeshareConfig {
+	return TapeshareConfig{
+		Packages: []string{module, module + "/..."},
+		TapeType: module + "/internal/nn.Tape",
+	}
+}
+
+// NewTapeshareAnalyzer builds the tapeshare check.
+func NewTapeshareAnalyzer(cfg TapeshareConfig) *Analyzer {
+	return &Analyzer{
+		Name: "tapeshare",
+		Doc:  "an nn.Tape is single-goroutine state: never captured by a goroutine closure, passed to a spawned call, or sent over a channel",
+		Run:  func(m *Module) []Finding { return runTapeshare(m, cfg) },
+	}
+}
+
+func runTapeshare(m *Module, cfg TapeshareConfig) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		if !pathApplies(pkg.Path, cfg.Packages) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					out = append(out, tapesInGoStmt(m, pkg, n, cfg.TapeType)...)
+				case *ast.SendStmt:
+					if isTapeType(pkg.Info.TypeOf(n.Value), cfg.TapeType) {
+						out = append(out, m.finding(n.Arrow, "tapeshare",
+							"tape sent over a channel; a tape must stay on the goroutine that created it"))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// tapesInGoStmt flags tape values crossing into a spawned goroutine, either
+// as call arguments or as free variables of a function-literal body.
+func tapesInGoStmt(m *Module, pkg *Package, g *ast.GoStmt, tapeType string) []Finding {
+	var out []Finding
+	for _, arg := range g.Call.Args {
+		if isTapeType(pkg.Info.TypeOf(arg), tapeType) {
+			out = append(out, m.finding(arg.Pos(), "tapeshare",
+				"tape passed to a goroutine; give each worker its own tape"))
+		}
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return out
+	}
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] || !isTapeType(v.Type(), tapeType) {
+			return true
+		}
+		// A tape declared inside the literal belongs to the new goroutine.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		seen[v] = true
+		out = append(out, m.finding(id.Pos(), "tapeshare",
+			"goroutine closure captures tape %q declared outside it; give each worker its own tape", v.Name()))
+		return true
+	})
+	return out
+}
+
+// isTapeType reports whether t (through any levels of pointer) is the named
+// tape type.
+func isTapeType(t types.Type, tapeType string) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path()+"."+obj.Name() == tapeType
+}

@@ -1,0 +1,78 @@
+// Package tapeshare is a known-bad fixture for the tapeshare analyzer: Tape
+// stands in for nn.Tape (the analyzer is configured with this package's own
+// type).
+package tapeshare
+
+import "sync"
+
+// Tape mimics the autodiff tape: single-goroutine by contract.
+type Tape struct {
+	backs []func()
+}
+
+// Push records a backward step.
+func (t *Tape) Push(f func()) { t.backs = append(t.backs, f) }
+
+// BadCapture shares one tape with a spawned goroutine.
+func BadCapture(wg *sync.WaitGroup) {
+	var tape Tape
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tape.Push(nil) // want tapeshare
+	}()
+}
+
+// BadPointerCapture captures a *Tape free variable, and only once per
+// closure even though it is used twice.
+func BadPointerCapture(wg *sync.WaitGroup) {
+	tape := &Tape{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tape.Push(nil) // want tapeshare
+		tape.Push(nil)
+	}()
+}
+
+// BadArg hands a tape to a spawned call.
+func BadArg(wg *sync.WaitGroup, consume func(*Tape)) {
+	tape := &Tape{}
+	wg.Add(1)
+	go consume(tape) // want tapeshare
+}
+
+// BadSend pushes a tape across a channel to whoever is listening.
+func BadSend(ch chan *Tape) {
+	ch <- &Tape{} // want tapeshare
+}
+
+// GoodPerWorker gives every goroutine its own tape, the parallel-training
+// pattern.
+func GoodPerWorker(wg *sync.WaitGroup) {
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var tape Tape
+			tape.Push(nil)
+		}()
+	}
+}
+
+// GoodSequential uses a tape on its own goroutine.
+func GoodSequential() {
+	tape := &Tape{}
+	tape.Push(func() {})
+}
+
+// GoodOtherCapture captures a non-tape variable, which is fine.
+func GoodOtherCapture(wg *sync.WaitGroup) {
+	n := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n++
+	}()
+	_ = n
+}

@@ -18,6 +18,9 @@
 //	metricreg  instruments are registered once, at init or in a New*
 //	           constructor — never on the request path, where a fresh
 //	           series or a name collision would surface under load
+//	tapeshare  an nn.Tape is single-goroutine state — never captured by a
+//	           goroutine closure, passed to a spawned call, or sent over a
+//	           channel; parallel training gives each worker its own tape
 //
 // A file can opt out of one or more checks with a suppression comment that
 // names the checks and states a reason:
@@ -88,6 +91,7 @@ func DefaultAnalyzers(module string) []*Analyzer {
 		NewPaniccallAnalyzer(DefaultPaniccallConfig(module)),
 		NewFloatcmpAnalyzer(DefaultFloatcmpConfig(module)),
 		NewMetricregAnalyzer(DefaultMetricregConfig(module)),
+		NewTapeshareAnalyzer(DefaultTapeshareConfig(module)),
 	}
 }
 

@@ -113,6 +113,12 @@ func TestMetricregFixture(t *testing.T) {
 	matchMarkers(t, "metricreg", NewMetricregAnalyzer(cfg).Run(m), wantLines(t, "metricreg"))
 }
 
+func TestTapeshareFixture(t *testing.T) {
+	m, pkg := loadFixture(t, "tapeshare")
+	cfg := TapeshareConfig{Packages: []string{pkg.Path}, TapeType: pkg.Path + ".Tape"}
+	matchMarkers(t, "tapeshare", NewTapeshareAnalyzer(cfg).Run(m), wantLines(t, "tapeshare"))
+}
+
 // TestNolintFixture checks the suppression convention end to end: a
 // well-formed file-level suppression swallows the rngsource finding, while a
 // reason-less comment and an unknown check name each surface as "nolint"

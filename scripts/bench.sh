@@ -1,0 +1,45 @@
+#!/bin/sh
+# Runs the worker-scaling benchmarks (parallel training and index build) and
+# writes the results as BENCH_train.json next to this repo's root, so a CI
+# job — or a human comparing two branches — has a machine-readable record of
+# samples/sec and schedules/sec per worker count. Parsing uses awk only; no
+# jq or other tooling beyond a POSIX shell and the go toolchain.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 1x — the benchmarks are
+# about relative scaling, not absolute numbers, and 1 iteration already
+# reports the custom per-second metrics)
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime=${1:-1x}
+out=BENCH_train.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "==> go test -bench Workers -benchtime $benchtime"
+go test -run '^$' -bench 'Workers[14N]$' -benchtime "$benchtime" \
+	./internal/costmodel/ ./internal/search/ | tee "$raw"
+
+# Benchmark output lines look like:
+#   BenchmarkTrainWorkers4-8  1  123456 ns/op  42.5 samples/sec
+# Emit one JSON object per line keyed by benchmark name, with every
+# unit-suffixed value captured as a field.
+awk '
+BEGIN { printf "{\n  \"benchtime\": \"'"$benchtime"'\",\n  \"results\": [" ; n = 0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+	if (n++) printf ","
+	printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, $2
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		gsub(/[^A-Za-z0-9_]/, "_", unit)
+		printf ", \"%s\": %s", unit, $i
+	}
+	printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" >"$out"
+
+echo "wrote $out"

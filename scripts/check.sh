@@ -22,7 +22,9 @@ fi
 echo "==> waco-vet"
 go run ./cmd/waco-vet ./...
 
-echo "==> go test -race (serve, metrics, costmodel)"
-go test -race ./internal/serve/... ./internal/metrics/... ./internal/costmodel/...
+echo "==> go test -race (serve, metrics, costmodel, parallelism, search, hnsw, dataset)"
+go test -race ./internal/serve/... ./internal/metrics/... ./internal/costmodel/... \
+	./internal/parallelism/... ./internal/search/... ./internal/hnsw/... \
+	./internal/dataset/...
 
 echo "checks passed"
