@@ -107,6 +107,14 @@ var catalog = []experiment{
 		renderAll(w, a, b)
 		return nil
 	}},
+	{"querypath", "forward-only vs tape-path query throughput", func(s experiments.Scale, w io.Writer) error {
+		t, err := experiments.QueryPathThroughput(s)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}},
 	{"table7", "cross-hardware generalization", func(s experiments.Scale, w io.Writer) error {
 		t, err := experiments.Table7CrossHardware(s)
 		if err != nil {

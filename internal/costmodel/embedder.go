@@ -18,24 +18,26 @@ type Embedder struct {
 	CatDim int
 	EmbDim int
 
-	cats  []*nn.Embedding
-	perms []*nn.MLP
-	fuse  *nn.MLP
+	cats    []*nn.Embedding
+	perms   []*nn.MLP
+	fuse    *nn.MLP
+	permDim int
+	catIn   int // width of the fused concat input
 }
 
 // NewEmbedder builds an embedder for the space with the given output width.
 func NewEmbedder(space schedule.Space, embDim int, rng *rand.Rand) *Embedder {
-	e := &Embedder{Space: space, CatDim: 4, EmbDim: embDim}
-	permDim := 8
+	e := &Embedder{Space: space, CatDim: 4, EmbDim: embDim, permDim: 8}
 	total := 0
 	for i, size := range space.CatSizes() {
 		e.cats = append(e.cats, nn.NewEmbedding(fmt.Sprintf("emb.cat%d", i), size, e.CatDim, rng))
 		total += e.CatDim
 	}
 	for i, size := range space.PermSizes() {
-		e.perms = append(e.perms, nn.NewMLP(fmt.Sprintf("emb.perm%d", i), []int{size * size, 16, permDim}, rng))
-		total += permDim
+		e.perms = append(e.perms, nn.NewMLP(fmt.Sprintf("emb.perm%d", i), []int{size * size, 16, e.permDim}, rng))
+		total += e.permDim
 	}
+	e.catIn = total
 	e.fuse = nn.NewMLP("emb.fuse", []int{total, embDim, embDim}, rng)
 	return e
 }
@@ -72,4 +74,33 @@ func (e *Embedder) Embed(t *nn.Tape, enc schedule.Encoded) *nn.Grad {
 // EmbedSchedule encodes and embeds in one step.
 func (e *Embedder) EmbedSchedule(t *nn.Tape, ss *schedule.SuperSchedule) *nn.Grad {
 	return e.Embed(t, e.Space.Encode(ss))
+}
+
+// EmbedInfer is the forward-only Embed: the same concatenation order and
+// arithmetic (bit-identical output), with every intermediate drawn from the
+// arena. The result is valid until the arena resets.
+func (e *Embedder) EmbedInfer(a *nn.Arena, enc schedule.Encoded) []float32 {
+	cat := a.Alloc(e.catIn)
+	off := 0
+	for i, idx := range enc.Cats {
+		copy(cat[off:off+e.CatDim], e.cats[i].Lookup(idx))
+		off += e.CatDim
+	}
+	for i, perm := range enc.Perms {
+		n := len(perm)
+		mat := a.Alloc(n * n)
+		for pos, v := range perm {
+			mat[pos*n+v] = 1
+		}
+		out := e.perms[i].Infer(a, mat)
+		copy(cat[off:off+len(out)], out)
+		off += len(out)
+	}
+	nn.CheckShape("embedder concat", off, e.catIn)
+	return e.fuse.Infer(a, cat)
+}
+
+// EmbedScheduleInfer encodes and embeds forward-only in one step.
+func (e *Embedder) EmbedScheduleInfer(a *nn.Arena, ss *schedule.SuperSchedule) []float32 {
+	return e.EmbedInfer(a, e.Space.Encode(ss))
 }

@@ -65,10 +65,14 @@ func (p *Pattern) HumanFeatures() []float32 {
 }
 
 // FeatureExtractor turns a sparsity pattern into a learned feature vector.
+// Extract is the tape path (training); ExtractInfer is the forward-only path
+// (serving), which must produce bit-identical values while drawing scratch
+// from the arena — the parity tests compare the two element for element.
 type FeatureExtractor interface {
 	Name() string
 	Dim() int
 	Extract(t *nn.Tape, p *Pattern) (*nn.Grad, error)
+	ExtractInfer(a *nn.Arena, p *Pattern) ([]float32, error)
 	Params() []*nn.Param
 }
 
@@ -116,6 +120,14 @@ func (w *waconetExtractor) Extract(t *nn.Tape, p *Pattern) (*nn.Grad, error) {
 	}
 	return w.net.Extract(t, cloneForPass(sm)), nil
 }
+func (w *waconetExtractor) ExtractInfer(a *nn.Arena, p *Pattern) ([]float32, error) {
+	sm, err := p.SparseMap()
+	if err != nil {
+		return nil, err
+	}
+	// No cloneForPass: the forward pass only reads the cached map's features.
+	return w.net.ExtractInfer(a, sm), nil
+}
 
 type minkowskiExtractor struct{ net *sparseconv.MinkowskiLike }
 
@@ -128,6 +140,13 @@ func (m *minkowskiExtractor) Extract(t *nn.Tape, p *Pattern) (*nn.Grad, error) {
 		return nil, err
 	}
 	return m.net.Extract(t, cloneForPass(sm)), nil
+}
+func (m *minkowskiExtractor) ExtractInfer(a *nn.Arena, p *Pattern) ([]float32, error) {
+	sm, err := p.SparseMap()
+	if err != nil {
+		return nil, err
+	}
+	return m.net.ExtractInfer(a, sm), nil
 }
 
 // denseConvExtractor is the prior-work baseline (§3.2.1): downsample the
@@ -170,6 +189,15 @@ func (d *denseConvExtractor) Extract(t *nn.Tape, p *Pattern) (*nn.Grad, error) {
 	}
 	return d.proj.Apply(t, sparseconv.GlobalAvgPool(t, x)), nil
 }
+func (d *denseConvExtractor) ExtractInfer(a *nn.Arena, p *Pattern) ([]float32, error) {
+	x := p.Downsampled(d.grid)
+	for _, c := range d.convs {
+		x = sparseconv.ReLUMapInPlace(c.Infer(a, x))
+	}
+	pooled := a.Alloc(x.C)
+	sparseconv.GlobalAvgPoolInto(pooled, x)
+	return d.proj.Infer(a, pooled), nil
+}
 
 // humanExtractor feeds the hand-crafted statistics through an MLP.
 type humanExtractor struct {
@@ -182,6 +210,11 @@ func (h *humanExtractor) Dim() int            { return h.dim }
 func (h *humanExtractor) Params() []*nn.Param { return h.mlp.Params() }
 func (h *humanExtractor) Extract(t *nn.Tape, p *Pattern) (*nn.Grad, error) {
 	return h.mlp.Apply(t, nn.NewGrad(append([]float32(nil), p.HumanFeatures()...))), nil
+}
+func (h *humanExtractor) ExtractInfer(a *nn.Arena, p *Pattern) ([]float32, error) {
+	// MLP.Infer never writes its input, so the cached feature vector is safe
+	// to feed directly.
+	return h.mlp.Infer(a, p.HumanFeatures()), nil
 }
 
 // cloneForPass shallow-copies a sparse map so per-pass gradient buffers do

@@ -187,13 +187,13 @@ func (m *Model) Predict(t *nn.Tape, p *Pattern, ss *schedule.SuperSchedule) (*nn
 	return m.PredictWith(t, feat, m.Embedder.EmbedSchedule(t, ss)), nil
 }
 
-// Cost returns the scalar predicted cost in inference mode.
+// Cost returns the scalar predicted cost in inference mode. It runs on the
+// forward-only path with pooled scratch; predictions are bit-identical to
+// Predict with a nil tape (pinned by the inference parity tests).
 func (m *Model) Cost(p *Pattern, ss *schedule.SuperSchedule) (float64, error) {
-	g, err := m.Predict(nil, p, ss)
-	if err != nil {
-		return 0, err
-	}
-	return float64(g.V[0]), nil
+	b := GetInferBuffers()
+	defer PutInferBuffers(b)
+	return m.CostWith(b, p, ss)
 }
 
 // SaveParams writes all parameter tensors (gob of name-sorted weights,

@@ -205,3 +205,13 @@ func TestAblations(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQueryPathThroughput(t *testing.T) {
+	tab, err := QueryPathThroughput(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows, want forward and tape", len(tab.Rows))
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"waco/internal/costmodel"
+	"waco/internal/generate"
+	"waco/internal/hnsw"
+	"waco/internal/nn"
+	"waco/internal/schedule"
+	"waco/internal/search"
+	"waco/internal/sparseconv"
+)
+
+// QueryPathThroughput measures the serving query path (§5.4): the
+// forward-only batched ANNS query against the historical tape-path query it
+// replaced. Both run the same model, index, and pattern and — by the parity
+// contract pinned in the test suites — retrieve identical candidates with
+// bit-identical predicted costs; the table records what the forward path
+// buys in throughput and allocation pressure. Weights are untrained (query
+// cost is independent of weight values), so this experiment needs no
+// measurement or training phase.
+func QueryPathThroughput(s Scale) (*Table, error) {
+	cfg := costmodel.Config{
+		Extractor: s.Extractor,
+		ConvCfg: sparseconv.Config{
+			Dim:         2,
+			Channels:    s.Channels,
+			Depth:       s.ConvDepth,
+			FirstKernel: firstKernel(schedule.SpMM),
+			OutDim:      s.FeatDim,
+		},
+		EmbDim:   s.EmbDim,
+		HeadDims: []int{2 * s.FeatDim, s.FeatDim},
+		Seed:     s.Seed,
+	}
+	sp := s.space(schedule.SpMM)
+	m, err := costmodel.New(sp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 57))
+	scheds := make([]*schedule.SuperSchedule, s.SearchBudget)
+	for i := range scheds {
+		scheds[i] = sp.Sample(rng)
+	}
+	ix, err := search.BuildIndex(m, scheds, hnsw.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	coo := generate.Uniform(rng, s.MaxDim, s.MaxDim, s.MaxNNZ)
+	p := costmodel.NewPattern(coo)
+	k, ef := s.TopK, 8*s.TopK
+
+	const queries = 24
+	run := func(query func() (*search.Result, error)) (time.Duration, float64, int, error) {
+		if _, err := query(); err != nil { // warmup: caches, pools, arenas
+			return 0, 0, 0, err
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		evals := 0
+		t0 := time.Now()
+		for i := 0; i < queries; i++ {
+			res, err := query()
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			evals += res.Evals
+		}
+		el := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		return el, float64(ms1.Mallocs-ms0.Mallocs) / queries, evals / queries, nil
+	}
+
+	forward := func() (*search.Result, error) { return ix.Search(context.Background(), p, k, ef) }
+	tape := func() (*search.Result, error) { return tapeQuery(ix, p, k, ef) }
+
+	fwdTime, fwdAllocs, fwdEvals, err := run(forward)
+	if err != nil {
+		return nil, err
+	}
+	tapeTime, tapeAllocs, tapeEvals, err := run(tape)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:  "Query-path throughput: forward-only batched search vs tape path",
+		Header: []string{"Path", "queries/sec", "evals/query", "allocs/query"},
+	}
+	qps := func(el time.Duration) float64 { return queries / el.Seconds() }
+	t.AddRow("forward (serving)", fmt.Sprintf("%.1f", qps(fwdTime)), fmt.Sprint(fwdEvals), fmt.Sprintf("%.0f", fwdAllocs))
+	t.AddRow("tape (historical)", fmt.Sprintf("%.1f", qps(tapeTime)), fmt.Sprint(tapeEvals), fmt.Sprintf("%.0f", tapeAllocs))
+	t.AddNote("speedup %.2fx, %.1f%% fewer allocations; results are bit-identical (parity-pinned); index %d schedules, %d nnz pattern",
+		qps(fwdTime)/qps(tapeTime), 100*(1-fwdAllocs/tapeAllocs), ix.Graph.Len(), coo.NNZ())
+	return t, nil
+}
+
+// tapeQuery is the historical query implementation on the autodiff layers
+// with a nil tape: map-backed memo, one PredictWith per candidate.
+func tapeQuery(ix *search.Index, p *costmodel.Pattern, k, ef int) (*search.Result, error) {
+	feat, err := ix.Model.Extractor.Extract(nil, p)
+	if err != nil {
+		return nil, err
+	}
+	res := &search.Result{}
+	costs := make(map[int]float64, ef)
+	dist := func(id int) float64 {
+		if c, ok := costs[id]; ok {
+			return c
+		}
+		c := float64(ix.Model.PredictWith(nil, feat, nn.NewGrad(ix.Graph.Vector(id))).V[0])
+		costs[id] = c
+		return c
+	}
+	ids, _ := ix.Graph.Search(dist, k, ef)
+	res.Evals = len(costs)
+	for _, id := range ids {
+		res.Candidates = append(res.Candidates, search.Candidate{SS: ix.Schedules[id], Cost: costs[id]})
+	}
+	return res, nil
+}

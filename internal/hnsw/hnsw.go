@@ -7,7 +7,6 @@
 package hnsw
 
 import (
-	"container/heap"
 	"math"
 	"math/rand"
 	"sync"
@@ -206,56 +205,27 @@ type cand struct {
 	d  float64
 }
 
-// candHeap is a min-heap on distance.
-type candHeap []cand
-
-func (h candHeap) Len() int            { return len(h) }
-func (h candHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
-func (h *candHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// maxHeap is a max-heap on distance (for the dynamic result set).
-type maxHeap []cand
-
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].d > h[j].d }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
-func (h *maxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // searchLayer is the ef-bounded best-first search at one layer under an
-// arbitrary distance; returns candidates sorted ascending by distance.
+// arbitrary distance; returns candidates sorted ascending by distance, in a
+// slice owned by sc (valid until its next use).
 //
 // batch, when non-nil, fills out[i] with the distance of ids[i] for a whole
 // unvisited-neighbor set at once; otherwise dist evaluates one id at a time.
 // Either way the distances of a popped candidate's neighbors are consumed in
 // adjacency-list order, so a parallel batch evaluator cannot change which
 // nodes are pushed — only how fast the distances arrive.
-func (g *Graph) searchLayer(dist func(id int) float64, batch func(ids []int32, out []float64), entry, l, ef int, visited []bool) []cand {
-	for i := range visited {
-		visited[i] = false
-	}
+func (g *Graph) searchLayer(dist func(id int) float64, batch func(ids []int32, out []float64), entry, l, ef int, sc *Scratch) []cand {
+	visited := sc.visited
+	clear(visited)
 	entryDist := dist(entry)
-	cands := candHeap{{entry, entryDist}}
-	results := maxHeap{{entry, entryDist}}
+	cands := sc.cands[:0]
+	results := sc.results[:0]
+	pushMin(&cands, cand{entry, entryDist})
+	pushMax(&results, cand{entry, entryDist})
 	visited[entry] = true
-	var nbuf []int32
-	var dbuf []float64
+	nbuf := sc.nbuf[:0]
 	for len(cands) > 0 {
-		c := heap.Pop(&cands).(cand)
+		c := popMin(&cands)
 		if c.d > results[0].d && len(results) >= ef {
 			break
 		}
@@ -267,10 +237,10 @@ func (g *Graph) searchLayer(dist func(id int) float64, batch func(ids []int32, o
 			visited[nb] = true
 			nbuf = append(nbuf, nb)
 		}
-		if cap(dbuf) < len(nbuf) {
-			dbuf = make([]float64, len(nbuf))
+		if cap(sc.dbuf) < len(nbuf) {
+			sc.dbuf = make([]float64, len(nbuf))
 		}
-		ds := dbuf[:len(nbuf)]
+		ds := sc.dbuf[:len(nbuf)]
 		if batch != nil {
 			batch(nbuf, ds)
 		} else {
@@ -280,18 +250,23 @@ func (g *Graph) searchLayer(dist func(id int) float64, batch func(ids []int32, o
 		}
 		for i, nb := range nbuf {
 			if d := ds[i]; len(results) < ef || d < results[0].d {
-				heap.Push(&cands, cand{int(nb), d})
-				heap.Push(&results, cand{int(nb), d})
+				pushMin(&cands, cand{int(nb), d})
+				pushMax(&results, cand{int(nb), d})
 				if len(results) > ef {
-					heap.Pop(&results)
+					popMax(&results)
 				}
 			}
 		}
 	}
-	out := make([]cand, len(results))
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&results).(cand)
+	out := sc.sorted
+	if cap(out) < len(results) {
+		out = make([]cand, len(results))
 	}
+	out = out[:len(results)]
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = popMax(&results)
+	}
+	sc.cands, sc.results, sc.nbuf, sc.sorted = cands, results, nbuf, out
 	return out
 }
 
@@ -300,13 +275,14 @@ func (g *Graph) searchLayer(dist func(id int) float64, batch func(ids []int32, o
 const l2BatchGrain = 16
 
 func (g *Graph) searchLayerL2(vec []float32, entry, l, ef int) []cand {
-	visited := make([]bool, len(g.vecs))
+	sc := &Scratch{}
+	sc.ensure(len(g.vecs))
 	dist := func(id int) float64 { return g.l2(vec, id) }
 	var batch func(ids []int32, out []float64)
 	if g.cfg.Workers > 1 {
 		batch = func(ids []int32, out []float64) { g.l2Batch(vec, ids, out) }
 	}
-	return g.searchLayer(dist, batch, entry, l, ef, visited)
+	return g.searchLayer(dist, batch, entry, l, ef, sc)
 }
 
 // l2Batch fills out[i] = ||vec - vecs[ids[i]]||^2, splitting the batch over
@@ -344,15 +320,17 @@ func (g *Graph) SearchL2(query []float32, k, ef int) []int {
 // function, navigating the L2-built graph (WACO's two-metric trick). It
 // returns the ids (ascending by distance) and the number of distance
 // evaluations performed — the "trials" axis of Figure 16.
+//
+// Search is the convenient wrapper: it memoizes dist behind a map and
+// allocates its own scratch per call. The query path in search.Index uses
+// SearchWith directly with a slice-backed memo, reused scratch, and a batch
+// evaluator; both traverse identically.
 func (g *Graph) Search(dist func(id int) float64, k, ef int) ([]int, int) {
 	if g.entry < 0 {
 		return nil, 0
 	}
-	if ef < k {
-		ef = k
-	}
 	evals := 0
-	memo := make(map[int]float64, ef*4)
+	memo := make(map[int]float64, 4*max(ef, k))
 	cached := func(id int) float64 {
 		if d, ok := memo[id]; ok {
 			return d
@@ -362,32 +340,8 @@ func (g *Graph) Search(dist func(id int) float64, k, ef int) ([]int, int) {
 		memo[id] = d
 		return d
 	}
-	cur := g.entry
-	curDist := cached(cur)
-	for l := g.top; l > 0; l-- {
-		for {
-			improved := false
-			for _, nb := range g.linksAt(cur, l) {
-				if d := cached(int(nb)); d < curDist {
-					cur, curDist = int(nb), d
-					improved = true
-				}
-			}
-			if !improved {
-				break
-			}
-		}
-	}
-	visited := make([]bool, len(g.vecs))
-	// The generic dist path stays sequential: dist closures memoize and
-	// trace (Search-side state), so only the pure L2 build path batches.
-	cands := g.searchLayer(cached, nil, cur, 0, ef, visited)
-	if len(cands) > k {
-		cands = cands[:k]
-	}
-	out := make([]int, len(cands))
-	for i, c := range cands {
-		out[i] = c.id
-	}
+	ids := g.SearchWith(cached, nil, k, ef, nil)
+	out := make([]int, len(ids))
+	copy(out, ids)
 	return out, evals
 }

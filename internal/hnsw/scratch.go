@@ -1,0 +1,188 @@
+package hnsw
+
+// This file is the query-path side of the graph: a reusable Scratch so a
+// steady-state search allocates nothing, hand-rolled binary heaps (the
+// container/heap interface boxes every pushed candidate into an allocation,
+// which at hundreds of pushes per query was a measurable share of the query
+// path's garbage), and SearchWith, the batched generic-distance search that
+// lets the caller score a whole adjacency list per callback.
+//
+// The hand-rolled sift functions mirror container/heap's algorithm exactly
+// (same swap sequence, same tie behavior), so SearchWith returns the same
+// ids in the same order as the historical heap-based implementation.
+
+// Scratch holds the reusable buffers of one search. The zero value is ready;
+// buffers size themselves on first use and are recycled across queries. A
+// Scratch is single-goroutine, like the nn.Arena it typically rides next to,
+// and every slice returned by SearchWith is valid only until the next
+// SearchWith call with the same Scratch.
+type Scratch struct {
+	visited []bool
+	cands   []cand // min-heap of candidates to expand
+	results []cand // max-heap of the dynamic result set
+	dbuf    []float64
+	nbuf    []int32
+	sorted  []cand
+	ids     []int
+}
+
+// ensure sizes the visited bitmap for a graph of n nodes.
+func (sc *Scratch) ensure(n int) {
+	if cap(sc.visited) < n {
+		sc.visited = make([]bool, n)
+	}
+	sc.visited = sc.visited[:n]
+}
+
+// pushMin appends c and sifts it up, exactly as container/heap.Push would.
+func pushMin(h *[]cand, c cand) {
+	s := append(*h, c)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].d < s[i].d) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+// popMin removes and returns the minimum, exactly as container/heap.Pop.
+func popMin(h *[]cand) cand {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].d < s[j1].d {
+			j = j2
+		}
+		if !(s[j].d < s[i].d) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	c := s[n]
+	*h = s[:n]
+	return c
+}
+
+// pushMax / popMax are the max-heap twins for the dynamic result set.
+func pushMax(h *[]cand, c cand) {
+	s := append(*h, c)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].d > s[i].d) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func popMax(h *[]cand) cand {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].d > s[j1].d {
+			j = j2
+		}
+		if !(s[j].d > s[i].d) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	c := s[n]
+	*h = s[:n]
+	return c
+}
+
+// SearchWith retrieves the k stored items minimizing an arbitrary distance,
+// like Search, but built for a hot query path: batch — when non-nil — is
+// handed whole adjacency lists to score in one call (out[i] receives the
+// distance of ids[i]), and all working memory comes from sc, so a warmed-up
+// search allocates nothing.
+//
+// batch must be equivalent to calling dist on each id in order; it may
+// receive ids it has already scored (the greedy descent re-reads its
+// neighborhood every hop), so callers that count evaluations should memoize —
+// search.Index keys a slice-backed memo on graph id. The returned slice is
+// owned by sc and valid until its next use; callers that keep it copy it out.
+func (g *Graph) SearchWith(dist func(id int) float64, batch func(ids []int32, out []float64), k, ef int, sc *Scratch) []int {
+	if g.entry < 0 {
+		return nil
+	}
+	if ef < k {
+		ef = k
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.ensure(len(g.vecs))
+
+	evalList := func(ids []int32) []float64 {
+		if cap(sc.dbuf) < len(ids) {
+			sc.dbuf = make([]float64, len(ids))
+		}
+		ds := sc.dbuf[:len(ids)]
+		if batch != nil {
+			batch(ids, ds)
+		} else {
+			for i, nb := range ids {
+				ds[i] = dist(int(nb))
+			}
+		}
+		return ds
+	}
+
+	cur := g.entry
+	curDist := dist(cur)
+	// Greedy descent through the upper layers. The sequential loop scores
+	// every neighbor of the pass-start node anyway, so handing batch the
+	// whole links list changes nothing about which nodes are evaluated or in
+	// what order — it only collapses the per-id callback overhead.
+	for l := g.top; l > 0; l-- {
+		for {
+			links := g.linksAt(cur, l)
+			ds := evalList(links)
+			improved := false
+			for i, nb := range links {
+				if d := ds[i]; d < curDist {
+					cur, curDist = int(nb), d
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+	}
+	cands := g.searchLayer(dist, batch, cur, 0, ef, sc)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	ids := sc.ids[:0]
+	for _, c := range cands {
+		ids = append(ids, c.id)
+	}
+	sc.ids = ids
+	return ids
+}

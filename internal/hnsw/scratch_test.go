@@ -1,0 +1,99 @@
+package hnsw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func buildRandomGraph(t testing.TB, n, dim int) (*Graph, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	g := New(Config{M: 8, EfConstruction: 32, Seed: 9})
+	for i := 0; i < n; i++ {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = rng.Float32()
+		}
+		g.Add(v)
+	}
+	return g, rng
+}
+
+// TestSearchWithMatchesSearch pins the batched scratch-based path against the
+// map-memoized wrapper: same ids, same order, same evaluation count, across
+// queries that reuse one Scratch.
+func TestSearchWithMatchesSearch(t *testing.T) {
+	g, rng := buildRandomGraph(t, 400, 6)
+	sc := &Scratch{}
+	seen := make([]bool, g.Len())
+	memo := make([]float64, g.Len())
+	for trial := 0; trial < 20; trial++ {
+		q := make([]float32, 6)
+		for d := range q {
+			q[d] = rng.Float32()
+		}
+		dist := func(id int) float64 { return g.l2(q, id) }
+		want, wantEvals := g.Search(dist, 10, 24)
+
+		clear(seen)
+		evals := 0
+		cached := func(id int) float64 {
+			if !seen[id] {
+				seen[id] = true
+				memo[id] = dist(id)
+				evals++
+			}
+			return memo[id]
+		}
+		batch := func(ids []int32, out []float64) {
+			for i, id := range ids {
+				out[i] = cached(int(id))
+			}
+		}
+		got := g.SearchWith(cached, batch, 10, 24, sc)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: SearchWith returned %d ids, Search %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: id %d = %d, want %d (full: %v vs %v)", trial, i, got[i], want[i], got, want)
+			}
+		}
+		if evals != wantEvals {
+			t.Fatalf("trial %d: SearchWith performed %d evals, Search %d", trial, evals, wantEvals)
+		}
+	}
+}
+
+// TestSearchWithSteadyStateAllocs verifies a warmed-up SearchWith query
+// allocates nothing: scratch, memo, and heaps are all reused.
+func TestSearchWithSteadyStateAllocs(t *testing.T) {
+	g, rng := buildRandomGraph(t, 300, 5)
+	sc := &Scratch{}
+	seen := make([]bool, g.Len())
+	memo := make([]float64, g.Len())
+	q := make([]float32, 5)
+	for d := range q {
+		q[d] = rng.Float32()
+	}
+	cached := func(id int) float64 {
+		if !seen[id] {
+			seen[id] = true
+			memo[id] = g.l2(q, id)
+		}
+		return memo[id]
+	}
+	batch := func(ids []int32, out []float64) {
+		for i, id := range ids {
+			out[i] = cached(int(id))
+		}
+	}
+	query := func() {
+		clear(seen)
+		g.SearchWith(cached, batch, 10, 32, sc)
+	}
+	query() // warmup sizes the scratch
+	if allocs := testing.AllocsPerRun(20, query); allocs > 0 {
+		t.Fatalf("steady-state SearchWith allocates %.1f times per query, want 0", allocs)
+	}
+}

@@ -1,0 +1,125 @@
+package nn
+
+// This file is the forward-only inference path. The Apply methods in
+// layers.go allocate a fresh Grad per layer output so the tape can route
+// gradients; at serving time that is pure garbage — a query-path search runs
+// hundreds of predictor-head evaluations and every one of them used to leave
+// a trail of short-lived Grads behind. The Infer methods below compute the
+// exact same values (bit-identical: same operations in the same order on the
+// same float32 values) but write into caller-provided scratch, so a
+// steady-state evaluation performs zero heap allocations.
+//
+// Ownership rules: an Arena is strictly single-goroutine, like a Tape. Every
+// slice returned by Alloc (and by any Infer method that allocates from the
+// arena) is valid until the next Reset; Reset recycles the whole arena at
+// once, so it must only be called when no slice from the previous cycle is
+// still in use. Concurrent queries each take their own arena (internal/serve
+// and search.Index recycle them through a sync.Pool).
+
+// arenaMinSlab is the smallest slab an Arena allocates; queries smaller than
+// this reach zero-allocation steady state after a single warmup.
+const arenaMinSlab = 4096
+
+// Arena is a bump allocator of float32 scratch for forward-only inference.
+// The zero value is ready to use. Alloc hands out zeroed sub-slices of one
+// backing slab; when demand outgrows the slab, Reset right-sizes it so the
+// next cycle allocates nothing.
+type Arena struct {
+	slab []float32
+	off  int
+	used int // total float32s handed out since the last Reset
+}
+
+// Alloc returns a zeroed scratch slice of length n, valid until Reset. A nil
+// arena falls back to make, so forward-only helpers degrade gracefully.
+func (a *Arena) Alloc(n int) []float32 {
+	if a == nil {
+		return make([]float32, n)
+	}
+	a.used += n
+	if a.off+n > len(a.slab) {
+		// Outstanding slices keep the old slab alive; this cycle spills into
+		// a fresh one and Reset right-sizes for the next cycle.
+		size := 2 * len(a.slab)
+		if size < arenaMinSlab {
+			size = arenaMinSlab
+		}
+		if size < n {
+			size = n
+		}
+		a.slab = make([]float32, size)
+		a.off = 0
+	}
+	s := a.slab[a.off : a.off+n : a.off+n]
+	a.off += n
+	clear(s)
+	return s
+}
+
+// Reset recycles the arena for a new inference cycle. All slices handed out
+// since the previous Reset become invalid. If the finished cycle spilled past
+// the slab, the slab is regrown to the cycle's total demand so the next cycle
+// stays allocation-free.
+func (a *Arena) Reset() {
+	if a.used > len(a.slab) {
+		a.slab = make([]float32, a.used)
+	}
+	a.off = 0
+	a.used = 0
+}
+
+// Infer computes the layer output forward-only, writing into arena scratch.
+// Bit-identical to Apply with a nil tape: same accumulation order.
+func (l *Linear) Infer(a *Arena, x []float32) []float32 {
+	y := a.Alloc(l.Out)
+	l.InferInto(y, x)
+	return y
+}
+
+// InferInto computes y = W x + b into a caller-owned buffer of length Out,
+// allocating nothing.
+func (l *Linear) InferInto(y, x []float32) {
+	CheckShape("linear input", len(x), l.In)
+	CheckShape("linear output", len(y), l.Out)
+	for o := 0; o < l.Out; o++ {
+		row := l.W.W[o*l.In : (o+1)*l.In]
+		acc := l.B.W[o]
+		for i, xi := range x {
+			acc += row[i] * xi
+		}
+		y[o] = acc
+	}
+}
+
+// ReLUInPlace rectifies x in place. The tape path writes v into a zeroed
+// buffer only when v > 0; the negated condition here reproduces that exactly
+// (including -0 and NaN collapsing to +0), so the bits match.
+func ReLUInPlace(x []float32) {
+	for i, v := range x {
+		if !(v > 0) {
+			x[i] = 0
+		}
+	}
+}
+
+// Infer runs the stack forward-only. Intermediate activations live on the
+// arena; the input is never written.
+func (m *MLP) Infer(a *Arena, x []float32) []float32 {
+	for i, l := range m.Layers {
+		x = l.Infer(a, x)
+		if i+1 < len(m.Layers) {
+			ReLUInPlace(x)
+		}
+	}
+	return x
+}
+
+// Lookup returns entry idx of the table as a read-only view — the inference
+// counterpart of Apply, with the same out-of-range snapping. Callers must not
+// modify the returned slice (it aliases the weights).
+func (e *Embedding) Lookup(idx int) []float32 {
+	if idx < 0 || idx >= e.N {
+		idx = e.N - 1
+	}
+	return e.Table.W[idx*e.Dim : (idx+1)*e.Dim]
+}

@@ -9,11 +9,11 @@ package search
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"waco/internal/costmodel"
 	"waco/internal/hnsw"
-	"waco/internal/nn"
 	"waco/internal/parallelism"
 	"waco/internal/schedule"
 )
@@ -33,6 +33,48 @@ type Index struct {
 	// serving-side instrumentation attached by serve.NewServer, never
 	// persisted in sealed artifacts.
 	Metrics *Metrics
+
+	// scratch recycles per-query working memory (inference buffers, graph
+	// scratch, cost memo) so concurrent steady-state queries allocate
+	// nothing. Unexported and zero-value-ready: Index literals elsewhere in
+	// the tree keep working, and gob never sees it.
+	scratch sync.Pool
+}
+
+// queryScratch is everything one Search needs that outlives no query:
+// forward-only inference buffers, HNSW traversal scratch, and the
+// slice-backed cost memo keyed by graph id (seen[id] guards costs[id] — a
+// map here cost a hash per head evaluation and churned on every query).
+type queryScratch struct {
+	b     *costmodel.InferBuffers
+	sc    hnsw.Scratch
+	seen  []bool
+	costs []float64
+	fresh []int32
+	embs  [][]float32
+	out   []float64
+}
+
+// getScratch takes recycled query scratch sized for the graph.
+func (ix *Index) getScratch() *queryScratch {
+	qs, _ := ix.scratch.Get().(*queryScratch)
+	if qs == nil {
+		qs = &queryScratch{b: costmodel.NewInferBuffers()}
+	}
+	n := ix.Graph.Len()
+	if cap(qs.seen) < n {
+		qs.seen = make([]bool, n)
+		qs.costs = make([]float64, n)
+	}
+	qs.seen = qs.seen[:n]
+	qs.costs = qs.costs[:n]
+	clear(qs.seen)
+	return qs
+}
+
+func (ix *Index) putScratch(qs *queryScratch) {
+	qs.b.Reset()
+	ix.scratch.Put(qs)
 }
 
 // BuildOptions tunes how BuildIndexContext spends the machine; none of its
@@ -76,9 +118,20 @@ func BuildIndexContext(ctx context.Context, m *costmodel.Model, schedules []*sch
 
 	workers := parallelism.Workers(opts.Workers)
 	embs := make([][]float32, len(unique))
+	bufs := make([]*costmodel.InferBuffers, workers)
 	err := parallelism.ForEach(ctx, opts.Metrics, parallelism.PhaseIndex, len(unique), workers,
-		func(_, i int) error {
-			embs[i] = m.Embedder.EmbedSchedule(nil, unique[i]).V
+		func(w, i int) error {
+			b := bufs[w]
+			if b == nil {
+				b = costmodel.NewInferBuffers()
+				bufs[w] = b
+			}
+			b.Reset()
+			// Forward-only embedding, bit-identical to the tape path (pinned
+			// by the costmodel parity tests), so the graph — determined by
+			// embedding bytes and insertion order — is unchanged. The arena
+			// owns the embedding; copy it out to keep.
+			embs[i] = append([]float32(nil), m.EmbedScheduleInfer(b, unique[i])...)
 			return nil
 		})
 	if err != nil {
@@ -109,7 +162,11 @@ type Result struct {
 	Candidates  []Candidate // ascending by predicted cost
 	Evals       int         // cost-model head evaluations
 	FeatureTime time.Duration
-	SearchTime  time.Duration
+	// SearchTime covers everything after feature extraction: graph traversal,
+	// head evaluations, and candidate assembly (including any defensive
+	// fallback evaluations, so EvalTime ⊆ SearchTime always holds and the
+	// derived traversal time can never go negative).
+	SearchTime time.Duration
 	// EvalTime is the portion of SearchTime spent inside predictor-head
 	// evaluations (the rest is graph traversal bookkeeping).
 	EvalTime time.Duration
@@ -119,17 +176,26 @@ type Result struct {
 
 // Search retrieves the top-k SuperSchedules for the pattern: the sparsity
 // feature is extracted once, then the HNSW graph is traversed with
-// dist(s) = head(feature, embedding(s)). The context is checked before
-// feature extraction and between predictor-head evaluations — once it is
-// done, the remaining traversal degenerates to constant-time bookkeeping and
-// Search returns the context's error, so a cancelled request never keeps
-// burning cost-model time.
+// dist(s) = head(feature, embedding(s)). Everything runs on the forward-only
+// inference path with pooled scratch — predictions are bit-identical to the
+// tape path (pinned by the parity tests) and a steady-state query performs
+// zero heap allocations beyond its Result. The graph hands the batch
+// evaluator whole adjacency lists, which the batched predictor head scores
+// against the query-constant feature partial in one pass.
+//
+// The context is checked before feature extraction and between evaluation
+// batches — once it is done, the remaining traversal degenerates to
+// constant-time bookkeeping and Search returns the context's error, so a
+// cancelled request never keeps burning cost-model time.
 func (ix *Index) Search(ctx context.Context, p *costmodel.Pattern, k, ef int) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	qs := ix.getScratch()
+	defer ix.putScratch(qs)
 	t0 := time.Now()
-	feat, err := ix.Model.Extractor.Extract(nil, p)
+	qs.b.Reset()
+	feat, err := ix.Model.ExtractInfer(qs.b, p)
 	if err != nil {
 		return nil, err
 	}
@@ -138,51 +204,100 @@ func (ix *Index) Search(ctx context.Context, p *costmodel.Pattern, k, ef int) (*
 	t1 := time.Now()
 	best := inf()
 	cancelled := false
-	// costs memoizes the head evaluation per candidate id, so assembling
-	// Candidates below reuses what the traversal already computed instead of
-	// re-running the predictor head — and Evals counts exactly the distinct
-	// evaluations (post-cancellation sentinel returns are not evals).
-	costs := make(map[int]float64, ef)
+	evals := 0
+	// qs.seen/qs.costs memoize the head evaluation per candidate id, so
+	// assembling Candidates below reuses what the traversal already computed
+	// instead of re-running the predictor head — and Evals counts exactly the
+	// distinct evaluations (post-cancellation sentinel returns are not evals).
+	record := func(id int32, c float64) {
+		qs.seen[id] = true
+		qs.costs[id] = c
+		evals++
+		if c < best {
+			best = c
+		}
+		res.Trace = append(res.Trace, best)
+	}
 	dist := func(id int) float64 {
-		if c, ok := costs[id]; ok {
-			return c
+		if qs.seen[id] {
+			return qs.costs[id]
 		}
 		if cancelled || ctx.Err() != nil {
 			cancelled = true
 			return inf()
 		}
 		e0 := time.Now()
-		emb := nn.NewGrad(ix.Graph.Vector(id))
-		c := float64(ix.Model.PredictWith(nil, feat, emb).V[0])
+		c := ix.Model.PredictHead(qs.b, feat, ix.Graph.Vector(id))
 		res.EvalTime += time.Since(e0)
-		costs[id] = c
-		if c < best {
-			best = c
-		}
-		res.Trace = append(res.Trace, best)
+		record(int32(id), c)
 		return c
 	}
-	ids, _ := ix.Graph.Search(dist, k, ef)
-	res.SearchTime = time.Since(t1)
-	res.Evals = len(costs)
+	batch := func(ids []int32, out []float64) {
+		fresh := qs.fresh[:0]
+		embs := qs.embs[:0]
+		for _, id := range ids {
+			if !qs.seen[id] {
+				fresh = append(fresh, id)
+				embs = append(embs, ix.Graph.Vector(int(id)))
+			}
+		}
+		if len(fresh) > 0 && !cancelled {
+			if ctx.Err() != nil {
+				cancelled = true
+			} else {
+				if cap(qs.out) < len(fresh) {
+					qs.out = make([]float64, len(fresh))
+				}
+				fout := qs.out[:len(fresh)]
+				e0 := time.Now()
+				ix.Model.PredictHeadInto(qs.b, feat, embs, fout)
+				res.EvalTime += time.Since(e0)
+				// Record in ids order: the trace of best-so-far costs matches
+				// the sequential dist path exactly.
+				for i, id := range fresh {
+					record(id, fout[i])
+				}
+			}
+		}
+		qs.fresh, qs.embs = fresh, embs
+		for i, id := range ids {
+			if qs.seen[id] {
+				out[i] = qs.costs[id]
+			} else {
+				out[i] = inf()
+			}
+		}
+	}
+	ids := ix.Graph.SearchWith(dist, batch, k, ef, &qs.sc)
+	res.Evals = evals
 	if cancelled {
 		return nil, ctx.Err()
 	}
+	res.Candidates = make([]Candidate, 0, len(ids))
 	for _, id := range ids {
-		cost, ok := costs[id]
-		if !ok {
-			// Defensive: every returned id was scored by dist during the
-			// traversal, so this path only runs if the graph ever returns an
-			// unvisited id.
-			emb := nn.NewGrad(ix.Graph.Vector(id))
-			cost = float64(ix.Model.PredictWith(nil, feat, emb).V[0])
-			costs[id] = cost
-			res.Evals++
-		}
-		res.Candidates = append(res.Candidates, Candidate{SS: ix.Schedules[id], Cost: cost})
+		res.Candidates = append(res.Candidates, Candidate{SS: ix.Schedules[id], Cost: ix.candidateCost(qs, feat, id, res)})
 	}
+	res.SearchTime = time.Since(t1)
 	ix.Metrics.observe(res)
 	return res, nil
+}
+
+// candidateCost returns the memoized predicted cost of a returned id. Every
+// id the graph returns was scored during traversal, so the fallback only runs
+// if that invariant ever breaks — and then the evaluation is timed and
+// counted like any other, keeping Evals and EvalTime consistent (the old code
+// counted the eval but not its time, skewing the §5.4 breakdown).
+func (ix *Index) candidateCost(qs *queryScratch, feat []float32, id int, res *Result) float64 {
+	if qs.seen[id] {
+		return qs.costs[id]
+	}
+	e0 := time.Now()
+	c := ix.Model.PredictHead(qs.b, feat, ix.Graph.Vector(id))
+	res.EvalTime += time.Since(e0)
+	res.Evals++
+	qs.seen[id] = true
+	qs.costs[id] = c
+	return c
 }
 
 func inf() float64 { return 1e308 }

@@ -1,0 +1,185 @@
+package search
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"waco/internal/costmodel"
+	"waco/internal/hnsw"
+	"waco/internal/nn"
+	"waco/internal/schedule"
+	"waco/internal/sparseconv"
+)
+
+func testModelKind(t testing.TB, kind costmodel.ExtractorKind) *costmodel.Model {
+	t.Helper()
+	cfg := costmodel.Config{
+		Extractor: kind,
+		ConvCfg:   sparseconv.Config{Dim: 2, Channels: 4, Depth: 3, FirstKernel: 3, OutDim: 12},
+		EmbDim:    12,
+		HeadDims:  []int{16},
+		Seed:      1,
+	}
+	m, err := costmodel.New(schedule.DefaultSpace(schedule.SpMM), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// searchTape is the historical tape-path query, kept verbatim as the parity
+// oracle and benchmark baseline: feature extraction through the autodiff
+// layers with a nil tape, a fresh map-backed memo, per-candidate PredictWith
+// calls through Graph.Search, and candidate assembly from the memo. The
+// forward-only Index.Search must reproduce its results bit for bit.
+func searchTape(ix *Index, p *costmodel.Pattern, k, ef int) (*Result, error) {
+	t0 := time.Now()
+	feat, err := ix.Model.Extractor.Extract(nil, p)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{FeatureTime: time.Since(t0)}
+	t1 := time.Now()
+	best := inf()
+	costs := make(map[int]float64, ef)
+	dist := func(id int) float64 {
+		if c, ok := costs[id]; ok {
+			return c
+		}
+		e0 := time.Now()
+		emb := nn.NewGrad(ix.Graph.Vector(id))
+		c := float64(ix.Model.PredictWith(nil, feat, emb).V[0])
+		res.EvalTime += time.Since(e0)
+		costs[id] = c
+		if c < best {
+			best = c
+		}
+		res.Trace = append(res.Trace, best)
+		return c
+	}
+	ids, _ := ix.Graph.Search(dist, k, ef)
+	res.SearchTime = time.Since(t1)
+	res.Evals = len(costs)
+	for _, id := range ids {
+		res.Candidates = append(res.Candidates, Candidate{SS: ix.Schedules[id], Cost: costs[id]})
+	}
+	return res, nil
+}
+
+// TestSearchForwardMatchesTape is the end-to-end parity pin for the query
+// path: for every extractor kind, the forward-only Search retrieves the same
+// schedules with bit-identical costs, the same evaluation count, and the same
+// best-so-far trace as the tape-path reference.
+func TestSearchForwardMatchesTape(t *testing.T) {
+	for _, kind := range costmodel.ExtractorKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			m := testModelKind(t, kind)
+			ix, err := BuildIndex(m, sampleSchedules(200, 41), hnsw.Config{M: 8, EfConstruction: 48, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 3; trial++ {
+				p := testPattern(int64(50 + trial))
+				want, err := searchTape(ix, p, 8, 48)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Fresh pattern wrapper: both paths start from raw coordinates.
+				got, err := ix.Search(context.Background(), testPattern(int64(50+trial)), 8, 48)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Evals != want.Evals {
+					t.Fatalf("trial %d: forward path ran %d evals, tape path %d", trial, got.Evals, want.Evals)
+				}
+				if len(got.Candidates) != len(want.Candidates) {
+					t.Fatalf("trial %d: %d candidates vs %d", trial, len(got.Candidates), len(want.Candidates))
+				}
+				for i := range got.Candidates {
+					if got.Candidates[i].SS != want.Candidates[i].SS {
+						t.Fatalf("trial %d: candidate %d is %v, tape path retrieved %v",
+							trial, i, got.Candidates[i].SS, want.Candidates[i].SS)
+					}
+					if got.Candidates[i].Cost != want.Candidates[i].Cost {
+						t.Fatalf("trial %d: candidate %d cost %v, tape path %v",
+							trial, i, got.Candidates[i].Cost, want.Candidates[i].Cost)
+					}
+				}
+				if len(got.Trace) != len(want.Trace) {
+					t.Fatalf("trial %d: trace length %d vs %d", trial, len(got.Trace), len(want.Trace))
+				}
+				for i := range got.Trace {
+					if got.Trace[i] != want.Trace[i] {
+						t.Fatalf("trial %d: trace[%d] = %v, tape path %v", trial, i, got.Trace[i], want.Trace[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCandidateCostFallbackCounted pins the defensive re-evaluation branch:
+// when candidate assembly has to score an id the traversal never saw, the
+// evaluation must land in both Evals and EvalTime (the historical code
+// counted it but left it out of the time breakdown).
+func TestCandidateCostFallbackCounted(t *testing.T) {
+	m := testModel(t)
+	ix, err := BuildIndex(m, sampleSchedules(60, 61), hnsw.Config{M: 8, EfConstruction: 48, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := ix.getScratch()
+	defer ix.putScratch(qs)
+	feat, err := ix.Model.ExtractInfer(qs.b, testPattern(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{}
+	before := m.HeadEvals()
+	c := ix.candidateCost(qs, feat, 7, res)
+	if res.Evals != 1 {
+		t.Fatalf("fallback eval counted %d evals, want 1", res.Evals)
+	}
+	if res.EvalTime <= 0 {
+		t.Fatal("fallback eval left EvalTime zero: the defensive branch must be timed like any other evaluation")
+	}
+	if got := m.HeadEvals() - before; got != 1 {
+		t.Fatalf("fallback ran %d head evals, want 1", got)
+	}
+	// Second lookup is memoized: no new eval, no new time.
+	evalTime := res.EvalTime
+	if again := ix.candidateCost(qs, feat, 7, res); again != c {
+		t.Fatalf("memoized cost %v, first evaluation %v", again, c)
+	}
+	if res.Evals != 1 || res.EvalTime != evalTime {
+		t.Fatal("memoized candidateCost must not count or time a new evaluation")
+	}
+}
+
+// TestSearchSteadyStateAllocsBounded keeps the query path honest: after
+// warmup, a whole Search — feature extraction, traversal, hundreds of head
+// evaluations, candidate assembly — allocates only the Result it returns
+// (result struct, candidate slice, trace) plus pool bookkeeping, not
+// per-evaluation garbage.
+func TestSearchSteadyStateAllocsBounded(t *testing.T) {
+	m := testModelKind(t, costmodel.KindWACONet)
+	ix, err := BuildIndex(m, sampleSchedules(300, 71), hnsw.Config{M: 8, EfConstruction: 48, Seed: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPattern(73)
+	query := func() {
+		if _, err := ix.Search(context.Background(), p, 10, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query() // warmup: pools, arena, geometry caches
+	allocs := testing.AllocsPerRun(10, query)
+	// The tape path allocated several per head evaluation (hundreds per
+	// query); the forward path's budget covers the returned Result and the
+	// trace's growth reallocations only.
+	if allocs > 32 {
+		t.Fatalf("steady-state Search allocates %.0f times per query, want <= 32", allocs)
+	}
+}

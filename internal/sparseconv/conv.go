@@ -69,26 +69,7 @@ func (c *Conv) Apply(t *nn.Tape, in *SparseMap) *SparseMap {
 		out, rulebook = c.buildStrided(in)
 	}
 	out.F = make([]float32, out.NumSites()*c.Cout)
-	// Bias.
-	for s := 0; s < out.NumSites(); s++ {
-		copy(out.F[s*c.Cout:(s+1)*c.Cout], c.B.W)
-	}
-	// Gather-scatter per kernel offset: out[o] += W[off] * in[i].
-	for off, pairs := range rulebook {
-		w := c.W.W[off*c.Cout*c.Cin : (off+1)*c.Cout*c.Cin]
-		for _, pr := range pairs {
-			xi := in.F[int(pr.in)*c.Cin : int(pr.in)*c.Cin+c.Cin]
-			yo := out.F[int(pr.out)*c.Cout : int(pr.out)*c.Cout+c.Cout]
-			for o := 0; o < c.Cout; o++ {
-				row := w[o*c.Cin : o*c.Cin+c.Cin]
-				acc := yo[o]
-				for i, x := range xi {
-					acc += row[i] * x
-				}
-				yo[o] = acc
-			}
-		}
-	}
+	c.forward(in, out, rulebook)
 	if t != nil {
 		in.EnsureGrad()
 		out.EnsureGrad()
@@ -123,6 +104,32 @@ func (c *Conv) Apply(t *nn.Tape, in *SparseMap) *SparseMap {
 		})
 	}
 	return out
+}
+
+// forward runs the convolution arithmetic into out.F (already sized and
+// zeroed/bias-free): bias first, then gather-scatter per kernel offset. The
+// tape and forward-only paths share it so their outputs are bit-identical.
+func (c *Conv) forward(in, out *SparseMap, rulebook [][]pair) {
+	// Bias.
+	for s := 0; s < out.NumSites(); s++ {
+		copy(out.F[s*c.Cout:(s+1)*c.Cout], c.B.W)
+	}
+	// Gather-scatter per kernel offset: out[o] += W[off] * in[i].
+	for off, pairs := range rulebook {
+		w := c.W.W[off*c.Cout*c.Cin : (off+1)*c.Cout*c.Cin]
+		for _, pr := range pairs {
+			xi := in.F[int(pr.in)*c.Cin : int(pr.in)*c.Cin+c.Cin]
+			yo := out.F[int(pr.out)*c.Cout : int(pr.out)*c.Cout+c.Cout]
+			for o := 0; o < c.Cout; o++ {
+				row := w[o*c.Cin : o*c.Cin+c.Cin]
+				acc := yo[o]
+				for i, x := range xi {
+					acc += row[i] * x
+				}
+				yo[o] = acc
+			}
+		}
+	}
 }
 
 // buildSubmanifold: output sites = input sites; rulebook[off] pairs each

@@ -31,6 +31,13 @@ type SparseMap struct {
 	F       []float32
 	D       []float32
 	index   map[uint64]int32
+
+	// geom caches, per conv layer, the output site set and rulebook derived
+	// from this map's coordinates — pure geometry, independent of feature
+	// values, so the forward-only path can skip rebuilding it on every pass.
+	// Populated lazily by Conv.Infer; like a Pattern's caches this makes a
+	// SparseMap single-goroutine on the inference path.
+	geom map[*Conv]*convGeom
 }
 
 // NumSites returns the number of active sites.

@@ -1,45 +1,61 @@
 #!/bin/sh
-# Runs the worker-scaling benchmarks (parallel training and index build) and
-# writes the results as BENCH_train.json next to this repo's root, so a CI
-# job — or a human comparing two branches — has a machine-readable record of
-# samples/sec and schedules/sec per worker count. Parsing uses awk only; no
-# jq or other tooling beyond a POSIX shell and the go toolchain.
+# Runs the benchmark suites that CI tracks and writes each as a
+# machine-readable JSON file next to the repo root, so a CI job — or a human
+# comparing two branches — has a record to diff (scripts/benchdiff.sh):
 #
-# Usage: scripts/bench.sh [benchtime]   (default 1x — the benchmarks are
-# about relative scaling, not absolute numbers, and 1 iteration already
-# reports the custom per-second metrics)
+#   BENCH_train.json   worker-scaling of training and index build
+#                      (samples/sec, schedules/sec per worker count)
+#   BENCH_search.json  the query path: forward-only batched search vs the
+#                      tape-path baseline (queries/sec, allocs/op)
+#
+# Parsing uses awk only; no jq or other tooling beyond a POSIX shell and the
+# go toolchain.
+#
+# Usage: scripts/bench.sh [train_benchtime] [search_benchtime]
+# Defaults: 1x for the scaling suite (it reports relative per-second metrics
+# a single iteration already measures) and 1s for the query suite (hundreds
+# of queries per iteration set, so queries/sec is stable enough to diff).
 set -eu
 cd "$(dirname "$0")/.."
 
-benchtime=${1:-1x}
-out=BENCH_train.json
+train_benchtime=${1:-1x}
+search_benchtime=${2:-1s}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-echo "==> go test -bench Workers -benchtime $benchtime"
-go test -run '^$' -bench 'Workers[14N]$' -benchtime "$benchtime" \
-	./internal/costmodel/ ./internal/search/ | tee "$raw"
-
+# run_suite <bench regexp> <benchtime> <output json> <packages...>
 # Benchmark output lines look like:
 #   BenchmarkTrainWorkers4-8  1  123456 ns/op  42.5 samples/sec
 # Emit one JSON object per line keyed by benchmark name, with every
-# unit-suffixed value captured as a field.
-awk '
-BEGIN { printf "{\n  \"benchtime\": \"'"$benchtime"'\",\n  \"results\": [" ; n = 0 }
-/^Benchmark/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
-	if (n++) printf ","
-	printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, $2
-	for (i = 3; i + 1 <= NF; i += 2) {
-		unit = $(i + 1)
-		gsub(/\//, "_per_", unit)
-		gsub(/[^A-Za-z0-9_]/, "_", unit)
-		printf ", \"%s\": %s", unit, $i
+# unit-suffixed value captured as a field (units slugified: "/" -> "_per_").
+run_suite() {
+	pattern=$1
+	benchtime=$2
+	out=$3
+	shift 3
+	echo "==> go test -bench '$pattern' -benchtime $benchtime"
+	go test -run '^$' -bench "$pattern" -benchtime "$benchtime" "$@" | tee "$raw"
+	awk '
+	BEGIN { printf "{\n  \"benchtime\": \"'"$benchtime"'\",\n  \"results\": [" ; n = 0 }
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+		if (n++) printf ","
+		printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, $2
+		for (i = 3; i + 1 <= NF; i += 2) {
+			unit = $(i + 1)
+			gsub(/\//, "_per_", unit)
+			gsub(/[^A-Za-z0-9_]/, "_", unit)
+			printf ", \"%s\": %s", unit, $i
+		}
+		printf "}"
 	}
-	printf "}"
+	END { printf "\n  ]\n}\n" }
+	' "$raw" >"$out"
+	echo "wrote $out"
 }
-END { printf "\n  ]\n}\n" }
-' "$raw" >"$out"
 
-echo "wrote $out"
+run_suite 'Workers[14N]$' "$train_benchtime" BENCH_train.json \
+	./internal/costmodel/ ./internal/search/
+run_suite 'SearchQuery' "$search_benchtime" BENCH_search.json \
+	./internal/search/

@@ -1,0 +1,98 @@
+#!/bin/sh
+# Compares fresh benchmark JSON (written by scripts/bench.sh) against a
+# committed baseline and fails on throughput regressions: any *_per_sec
+# metric dropping more than BENCHDIFF_THRESHOLD percent (default 20) below
+# its baseline value fails, as does a benchmark disappearing entirely.
+#
+# When the fresh file carries both query-path benchmarks, the forward/tape
+# ratio is also enforced: the forward-only search must sustain at least 2x
+# the tape path's queries/sec. Unlike the absolute comparison — which
+# assumes the baseline was recorded on comparable hardware — the ratio gate
+# is machine-independent, so it holds anywhere.
+#
+# POSIX shell + awk only, no jq.
+#
+# Usage: scripts/benchdiff.sh baseline.json fresh.json [baseline fresh ...]
+set -u
+cd "$(dirname "$0")/.."
+
+threshold=${BENCHDIFF_THRESHOLD:-20}
+
+if [ $# -lt 2 ] || [ $(($# % 2)) -ne 0 ]; then
+	echo "usage: $0 baseline.json fresh.json [baseline fresh ...]" >&2
+	exit 2
+fi
+
+status=0
+while [ $# -ge 2 ]; do
+	baseline=$1
+	fresh=$2
+	shift 2
+	if [ ! -f "$baseline" ]; then
+		echo "benchdiff: missing baseline $baseline" >&2
+		status=1
+		continue
+	fi
+	if [ ! -f "$fresh" ]; then
+		echo "benchdiff: missing fresh results $fresh" >&2
+		status=1
+		continue
+	fi
+	echo "==> benchdiff $fresh vs $baseline (threshold ${threshold}%)"
+	awk -v thr="$threshold" -v basefile="$baseline" -v freshfile="$fresh" '
+	FNR == 1 { pass++ }
+	/"name"/ {
+		line = $0
+		if (match(line, /"name": "[^"]+"/) == 0) next
+		name = substr(line, RSTART + 9, RLENGTH - 10)
+		# Every *_per_sec field on the line becomes one tracked metric.
+		rest = line
+		while (match(rest, /"[A-Za-z0-9_]+_per_sec": [0-9.eE+-]+/)) {
+			kv = substr(rest, RSTART, RLENGTH)
+			rest = substr(rest, RSTART + RLENGTH)
+			sep = index(kv, "\": ")
+			key = substr(kv, 2, sep - 2)
+			val = substr(kv, sep + 3) + 0
+			if (pass == 1) base[name "." key] = val
+			else fresh[name "." key] = val
+		}
+	}
+	END {
+		bad = 0
+		for (k in base) {
+			if (!(k in fresh)) {
+				printf "FAIL %s: present in %s but missing from %s\n", k, basefile, freshfile
+				bad = 1
+				continue
+			}
+			floor = base[k] * (1 - thr / 100)
+			if (fresh[k] < floor) {
+				printf "FAIL %s: %.4g below regression floor %.4g (baseline %.4g, -%d%%)\n",
+					k, fresh[k], floor, base[k], thr
+				bad = 1
+			} else {
+				printf "ok   %s: %.4g (baseline %.4g)\n", k, fresh[k], base[k]
+			}
+		}
+		fwd = fresh["BenchmarkSearchQueryForward.queries_per_sec"]
+		tape = fresh["BenchmarkSearchQueryTape.queries_per_sec"]
+		if (fwd > 0 && tape > 0) {
+			if (fwd < 2 * tape) {
+				printf "FAIL query-path speedup: forward %.4g q/s is %.2fx tape %.4g q/s, contract requires >= 2x\n",
+					fwd, fwd / tape, tape
+				bad = 1
+			} else {
+				printf "ok   query-path speedup: forward %.4g q/s = %.2fx tape %.4g q/s\n", fwd, fwd / tape, tape
+			}
+		}
+		exit bad
+	}
+	' "$baseline" "$fresh" || status=1
+done
+
+if [ "$status" -eq 0 ]; then
+	echo "benchdiff passed"
+else
+	echo "benchdiff failed" >&2
+fi
+exit $status

@@ -22,9 +22,21 @@ fi
 echo "==> waco-vet"
 go run ./cmd/waco-vet ./...
 
-echo "==> go test -race (serve, metrics, costmodel, parallelism, search, hnsw, dataset)"
-go test -race ./internal/serve/... ./internal/metrics/... ./internal/costmodel/... \
-	./internal/parallelism/... ./internal/search/... ./internal/hnsw/... \
-	./internal/dataset/...
+# Race-test every package that actually bears concurrency, derived from the
+# import graph instead of a hand-maintained list (which had gone stale and
+# silently skipped packages): anything importing sync, sync/atomic, or the
+# worker-pool package, in the package proper or its tests.
+race_pkgs=$(go list -f '{{.ImportPath}}: {{join .Imports " "}} {{join .TestImports " "}}' ./internal/... |
+	awk -F': ' '{
+		n = split($2, imp, " ")
+		for (i = 1; i <= n; i++)
+			if (imp[i] == "sync" || imp[i] == "sync/atomic" || imp[i] == "waco/internal/parallelism") {
+				print $1
+				break
+			}
+	}')
+echo "==> go test -race:" $race_pkgs
+# shellcheck disable=SC2086 — the package list is intentionally word-split.
+go test -race $race_pkgs
 
 echo "checks passed"
