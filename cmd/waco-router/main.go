@@ -1,0 +1,105 @@
+// Command waco-router is the stateless front door of a sharded WACO
+// serving fleet: it consistent-hash-routes tuning traffic to N waco-serve
+// replicas on the sparsity fingerprint, so every matrix pattern keeps
+// hitting the replica whose LRU cache already holds its answer.
+//
+// Endpoints (client-compatible with a single waco-serve):
+//
+//	POST /v1/tune        routed by the matrix fingerprint (async=1 included)
+//	POST /v1/predict     routed by the matrix fingerprint
+//	GET  /v1/jobs/{id}   routed by the fingerprint embedded in the job id
+//	GET  /v1/stats       router + per-replica health counters
+//	GET  /healthz        router liveness
+//	GET  /readyz         at least one healthy replica
+//	GET  /metrics        Prometheus text exposition
+//
+// Replicas are health-checked on /readyz (a draining replica stops getting
+// new work), dead replicas are retried on the next ring preference with
+// jittered exponential backoff, and per-replica in-flight load bounds hot
+// spots (bounded-load consistent hashing).
+//
+// Usage:
+//
+//	waco-router -addr :9090 -replicas http://10.0.0.1:8080,http://10.0.0.2:8080
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"waco/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("waco-router: ")
+	addr := flag.String("addr", ":9090", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated waco-serve base URLs (required)")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per replica on the hash ring")
+	loadFactor := flag.Float64("load-factor", 1.25, "bounded-load factor c (<=1 disables the bound)")
+	retries := flag.Int("retries", 0, "max distinct replicas to attempt per request (0 = all)")
+	healthEvery := flag.Duration("health-interval", 2*time.Second, "readiness probe period")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "single readiness probe deadline")
+	quiet := flag.Bool("quiet", false, "disable per-request structured logging")
+	flag.Parse()
+
+	urls := strings.Split(*replicas, ",")
+	var cleaned []string
+	for _, u := range urls {
+		if u = strings.TrimSpace(u); u != "" {
+			cleaned = append(cleaned, u)
+		}
+	}
+	if len(cleaned) == 0 {
+		log.Fatal("no replicas: pass -replicas http://host:port[,http://host:port...]")
+	}
+
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	rt, err := cluster.NewRouter(cluster.Options{
+		Replicas:       cleaned,
+		VNodes:         *vnodes,
+		LoadFactor:     *loadFactor,
+		Retries:        *retries,
+		HealthInterval: *healthEvery,
+		ProbeTimeout:   *probeTimeout,
+		Seed:           time.Now().UnixNano(),
+		Logger:         logger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("routing to %d replicas on %s (metrics at /metrics)", len(cleaned), *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("received %v, shutting down", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	st := rt.Stats()
+	log.Printf("forwarded %d requests (%d retries, %d transport errors, %d healthy replicas at exit)",
+		st.Forwarded, st.Retries, st.TransportErrors, st.HealthyReplicas)
+}

@@ -5,11 +5,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/tune     {"matrix": {...}} or {"matrix_market": "..."} -> best SuperSchedule
-//	POST /v1/predict  same matrix forms + "k"                       -> top-k predicted schedules
-//	GET  /v1/healthz                                                -> liveness
-//	GET  /v1/stats                                                  -> cache/dedup/search counters (JSON)
-//	GET  /metrics                                                   -> Prometheus text exposition
+//	POST /v1/tune        {"matrix": {...}} or {"matrix_market": "..."} -> best SuperSchedule
+//	                     with ?async=1: 202 + job id immediately, tune runs detached
+//	POST /v1/predict     same matrix forms + "k"                       -> top-k predicted schedules
+//	GET  /v1/jobs/{id}                                                 -> async job state/result
+//	GET  /healthz                                                      -> liveness (also /v1/healthz)
+//	GET  /readyz                                                       -> readiness (artifact loaded, not draining)
+//	POST /admin/reload                                                 -> hot-swap the sealed artifact
+//	GET  /v1/stats                                                     -> cache/dedup/search/job counters (JSON)
+//	GET  /metrics                                                      -> Prometheus text exposition
+//
+// SIGHUP reloads the artifact file in place (same as POST /admin/reload with
+// no body): the new tuner swaps in atomically, in-flight requests finish on
+// the old one, and /v1/stats reports the bumped artifact version and stamp.
+// On SIGINT/SIGTERM the daemon turns /readyz to 503 first — so a router
+// stops sending work — then drains.
 //
 // With -debug-addr a second listener serves net/http/pprof (profiles stay
 // off the public port). Each request is access-logged via log/slog with a
@@ -37,6 +47,14 @@ import (
 	"waco/internal/serve"
 )
 
+// speedup is the startup-speed headline: sealed-load time vs original build.
+func speedup(build, load float64) float64 {
+	if load <= 0 {
+		return 0
+	}
+	return build / load
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("waco-serve: ")
@@ -47,18 +65,13 @@ func main() {
 	workers := flag.Int("workers", 2, "max concurrent tune/predict searches")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request tuning deadline (0 = none)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight searches")
+	maxJobs := flag.Int("max-jobs", 256, "bound on resident async tune jobs (running + retained results)")
+	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "retention of finished async job results for polling")
 	quiet := flag.Bool("quiet", false, "disable per-request structured access logging")
 	flag.Parse()
 
-	f, err := os.Open(*artifactPath)
-	if err != nil {
-		log.Fatal(err)
-	}
 	t0 := time.Now()
-	tuner, err := core.LoadTuner(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
+	tuner, err := core.LoadTunerFile(*artifactPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,6 +87,9 @@ func main() {
 		CacheSize:      *cacheSize,
 		MaxWorkers:     *workers,
 		RequestTimeout: *timeout,
+		MaxJobs:        *maxJobs,
+		JobTTL:         *jobTTL,
+		ArtifactPath:   *artifactPath,
 		Logger:         logger,
 	})
 	if err != nil {
@@ -102,14 +118,31 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		log.Fatal(err)
-	case got := <-sig:
-		log.Printf("received %v, draining", got)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case err := <-errCh:
+			log.Fatal(err)
+		case got := <-sig:
+			if got == syscall.SIGHUP {
+				// Hot reload in place; a bad artifact leaves the old one serving.
+				info, err := srv.ReloadFromFile("")
+				if err != nil {
+					log.Printf("reload failed, keeping current artifact: %v", err)
+					continue
+				}
+				log.Printf("reloaded artifact: version %d stamp %.16s", info.Version, info.Stamp)
+				continue
+			}
+			log.Printf("received %v, draining", got)
+			break loop
+		}
 	}
 
+	// Readiness goes down first so routers stop sending new work, then the
+	// listener and the request pool drain.
+	srv.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
@@ -124,13 +157,6 @@ func main() {
 		log.Printf("drain: %v (some searches abandoned)", err)
 	}
 	st := srv.Snapshot()
-	log.Printf("served %d tune + %d predict requests (%d searches, %d deduped, %d cache hits)",
-		st.TuneRequests, st.PredictRequests, st.Searches, st.DedupedSearches, st.CacheHits)
-}
-
-func speedup(build, load float64) float64 {
-	if load <= 0 {
-		return 0
-	}
-	return build / load
+	log.Printf("served %d tune + %d predict requests (%d searches, %d deduped, %d cache hits, %d async jobs)",
+		st.TuneRequests, st.PredictRequests, st.Searches, st.DedupedSearches, st.CacheHits, st.JobsSubmitted)
 }

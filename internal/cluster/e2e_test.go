@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"waco/internal/core"
+	"waco/internal/costmodel"
+	"waco/internal/generate"
+	"waco/internal/schedule"
+	"waco/internal/serve"
+	"waco/internal/sparseconv"
+)
+
+// e2eTuner builds one small SpMM tuner and seals it, shared across the e2e
+// tests; each replica gets its own LoadTuner copy of the sealed bytes, the
+// way a fleet shares one artifact file.
+var (
+	e2eOnce   sync.Once
+	e2eSealed []byte
+	e2eErr    error
+)
+
+func sealedTunerBytes(t *testing.T) []byte {
+	t.Helper()
+	e2eOnce.Do(func() {
+		cfg := core.DefaultConfig(schedule.SpMM)
+		cfg.Collect.SchedulesPerMatrix = 8
+		cfg.Collect.Repeats = 1
+		cfg.Collect.DenseN = 8
+		sp := schedule.DefaultSpace(schedule.SpMM)
+		sp.SplitChoices = []int32{1, 2, 4, 8}
+		sp.ThreadChoices = []int{1, 2}
+		cfg.Collect.Space = sp
+		cfg.Model = costmodel.Config{
+			Extractor: costmodel.KindHumanFeature,
+			ConvCfg:   sparseconv.Config{Dim: 2, Channels: 4, Depth: 2, FirstKernel: 3, OutDim: 12},
+			EmbDim:    12,
+			HeadDims:  []int{16},
+			Seed:      1,
+		}
+		cfg.Train = costmodel.TrainConfig{Epochs: 3, PairsPerMatrix: 8, LR: 1e-3, Seed: 2, Loss: costmodel.LossRank}
+		cfg.TopK = 3
+		cfg.SearchEf = 24
+		cc := generate.DefaultCorpusConfig()
+		cc.Count = 5
+		cc.MinDim, cc.MaxDim, cc.MaxNNZ = 64, 160, 2500
+		var tuner *core.Tuner
+		tuner, _, e2eErr = core.Build(generate.Corpus(cc), cfg)
+		if e2eErr != nil {
+			return
+		}
+		var buf bytes.Buffer
+		e2eErr = core.SaveTuner(&buf, tuner)
+		e2eSealed = buf.Bytes()
+	})
+	if e2eErr != nil {
+		t.Fatal(e2eErr)
+	}
+	return e2eSealed
+}
+
+// replicaFleet stands up n independent serve.Servers, each on its own
+// tuner copy, behind httptest listeners — a real sharded fleet in-process.
+func replicaFleet(t *testing.T, n int) (servers []*serve.Server, urls []string) {
+	t.Helper()
+	sealed := sealedTunerBytes(t)
+	for i := 0; i < n; i++ {
+		tuner, err := core.LoadTuner(bytes.NewReader(sealed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := serve.NewServer(tuner, serve.Options{MaxWorkers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		servers = append(servers, s)
+		urls = append(urls, ts.URL)
+	}
+	return servers, urls
+}
+
+func e2eMatrixBody(t *testing.T, seed int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	coo := generate.Uniform(rng, 96, 96, 900)
+	m := serve.MatrixJSON{Dims: coo.Dims, Coords: coo.Coords, Vals: coo.Vals}
+	body, err := json.Marshal(serve.TuneRequest{Matrix: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestClusterEndToEnd is the acceptance path for the serving tier: a
+// router over three real replicas routes an async tune (202 well under
+// 100ms while the search runs), the job poll reaches done through the
+// router, fingerprint affinity yields a replica cache hit on the second
+// request, and killing a replica re-routes without client-visible failure.
+func TestClusterEndToEnd(t *testing.T) {
+	servers, urls := replicaFleet(t, 3)
+	rt := newTestRouter(t, urls, func(o *Options) {
+		o.HealthInterval = 50 * time.Millisecond
+	})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	body := e2eMatrixBody(t, 400)
+
+	// Async tune through the router: accepted immediately, not when done.
+	start := time.Now()
+	resp, err := http.Post(front.URL+"/v1/tune?async=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := time.Since(start)
+	var job serve.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async tune: status %d, want 202", resp.StatusCode)
+	}
+	if accepted >= 100*time.Millisecond {
+		t.Fatalf("async tune acknowledged in %v, want <100ms", accepted)
+	}
+	owner := resp.Header.Get("X-Waco-Replica")
+	if owner == "" {
+		t.Fatal("no X-Waco-Replica on the async response")
+	}
+
+	// Poll the job through the router until the tune lands.
+	deadline := time.Now().Add(60 * time.Second)
+	var final serve.Job
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s at deadline", job.ID, final.State)
+		}
+		resp, err := http.Get(front.URL + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Waco-Replica"); got != owner {
+			t.Fatalf("job poll routed to %s, job lives on %s", got, owner)
+		}
+		if final.State != serve.JobRunning {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final.State != serve.JobDone || final.Result == nil {
+		t.Fatalf("job finished %q (%s), want done with a result", final.State, final.Error)
+	}
+
+	// Affinity pays off: the synchronous retune of the same matrix goes to
+	// the same replica and is answered from its fingerprint cache.
+	resp, err = http.Post(front.URL+"/v1/tune", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res serve.TuneResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Waco-Replica"); got != owner {
+		t.Fatalf("sync tune routed to %s, fingerprint owner is %s", got, owner)
+	}
+	if !res.Cached {
+		t.Fatal("second tune of the same matrix was not a cache hit")
+	}
+	var ownerSrv *serve.Server
+	for i, u := range urls {
+		if u == owner {
+			ownerSrv = servers[i]
+		}
+	}
+	if st := ownerSrv.Snapshot(); st.CacheHits < 1 {
+		t.Fatalf("owning replica reports %d cache hits, want >= 1", st.CacheHits)
+	}
+	// The other replicas never saw this fingerprint.
+	for i, u := range urls {
+		if u == owner {
+			continue
+		}
+		if st := servers[i].Snapshot(); st.TuneRequests != 0 {
+			t.Errorf("replica %s saw %d tune requests for another replica's key", u, st.TuneRequests)
+		}
+	}
+
+	// Drain the owner: readiness flips, the prober notices, and the same
+	// fingerprint re-routes to a survivor without a client-visible error.
+	ownerSrv.BeginDrain()
+	waitForCluster(t, func() bool { return !rt.health.isHealthy(owner) })
+	resp, err = http.Post(front.URL+"/v1/tune", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	reRouted := resp.Header.Get("X-Waco-Replica")
+	code := resp.StatusCode
+	resp.Body.Close()
+	if code != http.StatusOK {
+		t.Fatalf("tune after owner drain: status %d", code)
+	}
+	if reRouted == owner || reRouted == "" {
+		t.Fatalf("request after drain served by %q, want a surviving replica", reRouted)
+	}
+}
+
+func waitForCluster(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("cluster condition not reached in time")
+}
+
+// TestClusterSpreadsDistinctMatrices sanity-checks that a fleet actually
+// shards: across many distinct matrices every replica serves some, and the
+// totals add up (no request answered twice or dropped).
+func TestClusterSpreadsDistinctMatrices(t *testing.T) {
+	servers, urls := replicaFleet(t, 3)
+	rt := newTestRouter(t, urls, nil)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	const n = 12
+	for seed := int64(0); seed < n; seed++ {
+		body := e2eMatrixBody(t, 500+seed)
+		resp, err := http.Post(front.URL+"/v1/tune", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tune seed %d: status %d", seed, resp.StatusCode)
+		}
+	}
+	total := uint64(0)
+	for i := range servers {
+		st := servers[i].Snapshot()
+		total += st.TuneRequests
+		if st.TuneRequests == 0 {
+			t.Logf("replica %d served no matrices (possible with %d keys; not an error)", i, n)
+		}
+	}
+	if total != n {
+		t.Fatalf("fleet served %d tune requests, want %d", total, n)
+	}
+	if st := rt.Stats(); st.Forwarded != n {
+		t.Fatalf("router forwarded %d, want %d", st.Forwarded, n)
+	}
+}

@@ -1,0 +1,164 @@
+// Package cluster is WACO's horizontal serving tier: a stateless HTTP
+// router that spreads tuning traffic over N serve replicas by
+// consistent-hashing the sparsity fingerprint — the SHA-256 pattern digest
+// internal/serve already keys its LRU cache on. Same fingerprint, same
+// replica, so each replica's cache stays hot and the fleet's effective
+// cache is the union, not N copies, of one working set. Replica add/remove
+// moves only the keys that must move (~1/N), health checks track replica
+// readiness (not liveness — a draining replica is alive but must stop
+// getting work), and transient failures retry on the next ring replica
+// with jittered exponential backoff. Everything is stdlib net/http; there
+// is no coordination state, so any number of routers can front the same
+// fleet.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Each member is hashed
+// onto the ring at VNodes points; a key routes to the first member point at
+// or clockwise after the key's hash. With enough virtual nodes the keyspace
+// splits near-evenly, and removing a member remaps only the ~1/N of keys
+// that landed on its points — every other key keeps its replica, which is
+// exactly what keeps the per-replica fingerprint caches warm through
+// topology changes.
+//
+// All methods are safe for concurrent use; lookups take a read lock only.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	points  []ringPoint // sorted by hash
+	members map[string]bool
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// DefaultVNodes balances lookup cost against distribution evenness; at 64
+// points per member the max/min member share over random keys is within a
+// few tens of percent, plenty for cache affinity.
+const DefaultVNodes = 64
+
+// NewRing builds a ring with vnodes virtual nodes per member (DefaultVNodes
+// when <= 0).
+func NewRing(vnodes int, members ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{vnodes: vnodes, members: make(map[string]bool)}
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+// hash64 is the ring's hash: the first 8 bytes of SHA-256. Fingerprint keys
+// are already SHA-256 hex, but member#vnode labels are not, and one strong
+// hash for both sides keeps the ring unbiased.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a member (no-op if present).
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{
+			hash:   hash64(member + "#" + strconv.Itoa(v)),
+			member: member,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member and its virtual nodes (no-op if absent).
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the current member set in sorted order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Preference returns up to n distinct members in ring order starting at
+// key's position: the key's owner first, then the members that would own it
+// if earlier ones disappeared. This is the retry order — falling to the
+// next preference on failure hits exactly the replica that inherits the key
+// if the failure becomes permanent, so retried work lands where future
+// requests for the same fingerprint will go.
+func (r *Ring) Preference(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for range r.points {
+		p := r.points[i%len(r.points)]
+		i++
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Owner returns the member owning key, or an error on an empty ring.
+func (r *Ring) Owner(key string) (string, error) {
+	pref := r.Preference(key, 1)
+	if len(pref) == 0 {
+		return "", fmt.Errorf("cluster: ring has no members")
+	}
+	return pref[0], nil
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real routing keys: hex fingerprints vary per matrix.
+		keys[i] = fmt.Sprintf("fingerprint-%04x", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicOwnership(t *testing.T) {
+	a := NewRing(DefaultVNodes, "r1", "r2", "r3")
+	b := NewRing(DefaultVNodes, "r3", "r1", "r2") // insertion order must not matter
+	for _, k := range ringKeys(200) {
+		oa, err := a.Owner(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := b.Owner(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oa != ob {
+			t.Fatalf("key %s: owner %s on ring a, %s on ring b", k, oa, ob)
+		}
+		// Repeat lookups are stable.
+		if again, _ := a.Owner(k); again != oa {
+			t.Fatalf("key %s: owner changed between lookups (%s -> %s)", k, oa, again)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(DefaultVNodes, "r1", "r2", "r3")
+	counts := map[string]int{}
+	keys := ringKeys(3000)
+	for _, k := range keys {
+		o, err := r.Owner(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[o]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 members own keys: %v", len(counts), counts)
+	}
+	// With 64 vnodes the split is not perfect, but no member should own
+	// less than half or more than double its fair share.
+	fair := len(keys) / 3
+	for m, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("member %s owns %d keys, fair share is %d: %v", m, c, fair, counts)
+		}
+	}
+}
+
+// TestRingRemovalRemapsMinority is the acceptance criterion: dropping 1 of
+// 3 replicas remaps strictly less than 50% of keys (expected ~1/3), and
+// every key that does move lands on a surviving member while keys owned by
+// survivors stay put — that is what keeps their caches warm.
+func TestRingRemovalRemapsMinority(t *testing.T) {
+	r := NewRing(DefaultVNodes, "r1", "r2", "r3")
+	keys := ringKeys(1000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+
+	r.Remove("r2")
+	if got := r.Members(); len(got) != 2 {
+		t.Fatalf("members after removal: %v", got)
+	}
+	moved := 0
+	for _, k := range keys {
+		after, err := r.Owner(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after == "r2" {
+			t.Fatalf("key %s still owned by removed member", k)
+		}
+		if before[k] == "r2" {
+			moved++ // had to move; any survivor is fine
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", k, before[k], after)
+		}
+	}
+	if moved == 0 || moved >= len(keys)/2 {
+		t.Fatalf("removal remapped %d of %d keys, want >0 and <50%%", moved, len(keys))
+	}
+}
+
+func TestRingPreference(t *testing.T) {
+	r := NewRing(DefaultVNodes, "r1", "r2", "r3")
+	for _, k := range ringKeys(50) {
+		pref := r.Preference(k, 3)
+		if len(pref) != 3 {
+			t.Fatalf("key %s: preference %v, want all 3 members", k, pref)
+		}
+		seen := map[string]bool{}
+		for _, m := range pref {
+			if seen[m] {
+				t.Fatalf("key %s: duplicate member in preference %v", k, pref)
+			}
+			seen[m] = true
+		}
+		// The first preference is the owner, and the second is who inherits
+		// the key if the owner leaves.
+		owner, _ := r.Owner(k)
+		if pref[0] != owner {
+			t.Fatalf("key %s: preference head %s != owner %s", k, pref[0], owner)
+		}
+		r2 := NewRing(DefaultVNodes, "r1", "r2", "r3")
+		r2.Remove(owner)
+		heir, _ := r2.Owner(k)
+		if pref[1] != heir {
+			t.Fatalf("key %s: preference[1] = %s, but %s inherits after %s leaves", k, pref[1], heir, owner)
+		}
+	}
+	// Asking for more members than exist truncates.
+	if pref := r.Preference("x", 10); len(pref) != 3 {
+		t.Fatalf("over-asking preference returned %v", pref)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(8)
+	if _, err := empty.Owner("k"); err == nil {
+		t.Fatal("empty ring returned an owner")
+	}
+	if pref := empty.Preference("k", 3); pref != nil {
+		t.Fatalf("empty ring preference = %v, want nil", pref)
+	}
+
+	one := NewRing(8, "only")
+	for _, k := range ringKeys(10) {
+		o, err := one.Owner(k)
+		if err != nil || o != "only" {
+			t.Fatalf("single-member ring: owner(%s) = %s, %v", k, o, err)
+		}
+	}
+
+	// Add/Remove round trip restores the original mapping exactly.
+	r := NewRing(DefaultVNodes, "r1", "r2", "r3")
+	keys := ringKeys(300)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+	r.Remove("r3")
+	r.Add("r3")
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if after != before[k] {
+			t.Fatalf("key %s: owner %s before remove/add cycle, %s after", k, before[k], after)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"waco/internal/serve"
+)
+
+// stubReplica is a fake waco-serve: it answers readiness, counts the tune
+// and predict requests it receives, and serves a configurable job set.
+type stubReplica struct {
+	name  string
+	ts    *httptest.Server
+	hits  atomic.Uint64
+	jobs  sync.Map // id -> bool
+	delay time.Duration
+}
+
+func newStubReplica(t *testing.T, name string) *stubReplica {
+	t.Helper()
+	sr := &stubReplica{name: name}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"status":"ready"}`)
+	})
+	handle := func(w http.ResponseWriter, r *http.Request) {
+		sr.hits.Add(1)
+		if sr.delay > 0 {
+			time.Sleep(sr.delay)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"replica":"`+sr.name+`"}`)
+	}
+	mux.HandleFunc("/v1/tune", handle)
+	mux.HandleFunc("/v1/predict", handle)
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		if _, ok := sr.jobs.Load(id); !ok {
+			w.WriteHeader(http.StatusNotFound)
+			io.WriteString(w, `{"error":"unknown job"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"id":"`+id+`","state":"done"}`)
+	})
+	sr.ts = httptest.NewServer(mux)
+	t.Cleanup(sr.ts.Close)
+	return sr
+}
+
+func stubFleet(t *testing.T, n int) ([]*stubReplica, []string) {
+	t.Helper()
+	stubs := make([]*stubReplica, n)
+	urls := make([]string, n)
+	for i := range stubs {
+		stubs[i] = newStubReplica(t, fmt.Sprintf("replica-%d", i))
+		urls[i] = stubs[i].ts.URL
+	}
+	return stubs, urls
+}
+
+func newTestRouter(t *testing.T, urls []string, tweak func(*Options)) *Router {
+	t.Helper()
+	opts := Options{
+		Replicas: urls,
+		// Long probe period: tests drive health transitions themselves via
+		// the passive markDown path or explicit probes.
+		HealthInterval: time.Hour,
+		RetryBase:      time.Millisecond,
+		RetryMax:       4 * time.Millisecond,
+		Seed:           1,
+	}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	rt, err := NewRouter(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// tuneBody returns a valid /v1/tune payload whose matrix varies with seed,
+// plus the fingerprint the router will route it on.
+func tuneBody(t *testing.T, seed int) ([]byte, string) {
+	t.Helper()
+	m := serve.MatrixJSON{
+		Dims:   []int{16, 16},
+		Coords: [][]int32{{int32(seed % 16), int32((seed / 16) % 16), 3}, {1, int32(seed % 16), 5}},
+	}
+	body, err := json.Marshal(serve.TuneRequest{Matrix: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := serve.RequestFingerprint(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, fp
+}
+
+func postTune(t *testing.T, h http.Handler, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/tune", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestRouterFingerprintAffinity: identical matrices land on one replica,
+// different matrices spread, and the replica matches the ring's owner.
+func TestRouterFingerprintAffinity(t *testing.T) {
+	stubs, urls := stubFleet(t, 3)
+	rt := newTestRouter(t, urls, nil)
+	h := rt.Handler()
+
+	body, fp := tuneBody(t, 7)
+	want, err := rt.ring.Owner(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	for i := 0; i < 5; i++ {
+		rec := postTune(t, h, body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("tune %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+		replica := rec.Header().Get("X-Waco-Replica")
+		if got == "" {
+			got = replica
+		}
+		if replica != got {
+			t.Fatalf("same fingerprint bounced between replicas: %s then %s", got, replica)
+		}
+	}
+	if got != want {
+		t.Fatalf("fingerprint %s served by %s, ring owner is %s", fp, got, want)
+	}
+
+	// All five identical requests hit exactly one stub.
+	total := uint64(0)
+	for _, s := range stubs {
+		total += s.hits.Load()
+	}
+	if total != 5 {
+		t.Fatalf("stub fleet saw %d requests, want 5", total)
+	}
+
+	// Enough distinct matrices touch every replica.
+	for seed := 0; seed < 40; seed++ {
+		body, _ := tuneBody(t, 100+seed)
+		postTune(t, h, body)
+	}
+	for _, s := range stubs {
+		if s.hits.Load() == 0 {
+			t.Errorf("replica %s received no traffic across 40 distinct matrices", s.name)
+		}
+	}
+}
+
+// TestRouterRetriesDeadReplica: when a fingerprint's owner is down at the
+// transport level, the request lands on the next ring preference and the
+// dead replica is marked unhealthy for subsequent traffic.
+func TestRouterRetriesDeadReplica(t *testing.T) {
+	stubs, urls := stubFleet(t, 3)
+	rt := newTestRouter(t, urls, nil)
+	h := rt.Handler()
+
+	body, fp := tuneBody(t, 11)
+	pref := rt.ring.Preference(fp, 3)
+	owner := pref[0]
+	for _, s := range stubs {
+		if s.ts.URL == owner {
+			s.ts.Close() // dies before the first request
+		}
+	}
+
+	rec := postTune(t, h, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("tune with dead owner: status %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-Waco-Replica"); got != pref[1] {
+		t.Fatalf("request served by %s, want next preference %s", got, pref[1])
+	}
+	if rt.health.isHealthy(owner) {
+		t.Fatal("dead replica still marked healthy after a transport error")
+	}
+	st := rt.Stats()
+	if st.Retries == 0 || st.TransportErrors == 0 {
+		t.Fatalf("retry accounting missing: %+v", st)
+	}
+	// With the owner known-dead, the next request goes straight to the heir.
+	before := st.Retries
+	rec = postTune(t, h, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second tune: status %d", rec.Code)
+	}
+	if rt.Stats().Retries != before {
+		t.Fatal("router retried through a replica it already knows is down")
+	}
+}
+
+// TestRouterNoHealthyReplica: everything down means a fast 503 with a
+// Retry-After, not a hang or a 502 storm.
+func TestRouterNoHealthyReplica(t *testing.T) {
+	stubs, urls := stubFleet(t, 2)
+	rt := newTestRouter(t, urls, nil)
+	for _, s := range stubs {
+		s.ts.Close()
+	}
+	// Force a probe round now rather than waiting out the interval.
+	rt.health.probeAll(context.Background())
+
+	rec := postTune(t, rt.Handler(), mustTuneBody(t))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("no healthy replicas: status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	// Router readiness mirrors the fleet.
+	req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	resp := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(resp, req)
+	if resp.Code != http.StatusServiceUnavailable {
+		t.Fatalf("router readyz with dead fleet: %d, want 503", resp.Code)
+	}
+	if st := rt.Stats(); st.NoReplica == 0 || st.HealthyReplicas != 0 {
+		t.Fatalf("stats after dead-fleet request: %+v", st)
+	}
+}
+
+func mustTuneBody(t *testing.T) []byte {
+	t.Helper()
+	body, _ := tuneBody(t, 1)
+	return body
+}
+
+// TestRouterRejectsAtTheEdge: malformed bodies and job ids 400 without a
+// single replica round trip.
+func TestRouterRejectsAtTheEdge(t *testing.T) {
+	stubs, urls := stubFleet(t, 2)
+	rt := newTestRouter(t, urls, nil)
+	h := rt.Handler()
+
+	for _, body := range []string{`{"matrix": "not an object"}`, `not json`, `{}`} {
+		rec := postTune(t, h, []byte(body))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("malformed body %q: status %d, want 400", body, rec.Code)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/no-separator-here", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed job id: status %d, want 400", rec.Code)
+	}
+	for _, s := range stubs {
+		if s.hits.Load() != 0 {
+			t.Errorf("replica %s was consulted for an edge-rejected request", s.name)
+		}
+	}
+	if st := rt.Stats(); st.BadRequests != 4 {
+		t.Errorf("bad_requests = %d, want 4", st.BadRequests)
+	}
+}
+
+// TestRouterJobLookupWalksPreferences: a job poll 404s on replicas that do
+// not hold the job and is retried down the preference list until the
+// holder answers — the recovery path after a topology change moved the
+// fingerprint's owner.
+func TestRouterJobLookupWalksPreferences(t *testing.T) {
+	stubs, urls := stubFleet(t, 3)
+	rt := newTestRouter(t, urls, nil)
+	h := rt.Handler()
+
+	_, fp := tuneBody(t, 23)
+	jobID := fp + ".1"
+	pref := rt.ring.Preference(fp, 3)
+	// Park the job on the LAST preference: the router must walk through
+	// two 404s to find it.
+	var holder *stubReplica
+	for _, s := range stubs {
+		if s.ts.URL == pref[len(pref)-1] {
+			holder = s
+		}
+	}
+	holder.jobs.Store(jobID, true)
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+jobID, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("job lookup: status %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-Waco-Replica"); got != holder.ts.URL {
+		t.Fatalf("job served by %s, holder is %s", got, holder.ts.URL)
+	}
+
+	// A job nobody holds surfaces the final 404 instead of swallowing it.
+	req = httptest.NewRequest(http.MethodGet, "/v1/jobs/"+fp+".404", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", rec.Code)
+	}
+}
+
+// TestRouterReplicaDiesMidFanout hammers the router from many goroutines
+// while one replica is torn down mid-traffic. Run under -race. Every
+// response must be a terminal verdict (200 from a survivor or a 5xx) —
+// never a hang or a torn write.
+func TestRouterReplicaDiesMidFanout(t *testing.T) {
+	stubs, urls := stubFleet(t, 3)
+	for _, s := range stubs {
+		s.delay = time.Millisecond // keep requests in flight during the kill
+	}
+	rt := newTestRouter(t, urls, nil)
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	var bad atomic.Uint64
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body, _ := tuneBody(t, g*1000+i%50)
+				resp, err := http.Post(srv.URL+"/v1/tune", "application/json", bytes.NewReader(body))
+				if err != nil {
+					bad.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK &&
+					resp.StatusCode != http.StatusBadGateway &&
+					resp.StatusCode != http.StatusServiceUnavailable {
+					bad.Add(1)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	stubs[1].ts.Close() // dies with requests in flight
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d requests got a non-terminal or transport-failed response", n)
+	}
+	// The fleet shrank but the router kept answering: after the kill the
+	// dead replica is unhealthy and survivors own its keys.
+	if rt.health.isHealthy(stubs[1].ts.URL) {
+		// The kill may have raced ahead of any request that would mark it
+		// down; force a probe round to settle the verdict.
+		rt.health.probeAll(context.Background())
+	}
+	if rt.health.isHealthy(stubs[1].ts.URL) {
+		t.Fatal("killed replica still healthy after traffic and a probe round")
+	}
+	rec := postTune(t, rt.Handler(), mustTuneBody(t))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-kill tune: status %d", rec.Code)
+	}
+}
+
+// TestRouterValidation covers constructor input checking.
+func TestRouterValidation(t *testing.T) {
+	if _, err := NewRouter(Options{}); err == nil {
+		t.Fatal("router built with no replicas")
+	}
+	if _, err := NewRouter(Options{Replicas: []string{"http://a", "http://a/"}}); err == nil {
+		t.Fatal("router accepted duplicate replicas")
+	}
+	if _, err := NewRouter(Options{Replicas: []string{""}}); err == nil {
+		t.Fatal("router accepted an empty replica URL")
+	}
+}

@@ -2,10 +2,13 @@ package core
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"os"
 
 	"waco/internal/costmodel"
 	"waco/internal/hnsw"
@@ -71,8 +74,13 @@ func SaveTuner(w io.Writer, t *Tuner) error {
 
 // LoadTuner reconstructs a tuner sealed by SaveTuner. The returned tuner's
 // BuildSeconds is the original (offline) construction cost, preserved so
-// callers can report the startup speedup of the cached path.
+// callers can report the startup speedup of the cached path. ArtifactStamp
+// is set to the SHA-256 of the bytes read, so two processes (or one process
+// across a hot reload) can tell whether they serve the same sealed artifact
+// without re-reading the file.
 func LoadTuner(r io.Reader) (*Tuner, error) {
+	digest := sha256.New()
+	r = io.TeeReader(r, digest)
 	magic := make([]byte, len(artifactMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return nil, fmt.Errorf("core: reading artifact magic: %w", err)
@@ -112,9 +120,27 @@ func LoadTuner(r io.Reader) (*Tuner, error) {
 		}
 	}
 	return &Tuner{
-		Cfg:          d.Cfg,
-		Model:        model,
-		Index:        &search.Index{Model: model, Schedules: d.Schedules, Graph: graph},
-		BuildSeconds: d.BuildSeconds,
+		Cfg:           d.Cfg,
+		Model:         model,
+		Index:         &search.Index{Model: model, Schedules: d.Schedules, Graph: graph},
+		BuildSeconds:  d.BuildSeconds,
+		ArtifactStamp: hex.EncodeToString(digest.Sum(nil)),
 	}, nil
+}
+
+// LoadTunerFile loads a sealed artifact from disk — the waco-serve startup
+// and hot-reload path in one place, so both report the same errors.
+func LoadTunerFile(path string) (*Tuner, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := LoadTuner(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
 }

@@ -109,6 +109,11 @@ type Tuner struct {
 	// measurements are recorded. Serving-side instrumentation; never
 	// persisted.
 	KernelMetrics *kernel.Metrics
+	// ArtifactStamp is the SHA-256 hex digest of the sealed artifact this
+	// tuner was loaded from (set by LoadTuner). Empty for tuners built
+	// in-process; never persisted — it identifies bytes on disk, not the
+	// tuner's contents.
+	ArtifactStamp string
 }
 
 // Build runs the full offline pipeline on a training corpus.

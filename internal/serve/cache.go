@@ -119,6 +119,18 @@ func (c *Cache) Put(key string, val any) {
 	}
 }
 
+// Clear drops every entry (hot-reload invalidation: results computed by a
+// swapped-out model must not outlive it). Hit/miss/eviction counters are
+// lifetime totals and keep counting across the flush.
+func (c *Cache) Clear() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.ll.Init()
+		clear(s.m)
+		s.mu.Unlock()
+	}
+}
+
 // Len returns the number of cached entries across all shards.
 func (c *Cache) Len() int {
 	n := 0

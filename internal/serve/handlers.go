@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"waco/internal/tensor"
@@ -48,6 +49,26 @@ type errorResponse struct {
 // maxBodyBytes bounds request bodies; a 100M-nonzero COO-JSON matrix is far
 // larger than anything the reduced-scale kernels handle.
 const maxBodyBytes = 64 << 20
+
+// RequestFingerprint decodes the matrix from a tune/predict request body
+// and returns its sparsity fingerprint — the consistent-hash routing key a
+// stateless router needs before it can pick a replica. Decoding is lenient
+// about extra fields (predict bodies carry "k"); full validation still
+// happens on the replica.
+func RequestFingerprint(body []byte) (string, error) {
+	var req struct {
+		Matrix       *MatrixJSON `json:"matrix"`
+		MatrixMarket string      `json:"matrix_market"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", fmt.Errorf("malformed request body: %w", err)
+	}
+	coo, err := decodeMatrix(req.Matrix, req.MatrixMarket)
+	if err != nil {
+		return "", err
+	}
+	return Fingerprint(coo), nil
+}
 
 // decodeMatrix turns either wire form into a validated COO.
 func decodeMatrix(m *MatrixJSON, mm string) (*tensor.COO, error) {
@@ -107,12 +128,19 @@ func (m *MatrixJSON) ToCOO() (*tensor.COO, error) {
 
 // Handler returns the service's HTTP mux:
 //
-//	POST /v1/tune     — tune one matrix, returns TuneResult
-//	POST /v1/predict  — top-k schedules by predicted cost, no measurement
-//	GET  /v1/healthz  — liveness
-//	GET  /v1/stats    — counter snapshot (Stats)
-//	GET  /metrics     — Prometheus text exposition of the same counters plus
-//	                    latency/stage histograms
+//	POST /v1/tune          — tune one matrix, returns TuneResult; with
+//	                         ?async=1, returns 202 + a Job immediately and
+//	                         runs the tune as a detached job
+//	POST /v1/predict       — top-k schedules by predicted cost, no measurement
+//	GET  /v1/jobs/{id}     — poll one async job (works during drain)
+//	GET  /healthz          — liveness (also /v1/healthz, the legacy path)
+//	GET  /readyz           — readiness: artifact loaded and not draining;
+//	                         what a router's health checker must watch
+//	POST /admin/reload     — hot-swap the sealed artifact (body: optional
+//	                         {"artifact": path}, default Options.ArtifactPath)
+//	GET  /v1/stats         — counter snapshot (Stats)
+//	GET  /metrics          — Prometheus text exposition of the same counters
+//	                         plus latency/stage histograms
 //
 // Every endpoint runs under the instrument middleware (request counters,
 // latency histograms, structured access log).
@@ -120,7 +148,11 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/tune", s.instrument("tune", s.handleTune))
 	mux.HandleFunc("/v1/predict", s.instrument("predict", s.handlePredict))
+	mux.HandleFunc("/v1/jobs/", s.instrument("jobs", s.handleJob))
 	mux.HandleFunc("/v1/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReadyz))
+	mux.HandleFunc("/admin/reload", s.instrument("reload", s.handleReload))
 	mux.HandleFunc("/v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("/metrics", s.instrument("metrics", s.metrics.reg.Handler().ServeHTTP))
 	return mux
@@ -140,13 +172,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	// Every 503 carries a Retry-After so shed/drained clients have a
+	// backoff signal instead of a bare rejection. Handlers that can
+	// estimate the queue drain set a better value first; "1" is the floor.
+	if status == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// writeServiceError is writeError with the server's queue-depth-derived
+// Retry-After estimate on 503s.
+func (s *Server) writeServiceError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	writeError(w, status, err)
 }
 
 // statusFor maps service errors to HTTP statuses.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -184,14 +232,34 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if coo.Order() != s.tuner.Cfg.Alg.SparseOrder() {
+	alg := s.tuner.Load().Cfg.Alg
+	if coo.Order() != alg.SparseOrder() {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("order-%d tensor for a %v tuner", coo.Order(), s.tuner.Cfg.Alg))
+			fmt.Errorf("order-%d tensor for a %v tuner", coo.Order(), alg))
+		return
+	}
+	async := false
+	if raw := r.URL.Query().Get("async"); raw != "" {
+		v, err := strconv.ParseBool(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed async value %q", raw))
+			return
+		}
+		async = v
+	}
+	if async {
+		job, err := s.TuneAsync(coo)
+		if err != nil {
+			s.writeServiceError(w, err)
+			return
+		}
+		annotate(r.Context(), job.Fingerprint, job.State == JobDone, false)
+		writeJSON(w, http.StatusAccepted, job)
 		return
 	}
 	res, err := s.Tune(r.Context(), coo)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeServiceError(w, err)
 		return
 	}
 	annotate(r.Context(), res.Fingerprint, res.Cached, res.Deduped)
@@ -213,26 +281,103 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if coo.Order() != s.tuner.Cfg.Alg.SparseOrder() {
+	alg := s.tuner.Load().Cfg.Alg
+	if coo.Order() != alg.SparseOrder() {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("order-%d tensor for a %v tuner", coo.Order(), s.tuner.Cfg.Alg))
+			fmt.Errorf("order-%d tensor for a %v tuner", coo.Order(), alg))
 		return
 	}
 	scheds, err := s.Predict(r.Context(), coo, req.K)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, PredictResponse{Schedules: scheds})
 }
 
+// handleJob serves GET /v1/jobs/{id}. Job lookups stay truthful across
+// drain: they bypass request admission, so a client polling a job it
+// submitted before the drain began still learns the outcome.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusBadRequest, errors.New("job id required: GET /v1/jobs/{id}"))
+		return
+	}
+	job, ok := s.JobGet(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired job %q", id))
+		return
+	}
+	annotate(r.Context(), job.Fingerprint, false, false)
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleHealthz is liveness: the process is up and answering. It stays 200
+// through a drain — the process is alive; it is just not ready.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "alg": s.tuner.Cfg.Alg.String()})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "alg": s.tuner.Load().Cfg.Alg.String()})
+}
+
+// handleReadyz is readiness: the artifact is loaded and the server is not
+// draining. Routers health-check this endpoint, not /healthz — a draining
+// replica must stop receiving new work while it finishes old work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	art := s.Artifact()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "ready",
+		"artifact_version": art.Version,
+		"artifact_stamp":   art.Stamp,
+	})
+}
+
+// reloadRequest is the optional /admin/reload body.
+type reloadRequest struct {
+	Artifact string `json:"artifact,omitempty"`
+}
+
+// handleReload hot-swaps the sealed artifact. A failed load leaves the old
+// artifact serving and reports 500 — reload is all-or-nothing.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req reloadRequest
+	if r.ContentLength != 0 {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed reload body: %w", err))
+			return
+		}
+	}
+	info, err := s.ReloadFromFile(req.Artifact)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waco/internal/tensor"
+)
+
+// Job states. A job is created running and reaches exactly one terminal
+// state: done (result available), failed (the tune errored), or aborted
+// (the server shut down hard while the job was running). Terminal jobs are
+// retained for Options.JobTTL so clients can poll the outcome, then expire.
+const (
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+	JobAborted = "aborted"
+)
+
+// Job is the /v1/jobs/{id} payload: one async tune's lifecycle. Result is
+// set only in the done state; Error only in failed/aborted.
+type Job struct {
+	ID             string      `json:"id"`
+	State          string      `json:"state"`
+	Fingerprint    string      `json:"fingerprint"`
+	Result         *TuneResult `json:"result,omitempty"`
+	Error          string      `json:"error,omitempty"`
+	CreatedAt      time.Time   `json:"created_at"`
+	FinishedAt     time.Time   `json:"finished_at"`
+	ElapsedSeconds float64     `json:"elapsed_seconds"`
+}
+
+// jobIDSep joins the routing fingerprint and the per-server sequence number
+// in a job id: "<fingerprint>.<seq>". The fingerprint prefix is a protocol
+// feature, not a convenience — a stateless router recovers the shard key
+// from the id alone (JobKey) and polls the replica that owns the job.
+const jobIDSep = "."
+
+// JobKey extracts the consistent-hash routing key (the sparsity
+// fingerprint) embedded in a job id. ok is false for malformed ids.
+func JobKey(id string) (key string, ok bool) {
+	fp, _, found := strings.Cut(id, jobIDSep)
+	return fp, found && fp != ""
+}
+
+// jobStore is the bounded in-memory async job table. Terminal jobs are
+// evicted oldest-first once the store is full or their TTL passes; running
+// jobs are never evicted, so a full store of running jobs sheds new
+// submissions instead of forgetting live work.
+type jobStore struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	// terminalOrder holds terminal job ids oldest-finished-first, the
+	// eviction queue. Running jobs are not in it.
+	terminalOrder []string
+	cap           int
+	ttl           time.Duration
+	seq           atomic.Uint64
+
+	submitted atomic.Uint64
+	done      atomic.Uint64
+	failed    atomic.Uint64
+	aborted   atomic.Uint64
+	running   atomic.Int64
+}
+
+func newJobStore(capacity int, ttl time.Duration) *jobStore {
+	return &jobStore{jobs: make(map[string]*Job), cap: capacity, ttl: ttl}
+}
+
+// create admits a new running job, evicting expired or surplus terminal
+// jobs to make room. It fails with ErrOverloaded when the store is full of
+// running jobs.
+func (js *jobStore) create(fp string) (*Job, error) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.pruneLocked(time.Now())
+	for len(js.jobs) >= js.cap && len(js.terminalOrder) > 0 {
+		js.evictOldestLocked()
+	}
+	if len(js.jobs) >= js.cap {
+		return nil, ErrOverloaded
+	}
+	j := &Job{
+		ID:          fp + jobIDSep + fmt.Sprintf("%d", js.seq.Add(1)),
+		State:       JobRunning,
+		Fingerprint: fp,
+		CreatedAt:   time.Now(),
+	}
+	js.jobs[j.ID] = j
+	js.submitted.Add(1)
+	js.running.Add(1)
+	return j, nil
+}
+
+// finish transitions a running job to its terminal state.
+func (js *jobStore) finish(id, state string, res *TuneResult, errText string) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j, ok := js.jobs[id]
+	if !ok || j.State != JobRunning {
+		return
+	}
+	j.State = state
+	j.Result = res
+	j.Error = errText
+	j.FinishedAt = time.Now()
+	js.terminalOrder = append(js.terminalOrder, id)
+	js.running.Add(-1)
+	switch state {
+	case JobDone:
+		js.done.Add(1)
+	case JobFailed:
+		js.failed.Add(1)
+	case JobAborted:
+		js.aborted.Add(1)
+	}
+}
+
+// get returns a snapshot of the job (so callers can serialize it without
+// racing finish) and whether it exists.
+func (js *jobStore) get(id string) (Job, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.pruneLocked(time.Now())
+	j, ok := js.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	out := *j
+	if out.FinishedAt.IsZero() {
+		out.ElapsedSeconds = time.Since(out.CreatedAt).Seconds()
+	} else {
+		out.ElapsedSeconds = out.FinishedAt.Sub(out.CreatedAt).Seconds()
+	}
+	return out, true
+}
+
+// Len returns resident jobs (running + retained terminal).
+func (js *jobStore) Len() int {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return len(js.jobs)
+}
+
+// pruneLocked drops terminal jobs whose retention TTL has passed.
+func (js *jobStore) pruneLocked(now time.Time) {
+	kept := js.terminalOrder[:0]
+	for _, id := range js.terminalOrder {
+		j, ok := js.jobs[id]
+		if !ok {
+			continue
+		}
+		if now.Sub(j.FinishedAt) > js.ttl {
+			delete(js.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	js.terminalOrder = kept
+}
+
+func (js *jobStore) evictOldestLocked() {
+	id := js.terminalOrder[0]
+	js.terminalOrder = js.terminalOrder[1:]
+	delete(js.jobs, id)
+}
+
+// TuneAsync submits a tune as a detached job and returns immediately: the
+// answer to "tuning takes seconds but a connection slot should not". The
+// returned snapshot has state running (or already done, when the
+// fingerprint was cached — cached answers are never shed and cost no pool
+// slot). The job runs under the server's base context, counts toward the
+// drain WaitGroup like a synchronous request, and lands in the same
+// fingerprint cache, so a poll-then-retune round trip is O(1).
+func (s *Server) TuneAsync(coo *tensor.COO) (Job, error) {
+	if err := s.begin(); err != nil {
+		return Job{}, err
+	}
+	s.tuneReqs.Add(1)
+	if err := coo.Validate(); err != nil {
+		s.end()
+		s.errCount.Add(1)
+		return Job{}, err
+	}
+	fp := Fingerprint(coo)
+
+	// Cache hit: the job is born terminal, no goroutine, no pool traffic.
+	if v, ok := s.cache.Get(fp); ok {
+		defer s.end()
+		j, err := s.jobs.create(fp)
+		if err != nil {
+			s.shedJobs.Add(1)
+			s.errCount.Add(1)
+			return Job{}, err
+		}
+		out := *v.(*TuneResult)
+		out.Cached = true
+		s.jobs.finish(j.ID, JobDone, &out, "")
+		snap, _ := s.jobs.get(j.ID)
+		return snap, nil
+	}
+	// Cold async tunes obey the same priority class as cold sync tunes.
+	if err := s.shed(s.opts.ShedTuneQueue, &s.shedTune); err != nil {
+		s.end()
+		s.shedJobs.Add(1)
+		s.errCount.Add(1)
+		return Job{}, err
+	}
+	j, err := s.jobs.create(fp)
+	if err != nil {
+		s.end()
+		s.shedJobs.Add(1)
+		s.errCount.Add(1)
+		return Job{}, err
+	}
+	snap := *j
+
+	go func() {
+		defer s.end()
+		// Detached from the submitting request's context on purpose: the
+		// 202 response ends that request, but the job must keep running.
+		// The base context aborts it if a hard drain deadline passes.
+		res, err := s.tune(s.baseCtx, coo, j.Fingerprint)
+		switch {
+		case err == nil:
+			s.jobs.finish(j.ID, JobDone, res, "")
+		case s.baseCtx.Err() != nil:
+			s.errCount.Add(1)
+			s.jobs.finish(j.ID, JobAborted, nil, "server shut down before the tune finished: "+err.Error())
+		default:
+			s.errCount.Add(1)
+			s.jobs.finish(j.ID, JobFailed, nil, err.Error())
+		}
+	}()
+	return snap, nil
+}
+
+// JobGet returns a job by id. It works during drain — polling a result is
+// how a client learns its job survived — and never touches the pool.
+func (s *Server) JobGet(id string) (Job, bool) {
+	return s.jobs.get(id)
+}

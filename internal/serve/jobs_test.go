@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestJobKey(t *testing.T) {
+	for _, tc := range []struct {
+		id  string
+		key string
+		ok  bool
+	}{
+		{"abc123.7", "abc123", true},
+		{"abc123.7.extra", "abc123", true},
+		{"noseparator", "", false},
+		{".7", "", false},
+		{"", "", false},
+	} {
+		key, ok := JobKey(tc.id)
+		if ok != tc.ok || (ok && key != tc.key) {
+			t.Errorf("JobKey(%q) = (%q, %v), want (%q, %v)", tc.id, key, ok, tc.key, tc.ok)
+		}
+	}
+}
+
+func TestJobStoreBoundsAndTTL(t *testing.T) {
+	js := newJobStore(3, 50*time.Millisecond)
+
+	// Fill with running jobs: nothing is evictable, the store sheds.
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, err := js.create(fmt.Sprintf("fp%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	if _, err := js.create("fp-overflow"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("create on a store full of running jobs: err = %v, want ErrOverloaded", err)
+	}
+
+	// Finishing one makes it evictable; the next create displaces it.
+	js.finish(ids[0], JobDone, &TuneResult{Fingerprint: "fp0"}, "")
+	j, err := js.create("fp3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := js.get(ids[0]); ok {
+		t.Fatal("oldest terminal job not evicted to make room")
+	}
+	if got, ok := js.get(j.ID); !ok || got.State != JobRunning {
+		t.Fatalf("new job missing or wrong state: %+v ok=%v", got, ok)
+	}
+
+	// Terminal jobs expire after the TTL; running jobs never do.
+	js.finish(j.ID, JobFailed, nil, "boom")
+	time.Sleep(80 * time.Millisecond)
+	if _, ok := js.get(j.ID); ok {
+		t.Fatal("terminal job survived its TTL")
+	}
+	if _, ok := js.get(ids[1]); !ok {
+		t.Fatal("running job was expired")
+	}
+	if js.running.Load() != 2 {
+		t.Fatalf("running = %d, want 2", js.running.Load())
+	}
+}
+
+func TestAsyncTuneLifecycle(t *testing.T) {
+	s := newTestServer(t, Options{MaxWorkers: 2})
+	coo := testMatrix(41)
+
+	job, err := s.TuneAsync(coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != JobRunning {
+		t.Fatalf("fresh async job state = %q, want running", job.State)
+	}
+	if key, ok := JobKey(job.ID); !ok || key != job.Fingerprint {
+		t.Fatalf("job id %q does not embed fingerprint %q", job.ID, job.Fingerprint)
+	}
+
+	final := waitForJob(t, s, job.ID, 60*time.Second)
+	if final.State != JobDone {
+		t.Fatalf("job finished %q (%s), want done", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Schedule == "" {
+		t.Fatalf("done job has no result: %+v", final)
+	}
+
+	// The job's search landed in the fingerprint cache: a synchronous tune
+	// of the same matrix is a cache hit, and a second async submission is
+	// born terminal.
+	res, err := s.Tune(context.Background(), coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("sync tune after async job was not a cache hit")
+	}
+	again, err := s.TuneAsync(coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != JobDone || again.Result == nil || !again.Result.Cached {
+		t.Fatalf("cached async job not born done: %+v", again)
+	}
+
+	st := s.Snapshot()
+	if st.JobsSubmitted != 2 || st.JobsDone != 2 || st.JobsRunning != 0 {
+		t.Fatalf("job counters off: %+v", st)
+	}
+}
+
+// TestDrainLetsRunningJobsFinish is the graceful half of the drain
+// contract: Close with a generous deadline waits for detached jobs, and the
+// job store answers polls truthfully afterwards.
+func TestDrainLetsRunningJobsFinish(t *testing.T) {
+	s := newTestServer(t, Options{MaxWorkers: 2})
+	var ids []string
+	for seed := int64(50); seed < 52; seed++ {
+		job, err := s.TuneAsync(testMatrix(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("drain did not finish: %v", err)
+	}
+	for _, id := range ids {
+		job, ok := s.JobGet(id)
+		if !ok {
+			t.Fatalf("job %s vanished across drain", id)
+		}
+		if job.State != JobDone {
+			t.Fatalf("job %s drained to %q (%s), want done", id, job.State, job.Error)
+		}
+	}
+	// The server rejects new work after Close, including async submissions.
+	if _, err := s.TuneAsync(testMatrix(99)); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-close submit: err = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestHardDrainLeavesJobsTerminal is the forced half: when Close's deadline
+// has already passed, running jobs are aborted via the base context and
+// persist a terminal state — a poll never sees a job stuck "running" on a
+// dead server.
+func TestHardDrainLeavesJobsTerminal(t *testing.T) {
+	s := newTestServer(t, Options{MaxWorkers: 1})
+	// Occupy the only pool slot so every submitted job is provably still
+	// waiting for a worker when the hard drain hits.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	var ids []string
+	for seed := int64(60); seed < 63; seed++ {
+		job, err := s.TuneAsync(testMatrix(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // deadline already missed: hard drain
+	if err := s.Close(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("hard drain err = %v, want context.Canceled", err)
+	}
+	for _, id := range ids {
+		job, ok := s.JobGet(id)
+		if !ok {
+			t.Fatalf("job %s vanished across hard drain", id)
+		}
+		if job.State != JobAborted {
+			t.Fatalf("job %s left in state %q after hard drain, want aborted", id, job.State)
+		}
+		if job.Error == "" {
+			t.Fatalf("aborted job %s has no error text", id)
+		}
+	}
+	st := s.Snapshot()
+	if st.JobsAborted != 3 || st.JobsRunning != 0 {
+		t.Fatalf("abort counters off: aborted=%d running=%d", st.JobsAborted, st.JobsRunning)
+	}
+}
+
+func waitForJob(t *testing.T, s *Server, id string, timeout time.Duration) Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		job, ok := s.JobGet(id)
+		if !ok {
+			t.Fatalf("job %s disappeared while polling", id)
+		}
+		if job.State != JobRunning {
+			return job
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s still running after %v", id, timeout)
+	return Job{}
+}

@@ -1,13 +1,14 @@
 package serve
 
 import (
+	"sync/atomic"
 	"time"
 
 	"waco/internal/metrics"
 )
 
 // endpoints instrumented by the HTTP layer.
-var endpointNames = []string{"tune", "predict", "stats", "healthz", "metrics"}
+var endpointNames = []string{"tune", "predict", "jobs", "stats", "healthz", "readyz", "reload", "metrics"}
 
 // endpointMetrics is one endpoint's request/error/latency triple.
 type endpointMetrics struct {
@@ -59,14 +60,45 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 	counterFunc("waco_cache_hits_total", "Fingerprint-cache hits.", s.cache.Hits)
 	counterFunc("waco_cache_misses_total", "Fingerprint-cache misses (one per uncached request; in-flight double-checks are not counted).", s.cache.Misses)
 	counterFunc("waco_cache_evictions_total", "Fingerprint-cache LRU evictions.", s.cache.Evictions)
-	counterFunc("waco_costmodel_head_evals_total", "Predictor-head forward passes over the process lifetime.", s.tuner.Model.HeadEvals)
+	counterFunc("waco_costmodel_head_evals_total", "Predictor-head forward passes over the process lifetime (monotone across artifact reloads).",
+		func() uint64 { return s.retiredHeadEvals.Load() + s.tuner.Load().Model.HeadEvals() })
+	counterFunc("waco_artifact_reloads_total", "Successful hot artifact reloads.", s.reloads.Load)
+	counterFunc("waco_jobs_submitted_total", "Async tune jobs admitted.", s.jobs.submitted.Load)
+	counterFunc("waco_jobs_done_total", "Async jobs that finished with a result.", s.jobs.done.Load)
+	counterFunc("waco_jobs_failed_total", "Async jobs whose tune errored.", s.jobs.failed.Load)
+	counterFunc("waco_jobs_aborted_total", "Async jobs aborted by a hard drain deadline.", s.jobs.aborted.Load)
+
+	for _, c := range []struct {
+		class string
+		v     *atomic.Uint64
+	}{{"tune", &s.shedTune}, {"predict", &s.shedPredict}, {"job", &s.shedJobs}} {
+		v := c.v
+		reg.NewCounterFunc("waco_shed_total",
+			"Requests rejected by queue-depth load shedding, by priority class (cold tunes shed first, cached answers never).",
+			metrics.Labels{"class": c.class}, func() float64 { return float64(v.Load()) })
+	}
 
 	reg.NewGaugeFunc("waco_cache_entries", "Fingerprint-cache resident entries.", nil,
 		func() float64 { return float64(s.cache.Len()) })
 	reg.NewGaugeFunc("waco_in_flight_requests", "Requests currently inside Tune/Predict.", nil,
 		func() float64 { return float64(s.inFlight.Load()) })
+	reg.NewGaugeFunc("waco_pool_queue_depth", "Admitted requests waiting for a worker-pool slot (the shedding signal).", nil,
+		func() float64 { return float64(s.queued.Load()) })
+	reg.NewGaugeFunc("waco_jobs_running", "Async jobs currently executing.", nil,
+		func() float64 { return float64(s.jobs.running.Load()) })
+	reg.NewGaugeFunc("waco_jobs_stored", "Resident jobs (running + retained terminal results).", nil,
+		func() float64 { return float64(s.jobs.Len()) })
 	reg.NewGaugeFunc("waco_index_size", "Indexed SuperSchedules.", nil,
-		func() float64 { return float64(len(s.tuner.Index.Schedules)) })
+		func() float64 { return float64(len(s.tuner.Load().Index.Schedules)) })
+	reg.NewGaugeFunc("waco_artifact_version", "In-process version of the serving artifact (1 at startup, +1 per reload).", nil,
+		func() float64 { return float64(s.artifact.Load().Version) })
+	reg.NewGaugeFunc("waco_draining", "1 while the server is draining (readyz failing), else 0.", nil,
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
 	reg.NewGaugeFunc("waco_uptime_seconds", "Seconds since the server started.", nil,
 		func() float64 { return time.Since(s.start).Seconds() })
 	return m

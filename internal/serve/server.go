@@ -7,6 +7,16 @@
 // singleflight deduplication so concurrent requests for the same matrix
 // share one search, and a bounded worker pool so tuning load cannot starve
 // the host.
+//
+// Beyond the synchronous query path the server carries the cluster-facing
+// surface a fleet of replicas needs: an async job API so multi-second tunes
+// never pin an HTTP connection on the bounded pool (POST /v1/tune?async=1
+// returns 202 + a job id, GET /v1/jobs/{id} polls), hot artifact reload
+// (POST /admin/reload or SIGHUP atomically swaps a freshly loaded sealed
+// tuner behind an atomic pointer without dropping in-flight requests),
+// split liveness/readiness health endpoints for router health checking, and
+// queue-depth-driven load shedding with priority classes — cold tunes shed
+// first, cheap cached answers never shed.
 package serve
 
 import (
@@ -29,6 +39,11 @@ import (
 // ErrShuttingDown is returned for requests arriving after Close began.
 var ErrShuttingDown = errors.New("serve: server is shutting down")
 
+// ErrOverloaded is returned when load shedding rejects a request: the pool
+// queue is deeper than the request's priority class tolerates, or the job
+// store has no room. HTTP maps it to 503 with a Retry-After header.
+var ErrOverloaded = errors.New("serve: overloaded, retry later")
+
 // Options configures a Server.
 type Options struct {
 	// CacheSize bounds the fingerprint cache (entries). Default 1024.
@@ -41,6 +56,27 @@ type Options struct {
 	// RequestTimeout bounds one request's search + measurement work.
 	// 0 disables the per-request deadline.
 	RequestTimeout time.Duration
+	// ShedTuneQueue is the pool queue depth at which cold (uncached) tune
+	// requests — the most expensive class — are shed with ErrOverloaded.
+	// Cached tunes are answered before the check and are never shed.
+	// Default 4*MaxWorkers; negative disables shedding for the class.
+	ShedTuneQueue int
+	// ShedPredictQueue is the queue depth at which predict requests are
+	// shed. Predicts are cheaper than tunes (no hardware measurement), so
+	// they tolerate a deeper queue and shed later. Default 16*MaxWorkers;
+	// negative disables shedding for the class.
+	ShedPredictQueue int
+	// MaxJobs bounds the async job store (running + retained terminal
+	// jobs). Submissions beyond it are shed with ErrOverloaded once no
+	// expired or surplus terminal job can be evicted. Default 256.
+	MaxJobs int
+	// JobTTL is how long a terminal (done/failed/aborted) job's result is
+	// retained for polling before expiry. Default 10 minutes.
+	JobTTL time.Duration
+	// ArtifactPath, when set, is the sealed artifact file that
+	// ReloadFromFile (the /admin/reload and SIGHUP paths) re-reads when no
+	// explicit path is given.
+	ArtifactPath string
 	// Registry receives the server's metrics (exposed at GET /metrics).
 	// nil creates a private registry, retrievable via Server.Registry.
 	Registry *metrics.Registry
@@ -59,6 +95,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxWorkers <= 0 {
 		o.MaxWorkers = 2
+	}
+	if o.ShedTuneQueue == 0 {
+		o.ShedTuneQueue = 4 * o.MaxWorkers
+	}
+	if o.ShedPredictQueue == 0 {
+		o.ShedPredictQueue = 16 * o.MaxWorkers
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 256
+	}
+	if o.JobTTL <= 0 {
+		o.JobTTL = 10 * time.Minute
 	}
 	return o
 }
@@ -84,19 +132,46 @@ type Predicted struct {
 	Cost     float64 `json:"cost"`
 }
 
-// Server answers tuning and prediction queries against one sealed tuner.
-// All methods are safe for concurrent use.
-type Server struct {
-	tuner  *core.Tuner
-	opts   Options
-	cache  *Cache
-	flight *flightGroup
-	sem    chan struct{}
-	start  time.Time
+// ArtifactInfo identifies the sealed artifact currently serving: a
+// monotonically increasing in-process version (1 = the artifact the server
+// started with, bumped by every successful reload) and the artifact's
+// SHA-256 stamp from core.LoadTuner (empty for in-process-built tuners).
+type ArtifactInfo struct {
+	Version  int       `json:"version"`
+	Stamp    string    `json:"stamp,omitempty"`
+	LoadedAt time.Time `json:"loaded_at"`
+}
 
-	wg     sync.WaitGroup
-	mu     sync.Mutex
-	closed bool
+// Server answers tuning and prediction queries against one sealed tuner.
+// All methods are safe for concurrent use. The tuner itself sits behind an
+// atomic pointer so Reload can swap in a new artifact while requests are in
+// flight: each request pins the pointer once on entry and uses that tuner
+// throughout, so a swap never mixes two artifacts inside one request.
+type Server struct {
+	tuner    atomic.Pointer[core.Tuner]
+	artifact atomic.Pointer[ArtifactInfo]
+	opts     Options
+	cache    *Cache
+	flight   *flightGroup
+	sem      chan struct{}
+	start    time.Time
+	jobs     *jobStore
+
+	// searchMetrics and kernelMetrics are registered once in NewServer and
+	// re-attached to every reloaded tuner, so instruments survive swaps and
+	// registration never happens on a request path.
+	searchMetrics *search.Metrics
+	kernelMetrics *kernel.Metrics
+
+	// baseCtx parents detached async job work; baseCancel fires when a
+	// drain deadline expires so running jobs abort instead of leaking.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	draining atomic.Bool
 
 	tuneReqs    atomic.Uint64
 	predictReqs atomic.Uint64
@@ -104,7 +179,15 @@ type Server struct {
 	deduped     atomic.Uint64
 	errCount    atomic.Uint64
 	inFlight    atomic.Int64
+	queued      atomic.Int64
 	reqSeq      atomic.Uint64
+	shedTune    atomic.Uint64
+	shedPredict atomic.Uint64
+	shedJobs    atomic.Uint64
+	reloads     atomic.Uint64
+	// retiredHeadEvals accumulates head evals of swapped-out models so the
+	// exported counter stays monotone across reloads.
+	retiredHeadEvals atomic.Uint64
 
 	metrics *serverMetrics
 	logger  *slog.Logger
@@ -124,25 +207,100 @@ func NewServer(t *core.Tuner, opts Options) (*Server, error) {
 		reg = metrics.NewRegistry()
 	}
 	s := &Server{
-		tuner:  t,
 		opts:   opts,
 		cache:  NewCache(opts.CacheSize, opts.CacheShards),
 		flight: newFlightGroup(),
 		sem:    make(chan struct{}, opts.MaxWorkers),
 		start:  time.Now(),
+		jobs:   newJobStore(opts.MaxJobs, opts.JobTTL),
 		logger: opts.Logger,
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.searchMetrics = search.NewMetrics(reg)
+	s.kernelMetrics = kernel.NewMetrics(reg)
+	t.Index.Metrics = s.searchMetrics
+	t.KernelMetrics = s.kernelMetrics
+	s.tuner.Store(t)
+	s.artifact.Store(&ArtifactInfo{Version: 1, Stamp: t.ArtifactStamp, LoadedAt: time.Now()})
 	s.metrics = newServerMetrics(reg, s)
-	t.Index.Metrics = search.NewMetrics(reg)
-	t.KernelMetrics = kernel.NewMetrics(reg)
 	return s, nil
 }
 
 // Registry returns the server's metrics registry (the /metrics source).
 func (s *Server) Registry() *metrics.Registry { return s.metrics.reg }
 
-// Tuner returns the underlying tuner (read-only use).
-func (s *Server) Tuner() *core.Tuner { return s.tuner }
+// Tuner returns the currently serving tuner (read-only use). Reload may
+// swap it at any moment; callers needing consistency across several
+// accesses should call once and keep the pointer.
+func (s *Server) Tuner() *core.Tuner { return s.tuner.Load() }
+
+// Artifact returns the identity of the currently serving sealed artifact.
+func (s *Server) Artifact() ArtifactInfo { return *s.artifact.Load() }
+
+// Reload atomically swaps in a new tuner, typically freshly loaded from a
+// sealed artifact. In-flight requests finish on the tuner they pinned at
+// entry — nothing is dropped — and new requests see the new one. The
+// fingerprint cache is flushed: cached results rank schedules with the old
+// model, and serving them past the swap would silently undo the rotation.
+// The algorithm must match (a rotation changes weights, not the workload).
+func (s *Server) Reload(t *core.Tuner) (ArtifactInfo, error) {
+	if t == nil || t.Model == nil || t.Index == nil {
+		return ArtifactInfo{}, fmt.Errorf("serve: reload: tuner is missing a model or index")
+	}
+	old := s.tuner.Load()
+	if t.Cfg.Alg != old.Cfg.Alg {
+		return ArtifactInfo{}, fmt.Errorf("serve: reload: artifact is a %v tuner, this server serves %v",
+			t.Cfg.Alg, old.Cfg.Alg)
+	}
+	// Same instruments, new tuner: registration happened once in NewServer.
+	t.Index.Metrics = s.searchMetrics
+	t.KernelMetrics = s.kernelMetrics
+
+	s.mu.Lock()
+	s.retiredHeadEvals.Add(old.Model.HeadEvals())
+	s.tuner.Store(t)
+	info := ArtifactInfo{
+		Version:  s.artifact.Load().Version + 1,
+		Stamp:    t.ArtifactStamp,
+		LoadedAt: time.Now(),
+	}
+	s.artifact.Store(&info)
+	s.mu.Unlock()
+
+	s.cache.Clear()
+	s.reloads.Add(1)
+	if s.logger != nil {
+		s.logger.Info("artifact reloaded",
+			slog.Int("version", info.Version), slog.String("stamp", info.Stamp),
+			slog.Int("index_size", len(t.Index.Schedules)))
+	}
+	return info, nil
+}
+
+// ReloadFromFile loads the sealed artifact at path (or Options.ArtifactPath
+// when path is empty) and swaps it in via Reload. A load or validation
+// failure leaves the current tuner serving untouched.
+func (s *Server) ReloadFromFile(path string) (ArtifactInfo, error) {
+	if path == "" {
+		path = s.opts.ArtifactPath
+	}
+	if path == "" {
+		return ArtifactInfo{}, errors.New("serve: reload: no artifact path configured")
+	}
+	t, err := core.LoadTunerFile(path)
+	if err != nil {
+		return ArtifactInfo{}, err
+	}
+	return s.Reload(t)
+}
+
+// BeginDrain marks the server not-ready (readyz returns 503) while it keeps
+// answering requests. Routers watching readiness stop sending new work
+// before Close starts rejecting it — the standard pre-shutdown handoff.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain or Close has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // begin registers one in-flight request; it fails once Close has started so
 // the drain in Close is not racing new arrivals.
@@ -164,8 +322,11 @@ func (s *Server) end() {
 
 // acquire takes a worker-pool slot, abandoning the wait if ctx ends first.
 // Successful waits are recorded in the queue-wait histogram — the signal
-// that MaxWorkers, not search cost, is what requests are paying for.
+// that MaxWorkers, not search cost, is what requests are paying for — and
+// the waiting count is the queue depth that drives load shedding.
 func (s *Server) acquire(ctx context.Context) error {
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
 	start := time.Now()
 	select {
 	case s.sem <- struct{}{}:
@@ -177,6 +338,36 @@ func (s *Server) acquire(ctx context.Context) error {
 }
 
 func (s *Server) release() { <-s.sem }
+
+// QueueDepth returns how many admitted requests are currently waiting for a
+// worker-pool slot (not executing, not cached — waiting).
+func (s *Server) QueueDepth() int64 { return s.queued.Load() }
+
+// shed applies the priority-class backpressure policy: a request whose
+// class tolerates at most limit queued requests is rejected when the pool
+// queue is at least that deep. Negative limits disable shedding.
+func (s *Server) shed(limit int, counter *atomic.Uint64) error {
+	if limit < 0 {
+		return nil
+	}
+	if s.queued.Load() >= int64(limit) {
+		counter.Add(1)
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// retryAfterSeconds estimates how long a shed client should back off:
+// roughly one queue drain at the current depth, bounded to keep herds from
+// synchronizing on a huge value.
+func (s *Server) retryAfterSeconds() int {
+	depth := int(s.queued.Load())
+	secs := 1 + depth/s.opts.MaxWorkers
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
 
 // requestCtx applies the per-request timeout.
 func (s *Server) requestCtx(ctx context.Context) (context.Context, context.CancelFunc) {
@@ -204,14 +395,32 @@ func (s *Server) Tune(ctx context.Context, coo *tensor.COO) (*TuneResult, error)
 		return nil, err
 	}
 	fp := Fingerprint(coo)
+	res, err := s.tune(ctx, coo, fp)
+	if err != nil {
+		s.errCount.Add(1)
+		return nil, err
+	}
+	return res, nil
+}
+
+// tune is the shared cache → shed → singleflight → search path behind both
+// the synchronous Tune and the async job runner. The caller owns admission
+// (begin/end) and error accounting.
+func (s *Server) tune(ctx context.Context, coo *tensor.COO, fp string) (*TuneResult, error) {
 	if v, ok := s.cache.Get(fp); ok {
 		out := *v.(*TuneResult)
 		out.Cached = true
 		return &out, nil
 	}
+	// Cold tunes are the most expensive class and shed first; the cache
+	// lookup above means cached answers never reach this check.
+	if err := s.shed(s.opts.ShedTuneQueue, &s.shedTune); err != nil {
+		return nil, err
+	}
 
 	ctx, cancel := s.requestCtx(ctx)
 	defer cancel()
+	tun := s.tuner.Load()
 	v, err, shared := s.flight.Do(ctx, fp, func() (any, error) {
 		// Double-check: a caller that missed the cache may have raced a
 		// just-completed flight for the same fingerprint; the result it
@@ -226,11 +435,11 @@ func (s *Server) Tune(ctx context.Context, coo *tensor.COO) (*TuneResult, error)
 		}
 		defer s.release()
 		s.searches.Add(1)
-		tuned, err := s.tuner.TuneTensorContext(ctx, coo)
+		tuned, err := tun.TuneTensorContext(ctx, coo)
 		if err != nil {
 			return nil, err
 		}
-		cost, err := s.tuner.Model.Cost(costmodel.NewPattern(coo), tuned.Schedule)
+		cost, err := tun.Model.Cost(costmodel.NewPattern(coo), tuned.Schedule)
 		if err != nil {
 			return nil, err
 		}
@@ -250,7 +459,6 @@ func (s *Server) Tune(ctx context.Context, coo *tensor.COO) (*TuneResult, error)
 		s.deduped.Add(1)
 	}
 	if err != nil {
-		s.errCount.Add(1)
 		return nil, err
 	}
 	out := *v.(*TuneResult)
@@ -273,10 +481,15 @@ func (s *Server) Predict(ctx context.Context, coo *tensor.COO, k int) ([]Predict
 		s.errCount.Add(1)
 		return nil, err
 	}
+	if err := s.shed(s.opts.ShedPredictQueue, &s.shedPredict); err != nil {
+		s.errCount.Add(1)
+		return nil, err
+	}
+	tun := s.tuner.Load()
 	if k <= 0 {
 		k = 5
 	}
-	if n := len(s.tuner.Index.Schedules); k > n {
+	if n := len(tun.Index.Schedules); k > n {
 		k = n
 	}
 	ctx, cancel := s.requestCtx(ctx)
@@ -287,11 +500,11 @@ func (s *Server) Predict(ctx context.Context, coo *tensor.COO, k int) ([]Predict
 	}
 	defer s.release()
 
-	ef := s.tuner.Cfg.SearchEf
+	ef := tun.Cfg.SearchEf
 	if ef < 6*k {
 		ef = 6 * k
 	}
-	res, err := s.tuner.Index.Search(ctx, costmodel.NewPattern(coo), k, ef)
+	res, err := tun.Index.Search(ctx, costmodel.NewPattern(coo), k, ef)
 	if err != nil {
 		s.errCount.Add(1)
 		return nil, err
@@ -309,6 +522,11 @@ type Stats struct {
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	IndexSize       int     `json:"index_size"`
 	BuildSeconds    float64 `json:"artifact_build_seconds"`
+	ArtifactVersion int     `json:"artifact_version"`
+	ArtifactStamp   string  `json:"artifact_stamp,omitempty"`
+	ArtifactAge     float64 `json:"artifact_age_seconds"`
+	Reloads         uint64  `json:"artifact_reloads"`
+	Draining        bool    `json:"draining"`
 	TuneRequests    uint64  `json:"tune_requests"`
 	PredictRequests uint64  `json:"predict_requests"`
 	Searches        uint64  `json:"searches"`
@@ -320,15 +538,32 @@ type Stats struct {
 	CacheEntries    int     `json:"cache_entries"`
 	Errors          uint64  `json:"errors"`
 	InFlight        int64   `json:"in_flight"`
+	QueueDepth      int64   `json:"queue_depth"`
+	ShedTune        uint64  `json:"shed_tune"`
+	ShedPredict     uint64  `json:"shed_predict"`
+	ShedJobs        uint64  `json:"shed_jobs"`
+	JobsSubmitted   uint64  `json:"jobs_submitted"`
+	JobsRunning     int64   `json:"jobs_running"`
+	JobsDone        uint64  `json:"jobs_done"`
+	JobsFailed      uint64  `json:"jobs_failed"`
+	JobsAborted     uint64  `json:"jobs_aborted"`
+	JobsStored      int     `json:"jobs_stored"`
 }
 
 // Snapshot returns current counters.
 func (s *Server) Snapshot() Stats {
+	tun := s.tuner.Load()
+	art := s.artifact.Load()
 	return Stats{
-		Alg:             s.tuner.Cfg.Alg.String(),
+		Alg:             tun.Cfg.Alg.String(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
-		IndexSize:       len(s.tuner.Index.Schedules),
-		BuildSeconds:    s.tuner.BuildSeconds,
+		IndexSize:       len(tun.Index.Schedules),
+		BuildSeconds:    tun.BuildSeconds,
+		ArtifactVersion: art.Version,
+		ArtifactStamp:   art.Stamp,
+		ArtifactAge:     time.Since(art.LoadedAt).Seconds(),
+		Reloads:         s.reloads.Load(),
+		Draining:        s.draining.Load(),
 		TuneRequests:    s.tuneReqs.Load(),
 		PredictRequests: s.predictReqs.Load(),
 		Searches:        s.searches.Load(),
@@ -340,15 +575,29 @@ func (s *Server) Snapshot() Stats {
 		CacheEntries:    s.cache.Len(),
 		Errors:          s.errCount.Load(),
 		InFlight:        s.inFlight.Load(),
+		QueueDepth:      s.queued.Load(),
+		ShedTune:        s.shedTune.Load(),
+		ShedPredict:     s.shedPredict.Load(),
+		ShedJobs:        s.shedJobs.Load(),
+		JobsSubmitted:   s.jobs.submitted.Load(),
+		JobsRunning:     s.jobs.running.Load(),
+		JobsDone:        s.jobs.done.Load(),
+		JobsFailed:      s.jobs.failed.Load(),
+		JobsAborted:     s.jobs.aborted.Load(),
+		JobsStored:      s.jobs.Len(),
 	}
 }
 
-// Close stops admitting requests and drains the in-flight ones, returning
-// early with ctx's error if the drain outlives the context.
+// Close stops admitting requests and drains the in-flight ones — including
+// detached async jobs, which count toward the same WaitGroup. If the drain
+// outlives ctx, the server cancels the base context that parents async job
+// work so running jobs abort (persisting a terminal "aborted" state instead
+// of vanishing), briefly waits for that unwind, and reports ctx's error.
 func (s *Server) Close(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	s.draining.Store(true)
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -358,6 +607,15 @@ func (s *Server) Close(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
 	}
+	// Deadline missed: abort detached jobs and give the cancellation a
+	// moment to unwind, so job states are terminal rather than dangling.
+	s.baseCancel()
+	grace := time.NewTimer(5 * time.Second)
+	defer grace.Stop()
+	select {
+	case <-done:
+	case <-grace.C:
+	}
+	return ctx.Err()
 }

@@ -20,7 +20,10 @@ type PaniccallConfig struct {
 // process, so request-dependent failures must surface as errors.
 func DefaultPaniccallConfig(module string) PaniccallConfig {
 	return PaniccallConfig{
-		Roots:  []string{module + "/internal/serve"},
+		Roots: []string{
+			module + "/internal/serve",
+			module + "/internal/cluster",
+		},
 		Within: []string{module + "/internal/..."},
 	}
 }
