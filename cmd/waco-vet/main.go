@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	waco-vet [-json] [-list] [packages ...]
+//	waco-vet [-json] [-list] [-check name,...] [packages ...]
 //
 // With no package arguments it analyzes ./... from the current directory.
+// -check restricts the run to a comma-separated subset of analyzers (CI runs
+// the slow escape-analysis gate in its own job that way).
 // Exit status: 0 clean, 1 findings, 2 load or usage failure.
 package main
 
@@ -16,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"waco/internal/wacovet"
 )
@@ -23,6 +26,7 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	check := flag.String("check", "", "comma-separated analyzer names to run (default: all)")
 	flag.Parse()
 
 	if *list {
@@ -37,7 +41,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "waco-vet:", err)
 		os.Exit(2)
 	}
-	findings := wacovet.RunAnalyzers(m, wacovet.DefaultAnalyzers(m.Path))
+	analyzers := wacovet.DefaultAnalyzers(m.Path)
+	if *check != "" {
+		analyzers, err = filterAnalyzers(analyzers, *check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "waco-vet:", err)
+			os.Exit(2)
+		}
+	}
+	findings := wacovet.RunAnalyzers(m, analyzers)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -57,4 +69,29 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// filterAnalyzers keeps the analyzers named in the comma-separated spec,
+// rejecting names that match nothing so a typo cannot silently skip a gate.
+func filterAnalyzers(all []*wacovet.Analyzer, spec string) ([]*wacovet.Analyzer, error) {
+	byName := map[string]*wacovet.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*wacovet.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list to see them)", name)
+		}
+		picked = append(picked, a)
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("-check named no analyzers")
+	}
+	return picked, nil
 }

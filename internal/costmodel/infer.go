@@ -42,6 +42,8 @@ func NewInferBuffers() *InferBuffers { return &InferBuffers{} }
 // Reset begins a new query: recycles the arena and drops the prepared head
 // state (whose feature slice lived on the arena). Every slice returned by
 // ExtractInfer/EmbedScheduleInfer since the last Reset becomes invalid.
+//
+//waco:allocfree
 func (b *InferBuffers) Reset() {
 	b.arena.Reset()
 	b.model = nil
@@ -80,6 +82,8 @@ func grow(s []float32, n int) []float32 {
 // when the same feature (by identity) is already prepared. feat must stay
 // unmodified while prepared — the search path extracts it once per query and
 // never writes it.
+//
+//waco:allocfree
 func (b *InferBuffers) prepare(m *Model, feat []float32) {
 	var fp *float32
 	if len(feat) > 0 {
@@ -105,6 +109,8 @@ func (b *InferBuffers) prepare(m *Model, feat []float32) {
 
 // score runs the head on one embedding against the prepared feature,
 // allocating nothing. Bit-identical to Head.Apply over concat(feat, emb).
+//
+//waco:allocfree
 func (b *InferBuffers) score(m *Model, emb []float32) float64 {
 	layers := m.Head.Layers
 	l0 := layers[0]
@@ -138,6 +144,8 @@ func (b *InferBuffers) score(m *Model, emb []float32) float64 {
 // batched counterpart of PredictWith, sized to an HNSW adjacency list. It
 // allocates nothing in steady state and counts one head evaluation per
 // embedding.
+//
+//waco:allocfree
 func (m *Model) PredictHeadInto(b *InferBuffers, feat []float32, embs [][]float32, out []float64) {
 	if len(out) != len(embs) {
 		nn.CheckShape("head batch output", len(out), len(embs))
@@ -151,6 +159,8 @@ func (m *Model) PredictHeadInto(b *InferBuffers, feat []float32, embs [][]float3
 
 // PredictHead scores one embedding against an extracted feature on the
 // forward-only path (the batch-of-one case of PredictHeadInto).
+//
+//waco:allocfree
 func (m *Model) PredictHead(b *InferBuffers, feat, emb []float32) float64 {
 	b.prepare(m, feat)
 	m.headEvals.Add(1)

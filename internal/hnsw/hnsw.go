@@ -214,6 +214,8 @@ type cand struct {
 // Either way the distances of a popped candidate's neighbors are consumed in
 // adjacency-list order, so a parallel batch evaluator cannot change which
 // nodes are pushed — only how fast the distances arrive.
+//
+//waco:allocfree
 func (g *Graph) searchLayer(dist func(id int) float64, batch func(ids []int32, out []float64), entry, l, ef int, sc *Scratch) []cand {
 	visited := sc.visited
 	clear(visited)
@@ -237,10 +239,8 @@ func (g *Graph) searchLayer(dist func(id int) float64, batch func(ids []int32, o
 			visited[nb] = true
 			nbuf = append(nbuf, nb)
 		}
-		if cap(sc.dbuf) < len(nbuf) {
-			sc.dbuf = make([]float64, len(nbuf))
-		}
-		ds := sc.dbuf[:len(nbuf)]
+		sc.dbuf = growF64(sc.dbuf, len(nbuf))
+		ds := sc.dbuf
 		if batch != nil {
 			batch(nbuf, ds)
 		} else {
@@ -258,11 +258,7 @@ func (g *Graph) searchLayer(dist func(id int) float64, batch func(ids []int32, o
 			}
 		}
 	}
-	out := sc.sorted
-	if cap(out) < len(results) {
-		out = make([]cand, len(results))
-	}
-	out = out[:len(results)]
+	out := growCands(sc.sorted, len(results))
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = popMax(&results)
 	}

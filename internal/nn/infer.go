@@ -70,6 +70,8 @@ func (a *Arena) Reset() {
 
 // Infer computes the layer output forward-only, writing into arena scratch.
 // Bit-identical to Apply with a nil tape: same accumulation order.
+//
+//waco:allocfree
 func (l *Linear) Infer(a *Arena, x []float32) []float32 {
 	y := a.Alloc(l.Out)
 	l.InferInto(y, x)
@@ -78,6 +80,8 @@ func (l *Linear) Infer(a *Arena, x []float32) []float32 {
 
 // InferInto computes y = W x + b into a caller-owned buffer of length Out,
 // allocating nothing.
+//
+//waco:allocfree
 func (l *Linear) InferInto(y, x []float32) {
 	CheckShape("linear input", len(x), l.In)
 	CheckShape("linear output", len(y), l.Out)
@@ -94,6 +98,8 @@ func (l *Linear) InferInto(y, x []float32) {
 // ReLUInPlace rectifies x in place. The tape path writes v into a zeroed
 // buffer only when v > 0; the negated condition here reproduces that exactly
 // (including -0 and NaN collapsing to +0), so the bits match.
+//
+//waco:allocfree
 func ReLUInPlace(x []float32) {
 	for i, v := range x {
 		if !(v > 0) {
@@ -104,6 +110,8 @@ func ReLUInPlace(x []float32) {
 
 // Infer runs the stack forward-only. Intermediate activations live on the
 // arena; the input is never written.
+//
+//waco:allocfree
 func (m *MLP) Infer(a *Arena, x []float32) []float32 {
 	for i, l := range m.Layers {
 		x = l.Infer(a, x)
@@ -117,6 +125,8 @@ func (m *MLP) Infer(a *Arena, x []float32) []float32 {
 // Lookup returns entry idx of the table as a read-only view — the inference
 // counterpart of Apply, with the same out-of-range snapping. Callers must not
 // modify the returned slice (it aliases the weights).
+//
+//waco:allocfree
 func (e *Embedding) Lookup(idx int) []float32 {
 	if idx < 0 || idx >= e.N {
 		idx = e.N - 1

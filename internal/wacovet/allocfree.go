@@ -1,0 +1,245 @@
+package wacovet
+
+// allocfree proves the query path's zero-allocation invariant statically.
+// A function annotated
+//
+//	//waco:allocfree
+//
+// in its doc comment promises that no heap allocation or escape is
+// attributed to its own source. The analyzer shells out to the compiler's
+// escape analysis (`go build -gcflags=<pkg>='-m=2 -l'`), parses the
+// diagnostics, and reports every allocation the compiler attributes to an
+// annotated function's source range.
+//
+// Inlining is disabled (-l) for the annotated packages on purpose: with
+// inlining on, an inlined callee's allocations are reported at the CALLER's
+// position, so a cold panic-path fmt.Sprintf three calls away would fail an
+// innocent annotated function — and, symmetrically, an annotated function's
+// own allocation could migrate out to its callers and go unseen. With -l
+// every diagnostic lands on the line that declares it, which makes the
+// contract crisp: "zero heap allocations attributed to this function's own
+// body, judged with inlining disabled". Escapes caused by calling OTHER
+// functions (interface boxing of arguments, variadic slices) still show up
+// at the call site inside the annotated body, so the contract covers the
+// whole local cost of the function — only the callee's internals need their
+// own annotations.
+//
+// The `go build` runs against the build cache, which replays compile
+// diagnostics verbatim on repeat runs, so the steady-state cost of the check
+// is one cache probe per annotated package.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// allocfreeMarker is the doc-comment annotation that opts a function into
+// the static zero-allocation gate.
+const allocfreeMarker = "//waco:allocfree"
+
+// AllocfreeConfig configures the allocfree analyzer.
+type AllocfreeConfig struct {
+	// Gcflags is the per-package compiler flag string; the default enables
+	// escape diagnostics and disables inlining so attribution is exact.
+	Gcflags string
+}
+
+// DefaultAllocfreeConfig returns the production configuration. The module
+// argument is unused (annotations mark the functions to gate) but kept for
+// symmetry with the other analyzer constructors.
+func DefaultAllocfreeConfig(module string) AllocfreeConfig {
+	return AllocfreeConfig{}
+}
+
+// NewAllocfreeAnalyzer builds the analyzer.
+func NewAllocfreeAnalyzer(cfg AllocfreeConfig) *Analyzer {
+	if cfg.Gcflags == "" {
+		cfg.Gcflags = "-m=2 -l"
+	}
+	return &Analyzer{
+		Name: "allocfree",
+		Doc:  "functions annotated //waco:allocfree must have no heap allocation attributed to their source by escape analysis (inlining disabled)",
+		Run:  func(m *Module) []Finding { return runAllocfree(m, cfg) },
+	}
+}
+
+// annotatedFunc is one //waco:allocfree function's source range.
+type annotatedFunc struct {
+	name     string // rendered name, e.g. "(*Linear).InferInto"
+	file     string // module-relative path
+	from, to int    // inclusive line range of the declaration
+}
+
+// escapeDiag matches one compiler diagnostic line.
+var escapeDiag = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+func runAllocfree(m *Module, cfg AllocfreeConfig) []Finding {
+	byPkg := map[string][]annotatedFunc{} // import path -> annotated funcs
+	byFile := map[string][]annotatedFunc{}
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasAllocfreeMarker(fd.Doc) {
+					continue
+				}
+				pos := m.position(fd.Pos())
+				af := annotatedFunc{
+					name: funcDisplayName(fd),
+					file: pos.File,
+					from: pos.Line,
+					to:   m.position(fd.End()).Line,
+				}
+				byPkg[pkg.Path] = append(byPkg[pkg.Path], af)
+				byFile[af.file] = append(byFile[af.file], af)
+			}
+		}
+	}
+	if len(byPkg) == 0 {
+		return nil
+	}
+
+	pkgs := make([]string, 0, len(byPkg))
+	for p := range byPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	// One `go build` compiles every annotated package with escape diagnostics
+	// on and inlining off. Each package gets its own -gcflags pattern so the
+	// rest of the build (dependencies) compiles normally and stays cached.
+	args := []string{"build"}
+	for _, p := range pkgs {
+		args = append(args, "-gcflags="+p+"="+cfg.Gcflags)
+	}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = m.Dir
+	var stderr bytes.Buffer
+	cmd.Stdout = &stderr // diagnostics arrive on stderr; merge defensively
+	cmd.Stderr = &stderr
+	buildErr := cmd.Run()
+
+	var findings []Finding
+	seen := map[string]bool{}
+	matchedAny := false
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		d := escapeDiag.FindStringSubmatch(line)
+		if d == nil {
+			continue
+		}
+		matchedAny = true
+		msg, isAlloc := classifyEscape(d[4])
+		if !isAlloc {
+			continue
+		}
+		file := d[1]
+		if rel, ok := strings.CutPrefix(file, m.Dir+"/"); ok {
+			file = rel
+		}
+		ln, err := strconv.Atoi(d[2])
+		if err != nil {
+			continue
+		}
+		col, err := strconv.Atoi(d[3])
+		if err != nil {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d", file, ln, col)
+		if seen[key] {
+			// -m=2 reports most escapes more than once at the same position:
+			// a bare form, a form with the flow explanation, and sometimes
+			// both "escapes to heap" and "moved to heap" phrasings. One
+			// finding per allocation site is enough.
+			continue
+		}
+		seen[key] = true
+		for _, af := range byFile[file] {
+			if ln >= af.from && ln <= af.to {
+				findings = append(findings, Finding{
+					File: file, Line: ln, Col: col, Check: "allocfree",
+					Message: fmt.Sprintf("heap allocation in //waco:allocfree function %s: %s", af.name, msg),
+				})
+				break
+			}
+		}
+	}
+	if buildErr != nil && !matchedAny {
+		// The compile itself failed (it should have failed Load first, but a
+		// bad Gcflags override or a vendor drift can get here): surface the
+		// breakage instead of silently passing the gate.
+		first := byPkg[pkgs[0]][0]
+		findings = append(findings, Finding{
+			File: first.file, Line: first.from, Col: 1, Check: "allocfree",
+			Message: fmt.Sprintf("go build for escape analysis failed: %v: %s", buildErr, strings.TrimSpace(stderr.String())),
+		})
+	}
+	return findings
+}
+
+// hasAllocfreeMarker reports whether a doc comment carries //waco:allocfree.
+func hasAllocfreeMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == allocfreeMarker || strings.HasPrefix(text, allocfreeMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyEscape decides whether one -m=2 diagnostic message reports a heap
+// allocation, returning a normalized message. Escape analysis also prints
+// "does not escape", "leaking param", and inlining chatter — those are not
+// allocations.
+func classifyEscape(msg string) (string, bool) {
+	switch {
+	case strings.HasSuffix(msg, " escapes to heap"), strings.HasSuffix(msg, " escapes to heap:"):
+		return strings.TrimSuffix(msg, ":"), true
+	case strings.HasPrefix(msg, "moved to heap: "):
+		return msg, true
+	}
+	return "", false
+}
+
+// funcDisplayName renders a FuncDecl's name with its receiver, matching how
+// developers write it in docs: "(*Linear).InferInto" or "SearchWith".
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	var b strings.Builder
+	if star, ok := recv.(*ast.StarExpr); ok {
+		b.WriteString("(*")
+		writeTypeName(&b, star.X)
+		b.WriteString(")")
+	} else {
+		writeTypeName(&b, recv)
+	}
+	b.WriteString(".")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+func writeTypeName(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.IndexExpr: // generic receiver T[P]
+		writeTypeName(b, e.X)
+	case *ast.IndexListExpr:
+		writeTypeName(b, e.X)
+	default:
+		b.WriteString("?")
+	}
+}

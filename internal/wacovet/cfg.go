@@ -1,0 +1,428 @@
+package wacovet
+
+// This file is the analysis layer's control-flow backbone: an
+// intra-procedural CFG over one function body plus a forward may-dataflow
+// solver, both stdlib-only. The AST-walking analyzers (rngsource, errdrop,
+// ...) answer "which identifiers appear"; the CFG lets an analyzer answer
+// "what has happened by the time execution reaches this statement" — the
+// question lockhold needs ("is a mutex still held here?") and that future
+// flow-sensitive checks (resource leaks, use-after-reset) will share.
+//
+// The granularity is deliberately statement-level, not SSA: each basic block
+// holds the ast.Nodes that execute in order (simple statements, plus the
+// init/condition expressions of the control statements that end the block).
+// That is exactly the resolution a vet-style analyzer needs, and it keeps
+// the builder small enough to audit by eye.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: Nodes execute in order, then control transfers
+// to one of Succs. A block with no successors ends the function (return,
+// panic-free fallthrough to the exit, or an os.Exit-like tail).
+type Block struct {
+	// Nodes are statements and control-statement operands (an if condition,
+	// a range operand, a select statement) in execution order.
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry; Blocks appear in construction order, which follows source order
+// closely enough for deterministic iteration.
+type CFG struct {
+	Blocks []*Block
+}
+
+// cfgBuilder carries the loop/label context while walking a body.
+type cfgBuilder struct {
+	cfg *CFG
+	// breakTargets / continueTargets are stacks: innermost last. Entries for
+	// switch/select push only a break target.
+	breakTargets    []*Block
+	continueTargets []*Block
+	// labeled maps a label name to its loop's break/continue targets (or
+	// break-only for labeled switch/select).
+	labeledBreak    map[string]*Block
+	labeledContinue map[string]*Block
+}
+
+// BuildCFG builds the control-flow graph of a function body. It handles the
+// statement forms that appear in this module (if/else chains, for and range
+// loops, switch/type-switch/select, labeled break and continue, return,
+// defer, go). Goto is treated as a block terminator — control conservatively
+// stops there, which over-approximates nothing this module contains.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:             &CFG{},
+		labeledBreak:    map[string]*Block{},
+		labeledContinue: map[string]*Block{},
+	}
+	entry := b.newBlock()
+	b.stmts(body.List, entry)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts threads the statement list through cur and returns the block control
+// falls out of (nil when every path returned or branched away).
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/branch: give it its own block so
+			// its nodes still exist for position queries, but nothing links in.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, "", cur)
+	}
+	return cur
+}
+
+// stmt appends one statement to cur and returns the fall-through block.
+// label carries an enclosing LabeledStmt's name into loops and switches.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, s.Label.Name, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		join := b.newBlock()
+		then := b.newBlock()
+		link(cur, then)
+		if out := b.stmts(s.Body.List, then); out != nil {
+			link(out, join)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			link(cur, els)
+			if out := b.stmt(s.Else, "", els); out != nil {
+				link(out, join)
+			}
+		} else {
+			link(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		link(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		exit := b.newBlock()
+		body := b.newBlock()
+		link(head, body)
+		if s.Cond != nil {
+			link(head, exit)
+		}
+		// Post runs at the bottom of the body before looping back.
+		b.pushLoop(label, exit, head)
+		out := b.stmts(s.Body.List, body)
+		b.popLoop(label)
+		if out != nil {
+			if s.Post != nil {
+				out.Nodes = append(out.Nodes, s.Post)
+			}
+			link(out, head)
+		}
+		return exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		link(cur, head)
+		// The range operand (and iteration vars) evaluate at the head.
+		head.Nodes = append(head.Nodes, s)
+		exit := b.newBlock()
+		body := b.newBlock()
+		link(head, body)
+		link(head, exit)
+		b.pushLoop(label, exit, head)
+		out := b.stmts(s.Body.List, body)
+		b.popLoop(label)
+		link(out, head)
+		return exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.switchBody(s.Body, label, cur, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.switchBody(s.Body, label, cur, true)
+
+	case *ast.SelectStmt:
+		// The select itself is one node (the blocking point); each comm
+		// clause body is a branch. The comm statements belong to the select
+		// node, so analyzers treat "select" as a single operation.
+		cur.Nodes = append(cur.Nodes, s)
+		join := b.newBlock()
+		b.pushSwitch(label, join)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			clause := b.newBlock()
+			link(cur, clause)
+			if out := b.stmts(cc.Body, clause); out != nil {
+				link(out, join)
+			}
+		}
+		b.popSwitch(label)
+		if len(s.Body.List) == 0 {
+			link(cur, join)
+		}
+		return join
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s, b.breakTargets, b.labeledBreak); t != nil {
+				link(cur, t)
+			}
+			return nil
+		case token.CONTINUE:
+			if t := b.branchTarget(s, b.continueTargets, b.labeledContinue); t != nil {
+				link(cur, t)
+			}
+			return nil
+		case token.GOTO, token.FALLTHROUGH:
+			// Fallthrough is handled by switchBody; a stray one (or a goto)
+			// terminates the block conservatively.
+			return nil
+		}
+		return cur
+
+	default:
+		// Simple statements: expr, assign, incdec, send, decl, defer, go,
+		// empty. They execute in order within the block.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchBody wires the case clauses of a switch/type-switch: every clause
+// branches from cur and falls to join; fallthrough links a clause into the
+// next one's body.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string, cur *Block, typeSwitch bool) *Block {
+	join := b.newBlock()
+	b.pushSwitch(label, join)
+	hasDefault := false
+	clauses := make([]*Block, len(body.List))
+	outs := make([]*Block, len(body.List))
+	falls := make([]bool, len(body.List))
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clause := b.newBlock()
+		clauses[i] = clause
+		link(cur, clause)
+		if !typeSwitch {
+			clause.Nodes = append(clause.Nodes, exprNodes(cc.List)...)
+		}
+		stmts := cc.Body
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls[i] = true
+				stmts = stmts[:n-1]
+			}
+		}
+		outs[i] = b.stmts(stmts, clause)
+	}
+	for i := range clauses {
+		if outs[i] == nil {
+			continue
+		}
+		if falls[i] && i+1 < len(clauses) {
+			link(outs[i], clauses[i+1])
+		} else {
+			link(outs[i], join)
+		}
+	}
+	b.popSwitch(label)
+	if !hasDefault {
+		link(cur, join)
+	}
+	return join
+}
+
+func exprNodes(exprs []ast.Expr) []ast.Node {
+	out := make([]ast.Node, len(exprs))
+	for i, e := range exprs {
+		out[i] = e
+	}
+	return out
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breakTargets = append(b.breakTargets, brk)
+	b.continueTargets = append(b.continueTargets, cont)
+	if label != "" {
+		b.labeledBreak[label] = brk
+		b.labeledContinue[label] = cont
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+	if label != "" {
+		delete(b.labeledBreak, label)
+		delete(b.labeledContinue, label)
+	}
+}
+
+func (b *cfgBuilder) pushSwitch(label string, brk *Block) {
+	b.breakTargets = append(b.breakTargets, brk)
+	// continue skips switch/select scopes: push nothing on the continue
+	// stack so an inner continue still reaches the enclosing loop.
+	if label != "" {
+		b.labeledBreak[label] = brk
+	}
+}
+
+func (b *cfgBuilder) popSwitch(label string) {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	if label != "" {
+		delete(b.labeledBreak, label)
+	}
+}
+
+// branchTarget resolves a break/continue to its control-flow target, or nil
+// for a label this builder never saw (malformed code — type checking rejects
+// it before any analyzer runs).
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, stack []*Block, labeled map[string]*Block) *Block {
+	if s.Label != nil {
+		return labeled[s.Label.Name]
+	}
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// Facts is a may-set of string-keyed dataflow facts (for lockhold: the
+// render of a held mutex's receiver expression).
+type Facts map[string]bool
+
+func (f Facts) clone() Facts {
+	out := make(Facts, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+func (f Facts) equal(g Facts) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for k := range f {
+		if !g[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// union merges g into f, reporting whether f changed.
+func (f Facts) union(g Facts) bool {
+	changed := false
+	for k := range g {
+		if !f[k] {
+			f[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Forward runs a forward may-dataflow analysis to fixpoint: facts merge by
+// union at block joins, and transfer mutates the fact set in place for each
+// node in execution order. It returns the facts in force immediately BEFORE
+// each node — the state an analyzer checks an operation against. Loops are
+// handled by iterating until no block's entry facts change.
+func (g *CFG) Forward(transfer func(n ast.Node, facts Facts)) map[ast.Node]Facts {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	in := make(map[*Block]Facts, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		in[blk] = Facts{}
+	}
+	before := map[ast.Node]Facts{}
+	// Worklist over block indices; seeded with every block so unreachable
+	// blocks still get (empty) facts computed once.
+	dirty := make([]bool, len(g.Blocks))
+	index := make(map[*Block]int, len(g.Blocks))
+	for i, blk := range g.Blocks {
+		index[blk] = i
+		dirty[i] = true
+	}
+	for {
+		progress := false
+		for i, blk := range g.Blocks {
+			if !dirty[i] {
+				continue
+			}
+			dirty[i] = false
+			progress = true
+			facts := in[blk].clone()
+			for _, n := range blk.Nodes {
+				// Record a copy only when the facts differ from what a prior
+				// pass recorded, so the final map reflects the fixpoint union.
+				if prev, ok := before[n]; ok {
+					prev.union(facts)
+				} else {
+					before[n] = facts.clone()
+				}
+				transfer(n, facts)
+			}
+			for _, succ := range blk.Succs {
+				if in[succ].union(facts) {
+					dirty[index[succ]] = true
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return before
+}

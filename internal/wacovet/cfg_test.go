@@ -1,0 +1,250 @@
+package wacovet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses a function body from source and returns it with the fset.
+func parseBody(t *testing.T, body string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// heldAt runs the canonical lock-style forward analysis over the body: a
+// call to lock() adds fact "L", unlock() removes it. It returns, for each
+// call to the probe functions, whether "L" may be held immediately before
+// the call.
+func heldAt(t *testing.T, body string) map[string]bool {
+	t.Helper()
+	_, blk := parseBody(t, body)
+	cfg := BuildCFG(blk)
+	callName := func(n ast.Node) string {
+		// A SelectStmt node stands for the blocking select itself; its
+		// clause bodies live in their own blocks, so don't descend into
+		// them here (same rule a real CFG-based analyzer follows).
+		if _, ok := n.(*ast.SelectStmt); ok {
+			return ""
+		}
+		var name string
+		ast.Inspect(n, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && name == "" {
+					name = id.Name
+				}
+			}
+			return true
+		})
+		return name
+	}
+	before := cfg.Forward(func(n ast.Node, facts Facts) {
+		switch callName(n) {
+		case "lock":
+			facts["L"] = true
+		case "unlock":
+			delete(facts, "L")
+		}
+	})
+	out := map[string]bool{}
+	for n, facts := range before {
+		name := callName(n)
+		if strings.HasPrefix(name, "probe") {
+			out[name] = out[name] || facts["L"]
+		}
+	}
+	return out
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	got := heldAt(t, `
+		probeA()
+		lock()
+		probeB()
+		unlock()
+		probeC()
+	`)
+	want := map[string]bool{"probeA": false, "probeB": true, "probeC": false}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s: held=%v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestCFGIfJoin(t *testing.T) {
+	// Lock taken on one branch only: at the join the fact MAY hold.
+	got := heldAt(t, `
+		if cond() {
+			lock()
+		}
+		probeJoin()
+	`)
+	if !got["probeJoin"] {
+		t.Error("probeJoin: lock taken on one if-branch must be may-held at the join")
+	}
+}
+
+func TestCFGIfElseBothRelease(t *testing.T) {
+	got := heldAt(t, `
+		lock()
+		if cond() {
+			unlock()
+		} else {
+			unlock()
+		}
+		probeJoin()
+	`)
+	if got["probeJoin"] {
+		t.Error("probeJoin: both branches unlock, so the join must be lock-free")
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	// Lock acquired inside the loop without release: the back edge must
+	// propagate the fact to the loop head, so the second iteration's probe
+	// sees it held even before the lock() call of that iteration.
+	got := heldAt(t, `
+		for i := 0; i < n; i++ {
+			probeHead()
+			lock()
+		}
+		probeExit()
+	`)
+	if !got["probeHead"] {
+		t.Error("probeHead: fact from iteration k must reach iteration k+1 via the back edge")
+	}
+	if !got["probeExit"] {
+		t.Error("probeExit: loop may execute, so the exit is may-held")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	// The labeled break jumps out of BOTH loops while holding the lock;
+	// the unlock at the bottom of the outer body is skipped on that path.
+	got := heldAt(t, `
+	outer:
+		for {
+			lock()
+			for range xs {
+				if cond() {
+					break outer
+				}
+			}
+			unlock()
+		}
+		probeAfter()
+	`)
+	if !got["probeAfter"] {
+		t.Error("probeAfter: labeled break path skips unlock, so lock is may-held")
+	}
+}
+
+func TestCFGSelectIsOneNode(t *testing.T) {
+	// The select statement appears as a single node; facts reach it and
+	// each clause body independently.
+	got := heldAt(t, `
+		lock()
+		select {
+		case <-ch:
+			unlock()
+			probeGot()
+		case <-done:
+			probeDone()
+		}
+		probeAfter()
+	`)
+	if got["probeGot"] {
+		t.Error("probeGot: runs after the clause's unlock")
+	}
+	if !got["probeDone"] {
+		t.Error("probeDone: done-clause keeps the lock held")
+	}
+	if !got["probeAfter"] {
+		t.Error("probeAfter: one clause path keeps the lock, join is may-held")
+	}
+}
+
+func TestCFGSwitchNoDefaultFallsThrough(t *testing.T) {
+	// With no default clause, control may skip every case; a lock taken in
+	// one case is only may-held after, and the no-case path stays clean.
+	got := heldAt(t, `
+		switch v() {
+		case 1:
+			lock()
+			probeInCase()
+		}
+		probeAfter()
+	`)
+	if !got["probeInCase"] {
+		t.Error("probeInCase: lock precedes it in the same clause")
+	}
+	if !got["probeAfter"] {
+		t.Error("probeAfter: case-1 path holds the lock into the join")
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	// The early return holds the lock, but that path leaves the function;
+	// the statement after the if only executes on the unlocked path.
+	got := heldAt(t, `
+		lock()
+		if cond() {
+			return
+		}
+		unlock()
+		probeAfter()
+	`)
+	if got["probeAfter"] {
+		t.Error("probeAfter: the held path returned; fall-through path unlocked")
+	}
+}
+
+func TestCFGContinueSkipsTail(t *testing.T) {
+	got := heldAt(t, `
+		for i := 0; i < n; i++ {
+			lock()
+			if cond() {
+				continue
+			}
+			unlock()
+		}
+		probeAfter()
+	`)
+	if !got["probeAfter"] {
+		t.Error("probeAfter: continue path skips unlock and loops; exit is may-held")
+	}
+}
+
+func TestCFGFallthrough(t *testing.T) {
+	got := heldAt(t, `
+		switch v() {
+		case 1:
+			lock()
+			fallthrough
+		case 2:
+			probeCase2()
+			unlock()
+		default:
+			probeDefault()
+		}
+		probeAfter()
+	`)
+	if !got["probeCase2"] {
+		t.Error("probeCase2: fallthrough from case 1 carries the lock")
+	}
+	if got["probeDefault"] {
+		t.Error("probeDefault: default clause is entered directly, lock-free")
+	}
+	if got["probeAfter"] {
+		t.Error("probeAfter: every path through the switch released or never took the lock")
+	}
+}

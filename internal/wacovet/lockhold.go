@@ -1,0 +1,270 @@
+package wacovet
+
+// lockhold flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held. Holding a lock across channel ops, time.Sleep,
+// network or file IO, or pool waits turns a lock that should bound
+// microseconds of map access into a convoy: every request behind it stalls
+// for the duration of the slow operation, and under load the serving tier's
+// tail latency explodes. The house style is snapshot-under-lock, act-after:
+// copy what you need, unlock, then block.
+//
+// This is the first CFG-based analyzer: it runs the forward may-dataflow
+// solver over each function body with a transfer function that adds a fact
+// when a lock's Lock/RLock runs and removes it on Unlock/RUnlock, then
+// reports any node that both carries a held-lock fact and performs a
+// blocking operation. "May" analysis is deliberate — a lock released on only
+// one branch still poisons the join, which is exactly the bug class worth
+// surfacing. A deferred Unlock does NOT clear the fact (the lock stays held
+// until return — that is the point of the check), and goroutine bodies are
+// analyzed as their own functions, since their locks and blocking ops happen
+// on another stack.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockholdConfig configures the lockhold analyzer.
+type LockholdConfig struct {
+	// Packages are the package paths (or prefix/... patterns) to analyze.
+	Packages []string
+	// ExtraBlocking adds types.Func FullNames to the built-in blocking set
+	// (e.g. a project-local pool's acquire method).
+	ExtraBlocking []string
+}
+
+// DefaultLockholdConfig analyzes the whole module: a lock convoy is a bug in
+// any package, and the blocking set is narrow enough to stay precise.
+func DefaultLockholdConfig(module string) LockholdConfig {
+	return LockholdConfig{
+		Packages: []string{module + "/internal/...", module + "/cmd/..."},
+	}
+}
+
+// NewLockholdAnalyzer builds the analyzer.
+func NewLockholdAnalyzer(cfg LockholdConfig) *Analyzer {
+	return &Analyzer{
+		Name: "lockhold",
+		Doc:  "no blocking operation (channel op, select without default, sleep, IO, waits) while a sync.Mutex/RWMutex is held — snapshot under the lock, then act",
+		Run:  func(m *Module) []Finding { return runLockhold(m, cfg) },
+	}
+}
+
+// blockingCalls are the call targets treated as blocking, by FullName.
+var blockingCalls = map[string]string{
+	"time.Sleep":                      "time.Sleep",
+	"(*sync.WaitGroup).Wait":          "WaitGroup.Wait",
+	"(*sync.Cond).Wait":               "Cond.Wait",
+	"(*net/http.Client).Do":           "HTTP round-trip",
+	"(*net/http.Client).Get":          "HTTP round-trip",
+	"(*net/http.Client).Post":         "HTTP round-trip",
+	"(*net/http.Client).PostForm":     "HTTP round-trip",
+	"(*net/http.Client).Head":         "HTTP round-trip",
+	"net/http.Get":                    "HTTP round-trip",
+	"net/http.Post":                   "HTTP round-trip",
+	"net/http.PostForm":               "HTTP round-trip",
+	"net/http.Head":                   "HTTP round-trip",
+	"(net/http.ResponseWriter).Write": "response write",
+	"io.Copy":                         "io.Copy",
+	"io.CopyN":                        "io.CopyN",
+	"io.ReadAll":                      "io.ReadAll",
+	"io.ReadFull":                     "io.ReadFull",
+	"os.ReadFile":                     "file IO",
+	"os.WriteFile":                    "file IO",
+	"os.Open":                         "file IO",
+	"os.OpenFile":                     "file IO",
+	"os.Create":                       "file IO",
+	"(*os.File).Read":                 "file IO",
+	"(*os.File).ReadAt":               "file IO",
+	"(*os.File).Write":                "file IO",
+	"(*os.File).WriteAt":              "file IO",
+	"(*os.File).Sync":                 "file IO",
+	"(*os/exec.Cmd).Run":              "subprocess wait",
+	"(*os/exec.Cmd).Wait":             "subprocess wait",
+	"(*os/exec.Cmd).Output":           "subprocess wait",
+	"(*os/exec.Cmd).CombinedOutput":   "subprocess wait",
+	"net.Dial":                        "network dial",
+	"net.DialTimeout":                 "network dial",
+	"(*net.Dialer).Dial":              "network dial",
+	"(*net.Dialer).DialContext":       "network dial",
+	"(net.Conn).Read":                 "network IO",
+	"(net.Conn).Write":                "network IO",
+}
+
+// lock/unlock classification by method FullName.
+var lockMethods = map[string]bool{
+	"(*sync.Mutex).Lock":    true,
+	"(*sync.RWMutex).Lock":  true,
+	"(*sync.RWMutex).RLock": true,
+}
+var unlockMethods = map[string]bool{
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+}
+
+func runLockhold(m *Module, cfg LockholdConfig) []Finding {
+	extra := map[string]string{}
+	for _, name := range cfg.ExtraBlocking {
+		extra[name] = name
+	}
+	var findings []Finding
+	for _, pkg := range m.Packages {
+		if !pathApplies(pkg.Path, cfg.Packages) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					body = fn.Body
+				case *ast.FuncLit:
+					// FuncLit bodies run on their own stack (goroutines) or
+					// with unknown caller lock state; analyze them alone and
+					// don't let the outer walk revisit their contents.
+					body = fn.Body
+				default:
+					return true
+				}
+				if body != nil {
+					findings = append(findings, lockholdBody(m, pkg, body, extra)...)
+				}
+				// Still descend: nested FuncLits get their own pass.
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// lockholdBody runs the dataflow over one function body.
+func lockholdBody(m *Module, pkg *Package, body *ast.BlockStmt, extra map[string]string) []Finding {
+	cfg := BuildCFG(body)
+	before := cfg.Forward(func(n ast.Node, facts Facts) {
+		scanShallow(n, func(c ast.Node) {
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fn := calleeFunc(pkg.Info, call)
+			if fn == nil {
+				return
+			}
+			full := fn.FullName()
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			key := types.ExprString(sel.X)
+			switch {
+			case lockMethods[full]:
+				facts[key] = true
+			case unlockMethods[full]:
+				delete(facts, key)
+			}
+		})
+	})
+
+	var findings []Finding
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			facts := before[n]
+			if len(facts) == 0 {
+				continue
+			}
+			held := make([]string, 0, len(facts))
+			for k := range facts {
+				held = append(held, k)
+			}
+			sort.Strings(held)
+			scanShallow(n, func(c ast.Node) {
+				if desc, pos := blockingOp(pkg, c, extra); desc != "" {
+					findings = append(findings, m.finding(pos, "lockhold",
+						fmt.Sprintf("%s while holding lock %s; snapshot under the lock, release, then block", desc, strings.Join(held, ", "))))
+				}
+			})
+		}
+	}
+	return findings
+}
+
+// blockingOp classifies one node as a blocking operation, returning a
+// description and position, or "".
+func blockingOp(pkg *Package, n ast.Node, extra map[string]string) (string, token.Pos) {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "channel send", n.Pos()
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			return "channel receive", n.Pos()
+		}
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				return "", token.NoPos // has default: non-blocking poll
+			}
+		}
+		return "blocking select", n.Pos()
+	case *ast.RangeStmt:
+		if t, ok := pkg.Info.Types[n.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				return "range over channel", n.Pos()
+			}
+		}
+	case *ast.CallExpr:
+		fn := calleeFunc(pkg.Info, n)
+		if fn == nil {
+			return "", token.NoPos
+		}
+		full := fn.FullName()
+		if desc, ok := blockingCalls[full]; ok {
+			return "call to " + full + " (" + desc + ")", n.Pos()
+		}
+		if _, ok := extra[full]; ok {
+			return "call to " + full, n.Pos()
+		}
+	}
+	return "", token.NoPos
+}
+
+// scanShallow visits n and its subtree at the granularity the CFG exposes:
+// it skips nested FuncLit bodies (their own CFG), go/defer statements (their
+// effects happen on another stack or at return), select internals (the
+// SelectStmt node itself is the blocking point; clause bodies are separate
+// CFG nodes), and a RangeStmt's body (also separate nodes — only the range
+// operand belongs to this node).
+func scanShallow(n ast.Node, visit func(ast.Node)) {
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		visit(n)
+		return
+	case *ast.RangeStmt:
+		visit(n)
+		if n.Key != nil {
+			scanShallow(n.Key, visit)
+		}
+		if n.Value != nil {
+			scanShallow(n.Value, visit)
+		}
+		scanShallow(n.X, visit)
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SelectStmt, *ast.RangeStmt:
+			if c != n {
+				scanShallow(c, visit)
+				return false
+			}
+		}
+		visit(c)
+		return true
+	})
+}

@@ -1,0 +1,72 @@
+// Package allocfree exercises the static zero-allocation gate: annotated
+// functions that stay on the stack pass, and each way an allocation can be
+// attributed to an annotated body — an escaping make, a variable moved to
+// the heap, interface boxing at a call site — is a finding. Unannotated
+// functions may allocate freely.
+package allocfree
+
+import "fmt"
+
+// Clean is allocation-free: it only writes through caller-owned slices.
+//
+//waco:allocfree
+func Clean(dst, src []float64) {
+	for i := range src {
+		dst[i] = src[i] * 2
+	}
+}
+
+// CleanScratch reuses a scratch struct's buffer without growing it, the
+// hot-path idiom the annotation exists to protect.
+//
+//waco:allocfree
+func CleanScratch(s *Scratch, xs []float64) float64 {
+	var sum float64
+	for i, x := range xs {
+		if i < len(s.Buf) {
+			s.Buf[i] = x
+			sum += x
+		}
+	}
+	return sum
+}
+
+// Scratch is reusable state allocated outside the annotated path.
+type Scratch struct{ Buf []float64 }
+
+// NewScratch allocates the scratch; it is deliberately unannotated.
+func NewScratch(n int) *Scratch {
+	return &Scratch{Buf: make([]float64, n)}
+}
+
+// EscapesSlice breaks the contract: the make escapes via the return value.
+//
+//waco:allocfree
+func EscapesSlice(n int) []float64 {
+	out := make([]float64, n) // want allocfree
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+// EscapesVar breaks the contract: returning x's address moves it to the heap.
+//
+//waco:allocfree
+func EscapesVar() *int {
+	x := 42 // want allocfree
+	return &x
+}
+
+// Boxes breaks the contract: passing n to fmt.Sprint boxes it into an
+// interface, which escapes at the call site inside this body.
+//
+//waco:allocfree
+func Boxes(n int) string {
+	return fmt.Sprint(n) // want allocfree
+}
+
+// Unannotated allocates on purpose and must produce no finding.
+func Unannotated(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,92 @@
+// Package goleak exercises the fire-and-forget goroutine check: spawns with
+// no lifecycle discipline are findings; WaitGroup joins, channel signals,
+// select/ctx cancellation, and signals hidden one call deep are all accepted.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// Server is the fixture's stand-in for the serving tier's state.
+type Server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// end is the depth-2 case: the lifecycle signal lives one call away from
+// the spawned body.
+func (s *Server) end() {
+	s.wg.Done()
+}
+
+// work has no lifecycle discipline of its own.
+func work() {
+	for i := 0; i < 10; i++ {
+		_ = i * i
+	}
+}
+
+// Spawns exercises every accepted shape and both rejected ones.
+func (s *Server) Spawns(ctx context.Context, results chan int) {
+	go work() // want goleak
+
+	go func() { // want goleak
+		work()
+	}()
+
+	// WaitGroup join: accepted.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+
+	// Lifecycle signal one call deep (s.end -> wg.Done): accepted.
+	s.wg.Add(1)
+	go func() {
+		defer s.end()
+		work()
+	}()
+
+	// Channel send signals completion: accepted.
+	go func() {
+		results <- 42
+	}()
+
+	// close() signals completion: accepted.
+	ch := make(chan struct{})
+	go func() {
+		work()
+		close(ch)
+	}()
+
+	// Watching a done channel via select: accepted.
+	go func() {
+		select {
+		case <-s.done:
+		case <-ch:
+		}
+	}()
+
+	// Watching ctx.Done directly: accepted.
+	go func() {
+		<-ctx.Done()
+	}()
+
+	// Spawned named function taking a context: accepted (the callee owns
+	// cancellation; ctxflow enforces that it uses it).
+	go s.run(ctx)
+}
+
+// run loops until cancelled.
+func (s *Server) run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package lockhold exercises the held-lock dataflow check: blocking ops
+// (channel send/receive, selects without default, sleeps, IO) under a held
+// Mutex/RWMutex are findings — including on may-held joins where only one
+// branch released — while snapshot-then-act, nonblocking polls, and
+// goroutine bodies with their own locking stay clean.
+package lockhold
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Store is the fixture's lock-guarded state.
+type Store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+	ch   chan int
+}
+
+// BadSleep sleeps while holding the mutex.
+func (s *Store) BadSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want lockhold
+	s.mu.Unlock()
+}
+
+// BadSendDeferred shows that a deferred unlock keeps the lock held: the
+// send happens before the deferred release runs.
+func (s *Store) BadSendDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want lockhold
+}
+
+// BadSelect blocks in a select with no default while holding the lock.
+func (s *Store) BadSelect(done chan struct{}) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want lockhold
+	case <-done:
+		return 0
+	case v := <-s.ch:
+		return v
+	}
+}
+
+// BadBranch releases on only one path; the receive after the join is
+// may-held and must be flagged.
+func (s *Store) BadBranch(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+	}
+	return <-s.ch // want lockhold
+}
+
+// BadReadLock holds a read lock across an HTTP round-trip.
+func (s *Store) BadReadLock(c *http.Client, url string) error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	resp, err := c.Get(url) // want lockhold
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// GoodSnapshot is the house idiom: copy under the lock, release, then block.
+func (s *Store) GoodSnapshot() int {
+	s.mu.Lock()
+	v := s.data["k"]
+	s.mu.Unlock()
+	s.ch <- v
+	return v
+}
+
+// GoodPoll holds the lock across a select with a default clause, which
+// cannot block.
+func (s *Store) GoodPoll() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// GoodSpawn sends from a spawned goroutine: that send runs on another
+// stack, after this function's lock scope is gone.
+func (s *Store) GoodSpawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}
+
+// GoodBothBranches releases on every path before blocking.
+func (s *Store) GoodBothBranches(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return <-s.ch
+	}
+	s.mu.Unlock()
+	return <-s.ch
+}

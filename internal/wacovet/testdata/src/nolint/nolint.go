@@ -1,20 +1,37 @@
-// Package nolint exercises the //waco:nolint suppression convention: one
-// well-formed suppression that must swallow the rngsource finding below, one
-// missing its reason, and one naming a check that does not exist.
+// Package nolint exercises the scoped //waco:nolint suppression convention:
+// a declaration-doc suppression that covers exactly its declaration, a
+// line-scoped suppression covering the next line, an out-of-scope use of the
+// same check that must still be reported, and three malformed suppressions
+// (package-doc placement, missing reason, unknown check).
 //
-//waco:nolint rngsource -- fixture: this file exists to prove suppression works
+//waco:nolint rngsource -- package-doc placement is rejected; this line is the fixture's file-wide case
 package nolint
 
 import "math/rand"
 
-//waco:nolint floatcmp
-
-// Suppressed would be an rngsource finding without the file-level comment.
-func Suppressed(n int) int {
-	return rand.Intn(n)
+// SuppressedDecl would be an rngsource finding; the doc-attached nolint
+// covers the whole declaration, including the second call deeper inside.
+//
+//waco:nolint rngsource -- fixture: declaration-scoped suppression
+func SuppressedDecl(n int) int {
+	a := rand.Intn(n)
+	b := rand.Intn(n + 1)
+	return a + b
 }
 
-//waco:nolint nosuchcheck -- the check name above is deliberately bogus
+// SuppressedLine shows line scope: the first call is excused by the comment
+// directly above it, the second sits outside the two-line window.
+func SuppressedLine(n int) int {
+	//waco:nolint rngsource -- fixture: line-scoped suppression
+	a := rand.Intn(n)
+
+	b := rand.Intn(n + 1) // want rngsource
+	return a + b
+}
+
+//waco:nolint floatcmp
 
 // Placeholder keeps the package non-trivial.
 func Placeholder() int { return 42 }
+
+//waco:nolint nosuchcheck -- the check name above is deliberately bogus

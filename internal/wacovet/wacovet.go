@@ -21,15 +21,27 @@
 //	tapeshare  an nn.Tape is single-goroutine state — never captured by a
 //	           goroutine closure, passed to a spawned call, or sent over a
 //	           channel; parallel training gives each worker its own tape
+//	allocfree  functions annotated //waco:allocfree must have zero heap
+//	           allocations attributed to their own source by the compiler's
+//	           escape analysis (judged with inlining disabled) — the static
+//	           form of the query path's AllocsPerRun==0 tests
+//	goleak     goroutines in serving packages must be joined, signal
+//	           completion, or watch cancellation — no fire-and-forget spawns
+//	lockhold   no blocking operation (channel ops, selects without default,
+//	           sleeps, IO, waits) while a sync.Mutex/RWMutex is held; built
+//	           on the package's CFG + forward may-dataflow engine (cfg.go)
 //
-// A file can opt out of one or more checks with a suppression comment that
+// Code can opt out of one or more checks with a suppression comment that
 // names the checks and states a reason:
 //
 //	//waco:nolint paniccall -- shape-mismatch panics flag programmer error, not input
 //
-// The suppression applies to the whole file. A nolint comment without a
-// reason, or naming an unknown check, is itself reported as a finding, so
-// suppressions stay auditable.
+// Suppressions are scoped, never file-wide: a nolint in a declaration's doc
+// comment covers exactly that declaration's source range, and a nolint
+// anywhere else covers its own line and the next one. A nolint in the
+// package doc comment, a suppression without a reason, or one naming an
+// unknown check is itself reported as a finding, so suppressions stay
+// narrow and auditable.
 package wacovet
 
 import (
@@ -92,21 +104,30 @@ func DefaultAnalyzers(module string) []*Analyzer {
 		NewFloatcmpAnalyzer(DefaultFloatcmpConfig(module)),
 		NewMetricregAnalyzer(DefaultMetricregConfig(module)),
 		NewTapeshareAnalyzer(DefaultTapeshareConfig(module)),
+		NewAllocfreeAnalyzer(DefaultAllocfreeConfig(module)),
+		NewGoleakAnalyzer(DefaultGoleakConfig(module)),
+		NewLockholdAnalyzer(DefaultLockholdConfig(module)),
 	}
 }
 
-// RunAnalyzers runs every analyzer, applies per-file //waco:nolint
+// RunAnalyzers runs every analyzer, applies scoped //waco:nolint
 // suppressions, reports malformed suppressions, and returns the surviving
 // findings sorted by position.
 func RunAnalyzers(m *Module, analyzers []*Analyzer) []Finding {
+	// A suppression is validated against the full default suite, not just the
+	// analyzers in this run: `waco-vet -check allocfree` must not flag every
+	// `//waco:nolint paniccall` in the tree as naming an unknown check.
 	known := map[string]bool{}
+	for _, a := range DefaultAnalyzers(m.Path) {
+		known[a.Name] = true
+	}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
 	suppressed, findings := m.collectNolint(known)
 	for _, a := range analyzers {
 		for _, f := range a.Run(m) {
-			if suppressed[f.File][f.Check] {
+			if suppressedAt(suppressed[f.File], f.Check, f.Line) {
 				continue
 			}
 			findings = append(findings, f)
@@ -128,23 +149,51 @@ func RunAnalyzers(m *Module, analyzers []*Analyzer) []Finding {
 	return findings
 }
 
-// nolintPrefix introduces a per-file suppression comment.
+// nolintPrefix introduces a scoped suppression comment.
 const nolintPrefix = "//waco:nolint"
 
-// collectNolint gathers per-file suppressions (file -> check -> true) and
-// returns findings for malformed ones: a missing "-- reason" tail or an
-// unknown check name.
-func (m *Module) collectNolint(known map[string]bool) (map[string]map[string]bool, []Finding) {
-	suppressed := map[string]map[string]bool{}
+// nolintRange is one suppression's scope: check is silenced on lines
+// [from, to] of its file.
+type nolintRange struct {
+	check    string
+	from, to int
+}
+
+// suppressedAt reports whether a finding for check at line falls inside one
+// of the file's suppression ranges.
+func suppressedAt(ranges []nolintRange, check string, line int) bool {
+	for _, r := range ranges {
+		if r.check == check && line >= r.from && line <= r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// collectNolint gathers scoped suppressions per file and returns findings
+// for malformed ones: a missing "-- reason" tail, an unknown check name, or
+// a package-doc placement (file-wide suppression is not supported). A nolint
+// inside a declaration's doc comment covers that declaration's source range;
+// any other placement covers the comment's own line and the next.
+func (m *Module) collectNolint(known map[string]bool) (map[string][]nolintRange, []Finding) {
+	suppressed := map[string][]nolintRange{}
 	var bad []Finding
 	for _, pkg := range m.Packages {
 		for _, file := range pkg.Files {
+			declScope, pkgDoc := m.nolintScopes(file)
 			for _, cg := range file.Comments {
 				for _, c := range cg.List {
 					if !strings.HasPrefix(c.Text, nolintPrefix) {
 						continue
 					}
 					pos := m.position(c.Pos())
+					if pkgDoc[c] {
+						bad = append(bad, Finding{
+							File: pos.File, Line: pos.Line, Col: pos.Col, Check: "nolint",
+							Message: "file-wide suppression via the package doc is not allowed; attach //waco:nolint to the declaration or line it excuses",
+						})
+						continue
+					}
 					spec := strings.TrimSpace(strings.TrimPrefix(c.Text, nolintPrefix))
 					checksPart, reason, found := strings.Cut(spec, "--")
 					if !found || strings.TrimSpace(reason) == "" {
@@ -162,6 +211,10 @@ func (m *Module) collectNolint(known map[string]bool) (map[string]map[string]boo
 						})
 						continue
 					}
+					from, to := pos.Line, pos.Line+1
+					if r, ok := declScope[c]; ok {
+						from, to = r[0], r[1]
+					}
 					for _, check := range checks {
 						if !known[check] {
 							bad = append(bad, Finding{
@@ -170,16 +223,54 @@ func (m *Module) collectNolint(known map[string]bool) (map[string]map[string]boo
 							})
 							continue
 						}
-						if suppressed[pos.File] == nil {
-							suppressed[pos.File] = map[string]bool{}
-						}
-						suppressed[pos.File][check] = true
+						suppressed[pos.File] = append(suppressed[pos.File], nolintRange{check: check, from: from, to: to})
 					}
 				}
 			}
 		}
 	}
 	return suppressed, bad
+}
+
+// nolintScopes classifies a file's comments for suppression scoping: comments
+// that live in a top-level declaration's doc group map to that declaration's
+// line range, and the package doc group's comments are flagged so a nolint
+// there can be rejected.
+func (m *Module) nolintScopes(file *ast.File) (map[*ast.Comment][2]int, map[*ast.Comment]bool) {
+	declScope := map[*ast.Comment][2]int{}
+	pkgDoc := map[*ast.Comment]bool{}
+	if file.Doc != nil {
+		for _, c := range file.Doc.List {
+			pkgDoc[c] = true
+		}
+	}
+	addDoc := func(doc *ast.CommentGroup, start, end token.Pos) {
+		if doc == nil {
+			return
+		}
+		from := m.Fset.Position(start).Line
+		to := m.Fset.Position(end).Line
+		for _, c := range doc.List {
+			declScope[c] = [2]int{from, to}
+		}
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			addDoc(d.Doc, d.Pos(), d.End())
+		case *ast.GenDecl:
+			addDoc(d.Doc, d.Pos(), d.End())
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.ValueSpec:
+					addDoc(s.Doc, s.Pos(), s.End())
+				case *ast.TypeSpec:
+					addDoc(s.Doc, s.Pos(), s.End())
+				}
+			}
+		}
+	}
+	return declScope, pkgDoc
 }
 
 // position resolves a token.Pos to a module-relative file position.

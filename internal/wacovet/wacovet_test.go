@@ -119,10 +119,11 @@ func TestTapeshareFixture(t *testing.T) {
 	matchMarkers(t, "tapeshare", NewTapeshareAnalyzer(cfg).Run(m), wantLines(t, "tapeshare"))
 }
 
-// TestNolintFixture checks the suppression convention end to end: a
-// well-formed file-level suppression swallows the rngsource finding, while a
-// reason-less comment and an unknown check name each surface as "nolint"
-// findings of their own.
+// TestNolintFixture checks the scoped suppression convention end to end: a
+// declaration-doc suppression covers its whole declaration, a line-scoped
+// one covers only the next line (the out-of-scope rand call survives), and
+// the three malformed placements — package doc, missing reason, unknown
+// check — each surface as "nolint" findings of their own.
 func TestNolintFixture(t *testing.T) {
 	m, pkg := loadFixture(t, "nolint")
 	rng := DefaultRngsourceConfig("ignored")
@@ -132,20 +133,41 @@ func TestNolintFixture(t *testing.T) {
 		NewFloatcmpAnalyzer(FloatcmpConfig{Packages: []string{pkg.Path}}),
 	}
 	got := RunAnalyzers(m, analyzers)
-	if len(got) != 2 {
-		t.Fatalf("got %d findings, want exactly the 2 malformed suppressions:\n%s", len(got), renderFindings(got))
-	}
+	var nolint, rngFindings []Finding
 	for _, f := range got {
-		if f.Check != "nolint" {
-			t.Errorf("surviving finding is %q, want all malformed-suppression findings: %s", f.Check, f)
+		switch f.Check {
+		case "nolint":
+			nolint = append(nolint, f)
+		case "rngsource":
+			rngFindings = append(rngFindings, f)
+		default:
+			t.Errorf("unexpected %q finding: %s", f.Check, f)
 		}
 	}
-	if !strings.Contains(got[0].Message, "reason") {
-		t.Errorf("first finding should flag the missing reason, got: %s", got[0])
+	if len(nolint) != 3 {
+		t.Fatalf("got %d nolint findings, want package-doc + missing-reason + unknown-check:\n%s", len(nolint), renderFindings(got))
 	}
-	if !strings.Contains(got[1].Message, "unknown check") {
-		t.Errorf("second finding should flag the unknown check name, got: %s", got[1])
+	if !strings.Contains(nolint[0].Message, "file-wide") {
+		t.Errorf("first finding should reject the package-doc placement, got: %s", nolint[0])
 	}
+	if !strings.Contains(nolint[1].Message, "reason") {
+		t.Errorf("second finding should flag the missing reason, got: %s", nolint[1])
+	}
+	if !strings.Contains(nolint[2].Message, "unknown check") {
+		t.Errorf("third finding should flag the unknown check name, got: %s", nolint[2])
+	}
+	// Exactly the out-of-scope rand call survives, at its // want marker.
+	data, err := os.ReadFile(filepath.Join("testdata", "src", "nolint", "nolint.go"))
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	want := map[int]bool{}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "// want rngsource") {
+			want[i+1] = true
+		}
+	}
+	matchMarkers(t, "rngsource", rngFindings, want)
 }
 
 // TestModuleIsVetClean is the repo-wide gate: the module's own code must run
@@ -166,4 +188,34 @@ func renderFindings(fs []Finding) string {
 		sb.WriteString("  " + f.String() + "\n")
 	}
 	return sb.String()
+}
+
+// TestAllocfreeFixture runs the escape-analysis gate over the fixture: the
+// three annotated offenders (escaping make, moved-to-heap variable,
+// interface boxing) are findings at their allocation sites; the clean
+// annotated functions and the deliberately allocating unannotated ones are
+// not.
+func TestAllocfreeFixture(t *testing.T) {
+	m, _ := loadFixture(t, "allocfree")
+	got := NewAllocfreeAnalyzer(DefaultAllocfreeConfig("ignored")).Run(m)
+	matchMarkers(t, "allocfree", got, wantLines(t, "allocfree"))
+}
+
+// TestGoleakFixture checks the fire-and-forget goroutine analyzer: bare
+// spawns are findings; WaitGroup joins, channel sends/close, select/ctx
+// watching, depth-2 signals, and ctx-taking callees are accepted.
+func TestGoleakFixture(t *testing.T) {
+	m, pkg := loadFixture(t, "goleak")
+	cfg := GoleakConfig{Packages: []string{pkg.Path}}
+	matchMarkers(t, "goleak", NewGoleakAnalyzer(cfg).Run(m), wantLines(t, "goleak"))
+}
+
+// TestLockholdFixture checks the CFG-based held-lock analyzer: sleeps,
+// sends, blocking selects, HTTP calls, and may-held joins under a Mutex or
+// RWMutex are findings; snapshot-then-act, default-polls, and goroutine
+// bodies are clean.
+func TestLockholdFixture(t *testing.T) {
+	m, pkg := loadFixture(t, "lockhold")
+	cfg := LockholdConfig{Packages: []string{pkg.Path}}
+	matchMarkers(t, "lockhold", NewLockholdAnalyzer(cfg).Run(m), wantLines(t, "lockhold"))
 }
