@@ -68,6 +68,8 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 256, "bound on resident async tune jobs (running + retained results)")
 	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "retention of finished async job results for polling")
 	quiet := flag.Bool("quiet", false, "disable per-request structured access logging")
+	quantized := flag.Bool("quantized", false, "serve predictor-head evaluations on the int8 quantized path (requires an artifact sealed with -quantize)")
+	prefilterMargin := flag.Float64("prefilter-margin", 0, "asymptotic-cost pre-filter prune margin in log2 units (0 = disabled)")
 	flag.Parse()
 
 	t0 := time.Now()
@@ -84,13 +86,15 @@ func main() {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	srv, err := serve.NewServer(tuner, serve.Options{
-		CacheSize:      *cacheSize,
-		MaxWorkers:     *workers,
-		RequestTimeout: *timeout,
-		MaxJobs:        *maxJobs,
-		JobTTL:         *jobTTL,
-		ArtifactPath:   *artifactPath,
-		Logger:         logger,
+		CacheSize:       *cacheSize,
+		MaxWorkers:      *workers,
+		RequestTimeout:  *timeout,
+		MaxJobs:         *maxJobs,
+		JobTTL:          *jobTTL,
+		ArtifactPath:    *artifactPath,
+		Logger:          logger,
+		Quantized:       *quantized,
+		PrefilterMargin: *prefilterMargin,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,191 @@
+// Package asymcost computes closed-form asymptotic cost bounds for sparse
+// tensor programs, after "An Asymptotic Cost Model for Autoscheduling Sparse
+// Tensor Programs" (Ahrens & Kjolstad): the run time of a TACO-style loop
+// nest is bounded by the number of iterations its loops can touch, times a
+// locate multiplier for every compressed level the traversal accesses out of
+// storage order, plus parallel dispatch/synchronization overhead.
+//
+// The model is deliberately crude — a handful of additions in log2 space per
+// candidate — because its job on the query path is not prediction but
+// domination pruning: a SuperSchedule whose bound exceeds the best bound
+// seen so far by a wide margin (orders of magnitude of asymptotic work)
+// cannot plausibly win, so the neural predictor head never needs to score
+// it. The split mirrors the inference path's own: Precompute digests the
+// pattern-independent structure of a schedule once at index-build time, and
+// Terms.Bound folds in a pattern's shape/nnz statistics in O(levels) flops
+// with zero allocations.
+package asymcost
+
+import (
+	"math"
+
+	"waco/internal/format"
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+// Stats is the per-pattern input of the bound: mode extents and the stored
+// nonzero count. The zero value is invalid; use FromCOO or fill both fields.
+type Stats struct {
+	Dims []int // extent of each sparse-operand mode
+	NNZ  int64 // stored nonzeros
+}
+
+// FromCOO digests a sparse tensor into bound inputs.
+func FromCOO(c *tensor.COO) Stats {
+	return Stats{Dims: c.Dims, NNZ: int64(c.NNZ())}
+}
+
+// step is one loop of the compute order with its storage facts resolved.
+type step struct {
+	mode       int
+	inner      bool
+	lsplit     float64 // log2 of the mode's split size
+	compressed bool    // the (mode, part) level is stored Compressed
+	concordant bool    // every level stored above it has already been visited
+}
+
+// Terms is the pattern-independent digest of one SuperSchedule, produced by
+// Precompute and consumed by Bound. Terms are plain values; copying is fine.
+type Terms struct {
+	steps    []step
+	lthreads float64 // log2(Threads); 0 when serial
+	lchunk   float64 // log2(Chunk)
+	parallel bool
+}
+
+// Precompute digests a schedule's loop structure. It never fails: malformed
+// schedules (which BuildIndex already validates away) just yield pessimistic
+// bounds. The result is immutable and safe for concurrent Bound calls.
+func Precompute(ss *schedule.SuperSchedule) Terms {
+	f := ss.AFormat
+	// levelPos[(mode, inner)] = position in the storage hierarchy.
+	type mp struct {
+		mode  int
+		inner bool
+	}
+	levelPos := make(map[mp]int, len(f.Levels))
+	for i, l := range f.Levels {
+		levelPos[mp{l.Mode, l.Inner}] = i
+	}
+	t := Terms{steps: make([]step, 0, len(ss.ComputeOrder))}
+	visited := make([]bool, len(f.Levels))
+	for _, v := range ss.ComputeOrder {
+		s := step{mode: v.Mode, inner: v.Inner}
+		if v.Mode >= 0 && v.Mode < len(f.Splits) {
+			s.lsplit = math.Log2(float64(f.Splits[v.Mode]))
+		}
+		if pos, ok := levelPos[mp{v.Mode, v.Inner}]; ok {
+			s.compressed = f.Levels[pos].Kind == format.Compressed
+			// Concordant iff every ancestor level in the storage hierarchy
+			// was already traversed: then the compressed level's stored
+			// coordinates can be enumerated segment by segment. Otherwise
+			// each visit must locate its coordinate (binary search).
+			s.concordant = true
+			for a := 0; a < pos; a++ {
+				if !visited[a] {
+					s.concordant = false
+					break
+				}
+			}
+			visited[pos] = true
+		}
+		t.steps = append(t.steps, s)
+	}
+	if ss.Threads > 1 {
+		t.parallel = true
+		t.lthreads = math.Log2(float64(ss.Threads))
+		if ss.Chunk > 0 {
+			t.lchunk = math.Log2(float64(ss.Chunk))
+		}
+	}
+	return t
+}
+
+// Per-element constant costs in log2 space: a discordant compressed access
+// pays a binary search (the log factor is folded in per level), parallel
+// execution pays per-chunk dispatch and per-thread synchronization. The
+// constants only need to be in the right ballpark — Bound feeds a margin
+// comparison, not a predictor.
+const (
+	dispatchCost = 6.0 // ~64 ops to dispatch one dynamic chunk
+	syncCost     = 8.0 // ~256 ops per thread join/reduction merge
+)
+
+// Bound returns log2 of the asymptotic operation bound for the schedule
+// digest against a pattern's statistics. Lower is better; differences are
+// orders of magnitude of asymptotic work. Allocation-free.
+//
+//waco:allocfree
+func (t Terms) Bound(st Stats) float64 {
+	nnz := st.NNZ
+	if nnz < 1 {
+		nnz = 1
+	}
+	logz := math.Log2(float64(nnz))
+	work := 0.0   // log2 of the iteration count so far
+	locate := 0.0 // log2 of the accumulated locate multiplier
+	for _, s := range t.steps {
+		var le float64 // log2 of this level's coordinate extent
+		if s.inner {
+			le = s.lsplit
+		} else if s.mode >= 0 && s.mode < len(st.Dims) && st.Dims[s.mode] > 0 {
+			le = math.Log2(float64(st.Dims[s.mode])) - s.lsplit
+			if le < 0 {
+				le = 0
+			}
+		}
+		if s.compressed && s.concordant {
+			// Enumerating a concordant compressed level caps the loop nest at
+			// the stored nonzeros: iterations cannot exceed coordinate paths.
+			work += le
+			if work > logz {
+				work = logz
+			}
+		} else {
+			work += le
+			if s.compressed {
+				// Discordant compressed access: every iteration binary-searches
+				// a segment of up to 2^le coordinates — a log2(extent) = le
+				// comparison multiplier (at least 1).
+				locate += math.Log2(1 + le)
+			}
+		}
+	}
+	total := work + locate
+	if t.parallel {
+		body := total - t.lthreads
+		// Dispatch: one per dynamic chunk. Chunks divide the outermost loop,
+		// whose log-extent is the first step's.
+		var louter float64
+		if len(t.steps) > 0 {
+			s := t.steps[0]
+			if s.inner {
+				louter = s.lsplit
+			} else if s.mode >= 0 && s.mode < len(st.Dims) && st.Dims[s.mode] > 0 {
+				louter = math.Log2(float64(st.Dims[s.mode])) - s.lsplit
+				if louter < 0 {
+					louter = 0
+				}
+			}
+		}
+		dispatch := louter - t.lchunk
+		if dispatch < 0 {
+			dispatch = 0
+		}
+		dispatch += dispatchCost
+		sync := t.lthreads + syncCost
+		total = logSum(logSum(body, dispatch), sync)
+	}
+	return total
+}
+
+// logSum returns log2(2^a + 2^b) without leaving log space.
+//
+//waco:allocfree
+func logSum(a, b float64) float64 {
+	if b > a {
+		a, b = b, a
+	}
+	return a + math.Log2(1+math.Exp2(b-a))
+}

@@ -1,0 +1,121 @@
+package asymcost
+
+import (
+	"math"
+	"testing"
+
+	"waco/internal/format"
+	"waco/internal/schedule"
+)
+
+// stats for a 4096 x 4096 matrix with 40k nonzeros (density ~0.24%).
+func sparseStats() Stats {
+	return Stats{Dims: []int{4096, 4096}, NNZ: 40000}
+}
+
+func csrSerial() *schedule.SuperSchedule {
+	return schedule.ConcordantSchedule(schedule.SpMM, format.CSR(), 1, 32)
+}
+
+// TestConcordantCompressedBoundedByNNZ: a concordant CSR traversal touches
+// only stored coordinates, so its bound tracks nnz, far below the dense
+// iteration space.
+func TestConcordantCompressedBoundedByNNZ(t *testing.T) {
+	st := sparseStats()
+	csr := Precompute(csrSerial()).Bound(st)
+	dense := Precompute(schedule.ConcordantSchedule(schedule.SpMM, format.Dense(2), 1, 32)).Bound(st)
+	logz := math.Log2(float64(st.NNZ))
+	logDense := math.Log2(float64(st.Dims[0])) + math.Log2(float64(st.Dims[1]))
+	if csr > logz+1 {
+		t.Fatalf("CSR bound %.1f, want <= log2(nnz)+1 = %.1f", csr, logz+1)
+	}
+	if dense < logDense-1 {
+		t.Fatalf("dense bound %.1f, want >= %.1f", dense, logDense-1)
+	}
+	if csr >= dense {
+		t.Fatalf("CSR bound %.1f not below dense bound %.1f", csr, dense)
+	}
+}
+
+// TestDiscordantCompressedPaysLocate: traversing CSC storage row-major makes
+// the compressed column level discordant — the bound must exceed both the
+// concordant CSC traversal and the dense extent (locate multiplier).
+func TestDiscordantCompressedPaysLocate(t *testing.T) {
+	st := sparseStats()
+	csc := format.CSC()
+	concordant := schedule.ConcordantSchedule(schedule.SpMM, csc, 1, 32)
+	discordant := concordant.Clone()
+	// Swap the two outer loops: visit the compressed row level before the
+	// uncompressed column root it is stored under.
+	discordant.ComputeOrder[0], discordant.ComputeOrder[1] = discordant.ComputeOrder[1], discordant.ComputeOrder[0]
+	discordant.Parallel = discordant.ComputeOrder[0]
+	cb := Precompute(concordant).Bound(st)
+	db := Precompute(discordant).Bound(st)
+	if db <= cb {
+		t.Fatalf("discordant bound %.1f not above concordant %.1f", db, cb)
+	}
+	logDense := math.Log2(float64(st.Dims[0])) + math.Log2(float64(st.Dims[1]))
+	if db <= logDense {
+		t.Fatalf("discordant bound %.1f missing locate penalty over dense extent %.1f", db, logDense)
+	}
+}
+
+// TestParallelSpeedupAndOverhead: threads divide large bounds but cannot pay
+// off on tiny ones, where dispatch/sync overhead dominates.
+func TestParallelSpeedupAndOverhead(t *testing.T) {
+	st := sparseStats()
+	serial := Precompute(schedule.ConcordantSchedule(schedule.SpMM, format.Dense(2), 1, 32))
+	par := Precompute(schedule.ConcordantSchedule(schedule.SpMM, format.Dense(2), 16, 32))
+	sb, pb := serial.Bound(st), par.Bound(st)
+	if pb >= sb {
+		t.Fatalf("parallel bound %.1f not below serial %.1f on large work", pb, sb)
+	}
+	if sb-pb > math.Log2(16)+0.1 {
+		t.Fatalf("parallel bound %.1f claims superlinear speedup over %.1f", pb, sb)
+	}
+	tiny := Stats{Dims: []int{4, 4}, NNZ: 4}
+	st2, pt2 := serial.Bound(tiny), par.Bound(tiny)
+	if pt2 <= st2 {
+		t.Fatalf("parallel bound %.1f on tiny work not above serial %.1f (missing overhead)", pt2, st2)
+	}
+}
+
+// TestBoundMonotoneInNNZ: more nonzeros never lower a bound.
+func TestBoundMonotoneInNNZ(t *testing.T) {
+	terms := Precompute(csrSerial())
+	prev := math.Inf(-1)
+	for _, z := range []int64{1, 100, 10000, 1 << 20} {
+		b := terms.Bound(Stats{Dims: []int{4096, 4096}, NNZ: z})
+		if b < prev {
+			t.Fatalf("bound dropped from %.2f to %.2f as nnz rose to %d", prev, b, z)
+		}
+		prev = b
+	}
+}
+
+// TestSplitsShrinkOuterExtent: splitting a mode moves extent from the outer
+// to the inner level without inflating the dense product.
+func TestSplitsShrinkOuterExtent(t *testing.T) {
+	st := sparseStats()
+	f := format.Dense(2)
+	unsplit := Precompute(schedule.ConcordantSchedule(schedule.SpMM, f, 1, 32)).Bound(st)
+	f2 := format.Dense(2)
+	f2.Splits[0] = 16
+	split := Precompute(schedule.ConcordantSchedule(schedule.SpMM, f2, 1, 32)).Bound(st)
+	if math.Abs(split-unsplit) > 0.01 {
+		t.Fatalf("splitting a dense mode changed the bound: %.3f vs %.3f", split, unsplit)
+	}
+}
+
+// TestBoundAllocFree: the per-candidate fold must not allocate (it runs
+// inside the query path's batch callback).
+func TestBoundAllocFree(t *testing.T) {
+	terms := Precompute(csrSerial())
+	st := sparseStats()
+	var sink float64
+	allocs := testing.AllocsPerRun(100, func() { sink += terms.Bound(st) })
+	if allocs != 0 {
+		t.Fatalf("Bound allocated %.1f times per run", allocs)
+	}
+	_ = sink
+}

@@ -31,9 +31,11 @@ type InferBuffers struct {
 	model   *Model
 	featPtr *float32
 	featLen int
+	featGen uint64    // arena generation the prepared feature lives in
 	pre     []float32 // pre[o] = B[o] + W[o, :featLen] . feat
 
-	hid [2][]float32 // ping-pong hidden activations of the head
+	hid  [2][]float32 // ping-pong hidden activations of the head
+	qhid []int8       // quantized hidden activations of the int8 head
 }
 
 // NewInferBuffers returns empty buffers; they size themselves on first use.
@@ -83,13 +85,19 @@ func grow(s []float32, n int) []float32 {
 // unmodified while prepared — the search path extracts it once per query and
 // never writes it.
 //
+// Identity alone (address + length) is not enough: features live on the
+// arena, and an arena reset recycles addresses, so a NEW feature extracted
+// after a reset can land exactly where the old one was. The memo therefore
+// also keys on the arena generation, which Reset bumps (pinned by
+// TestPrepareInvalidatedByArenaReset).
+//
 //waco:allocfree
 func (b *InferBuffers) prepare(m *Model, feat []float32) {
 	var fp *float32
 	if len(feat) > 0 {
 		fp = &feat[0]
 	}
-	if b.model == m && b.featPtr == fp && b.featLen == len(feat) {
+	if b.model == m && b.featPtr == fp && b.featLen == len(feat) && b.featGen == b.arena.Gen() {
 		return
 	}
 	l0 := m.Head.Layers[0]
@@ -104,7 +112,7 @@ func (b *InferBuffers) prepare(m *Model, feat []float32) {
 		}
 		b.pre[o] = acc
 	}
-	b.model, b.featPtr, b.featLen = m, fp, fd
+	b.model, b.featPtr, b.featLen, b.featGen = m, fp, fd, b.arena.Gen()
 }
 
 // score runs the head on one embedding against the prepared feature,
@@ -167,10 +175,22 @@ func (m *Model) PredictHead(b *InferBuffers, feat, emb []float32) float64 {
 	return b.score(m, emb)
 }
 
-// ExtractInfer extracts the pattern feature forward-only into b's arena. The
-// result is valid until b resets.
+// ExtractInfer extracts the pattern feature forward-only, memoizing it on the
+// pattern: the first call per (pattern, extractor) runs the network with b's
+// arena and copies the result off it; later calls return the cached copy
+// without touching b. The returned slice is owned by the pattern (valid for
+// its lifetime, not just until b resets) and must not be modified.
 func (m *Model) ExtractInfer(b *InferBuffers, p *Pattern) ([]float32, error) {
-	return m.Extractor.ExtractInfer(&b.arena, p)
+	if p.featKey == m.Extractor && p.featVal != nil {
+		return p.featVal, nil
+	}
+	feat, err := m.Extractor.ExtractInfer(&b.arena, p)
+	if err != nil {
+		return nil, err
+	}
+	p.featVal = append([]float32(nil), feat...)
+	p.featKey = m.Extractor
+	return p.featVal, nil
 }
 
 // EmbedScheduleInfer embeds a schedule forward-only into b's arena. Callers

@@ -159,6 +159,68 @@ func TestPredictHeadIntoMatchesPredictWith(t *testing.T) {
 	}
 }
 
+// TestPrepareInvalidatedByArenaReset is the regression test for the stale
+// prepared-head memoization bug: prepare memoized the hoisted layer-0 feature
+// partial on (model, feature address, feature length) alone. Features live on
+// the buffer's arena, and an arena reset recycles addresses, so a NEW feature
+// written after a reset can land exactly where the old one was — and the head
+// kept scoring every candidate with the OLD feature's partial. The fix keys
+// the memo on the arena generation, which Reset bumps.
+//
+// The test allocates the feature from the arena directly (the first
+// allocation after a reset always reuses the same address), which reproduces
+// the aliasing deterministically — the same shape extractors hit when
+// consecutive same-sized patterns recycle one buffer.
+func TestPrepareInvalidatedByArenaReset(t *testing.T) {
+	alg := schedule.SpMM
+	m := tinyModel(t, alg, KindHumanFeature)
+	featDim := headIn(m) - m.Cfg.EmbDim
+	srng := rand.New(rand.NewSource(52))
+	ss := m.Space.Sample(srng)
+
+	b := NewInferBuffers()
+	b.Reset()
+	emb := append([]float32(nil), m.EmbedScheduleInfer(b, ss)...)
+
+	fill := func(dst []float32, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := range dst {
+			dst[i] = rng.Float32()*2 - 1
+		}
+	}
+	// Oracle: each feature scored with a fresh buffer set.
+	oracle := func(seed int64) float64 {
+		fb := NewInferBuffers()
+		fb.Reset()
+		feat := fb.Arena().Alloc(featDim)
+		fill(feat, seed)
+		return m.PredictHead(fb, feat, emb)
+	}
+	want1, want2 := oracle(53), oracle(54)
+	if want1 == want2 {
+		t.Fatal("test features score identically; pick different seeds")
+	}
+
+	b.Reset()
+	feat1 := b.Arena().Alloc(featDim)
+	fill(feat1, 53)
+	if got := m.PredictHead(b, feat1, emb); got != want1 {
+		t.Fatalf("first feature scored %v, want %v", got, want1)
+	}
+
+	// Reset the arena WITHOUT clearing the buffer's memo fields — the
+	// recycling path a caller holding only the arena can legitimately take.
+	b.Arena().Reset()
+	feat2 := b.Arena().Alloc(featDim)
+	fill(feat2, 54)
+	if &feat2[0] != &feat1[0] {
+		t.Fatal("arena did not recycle the first allocation's address; fixture broken")
+	}
+	if got := m.PredictHead(b, feat2, emb); got != want2 {
+		t.Fatalf("after arena reset, second feature scored %v (stale prepared head), want %v", got, want2)
+	}
+}
+
 // TestInferSteadyStateAllocs verifies the forward-only query path reaches
 // zero heap allocations once the arena has warmed up.
 func TestInferSteadyStateAllocs(t *testing.T) {

@@ -1,0 +1,376 @@
+package costmodel
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"waco/internal/nn"
+)
+
+// This file is the int8 predictor head: a quantized twin of the float
+// PredictHeadInto path. WACO's ranking loss trains the head for ORDER, not
+// absolute runtime, so the serving contract for a quantized head is rank
+// fidelity — the Spearman rank-correlation suite in quant_test.go pins the
+// quantized scores against the float oracle for every extractor kind. The
+// float path remains the default and the ground truth; the quantized path is
+// an opt-in throughput lever on the query path (see search.Index).
+//
+// Split mirrors the float fast path exactly: the first head layer sees
+// concat(feature, embedding). The feature half is query-constant and already
+// hoisted into InferBuffers.prepare as a float partial; only the embedding
+// half of layer 0 — the part that runs once per candidate — and the
+// remaining layers are quantized. Stored index embeddings are quantized once
+// (per artifact, under EmbScale), so a candidate evaluation is pure int8*int8
+// dot products on int32 accumulators plus one float rescale per output
+// channel.
+
+// QuantizedHead is the int8 form of a model's predictor head plus the
+// calibration constants needed to run it: per-output-channel weight scales
+// (inside each nn.QuantizedLinear), the shared embedding input scale, and
+// one calibrated activation scale per downstream layer.
+type QuantizedHead struct {
+	FeatDim int // feature width of the concat input (float half)
+	EmbDim  int // embedding width of the concat input (quantized half)
+
+	// L0Emb is the embedding-column half of head layer 0: no bias — the
+	// float feature partial from InferBuffers.prepare is the base.
+	L0Emb *nn.QuantizedLinear
+	// Layers are head layers 1..n fully quantized, with float biases.
+	Layers []*nn.QuantizedLinear
+	// EmbScale quantizes schedule embeddings (symmetric, per-tensor).
+	EmbScale float32
+	// ActScales[i] quantizes the (post-ReLU) input of Layers[i].
+	ActScales []float32
+}
+
+// QuantizeHead builds the int8 head from a trained model with a calibration
+// pass: embScale comes from the largest embedding magnitude in embs, and
+// each activation scale from the largest post-ReLU activation the float head
+// produces over all (feat, emb) calibration pairs. Deterministic in its
+// inputs. feats and embs must be non-empty; every feat must have the
+// model's feature width and every emb the model's embedding width.
+func QuantizeHead(m *Model, feats, embs [][]float32) (*QuantizedHead, error) {
+	layers := m.Head.Layers
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("costmodel: model has no head layers")
+	}
+	if len(feats) == 0 || len(embs) == 0 {
+		return nil, fmt.Errorf("costmodel: quantization calibration needs at least one feature and one embedding")
+	}
+	l0 := layers[0]
+	embDim := m.Cfg.EmbDim
+	featDim := l0.In - embDim
+	for i, f := range feats {
+		if len(f) != featDim {
+			return nil, fmt.Errorf("costmodel: calibration feature %d has width %d, head expects %d", i, len(f), featDim)
+		}
+	}
+	embMax := float32(0)
+	for i, e := range embs {
+		if len(e) != embDim {
+			return nil, fmt.Errorf("costmodel: calibration embedding %d has width %d, head expects %d", i, len(e), embDim)
+		}
+		if a := nn.MaxAbs(e); a > embMax {
+			embMax = a
+		}
+	}
+	if embMax == 0 {
+		embMax = 1
+	}
+
+	q := &QuantizedHead{
+		FeatDim:   featDim,
+		EmbDim:    embDim,
+		L0Emb:     nn.QuantizeLinearCols(l0, featDim, l0.In),
+		EmbScale:  embMax / nn.QuantMax,
+		ActScales: make([]float32, len(layers)-1),
+	}
+	for _, l := range layers[1:] {
+		q.Layers = append(q.Layers, nn.QuantizeLinear(l))
+	}
+
+	// Activation calibration: run the float head over the cross product of
+	// calibration features and embeddings, recording the post-ReLU peak that
+	// feeds each downstream layer.
+	actMax := make([]float32, len(layers)-1)
+	b := NewInferBuffers()
+	for _, feat := range feats {
+		b.Reset()
+		b.prepare(m, feat)
+		for _, emb := range embs {
+			x := make([]float32, l0.Out)
+			fd := featDim
+			for o := 0; o < l0.Out; o++ {
+				row := l0.W.W[o*l0.In+fd : (o+1)*l0.In]
+				acc := b.pre[o]
+				for j, xj := range emb {
+					acc += row[j] * xj
+				}
+				x[o] = acc
+			}
+			for li := 1; li < len(layers); li++ {
+				nn.ReLUInPlace(x)
+				if a := nn.MaxAbs(x); a > actMax[li-1] {
+					actMax[li-1] = a
+				}
+				y := make([]float32, layers[li].Out)
+				layers[li].InferInto(y, x)
+				x = y
+			}
+		}
+	}
+	for i, a := range actMax {
+		if a == 0 {
+			a = 1
+		}
+		q.ActScales[i] = a / nn.QuantMax
+	}
+	return q, nil
+}
+
+// Validate checks the head's internal consistency — the gate behind
+// LoadQuantizedHead, exercised by FuzzLoadQuantizedHead against truncated,
+// oversized, and dimension-mismatched sections.
+func (q *QuantizedHead) Validate() error {
+	if q.FeatDim < 0 || q.EmbDim <= 0 {
+		return fmt.Errorf("costmodel: quantized head dims feat=%d emb=%d", q.FeatDim, q.EmbDim)
+	}
+	if q.L0Emb == nil {
+		return fmt.Errorf("costmodel: quantized head missing layer-0 embedding half")
+	}
+	if err := q.L0Emb.Validate(); err != nil {
+		return err
+	}
+	if q.L0Emb.B != nil {
+		return fmt.Errorf("costmodel: layer-0 embedding half must not carry a bias")
+	}
+	if q.L0Emb.In != q.EmbDim {
+		return fmt.Errorf("costmodel: layer-0 embedding half is %d wide, embeddings are %d", q.L0Emb.In, q.EmbDim)
+	}
+	if !(q.EmbScale > 0) {
+		return fmt.Errorf("costmodel: embedding scale must be positive and finite")
+	}
+	if len(q.ActScales) != len(q.Layers) {
+		return fmt.Errorf("costmodel: %d activation scales for %d quantized layers", len(q.ActScales), len(q.Layers))
+	}
+	in := q.L0Emb.Out
+	for i, l := range q.Layers {
+		if l == nil {
+			return fmt.Errorf("costmodel: quantized layer %d is nil", i+1)
+		}
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("costmodel: quantized layer %d: %w", i+1, err)
+		}
+		if l.B == nil {
+			return fmt.Errorf("costmodel: quantized layer %d has no bias", i+1)
+		}
+		if l.In != in {
+			return fmt.Errorf("costmodel: quantized layer %d input %d, previous output %d", i+1, l.In, in)
+		}
+		if !(q.ActScales[i] > 0) {
+			return fmt.Errorf("costmodel: activation scale %d must be positive and finite", i)
+		}
+		in = l.Out
+	}
+	if in != 1 {
+		return fmt.Errorf("costmodel: quantized head ends in %d outputs, want 1", in)
+	}
+	return nil
+}
+
+// CompatibleWith reports whether the quantized head was built from a head of
+// the model's shape — the reload-time check that keeps a sealed quantized
+// section from silently serving against a different architecture.
+func (q *QuantizedHead) CompatibleWith(m *Model) error {
+	layers := m.Head.Layers
+	if len(layers) == 0 || q.FeatDim+q.EmbDim != layers[0].In || q.EmbDim != m.Cfg.EmbDim {
+		return fmt.Errorf("costmodel: quantized head shaped %d+%d, model head takes %d (+emb %d)",
+			q.FeatDim, q.EmbDim, headIn(m), m.Cfg.EmbDim)
+	}
+	if q.L0Emb.Out != layers[0].Out || len(q.Layers) != len(layers)-1 {
+		return fmt.Errorf("costmodel: quantized head has %d downstream layers, model head %d", len(q.Layers), len(layers)-1)
+	}
+	for i, l := range q.Layers {
+		if l.In != layers[i+1].In || l.Out != layers[i+1].Out {
+			return fmt.Errorf("costmodel: quantized layer %d is %dx%d, model layer is %dx%d",
+				i+1, l.Out, l.In, layers[i+1].Out, layers[i+1].In)
+		}
+	}
+	return nil
+}
+
+func headIn(m *Model) int {
+	if len(m.Head.Layers) == 0 {
+		return 0
+	}
+	return m.Head.Layers[0].In
+}
+
+// QuantizeEmbedding quantizes one schedule embedding under the calibrated
+// embedding scale. dst must have EmbDim capacity; the index quantizes every
+// stored embedding once at enable time, so query-path candidates cost no
+// per-query quantization.
+//
+//waco:allocfree
+func (q *QuantizedHead) QuantizeEmbedding(dst []int8, emb []float32) {
+	nn.QuantizeSlice(dst, emb, q.EmbScale)
+}
+
+// growI8 returns s resized to n, reallocating only when capacity is short.
+// Contents are unspecified; callers overwrite every element.
+func growI8(s []int8, n int) []int8 {
+	if cap(s) < n {
+		return make([]int8, n)
+	}
+	return s[:n]
+}
+
+// scoreQuantized runs the int8 head on one quantized embedding against the
+// prepared float feature partial, allocating nothing in steady state.
+//
+//waco:allocfree
+func (b *InferBuffers) scoreQuantized(q *QuantizedHead, qemb []int8) float64 {
+	x := grow(b.hid[0], q.L0Emb.Out)
+	b.hid[0] = x
+	q.L0Emb.InferInto(x, b.pre, qemb, q.EmbScale)
+	cur := 0
+	for li, l := range q.Layers {
+		xq := growI8(b.qhid, l.In)
+		b.qhid = xq
+		nn.QuantizeReLUSlice(xq, x, q.ActScales[li])
+		y := grow(b.hid[1-cur], l.Out)
+		b.hid[1-cur] = y
+		l.InferInto(y, l.B, xq, q.ActScales[li])
+		x = y
+		cur = 1 - cur
+	}
+	return float64(x[0])
+}
+
+// PredictHeadIntoQuantized scores a batch of pre-quantized schedule
+// embeddings against one extracted pattern feature on the int8 path — the
+// quantized counterpart of PredictHeadInto. The feature half of layer 0 runs
+// in float (it is query-constant and shared with the float path's prepare),
+// the per-candidate work is int8 dot products with int32 accumulators. Each
+// embedding counts as one head evaluation, same as the float path.
+//
+//waco:allocfree
+func (m *Model) PredictHeadIntoQuantized(b *InferBuffers, q *QuantizedHead, feat []float32, qembs [][]int8, out []float64) {
+	if len(out) != len(qembs) {
+		nn.CheckShape("quantized head batch output", len(out), len(qembs))
+	}
+	b.prepare(m, feat)
+	for i, qe := range qembs {
+		out[i] = b.scoreQuantized(q, qe)
+	}
+	m.headEvals.Add(uint64(len(qembs)))
+}
+
+// PredictHeadQuantized scores one quantized embedding (the batch-of-one case
+// of PredictHeadIntoQuantized).
+//
+//waco:allocfree
+func (m *Model) PredictHeadQuantized(b *InferBuffers, q *QuantizedHead, feat []float32, qemb []int8) float64 {
+	b.prepare(m, feat)
+	m.headEvals.Add(1)
+	return b.scoreQuantized(q, qemb)
+}
+
+// Sealed quantized-head section. The envelope is versioned independently of
+// the artifact that carries it, so the quantization scheme can evolve
+// without a full artifact format bump.
+const (
+	quantMagic   = "WACOQNT8"
+	quantVersion = uint32(1)
+)
+
+// quantDisk is the gob payload after the magic + version header.
+type quantDisk struct {
+	FeatDim, EmbDim int
+	L0Emb           quantLinearDisk
+	Layers          []quantLinearDisk
+	EmbScale        float32
+	ActScales       []float32
+}
+
+// quantLinearDisk flattens one quantized layer for gob.
+type quantLinearDisk struct {
+	In, Out int
+	W       []int8
+	Scale   []float32
+	B       []float32
+}
+
+func toDisk(l *nn.QuantizedLinear) quantLinearDisk {
+	return quantLinearDisk{In: l.In, Out: l.Out, W: l.W, Scale: l.Scale, B: l.B}
+}
+
+func fromDisk(d quantLinearDisk) *nn.QuantizedLinear {
+	return &nn.QuantizedLinear{In: d.In, Out: d.Out, W: d.W, Scale: d.Scale, B: d.B}
+}
+
+// Save writes the quantized head as a self-contained versioned section:
+// sealing it next to the float model means quantized serving needs no
+// startup calibration pass.
+func (q *QuantizedHead) Save(w io.Writer) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, quantMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, quantVersion); err != nil {
+		return err
+	}
+	d := quantDisk{
+		FeatDim:   q.FeatDim,
+		EmbDim:    q.EmbDim,
+		L0Emb:     toDisk(q.L0Emb),
+		EmbScale:  q.EmbScale,
+		ActScales: q.ActScales,
+	}
+	for _, l := range q.Layers {
+		d.Layers = append(d.Layers, toDisk(l))
+	}
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// LoadQuantizedHead reads a section written by Save, validating every shape
+// before returning — truncated weights, oversized scales, and mismatched
+// dims all surface as errors, never panics (FuzzLoadQuantizedHead).
+func LoadQuantizedHead(r io.Reader) (*QuantizedHead, error) {
+	magic := make([]byte, len(quantMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("costmodel: reading quantized-head magic: %w", err)
+	}
+	if string(magic) != quantMagic {
+		return nil, fmt.Errorf("costmodel: bad quantized-head magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("costmodel: reading quantized-head version: %w", err)
+	}
+	if version != quantVersion {
+		return nil, fmt.Errorf("costmodel: quantized-head version %d, this build reads %d", version, quantVersion)
+	}
+	var d quantDisk
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("costmodel: decoding quantized head: %w", err)
+	}
+	q := &QuantizedHead{
+		FeatDim:   d.FeatDim,
+		EmbDim:    d.EmbDim,
+		L0Emb:     fromDisk(d.L0Emb),
+		EmbScale:  d.EmbScale,
+		ActScales: d.ActScales,
+	}
+	for _, l := range d.Layers {
+		q.Layers = append(q.Layers, fromDisk(l))
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

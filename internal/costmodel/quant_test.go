@@ -1,0 +1,278 @@
+package costmodel
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"waco/internal/generate"
+	"waco/internal/schedule"
+)
+
+// ranks assigns average ranks (ties share the mean of their positions), the
+// standard preprocessing for Spearman correlation.
+func ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	r := make([]float64, len(v))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && v[idx[j]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j
+	}
+	return r
+}
+
+// spearman computes the Spearman rank correlation between two score vectors.
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= float64(len(ra))
+	mb /= float64(len(rb))
+	var num, da, db float64
+	for i := range ra {
+		x, y := ra[i]-ma, rb[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+// quantFixture builds a tiny model plus a calibrated quantized head from
+// sampled schedules and patterns, returning everything a scoring test needs.
+func quantFixture(t *testing.T, kind ExtractorKind, nSched int) (*Model, *QuantizedHead, *Pattern, [][]float32) {
+	t.Helper()
+	m := tinyModel(t, schedule.SpMM, kind)
+	rng := rand.New(rand.NewSource(61))
+	p := NewPattern(generate.Uniform(rng, 96, 80, 600))
+
+	b := NewInferBuffers()
+	srng := rand.New(rand.NewSource(62))
+	embs := make([][]float32, nSched)
+	for i := range embs {
+		b.Reset()
+		embs[i] = append([]float32(nil), m.EmbedScheduleInfer(b, m.Space.Sample(srng))...)
+	}
+	b.Reset()
+	feat, err := m.ExtractInfer(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := [][]float32{append([]float32(nil), feat...)}
+
+	q, err := QuantizeHead(m, feats, embs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CompatibleWith(m); err != nil {
+		t.Fatal(err)
+	}
+	return m, q, p, embs
+}
+
+// scoreBoth runs the float and quantized heads over the same embeddings.
+func scoreBoth(t *testing.T, m *Model, q *QuantizedHead, p *Pattern, embs [][]float32) (flt, qnt []float64) {
+	t.Helper()
+	b := NewInferBuffers()
+	b.Reset()
+	feat, err := m.ExtractInfer(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flt = make([]float64, len(embs))
+	m.PredictHeadInto(b, feat, embs, flt)
+
+	qembs := make([][]int8, len(embs))
+	for i, e := range embs {
+		qembs[i] = make([]int8, len(e))
+		q.QuantizeEmbedding(qembs[i], e)
+	}
+	qnt = make([]float64, len(embs))
+	m.PredictHeadIntoQuantized(b, q, feat, qembs, qnt)
+	return flt, qnt
+}
+
+// TestQuantizedHeadRankCorrelation pins the serving contract of the int8
+// head for every extractor kind: candidate ORDER survives quantization.
+// WACO's ranking loss means only order matters, so Spearman >= 0.98 against
+// the float oracle is the acceptance gate.
+func TestQuantizedHeadRankCorrelation(t *testing.T) {
+	for _, kind := range ExtractorKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			m, q, p, embs := quantFixture(t, kind, 48)
+			flt, qnt := scoreBoth(t, m, q, p, embs)
+			if rho := spearman(flt, qnt); rho < 0.98 {
+				t.Fatalf("quantized/float Spearman = %.4f, want >= 0.98\nfloat: %v\nquant: %v", rho, flt, qnt)
+			}
+		})
+	}
+}
+
+// TestQuantizedHeadEvalAccounting: quantized scoring counts head evals on the
+// same meter as the float path, so §5.4-style breakdowns stay comparable.
+func TestQuantizedHeadEvalAccounting(t *testing.T) {
+	m, q, p, embs := quantFixture(t, KindHumanFeature, 7)
+	before := m.HeadEvals()
+	scoreBoth(t, m, q, p, embs)
+	if got := m.HeadEvals() - before; got != uint64(2*len(embs)) {
+		t.Fatalf("float+quantized scoring counted %d head evals, want %d", got, 2*len(embs))
+	}
+}
+
+// TestQuantizedHeadSaveLoadRoundTrip: a reloaded section scores bit-identically
+// to the in-memory head — sealed artifacts serve exactly what was calibrated.
+func TestQuantizedHeadSaveLoadRoundTrip(t *testing.T) {
+	m, q, p, embs := quantFixture(t, KindWACONet, 16)
+	var buf bytes.Buffer
+	if err := q.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadQuantizedHead(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.CompatibleWith(m); err != nil {
+		t.Fatal(err)
+	}
+	_, want := scoreBoth(t, m, q, p, embs)
+	_, got := scoreBoth(t, m, loaded, p, embs)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("embedding %d: reloaded head scores %v, original %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQuantizeHeadRejectsBadCalibration: calibration inputs with the wrong
+// shape fail loudly instead of sealing a head that mis-scores at serve time.
+func TestQuantizeHeadRejectsBadCalibration(t *testing.T) {
+	m := tinyModel(t, schedule.SpMM, KindHumanFeature)
+	featDim := headIn(m) - m.Cfg.EmbDim
+	goodFeat := make([]float32, featDim)
+	goodEmb := make([]float32, m.Cfg.EmbDim)
+	cases := map[string]struct {
+		feats, embs [][]float32
+	}{
+		"no feats":   {nil, [][]float32{goodEmb}},
+		"no embs":    {[][]float32{goodFeat}, nil},
+		"short feat": {[][]float32{goodFeat[:featDim-1]}, [][]float32{goodEmb}},
+		"long emb":   {[][]float32{goodFeat}, [][]float32{append([]float32(nil), append(goodEmb, 0)...)}},
+	}
+	for name, c := range cases {
+		if _, err := QuantizeHead(m, c.feats, c.embs); err == nil {
+			t.Fatalf("%s: QuantizeHead accepted bad calibration input", name)
+		}
+	}
+	if _, err := QuantizeHead(m, [][]float32{goodFeat}, [][]float32{goodEmb}); err != nil {
+		t.Fatalf("all-zero but well-shaped calibration must succeed (scales default to 1): %v", err)
+	}
+}
+
+// TestQuantizedHeadCompatibleWithRejectsMismatch: a head sealed against one
+// architecture refuses to serve another.
+func TestQuantizedHeadCompatibleWithRejectsMismatch(t *testing.T) {
+	_, q, _, _ := quantFixture(t, KindHumanFeature, 4)
+	// Same extractor, narrower hidden head layer: the shapes cannot line up.
+	cfg := Config{Extractor: KindHumanFeature, ConvCfg: tinyConvCfg(schedule.SpMM.SparseOrder()), EmbDim: 12, HeadDims: []int{8}, Seed: 4}
+	other, err := New(schedule.DefaultSpace(schedule.SpMM), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CompatibleWith(other); err == nil {
+		t.Fatal("CompatibleWith accepted a head built for a different architecture")
+	}
+}
+
+// TestQuantizedSteadyStateAllocs mirrors TestInferSteadyStateAllocs for the
+// int8 path: once warm, a query cycle allocates nothing.
+func TestQuantizedSteadyStateAllocs(t *testing.T) {
+	m, q, p, embs := quantFixture(t, KindWACONet, 8)
+	qembs := make([][]int8, len(embs))
+	for i, e := range embs {
+		qembs[i] = make([]int8, len(e))
+		q.QuantizeEmbedding(qembs[i], e)
+	}
+	out := make([]float64, len(qembs))
+	b := NewInferBuffers()
+	cycle := func() {
+		b.Reset()
+		feat, err := m.ExtractInfer(b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.PredictHeadIntoQuantized(b, q, feat, qembs, out)
+	}
+	cycle() // warmup: arena and scratch size themselves
+
+	if allocs := testing.AllocsPerRun(20, cycle); allocs > 0 {
+		t.Fatalf("steady-state quantized query path allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// FuzzLoadQuantizedHead: no input — truncated, oversized, bit-flipped, or
+// dimension-mismatched — may panic the loader, and anything it accepts must
+// validate clean.
+func FuzzLoadQuantizedHead(f *testing.F) {
+	m := tinyModel(f, schedule.SpMM, KindHumanFeature)
+	featDim := headIn(m) - m.Cfg.EmbDim
+	feat := make([]float32, featDim)
+	emb := make([]float32, m.Cfg.EmbDim)
+	for i := range feat {
+		feat[i] = float32(i%5) - 2
+	}
+	for i := range emb {
+		emb[i] = float32(i%7) - 3
+	}
+	q, err := QuantizeHead(m, [][]float32{feat}, [][]float32{emb})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := q.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte(nil))
+	f.Add([]byte("WACOQNT8"))
+	f.Add(append(append([]byte(nil), valid...), valid...))
+	corrupt := append([]byte(nil), valid...)
+	for i := 16; i < len(corrupt); i += 13 {
+		corrupt[i] ^= 0x5a
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := LoadQuantizedHead(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := q.Validate(); verr != nil {
+			t.Fatalf("LoadQuantizedHead returned an invalid head: %v", verr)
+		}
+	})
+}

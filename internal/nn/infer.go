@@ -27,7 +27,21 @@ const arenaMinSlab = 4096
 type Arena struct {
 	slab []float32
 	off  int
-	used int // total float32s handed out since the last Reset
+	used int    // total float32s handed out since the last Reset
+	gen  uint64 // bumped by Reset; see Gen
+}
+
+// Gen returns the arena's generation: a counter bumped by every Reset. A
+// slice handed out by Alloc is valid exactly while the generation it was
+// allocated under is current, so derived state memoized against a slice's
+// identity (address + length) must also key on the generation — the address
+// survives a Reset, the contents do not. A nil arena is permanently
+// generation 0.
+func (a *Arena) Gen() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.gen
 }
 
 // Alloc returns a zeroed scratch slice of length n, valid until Reset. A nil
@@ -66,6 +80,7 @@ func (a *Arena) Reset() {
 	}
 	a.off = 0
 	a.used = 0
+	a.gen++
 }
 
 // Infer computes the layer output forward-only, writing into arena scratch.

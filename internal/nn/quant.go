@@ -1,0 +1,216 @@
+package nn
+
+import "fmt"
+
+// This file is the int8 quantized counterpart of the forward-only inference
+// path. The query-path search spends almost all of its time inside the
+// predictor head's mat-vecs; the head is trained with a ranking loss, so only
+// the ORDER of its outputs matters — which makes it a textbook candidate for
+// symmetric fixed-point quantization: weights become int8 with one scale per
+// output channel, activations become int8 with one calibrated scale per
+// tensor, and the dot products run on int32 accumulators. The float path
+// stays the oracle; the quantized path is pinned against it by Spearman
+// rank-correlation tests in internal/costmodel.
+//
+// Accumulator-width note: an int8*int8 product is bounded by 2^14, so an
+// int32 accumulator holds 2^17 such terms exactly — far beyond any layer
+// width in this tree (the check in QuantizeLinear enforces the margin).
+
+// QuantMax is the symmetric int8 quantization range: values map to
+// [-QuantMax, QuantMax] (the -128 code is unused, as in standard symmetric
+// schemes, so negation never overflows).
+const QuantMax = 127
+
+// quantAccumLimit is the widest In a QuantizedLinear accepts: 2^17 terms of
+// at most 2^14 each stay strictly inside an int32 accumulator.
+const quantAccumLimit = 1 << 17
+
+// QuantizedLinear is a Linear with int8 weights under symmetric
+// per-output-channel scales: W_float[o][i] ~= Scale[o] * W[o*In+i]. The bias
+// stays float32 — it is added once per output, after the integer dot product
+// is rescaled, so quantizing it would cost accuracy for no speed.
+type QuantizedLinear struct {
+	In, Out int
+	W       []int8    // row-major Out x In
+	Scale   []float32 // per-output-channel weight scale, len Out
+	B       []float32 // float bias, len Out; nil when the caller supplies the base
+}
+
+// QuantizeLinear converts a trained layer to int8 with symmetric
+// per-output-channel scales. Lossless for zero rows (scale 1, all-zero
+// codes); every other weight rounds to the nearest of 255 codes.
+func QuantizeLinear(l *Linear) *QuantizedLinear {
+	q := QuantizeLinearCols(l, 0, l.In)
+	q.B = append([]float32(nil), l.B.W[:l.Out]...)
+	return q
+}
+
+// QuantizeLinearCols quantizes the column slice [from, to) of a layer — the
+// building block for splitting a concat-input layer into a float half (the
+// query-constant feature columns) and a quantized half (the per-candidate
+// embedding columns). The result has no bias; callers pass their own base to
+// InferInto.
+func QuantizeLinearCols(l *Linear, from, to int) *QuantizedLinear {
+	in := to - from
+	if from < 0 || to > l.In || in <= 0 {
+		panic("nn: quantize column range out of bounds") //waco:nolint paniccall -- construction-time misuse, not reachable from serving input
+	}
+	if in > quantAccumLimit {
+		panic("nn: layer too wide for int32 accumulation") //waco:nolint paniccall -- construction-time misuse, not reachable from serving input
+	}
+	q := &QuantizedLinear{In: in, Out: l.Out, W: make([]int8, l.Out*in), Scale: make([]float32, l.Out)}
+	for o := 0; o < l.Out; o++ {
+		row := l.W.W[o*l.In+from : o*l.In+to]
+		maxAbs := float32(0)
+		for _, w := range row {
+			if a := abs32(w); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / QuantMax
+		if scale == 0 {
+			scale = 1 // all-zero row: any scale reproduces it exactly
+		}
+		q.Scale[o] = scale
+		qrow := q.W[o*in : (o+1)*in]
+		inv := 1 / scale
+		for i, w := range row {
+			qrow[i] = QuantizeValue(w, inv)
+		}
+	}
+	return q
+}
+
+// QuantizeValue maps one float to its nearest symmetric int8 code under the
+// inverse scale, clamping to the [-QuantMax, QuantMax] range.
+//
+//waco:allocfree
+func QuantizeValue(v, invScale float32) int8 {
+	x := v * invScale
+	// Round half away from zero; adding ±0.5 before truncation is exact for
+	// the magnitudes that survive the clamp below.
+	if x >= 0 {
+		x += 0.5
+	} else {
+		x -= 0.5
+	}
+	if x > QuantMax {
+		return QuantMax
+	}
+	if x < -QuantMax {
+		return -QuantMax
+	}
+	return int8(x)
+}
+
+// QuantizeSlice quantizes src into dst under one shared scale (symmetric,
+// clamped). It is the activation/embedding quantizer: scale comes from a
+// calibration pass, not from src itself.
+//
+//waco:allocfree
+func QuantizeSlice(dst []int8, src []float32, scale float32) {
+	CheckShape("quantize slice", len(dst), len(src))
+	inv := 1 / scale
+	for i, v := range src {
+		dst[i] = QuantizeValue(v, inv)
+	}
+}
+
+// QuantizeReLUSlice quantizes max(src[i], 0) into dst — the fused
+// ReLU-then-quantize step between quantized head layers. Bit-identical to
+// ReLUInPlace followed by QuantizeSlice, but one pass over memory, no
+// negative rounding branch (a post-ReLU activation is never negative), and
+// src stays untouched.
+//
+//waco:allocfree
+func QuantizeReLUSlice(dst []int8, src []float32, scale float32) {
+	CheckShape("quantize relu slice", len(dst), len(src))
+	inv := 1 / scale
+	for i, v := range src {
+		x := v*inv + 0.5
+		switch {
+		case !(x > 0.5): // v <= 0 (or NaN): the ReLU floor
+			dst[i] = 0
+		case x > QuantMax:
+			dst[i] = QuantMax
+		default:
+			dst[i] = int8(x)
+		}
+	}
+}
+
+// MaxAbs returns the largest absolute value in xs (0 for an empty slice) —
+// the calibration primitive behind every activation scale.
+func MaxAbs(xs []float32) float32 {
+	m := float32(0)
+	for _, v := range xs {
+		if a := abs32(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// InferInto computes y[o] = base[o] + Scale[o]*xScale*(W[o] . xq) on int32
+// accumulators. base carries whatever the integer dot product sits on top
+// of: q.B for a whole quantized layer, or a caller-computed float partial
+// (the query-constant feature half of a concat layer). base may alias y.
+//
+//waco:allocfree
+func (q *QuantizedLinear) InferInto(y, base []float32, xq []int8, xScale float32) {
+	CheckShape("quantized linear input", len(xq), q.In)
+	CheckShape("quantized linear output", len(y), q.Out)
+	CheckShape("quantized linear base", len(base), q.Out)
+	for o := 0; o < q.Out; o++ {
+		row := q.W[o*q.In : (o+1)*q.In]
+		x := xq[:len(row)] // one bound proof for the whole row
+		// Accumulate in the native int width: on 64-bit targets this
+		// avoids the 32-bit sub-register moves the compiler emits for an
+		// int32 accumulator (~1.5x on the mat-vec microbenchmark). The
+		// quantAccumLimit guarantee keeps the sum inside int32 range, so
+		// the narrowing below is exact on every platform.
+		acc := 0
+		for i, w := range row {
+			acc += int(w) * int(x[i])
+		}
+		y[o] = base[o] + q.Scale[o]*xScale*float32(int32(acc))
+	}
+}
+
+// Validate checks the internal shape invariants — the load-time gate for
+// quantized layers arriving from a sealed artifact, where W, Scale, and the
+// dims travelled independently and may disagree after corruption.
+func (q *QuantizedLinear) Validate() error {
+	if q.In <= 0 || q.Out <= 0 {
+		return errQuantShape("non-positive dims", q.In, q.Out)
+	}
+	if q.In > quantAccumLimit {
+		return errQuantShape("input too wide for int32 accumulation", q.In, q.Out)
+	}
+	if len(q.W) != q.In*q.Out {
+		return errQuantShape("weight length", len(q.W), q.In*q.Out)
+	}
+	if len(q.Scale) != q.Out {
+		return errQuantShape("scale length", len(q.Scale), q.Out)
+	}
+	if q.B != nil && len(q.B) != q.Out {
+		return errQuantShape("bias length", len(q.B), q.Out)
+	}
+	for _, s := range q.Scale {
+		if !(s > 0) { // rejects zero, negatives, and NaN in one comparison
+			return errQuantShape("non-positive or NaN scale", q.In, q.Out)
+		}
+	}
+	return nil
+}
+
+func errQuantShape(what string, got, want int) error {
+	return fmt.Errorf("nn: quantized layer %s: %d vs %d", what, got, want)
+}

@@ -1,0 +1,240 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randLinear(t testing.TB, in, out int, seed int64) *Linear {
+	t.Helper()
+	l := NewLinear("test", in, out, rand.New(rand.NewSource(seed)))
+	return l
+}
+
+// TestQuantizeValueRounding pins the symmetric rounding and clamping rules.
+func TestQuantizeValueRounding(t *testing.T) {
+	cases := []struct {
+		v, inv float32
+		want   int8
+	}{
+		{0, 1, 0},
+		{1, 1, 1},
+		{-1, 1, -1},
+		{0.49, 1, 0},
+		{0.51, 1, 1},
+		{-0.51, 1, -1},
+		{200, 1, 127},
+		{-200, 1, -127},
+		{0.5, 100, 50},
+	}
+	for _, c := range cases {
+		if got := QuantizeValue(c.v, c.inv); got != c.want {
+			t.Fatalf("QuantizeValue(%v, %v) = %d, want %d", c.v, c.inv, got, c.want)
+		}
+	}
+}
+
+// TestQuantizeLinearReconstruction: every quantized weight reconstructs to
+// within half a code of the original under its channel scale, and an
+// all-zero row is exact.
+func TestQuantizeLinearReconstruction(t *testing.T) {
+	l := randLinear(t, 24, 8, 51)
+	zero := 3
+	for i := 0; i < l.In; i++ {
+		l.W.W[zero*l.In+i] = 0
+	}
+	q := QuantizeLinear(l)
+	for o := 0; o < l.Out; o++ {
+		for i := 0; i < l.In; i++ {
+			w := l.W.W[o*l.In+i]
+			back := q.Scale[o] * float32(q.W[o*q.In+i])
+			tol := q.Scale[o] / 2
+			if o == zero {
+				tol = 0
+			}
+			if d := back - w; d > tol || d < -tol {
+				t.Fatalf("weight [%d,%d]: %v reconstructs to %v (scale %v)", o, i, w, back, q.Scale[o])
+			}
+		}
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.B) != l.Out {
+		t.Fatalf("bias length %d, want %d", len(q.B), l.Out)
+	}
+}
+
+// TestQuantizedInferIntoMatchesFloat: the int8 mat-vec tracks the float
+// layer within the accumulated quantization error bound.
+func TestQuantizedInferIntoMatchesFloat(t *testing.T) {
+	l := randLinear(t, 32, 6, 52)
+	q := QuantizeLinear(l)
+	rng := rand.New(rand.NewSource(53))
+	x := make([]float32, l.In)
+	xMax := float32(0)
+	for i := range x {
+		x[i] = rng.Float32()*2 - 1
+		if a := abs32(x[i]); a > xMax {
+			xMax = a
+		}
+	}
+	xScale := xMax / QuantMax
+	xq := make([]int8, l.In)
+	QuantizeSlice(xq, x, xScale)
+
+	want := make([]float32, l.Out)
+	l.InferInto(want, x)
+	got := make([]float32, l.Out)
+	q.InferInto(got, q.B, xq, xScale)
+
+	for o := range got {
+		// Error per term is bounded by w*dx + x*dw + dw*dx with dw <= s_w/2,
+		// dx <= s_x/2; sum over In terms with |w|,|x| <= their maxes.
+		bound := float32(l.In) * (q.Scale[o]/2*xMax + xScale/2*(q.Scale[o]*QuantMax) + q.Scale[o]*xScale/4)
+		if d := got[o] - want[o]; d > bound || d < -bound {
+			t.Fatalf("output %d: quantized %v, float %v (bound %v)", o, got[o], want[o], bound)
+		}
+	}
+}
+
+// TestQuantizeLinearColsSplitsConcatLayer: float feature half + quantized
+// embedding half reproduces the full layer on a concat input, within the
+// embedding half's quantization error — the layer-0 split the predictor
+// head's fast path relies on.
+func TestQuantizeLinearColsSplitsConcatLayer(t *testing.T) {
+	const featDim, embDim = 10, 14
+	l := randLinear(t, featDim+embDim, 5, 54)
+	q := QuantizeLinearCols(l, featDim, l.In)
+	if q.B != nil {
+		t.Fatal("column-slice quantization must not carry a bias")
+	}
+	if q.In != embDim {
+		t.Fatalf("q.In = %d, want %d", q.In, embDim)
+	}
+
+	rng := rand.New(rand.NewSource(55))
+	x := make([]float32, l.In)
+	for i := range x {
+		x[i] = rng.Float32()*2 - 1
+	}
+	want := make([]float32, l.Out)
+	l.InferInto(want, x)
+
+	// Float feature partial: bias + feature columns.
+	base := make([]float32, l.Out)
+	for o := 0; o < l.Out; o++ {
+		acc := l.B.W[o]
+		for i := 0; i < featDim; i++ {
+			acc += l.W.W[o*l.In+i] * x[i]
+		}
+		base[o] = acc
+	}
+	emb := x[featDim:]
+	embScale := MaxAbs(emb) / QuantMax
+	eq := make([]int8, embDim)
+	QuantizeSlice(eq, emb, embScale)
+	got := make([]float32, l.Out)
+	q.InferInto(got, base, eq, embScale)
+
+	for o := range got {
+		bound := float32(embDim) * (q.Scale[o]*MaxAbs(emb)/2 + embScale*q.Scale[o]*QuantMax/2 + q.Scale[o]*embScale/4)
+		if d := got[o] - want[o]; d > bound || d < -bound {
+			t.Fatalf("output %d: split %v, full %v (bound %v)", o, got[o], want[o], bound)
+		}
+	}
+}
+
+// TestQuantizedLinearValidate rejects every inconsistent shape a corrupted
+// artifact section could deliver.
+func TestQuantizedLinearValidate(t *testing.T) {
+	good := QuantizeLinear(randLinear(t, 8, 4, 56))
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(q *QuantizedLinear){
+		"zero in":         func(q *QuantizedLinear) { q.In = 0 },
+		"negative out":    func(q *QuantizedLinear) { q.Out = -1 },
+		"short weights":   func(q *QuantizedLinear) { q.W = q.W[:len(q.W)-1] },
+		"oversize scales": func(q *QuantizedLinear) { q.Scale = append(q.Scale, 1) },
+		"short bias":      func(q *QuantizedLinear) { q.B = q.B[:len(q.B)-1] },
+		"zero scale":      func(q *QuantizedLinear) { q.Scale[0] = 0 },
+		"negative scale":  func(q *QuantizedLinear) { q.Scale[1] = -1 },
+		"nan scale":       func(q *QuantizedLinear) { q.Scale[2] = nan32() },
+		"too wide":        func(q *QuantizedLinear) { q.In = quantAccumLimit + 1 },
+	}
+	for name, corrupt := range cases {
+		q := *good
+		q.W = append([]int8(nil), good.W...)
+		q.Scale = append([]float32(nil), good.Scale...)
+		q.B = append([]float32(nil), good.B...)
+		corrupt(&q)
+		if err := q.Validate(); err == nil {
+			t.Fatalf("%s: Validate accepted a corrupted layer", name)
+		}
+	}
+}
+
+func nan32() float32 {
+	z := float32(0)
+	return z / z //waco:nolint floatcmp -- constructing NaN for a validation test
+}
+
+// TestQuantizeReLUSliceMatchesUnfused pins the fused quantizer to the
+// reference ReLU-then-QuantizeSlice composition, bit for bit, including the
+// clamp and the tiny-positive region where rounding lands on zero.
+func TestQuantizeReLUSliceMatchesUnfused(t *testing.T) {
+	src := []float32{-3, -0.001, 0, 0.001, 0.2, 0.49, 0.51, 1, 2.5, 63.4, 63.6, 127, 200, 1e30, -1e30}
+	for _, scale := range []float32{1, 0.5, 0.03, 2} {
+		ref := append([]float32(nil), src...)
+		ReLUInPlace(ref)
+		want := make([]int8, len(src))
+		QuantizeSlice(want, ref, scale)
+
+		in := append([]float32(nil), src...)
+		got := make([]int8, len(src))
+		QuantizeReLUSlice(got, in, scale)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("scale %v, src %v: fused %d, reference %d", scale, src[i], got[i], want[i])
+			}
+		}
+		for i := range in {
+			if in[i] != src[i] { //waco:nolint floatcmp -- asserting the input was not mutated
+				t.Fatalf("scale %v: QuantizeReLUSlice mutated src[%d]: %v -> %v", scale, i, src[i], in[i])
+			}
+		}
+	}
+}
+
+// BenchmarkQuantizedInferInto and BenchmarkLinearInferInto time one 64x64
+// mat-vec each — the int8 head's hot loop against its float counterpart, the
+// pair the quantized-vs-float throughput gate in scripts/benchdiff.sh rides
+// on.
+func BenchmarkQuantizedInferInto(b *testing.B) {
+	l := randLinear(b, 64, 64, 91)
+	q := QuantizeLinear(l)
+	xq := make([]int8, 64)
+	for i := range xq {
+		xq[i] = int8(i*7%255 - 127)
+	}
+	y := make([]float32, 64)
+	base := make([]float32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.InferInto(y, base, xq, 0.05)
+	}
+}
+
+func BenchmarkLinearInferInto(b *testing.B) {
+	l := randLinear(b, 64, 64, 91)
+	x := make([]float32, 64)
+	for i := range x {
+		x[i] = float32(i%13) * 0.21
+	}
+	y := make([]float32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.InferInto(y, x)
+	}
+}

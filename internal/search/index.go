@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"waco/internal/asymcost"
 	"waco/internal/costmodel"
 	"waco/internal/hnsw"
 	"waco/internal/parallelism"
@@ -39,7 +40,74 @@ type Index struct {
 	// nothing. Unexported and zero-value-ready: Index literals elsewhere in
 	// the tree keep working, and gob never sees it.
 	scratch sync.Pool
+
+	// Quantized-head state (EnableQuantized): when quant is non-nil the
+	// traversal scores candidates on the int8 path against qembs, the stored
+	// embeddings quantized once under the head's embedding scale. The float
+	// path stays the default and the oracle.
+	quant *costmodel.QuantizedHead
+	qembs [][]int8
+
+	// Pre-filter state (EnablePrefilter): per-candidate asymptotic-cost
+	// digests, folded against the query pattern's stats to prune candidates
+	// whose bound is dominated by the best bound seen by more than margin
+	// (in log2 units — orders of magnitude of asymptotic work).
+	prefilterMargin float64
+	terms           []asymcost.Terms
 }
+
+// EnableQuantized switches the index's head evaluations to the int8 path:
+// the quantized head is checked against the model, and every stored
+// embedding is quantized once under its embedding scale so queries pay no
+// per-candidate quantization. Passing nil restores the float path. Must be
+// called before the index serves queries (it is not synchronized with
+// Search).
+func (ix *Index) EnableQuantized(q *costmodel.QuantizedHead) error {
+	if q == nil {
+		ix.quant, ix.qembs = nil, nil
+		return nil
+	}
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if err := q.CompatibleWith(ix.Model); err != nil {
+		return err
+	}
+	n := ix.Graph.Len()
+	backing := make([]int8, n*q.EmbDim)
+	qe := make([][]int8, n)
+	for id := 0; id < n; id++ {
+		dst := backing[id*q.EmbDim : (id+1)*q.EmbDim : (id+1)*q.EmbDim]
+		q.QuantizeEmbedding(dst, ix.Graph.Vector(id))
+		qe[id] = dst
+	}
+	ix.quant, ix.qembs = q, qe
+	return nil
+}
+
+// Quantized returns the active quantized head, nil when the float path is
+// serving.
+func (ix *Index) Quantized() *costmodel.QuantizedHead { return ix.quant }
+
+// EnablePrefilter turns on the analytic asymptotic-cost pre-filter with the
+// given prune margin (log2 units: a candidate is skipped when its bound
+// exceeds the best bound seen this query by more than margin). The
+// per-candidate digests are precomputed here, once. margin <= 0 disables.
+// Must be called before the index serves queries.
+func (ix *Index) EnablePrefilter(margin float64) {
+	if !(margin > 0) {
+		ix.prefilterMargin, ix.terms = 0, nil
+		return
+	}
+	terms := make([]asymcost.Terms, len(ix.Schedules))
+	for i, ss := range ix.Schedules {
+		terms[i] = asymcost.Precompute(ss)
+	}
+	ix.prefilterMargin, ix.terms = margin, terms
+}
+
+// PrefilterMargin returns the active prune margin, 0 when disabled.
+func (ix *Index) PrefilterMargin() float64 { return ix.prefilterMargin }
 
 // queryScratch is everything one Search needs that outlives no query:
 // forward-only inference buffers, HNSW traversal scratch, and the
@@ -52,7 +120,13 @@ type queryScratch struct {
 	costs []float64
 	fresh []int32
 	embs  [][]float32
+	qembs [][]int8
 	out   []float64
+
+	// Pre-filter memo, sized only when the pre-filter is enabled: bseen[id]
+	// guards bounds[id] exactly as seen guards costs.
+	bseen  []bool
+	bounds []float64
 }
 
 // getScratch takes recycled query scratch sized for the graph.
@@ -69,6 +143,15 @@ func (ix *Index) getScratch() *queryScratch {
 	qs.seen = qs.seen[:n]
 	qs.costs = qs.costs[:n]
 	clear(qs.seen)
+	if ix.prefilterMargin > 0 {
+		if cap(qs.bseen) < n {
+			qs.bseen = make([]bool, n)
+			qs.bounds = make([]float64, n)
+		}
+		qs.bseen = qs.bseen[:n]
+		qs.bounds = qs.bounds[:n]
+		clear(qs.bseen)
+	}
 	return qs
 }
 
@@ -181,6 +264,14 @@ type Result struct {
 	// EvalTime is the portion of SearchTime spent inside predictor-head
 	// evaluations (the rest is graph traversal bookkeeping).
 	EvalTime time.Duration
+	// Pruned counts candidates the asymptotic-cost pre-filter skipped: their
+	// bound exceeded the best bound seen this query by more than the margin,
+	// so the predictor head never scored them. Zero when the pre-filter is
+	// disabled.
+	Pruned int
+	// PrefilterTime is the portion of SearchTime spent computing asymptotic
+	// bounds (disjoint from EvalTime; both are subsets of SearchTime).
+	PrefilterTime time.Duration
 	// Best-so-far predicted cost after each head evaluation.
 	Trace []float64
 }
@@ -213,7 +304,7 @@ func (ix *Index) Search(ctx context.Context, p *costmodel.Pattern, k, ef int) (*
 	res := &Result{FeatureTime: time.Since(t0)}
 
 	t1 := time.Now()
-	ids, cancelled := ix.searchForward(ctx, qs, feat, k, ef, res)
+	ids, cancelled := ix.searchForward(ctx, qs, feat, asymcost.FromCOO(p.COO), k, ef, res)
 	if cancelled {
 		return nil, ctx.Err()
 	}
@@ -232,16 +323,24 @@ func (ix *Index) Search(ctx context.Context, p *costmodel.Pattern, k, ef int) (*
 // the retrieved graph ids (owned by qs.sc, valid until its next search) and
 // whether the context was cancelled mid-traversal.
 //
+// With the pre-filter enabled, each unseen candidate's asymptotic bound is
+// folded (and memoized) first; candidates dominated by the best bound seen
+// so far by more than the margin are marked seen with a sentinel cost and
+// never reach the head. With the quantized head enabled, evaluations run on
+// the int8 path against the pre-quantized stored embeddings.
+//
 //waco:allocfree
-func (ix *Index) searchForward(ctx context.Context, qs *queryScratch, feat []float32, k, ef int, res *Result) ([]int, bool) {
+func (ix *Index) searchForward(ctx context.Context, qs *queryScratch, feat []float32, ast asymcost.Stats, k, ef int, res *Result) ([]int, bool) {
 	best := inf()
+	bestBound := inf()
 	cancelled := false
 	evals := 0
+	prefilter := ix.prefilterMargin > 0
 	// qs.seen/qs.costs memoize the head evaluation per candidate id, so
 	// assembling Candidates in Search reuses what the traversal already
 	// computed instead of re-running the predictor head — and Evals counts
 	// exactly the distinct evaluations (post-cancellation sentinel returns
-	// are not evals).
+	// and pruned candidates are not evals).
 	record := func(id int32, c float64) {
 		qs.seen[id] = true
 		qs.costs[id] = c
@@ -251,6 +350,27 @@ func (ix *Index) searchForward(ctx context.Context, qs *queryScratch, feat []flo
 		}
 		res.Trace = append(res.Trace, best)
 	}
+	// prune reports whether the pre-filter rejects id, memoizing its bound
+	// and tightening bestBound as a side effect. Only called on unseen ids
+	// with the pre-filter enabled.
+	prune := func(id int32) bool {
+		b := qs.bounds[id]
+		if !qs.bseen[id] {
+			b = ix.terms[id].Bound(ast)
+			qs.bseen[id] = true
+			qs.bounds[id] = b
+			if b < bestBound {
+				bestBound = b
+			}
+		}
+		if b > bestBound+ix.prefilterMargin {
+			qs.seen[id] = true
+			qs.costs[id] = prunedCost()
+			res.Pruned++
+			return true
+		}
+		return false
+	}
 	dist := func(id int) float64 {
 		if qs.seen[id] {
 			return qs.costs[id]
@@ -259,19 +379,46 @@ func (ix *Index) searchForward(ctx context.Context, qs *queryScratch, feat []flo
 			cancelled = true
 			return inf()
 		}
+		if prefilter {
+			p0 := time.Now()
+			pruned := prune(int32(id))
+			res.PrefilterTime += time.Since(p0)
+			if pruned {
+				return prunedCost()
+			}
+		}
 		e0 := time.Now()
-		c := ix.Model.PredictHead(qs.b, feat, ix.Graph.Vector(id))
+		var c float64
+		if ix.quant != nil {
+			c = ix.Model.PredictHeadQuantized(qs.b, ix.quant, feat, ix.qembs[id])
+		} else {
+			c = ix.Model.PredictHead(qs.b, feat, ix.Graph.Vector(id))
+		}
 		res.EvalTime += time.Since(e0)
 		record(int32(id), c)
 		return c
 	}
 	batch := func(ids []int32, out []float64) {
+		if prefilter && !cancelled {
+			p0 := time.Now()
+			for _, id := range ids {
+				if !qs.seen[id] {
+					prune(id)
+				}
+			}
+			res.PrefilterTime += time.Since(p0)
+		}
 		fresh := qs.fresh[:0]
 		embs := qs.embs[:0]
+		qembs := qs.qembs[:0]
 		for _, id := range ids {
 			if !qs.seen[id] {
 				fresh = append(fresh, id)
-				embs = append(embs, ix.Graph.Vector(int(id)))
+				if ix.quant != nil {
+					qembs = append(qembs, ix.qembs[id])
+				} else {
+					embs = append(embs, ix.Graph.Vector(int(id)))
+				}
 			}
 		}
 		if len(fresh) > 0 && !cancelled {
@@ -281,7 +428,11 @@ func (ix *Index) searchForward(ctx context.Context, qs *queryScratch, feat []flo
 				qs.out = growF64(qs.out, len(fresh))
 				fout := qs.out
 				e0 := time.Now()
-				ix.Model.PredictHeadInto(qs.b, feat, embs, fout)
+				if ix.quant != nil {
+					ix.Model.PredictHeadIntoQuantized(qs.b, ix.quant, feat, qembs, fout)
+				} else {
+					ix.Model.PredictHeadInto(qs.b, feat, embs, fout)
+				}
 				res.EvalTime += time.Since(e0)
 				// Record in ids order: the trace of best-so-far costs matches
 				// the sequential dist path exactly.
@@ -290,7 +441,7 @@ func (ix *Index) searchForward(ctx context.Context, qs *queryScratch, feat []flo
 				}
 			}
 		}
-		qs.fresh, qs.embs = fresh, embs
+		qs.fresh, qs.embs, qs.qembs = fresh, embs, qembs
 		for i, id := range ids {
 			if qs.seen[id] {
 				out[i] = qs.costs[id]
@@ -306,15 +457,22 @@ func (ix *Index) searchForward(ctx context.Context, qs *queryScratch, feat []flo
 
 // candidateCost returns the memoized predicted cost of a returned id. Every
 // id the graph returns was scored during traversal, so the fallback only runs
-// if that invariant ever breaks — and then the evaluation is timed and
-// counted like any other, keeping Evals and EvalTime consistent (the old code
-// counted the eval but not its time, skewing the §5.4 breakdown).
+// if that invariant ever breaks — or if a pruned candidate survived into the
+// top-k (possible only when the filter pruned so hard that fewer than k
+// candidates were scored); either way the candidate gets a real head
+// evaluation here, timed and counted like any other, so reported Costs are
+// never sentinels and Evals/EvalTime stay consistent.
 func (ix *Index) candidateCost(qs *queryScratch, feat []float32, id int, res *Result) float64 {
-	if qs.seen[id] {
+	if qs.seen[id] && qs.costs[id] < prunedCost() {
 		return qs.costs[id]
 	}
 	e0 := time.Now()
-	c := ix.Model.PredictHead(qs.b, feat, ix.Graph.Vector(id))
+	var c float64
+	if ix.quant != nil {
+		c = ix.Model.PredictHeadQuantized(qs.b, ix.quant, feat, ix.qembs[id])
+	} else {
+		c = ix.Model.PredictHead(qs.b, feat, ix.Graph.Vector(id))
+	}
 	res.EvalTime += time.Since(e0)
 	res.Evals++
 	qs.seen[id] = true
@@ -323,3 +481,8 @@ func (ix *Index) candidateCost(qs *queryScratch, feat []float32, id int, res *Re
 }
 
 func inf() float64 { return 1e308 }
+
+// prunedCost is the memoized cost of a pre-filter-pruned candidate: far
+// above any real prediction so the traversal never expands it, but below
+// inf() so cancellation sentinels stay distinguishable.
+func prunedCost() float64 { return 1e290 }

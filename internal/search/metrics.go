@@ -13,8 +13,11 @@ type Metrics struct {
 	FeatureSeconds   *metrics.Histogram
 	EvalSeconds      *metrics.Histogram
 	TraversalSeconds *metrics.Histogram
+	PrefilterSeconds *metrics.Histogram
 	EvalsPerQuery    *metrics.Histogram
+	PrunedPerQuery   *metrics.Histogram
 	Queries          *metrics.Counter
+	Pruned           *metrics.Counter
 }
 
 // NewMetrics registers the search histograms on reg. Call once at startup
@@ -30,11 +33,19 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		TraversalSeconds: reg.NewHistogram("waco_search_traversal_seconds",
 			"Graph-traversal bookkeeping time per ANNS query: search time minus head evaluations.",
 			metrics.MicroBuckets(), nil),
+		PrefilterSeconds: reg.NewHistogram("waco_search_prefilter_seconds",
+			"Asymptotic-cost pre-filter time per ANNS query (5.4 breakdown).",
+			metrics.MicroBuckets(), nil),
 		EvalsPerQuery: reg.NewHistogram("waco_search_evals_per_query",
 			"Distinct predictor-head evaluations per ANNS query.",
 			metrics.ExpBuckets(1, 2, 14), nil),
+		PrunedPerQuery: reg.NewHistogram("waco_search_pruned_per_query",
+			"Candidates skipped by the asymptotic-cost pre-filter per ANNS query.",
+			metrics.ExpBuckets(1, 2, 14), nil),
 		Queries: reg.NewCounter("waco_search_queries_total",
 			"Completed ANNS queries.", nil),
+		Pruned: reg.NewCounter("waco_search_pruned_total",
+			"Candidates skipped by the asymptotic-cost pre-filter.", nil),
 	}
 }
 
@@ -46,7 +57,10 @@ func (m *Metrics) observe(res *Result) {
 	}
 	m.FeatureSeconds.Observe(res.FeatureTime.Seconds())
 	m.EvalSeconds.Observe(res.EvalTime.Seconds())
-	m.TraversalSeconds.Observe((res.SearchTime - res.EvalTime).Seconds())
+	m.TraversalSeconds.Observe((res.SearchTime - res.EvalTime - res.PrefilterTime).Seconds())
+	m.PrefilterSeconds.Observe(res.PrefilterTime.Seconds())
 	m.EvalsPerQuery.Observe(float64(res.Evals))
+	m.PrunedPerQuery.Observe(float64(res.Pruned))
 	m.Queries.Inc()
+	m.Pruned.Add(float64(res.Pruned))
 }

@@ -1,0 +1,317 @@
+package search
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"waco/internal/costmodel"
+	"waco/internal/format"
+	"waco/internal/generate"
+	"waco/internal/hnsw"
+	"waco/internal/schedule"
+)
+
+// prefilterCorpus mixes CSR-backed schedules (asymptotic work bounded by nnz)
+// with dense-format schedules (full dense iteration space) across thread and
+// chunk choices, so on a very sparse matrix their asymptotic bounds separate
+// by orders of magnitude.
+func prefilterCorpus() []*schedule.SuperSchedule {
+	var out []*schedule.SuperSchedule
+	for _, threads := range []int{1, 2, 4, 8} {
+		for _, chunk := range []int{8, 16, 32, 64} {
+			out = append(out, schedule.ConcordantSchedule(schedule.SpMM, format.CSR(), threads, chunk))
+			out = append(out, schedule.ConcordantSchedule(schedule.SpMM, format.Dense(2), threads, chunk))
+		}
+	}
+	return out
+}
+
+// sparsePattern is sparse enough (600 of 65536 cells) that dense-format
+// bounds exceed CSR bounds by far more than the test margin.
+func sparsePattern(seed int64) *costmodel.Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	return costmodel.NewPattern(generate.Uniform(rng, 256, 256, 600))
+}
+
+// TestPrefilterPrunesDominatedCandidates: with the pre-filter on, dominated
+// candidates are skipped (Pruned > 0, fewer head evals), yet the returned
+// candidates still carry real predicted costs in sorted order — never the
+// internal pruning sentinel.
+func TestPrefilterPrunesDominatedCandidates(t *testing.T) {
+	m := testModel(t)
+	ix, err := BuildIndex(m, prefilterCorpus(), hnsw.Config{M: 8, EfConstruction: 48, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sparsePattern(22)
+	const k, ef = 5, 48
+
+	base, err := ix.Search(context.Background(), p, k, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Pruned != 0 || base.PrefilterTime != 0 {
+		t.Fatalf("pre-filter disabled but Pruned=%d PrefilterTime=%v", base.Pruned, base.PrefilterTime)
+	}
+
+	ix.EnablePrefilter(2.0)
+	if got := ix.PrefilterMargin(); got != 2.0 {
+		t.Fatalf("PrefilterMargin = %v, want 2", got)
+	}
+	res, err := ix.Search(context.Background(), p, k, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned == 0 {
+		t.Fatal("pre-filter enabled on a corpus with order-of-magnitude bound gaps but pruned nothing")
+	}
+	if res.Evals >= base.Evals {
+		t.Fatalf("pre-filtered query ran %d head evals, unfiltered ran %d", res.Evals, base.Evals)
+	}
+	if res.Evals+res.Pruned > len(ix.Schedules) {
+		t.Fatalf("evals %d + pruned %d exceed corpus size %d", res.Evals, res.Pruned, len(ix.Schedules))
+	}
+	if len(res.Candidates) != k {
+		t.Fatalf("got %d candidates, want %d", len(res.Candidates), k)
+	}
+	for i, c := range res.Candidates {
+		if !(c.Cost < 1e280) {
+			t.Fatalf("candidate %d cost %v is a pruning sentinel, not a prediction", i, c.Cost)
+		}
+		if i > 0 && res.Candidates[i-1].Cost > c.Cost {
+			t.Fatal("candidates not sorted by predicted cost")
+		}
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i] > res.Trace[i-1] {
+			t.Fatal("trace not monotone")
+		}
+	}
+
+	// A margin wider than any bound gap must prune nothing and reproduce the
+	// unfiltered evaluation count exactly.
+	ix.EnablePrefilter(1e9)
+	loose, err := ix.Search(context.Background(), p, k, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Pruned != 0 {
+		t.Fatalf("margin 1e9 pruned %d candidates", loose.Pruned)
+	}
+	if loose.Evals != base.Evals {
+		t.Fatalf("loose-margin query ran %d evals, unfiltered ran %d", loose.Evals, base.Evals)
+	}
+
+	// Non-positive margin disables the filter and frees the digests.
+	ix.EnablePrefilter(0)
+	if ix.PrefilterMargin() != 0 {
+		t.Fatal("EnablePrefilter(0) did not disable")
+	}
+	off, err := ix.Search(context.Background(), p, k, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Pruned != 0 || off.PrefilterTime != 0 {
+		t.Fatalf("disabled pre-filter still reported Pruned=%d PrefilterTime=%v", off.Pruned, off.PrefilterTime)
+	}
+}
+
+// searchRanks assigns average ranks for the Spearman helper below.
+func searchRanks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	r := make([]float64, len(v))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && v[idx[j]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j
+	}
+	return r
+}
+
+func searchSpearman(a, b []float64) float64 {
+	ra, rb := searchRanks(a), searchRanks(b)
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= float64(len(ra))
+	mb /= float64(len(rb))
+	var num, da, db float64
+	for i := range ra {
+		x, y := ra[i]-ma, rb[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+// calibratedHead quantizes the index's model head using the query feature and
+// the index's own stored embeddings as the calibration set.
+func calibratedHead(t testing.TB, ix *Index, p *costmodel.Pattern) *costmodel.QuantizedHead {
+	t.Helper()
+	b := costmodel.NewInferBuffers()
+	b.Reset()
+	feat, err := ix.Model.ExtractInfer(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := [][]float32{append([]float32(nil), feat...)}
+	embs := make([][]float32, ix.Graph.Len())
+	for id := range embs {
+		embs[id] = ix.Graph.Vector(id)
+	}
+	q, err := costmodel.QuantizeHead(ix.Model, feats, embs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestQuantizedSearchPreservesRanking: searching on the int8 path succeeds,
+// and the quantized scores of ALL indexed schedules rank-correlate with the
+// float oracle at Spearman >= 0.98 — the serving gate for quantized indexes.
+func TestQuantizedSearchPreservesRanking(t *testing.T) {
+	m := testModel(t)
+	ix, err := BuildIndex(m, sampleSchedules(200, 31), hnsw.Config{M: 10, EfConstruction: 60, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPattern(33)
+	q := calibratedHead(t, ix, p)
+	if err := ix.EnableQuantized(q); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Quantized() != q {
+		t.Fatal("Quantized() does not report the enabled head")
+	}
+
+	res, err := ix.Search(context.Background(), p, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 10 {
+		t.Fatalf("got %d candidates", len(res.Candidates))
+	}
+	for i := 1; i < len(res.Candidates); i++ {
+		if res.Candidates[i-1].Cost > res.Candidates[i].Cost {
+			t.Fatal("candidates not sorted by predicted cost")
+		}
+	}
+
+	// Exhaustive float vs quantized scores over the whole index.
+	b := costmodel.NewInferBuffers()
+	b.Reset()
+	feat, err := m.ExtractInfer(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ix.Graph.Len()
+	flt := make([]float64, n)
+	qnt := make([]float64, n)
+	qemb := make([]int8, q.EmbDim)
+	for id := 0; id < n; id++ {
+		flt[id] = m.PredictHead(b, feat, ix.Graph.Vector(id))
+		q.QuantizeEmbedding(qemb, ix.Graph.Vector(id))
+		qnt[id] = m.PredictHeadQuantized(b, q, feat, qemb)
+	}
+	if rho := searchSpearman(flt, qnt); rho < 0.98 {
+		t.Fatalf("quantized/float Spearman over the index = %.4f, want >= 0.98", rho)
+	}
+
+	// The quantized search's best candidate must still rank well under the
+	// float oracle (same bar as the float search test: top 10%).
+	best := math.Inf(1)
+	for _, c := range res.Candidates {
+		if c.Cost < best {
+			best = c.Cost
+		}
+	}
+	bestID := -1
+	for id := 0; id < n; id++ {
+		q.QuantizeEmbedding(qemb, ix.Graph.Vector(id))
+		if m.PredictHeadQuantized(b, q, feat, qemb) == best {
+			bestID = id
+			break
+		}
+	}
+	if bestID < 0 {
+		t.Fatal("quantized best candidate not found in the index")
+	}
+	rank := 0
+	for id := 0; id < n; id++ {
+		if flt[id] < flt[bestID]-1e-9 {
+			rank++
+		}
+	}
+	if rank > n/10 {
+		t.Fatalf("quantized best has float-oracle rank %d of %d", rank, n)
+	}
+
+	// Disabling restores the float path.
+	if err := ix.EnableQuantized(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Quantized() != nil {
+		t.Fatal("EnableQuantized(nil) did not clear the head")
+	}
+}
+
+// TestEnableQuantizedRejectsBadHeads: invalid or architecturally mismatched
+// heads are refused before they can serve a single query.
+func TestEnableQuantizedRejectsBadHeads(t *testing.T) {
+	m := testModel(t)
+	ix, err := BuildIndex(m, sampleSchedules(40, 41), hnsw.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPattern(42)
+
+	good := calibratedHead(t, ix, p)
+	broken := *good
+	broken.EmbScale = 0
+	if err := ix.EnableQuantized(&broken); err == nil {
+		t.Fatal("EnableQuantized accepted a head that fails Validate")
+	}
+
+	// A head calibrated for a different architecture (narrower hidden layer).
+	cfg := costmodel.Config{
+		Extractor: costmodel.KindHumanFeature,
+		ConvCfg:   testModel(t).Cfg.ConvCfg,
+		EmbDim:    12,
+		HeadDims:  []int{8},
+		Seed:      5,
+	}
+	other, err := costmodel.New(schedule.DefaultSpace(schedule.SpMM), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oix, err := BuildIndex(other, sampleSchedules(10, 43), hnsw.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatched := calibratedHead(t, oix, p)
+	if err := ix.EnableQuantized(mismatched); err == nil {
+		t.Fatal("EnableQuantized accepted a head built for a different architecture")
+	}
+	if ix.Quantized() != nil {
+		t.Fatal("rejected head left the index partially enabled")
+	}
+}

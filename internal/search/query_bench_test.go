@@ -61,6 +61,86 @@ func BenchmarkSearchQueryForward(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
 }
 
+// BenchmarkSearchQueryQuantized measures the forward path with the int8
+// predictor head: per-candidate work is int8 dot products on int32
+// accumulators against pre-quantized stored embeddings.
+func BenchmarkSearchQueryQuantized(b *testing.B) {
+	ix, p := benchQuerySetup(b)
+	if err := ix.EnableQuantized(calibratedHead(b, ix, p)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ix.Search(context.Background(), p, benchQueryK, benchQueryEf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(context.Background(), p, benchQueryK, benchQueryEf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+}
+
+// benchPrefilterMargin is the prune margin of the pre-filter benchmarks, in
+// log2 units of asymptotic work.
+const benchPrefilterMargin = 2.0
+
+// BenchmarkSearchQueryPrefiltered measures the float path behind the
+// asymptotic-cost pre-filter; pruned_frac reports the fraction of visited
+// candidates the filter kept away from the predictor head.
+func BenchmarkSearchQueryPrefiltered(b *testing.B) {
+	ix, p := benchQuerySetup(b)
+	ix.EnablePrefilter(benchPrefilterMargin)
+	if _, err := ix.Search(context.Background(), p, benchQueryK, benchQueryEf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	evals, pruned := 0, 0
+	for i := 0; i < b.N; i++ {
+		res, err := ix.Search(context.Background(), p, benchQueryK, benchQueryEf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals += res.Evals
+		pruned += res.Pruned
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+	if evals+pruned > 0 {
+		b.ReportMetric(float64(pruned)/float64(evals+pruned), "pruned_frac")
+	}
+}
+
+// BenchmarkSearchQueryQuantPrefilter measures the full fast path — int8 head
+// plus asymptotic pre-filter — the configuration the 1.5x queries/sec gate in
+// scripts/benchdiff.sh holds against the forward baseline.
+func BenchmarkSearchQueryQuantPrefilter(b *testing.B) {
+	ix, p := benchQuerySetup(b)
+	if err := ix.EnableQuantized(calibratedHead(b, ix, p)); err != nil {
+		b.Fatal(err)
+	}
+	ix.EnablePrefilter(benchPrefilterMargin)
+	if _, err := ix.Search(context.Background(), p, benchQueryK, benchQueryEf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	evals, pruned := 0, 0
+	for i := 0; i < b.N; i++ {
+		res, err := ix.Search(context.Background(), p, benchQueryK, benchQueryEf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals += res.Evals
+		pruned += res.Pruned
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+	if evals+pruned > 0 {
+		b.ReportMetric(float64(pruned)/float64(evals+pruned), "pruned_frac")
+	}
+}
+
 // BenchmarkSearchQueryTape measures the historical tape-path query the
 // forward path replaced (and must stay bit-identical to); kept as the
 // regression baseline for the speedup and allocation claims.

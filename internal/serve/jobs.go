@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -60,6 +62,10 @@ type jobStore struct {
 	cap           int
 	ttl           time.Duration
 	seq           atomic.Uint64
+	// pruneScanned counts terminalOrder entries examined by pruneLocked
+	// (guarded by mu) — test instrumentation pinning the O(expired) scan
+	// guarantee that keeps poll storms off TTL bookkeeping.
+	pruneScanned uint64
 
 	submitted atomic.Uint64
 	done      atomic.Uint64
@@ -147,21 +153,29 @@ func (js *jobStore) Len() int {
 	return len(js.jobs)
 }
 
-// pruneLocked drops terminal jobs whose retention TTL has passed.
+// pruneLocked drops terminal jobs whose retention TTL has passed. It runs
+// under the store mutex on every poll, so it must not scan what it will not
+// evict: terminalOrder is oldest-finished-first (finish assigns FinishedAt
+// under the same mutex that appends, so the queue is monotone in finish
+// time), and the scan stops at the first unexpired entry. That keeps each
+// call O(expired) — a poll storm against a store full of retained terminal
+// jobs no longer serializes on full-table TTL sweeps (pinned by
+// TestJobGetPruneScanIsConstant).
 func (js *jobStore) pruneLocked(now time.Time) {
-	kept := js.terminalOrder[:0]
-	for _, id := range js.terminalOrder {
+	i := 0
+	for ; i < len(js.terminalOrder); i++ {
+		js.pruneScanned++
+		id := js.terminalOrder[i]
 		j, ok := js.jobs[id]
 		if !ok {
-			continue
+			continue // defensively skip an id evicted out of band
 		}
-		if now.Sub(j.FinishedAt) > js.ttl {
-			delete(js.jobs, id)
-			continue
+		if now.Sub(j.FinishedAt) <= js.ttl {
+			break
 		}
-		kept = append(kept, id)
+		delete(js.jobs, id)
 	}
-	js.terminalOrder = kept
+	js.terminalOrder = js.terminalOrder[i:]
 }
 
 func (js *jobStore) evictOldestLocked() {
@@ -226,18 +240,29 @@ func (s *Server) TuneAsync(coo *tensor.COO) (Job, error) {
 		// 202 response ends that request, but the job must keep running.
 		// The base context aborts it if a hard drain deadline passes.
 		res, err := s.tune(s.baseCtx, coo, j.Fingerprint)
-		switch {
-		case err == nil:
-			s.jobs.finish(j.ID, JobDone, res, "")
-		case s.baseCtx.Err() != nil:
+		if err != nil {
 			s.errCount.Add(1)
-			s.jobs.finish(j.ID, JobAborted, nil, "server shut down before the tune finished: "+err.Error())
-		default:
-			s.errCount.Add(1)
-			s.jobs.finish(j.ID, JobFailed, nil, err.Error())
 		}
+		state, msg := jobTerminalState(err, s.baseCtx.Err())
+		s.jobs.finish(j.ID, state, res, msg)
 	}()
 	return snap, nil
+}
+
+// jobTerminalState classifies a finished async tune from the error the tune
+// itself returned. Only a cancellation error while the server's base context
+// is down counts as an abort — a genuine tune failure that happens to race a
+// drain must still report "failed", not "aborted" (a drain in progress says
+// nothing about why THIS tune ended; the old code checked only baseErr and
+// misfiled every drain-time failure).
+func jobTerminalState(err, baseErr error) (state, msg string) {
+	if err == nil {
+		return JobDone, ""
+	}
+	if baseErr != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return JobAborted, "server shut down before the tune finished: " + err.Error()
+	}
+	return JobFailed, err.Error()
 }
 
 // JobGet returns a job by id. It works during drain — polling a result is

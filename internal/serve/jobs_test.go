@@ -194,6 +194,138 @@ func TestHardDrainLeavesJobsTerminal(t *testing.T) {
 	}
 }
 
+// TestJobTerminalStateClassification is the regression test for the async
+// terminal-state misclassification: the old code looked only at whether the
+// base context was down, so a tune that failed for its own reasons while a
+// drain happened to be in progress was filed as "aborted" — and a
+// request-level cancellation with a healthy server had no classification at
+// all. The state must follow the error the tune actually returned.
+func TestJobTerminalStateClassification(t *testing.T) {
+	down := context.Canceled // stand-in for baseCtx.Err() after baseCancel
+	genuine := errors.New("taco compile exploded")
+	for _, tc := range []struct {
+		name      string
+		err, base error
+		want      string
+		wantMsg   bool
+	}{
+		{"success", nil, nil, JobDone, false},
+		{"success during drain", nil, down, JobDone, false},
+		{"failure, healthy server", genuine, nil, JobFailed, true},
+		{"failure during drain", genuine, down, JobFailed, true},
+		{"cancelled by shutdown", fmt.Errorf("search: %w", context.Canceled), down, JobAborted, true},
+		{"deadline during shutdown", fmt.Errorf("search: %w", context.DeadlineExceeded), down, JobAborted, true},
+		{"cancellation error, healthy server", context.Canceled, nil, JobFailed, true},
+	} {
+		state, msg := jobTerminalState(tc.err, tc.base)
+		if state != tc.want {
+			t.Errorf("%s: state = %q, want %q", tc.name, state, tc.want)
+		}
+		if (msg != "") != tc.wantMsg {
+			t.Errorf("%s: msg = %q, wantMsg = %v", tc.name, msg, tc.wantMsg)
+		}
+	}
+}
+
+// TestDrainTimeFailureReportsFailed drives the production path of the same
+// bug: with the server's base context already down (hard drain), a tune that
+// returns a genuine error must finish its job "failed", not "aborted".
+func TestDrainTimeFailureReportsFailed(t *testing.T) {
+	s := newTestServer(t, Options{MaxWorkers: 1})
+	s.baseCancel() // the server is draining hard from now on
+
+	j, err := s.jobs.create("fp-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The goroutine body of TuneAsync, with the tune's outcome pinned: the
+	// classification must come from this error, not from the drain state.
+	state, msg := jobTerminalState(errors.New("measurement failed"), s.baseCtx.Err())
+	s.jobs.finish(j.ID, state, nil, msg)
+
+	got, ok := s.JobGet(j.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if got.State != JobFailed {
+		t.Fatalf("drain-time genuine failure filed as %q, want failed", got.State)
+	}
+	if got.Error != "measurement failed" {
+		t.Fatalf("error text %q lost the tune's own failure", got.Error)
+	}
+}
+
+// TestJobGetPruneScanIsConstant pins the poll-storm fix: polling a store full
+// of retained (unexpired) terminal jobs must not rescan the whole retention
+// queue per poll. The scan is O(expired): with nothing expired, each get
+// examines at most one queue entry.
+func TestJobGetPruneScanIsConstant(t *testing.T) {
+	const jobs = 200
+	js := newJobStore(jobs+1, time.Hour) // nothing expires during the test
+	var ids []string
+	for i := 0; i < jobs; i++ {
+		j, err := js.create(fmt.Sprintf("fp%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		js.finish(j.ID, JobDone, nil, "")
+		ids = append(ids, j.ID)
+	}
+
+	js.mu.Lock()
+	js.pruneScanned = 0
+	js.mu.Unlock()
+	const polls = 500
+	for i := 0; i < polls; i++ {
+		if _, ok := js.get(ids[i%len(ids)]); !ok {
+			t.Fatalf("job %s missing", ids[i%len(ids)])
+		}
+	}
+	js.mu.Lock()
+	scanned := js.pruneScanned
+	js.mu.Unlock()
+	if scanned > polls {
+		t.Fatalf("%d polls scanned %d retention entries (O(retained) sweep); want <= %d (O(expired))",
+			polls, scanned, polls)
+	}
+
+	// The early exit must not break expiry itself: age everything out and
+	// confirm one poll reclaims the whole queue.
+	js.mu.Lock()
+	for _, j := range js.jobs {
+		j.FinishedAt = j.FinishedAt.Add(-2 * time.Hour)
+	}
+	js.mu.Unlock()
+	if _, ok := js.get(ids[0]); ok {
+		t.Fatal("expired job still served")
+	}
+	if n := js.Len(); n != 0 {
+		t.Fatalf("%d jobs retained after TTL, want 0", n)
+	}
+}
+
+// BenchmarkJobGet measures one poll against a store retaining many terminal
+// jobs — the hot path of a client poll storm.
+func BenchmarkJobGet(b *testing.B) {
+	const jobs = 4096
+	js := newJobStore(jobs+1, time.Hour)
+	var ids []string
+	for i := 0; i < jobs; i++ {
+		j, err := js.create(fmt.Sprintf("fp%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		js.finish(j.ID, JobDone, nil, "")
+		ids = append(ids, j.ID)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := js.get(ids[i%len(ids)]); !ok {
+			b.Fatal("job missing")
+		}
+	}
+}
+
 func waitForJob(t *testing.T, s *Server, id string, timeout time.Duration) Job {
 	t.Helper()
 	deadline := time.Now().Add(timeout)

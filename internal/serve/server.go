@@ -77,6 +77,16 @@ type Options struct {
 	// ReloadFromFile (the /admin/reload and SIGHUP paths) re-reads when no
 	// explicit path is given.
 	ArtifactPath string
+	// Quantized serves predictor-head evaluations on the int8 quantized
+	// path. Requires the artifact to carry a quantized head (version-2
+	// sealed artifacts built with quantization); startup and reload fail
+	// when it does not, so a rotation can never silently fall back to a
+	// different numeric path. Default false: the float path is the oracle.
+	Quantized bool
+	// PrefilterMargin enables the asymptotic-cost pre-filter on the query
+	// path with the given prune margin (log2 units — orders of magnitude of
+	// asymptotic work). 0 disables.
+	PrefilterMargin float64
 	// Registry receives the server's metrics (exposed at GET /metrics).
 	// nil creates a private registry, retrievable via Server.Registry.
 	Registry *metrics.Registry
@@ -220,10 +230,30 @@ func NewServer(t *core.Tuner, opts Options) (*Server, error) {
 	s.kernelMetrics = kernel.NewMetrics(reg)
 	t.Index.Metrics = s.searchMetrics
 	t.KernelMetrics = s.kernelMetrics
+	if err := s.applyIndexOptions(t); err != nil {
+		return nil, err
+	}
 	s.tuner.Store(t)
 	s.artifact.Store(&ArtifactInfo{Version: 1, Stamp: t.ArtifactStamp, LoadedAt: time.Now()})
 	s.metrics = newServerMetrics(reg, s)
 	return s, nil
+}
+
+// applyIndexOptions configures a tuner's index for this server's serving
+// options (int8 head, pre-filter) before it is swapped in.
+func (s *Server) applyIndexOptions(t *core.Tuner) error {
+	if s.opts.Quantized {
+		if t.Quantized == nil {
+			return fmt.Errorf("serve: quantized serving requested but the artifact carries no quantized head (seal one with quantization enabled)")
+		}
+		if err := t.Index.EnableQuantized(t.Quantized); err != nil {
+			return err
+		}
+	} else if err := t.Index.EnableQuantized(nil); err != nil {
+		return err
+	}
+	t.Index.EnablePrefilter(s.opts.PrefilterMargin)
+	return nil
 }
 
 // Registry returns the server's metrics registry (the /metrics source).
@@ -255,6 +285,11 @@ func (s *Server) Reload(t *core.Tuner) (ArtifactInfo, error) {
 	// Same instruments, new tuner: registration happened once in NewServer.
 	t.Index.Metrics = s.searchMetrics
 	t.KernelMetrics = s.kernelMetrics
+	// Same serving options, new tuner; a failure (e.g. the new artifact lost
+	// its quantized head) rejects the rotation with the old tuner untouched.
+	if err := s.applyIndexOptions(t); err != nil {
+		return ArtifactInfo{}, err
+	}
 
 	s.mu.Lock()
 	s.retiredHeadEvals.Add(old.Model.HeadEvals())
@@ -521,6 +556,8 @@ type Stats struct {
 	Alg             string  `json:"alg"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	IndexSize       int     `json:"index_size"`
+	Quantized       bool    `json:"quantized"`
+	PrefilterMargin float64 `json:"prefilter_margin,omitempty"`
 	BuildSeconds    float64 `json:"artifact_build_seconds"`
 	ArtifactVersion int     `json:"artifact_version"`
 	ArtifactStamp   string  `json:"artifact_stamp,omitempty"`
@@ -558,6 +595,8 @@ func (s *Server) Snapshot() Stats {
 		Alg:             tun.Cfg.Alg.String(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		IndexSize:       len(tun.Index.Schedules),
+		Quantized:       tun.Index.Quantized() != nil,
+		PrefilterMargin: tun.Index.PrefilterMargin(),
 		BuildSeconds:    tun.BuildSeconds,
 		ArtifactVersion: art.Version,
 		ArtifactStamp:   art.Stamp,

@@ -4,11 +4,19 @@
 # metric dropping more than BENCHDIFF_THRESHOLD percent (default 20) below
 # its baseline value fails, as does a benchmark disappearing entirely.
 #
-# When the fresh file carries both query-path benchmarks, the forward/tape
-# ratio is also enforced: the forward-only search must sustain at least 2x
-# the tape path's queries/sec. Unlike the absolute comparison — which
-# assumes the baseline was recorded on comparable hardware — the ratio gate
-# is machine-independent, so it holds anywhere.
+# When the fresh file carries the query-path benchmarks, machine-independent
+# ratio gates are also enforced (unlike the absolute comparison, which
+# assumes the baseline was recorded on comparable hardware):
+#   - forward >= 2x tape queries/sec (the forward-only rewrite's contract)
+#   - quantized+prefilter >= 1.3x forward queries/sec (the fast path's
+#     contract from the int8 head + asymptotic-cost pre-filter; measured
+#     ~1.5-2x, gated with headroom for noisy shared runners)
+#   - quantized alone >= 0.7x forward (pure-Go int8 buys a 4x smaller
+#     artifact and less per-candidate memory traffic, not SIMD throughput
+#     — scalar int8 mat-vecs run ~0.8x of float32 on amd64; the floor
+#     catches the quantized path rotting, not a speedup claim)
+#   - the pre-filter must keep pruning: pruned_frac >= 0.5 on the
+#     quant+prefilter benchmark fixture
 #
 # POSIX shell + awk only, no jq.
 #
@@ -47,13 +55,16 @@ while [ $# -ge 2 ]; do
 		name = substr(line, RSTART + 9, RLENGTH - 10)
 		# Every *_per_sec field on the line becomes one tracked metric.
 		rest = line
-		while (match(rest, /"[A-Za-z0-9_]+_per_sec": [0-9.eE+-]+/)) {
+		while (match(rest, /"([A-Za-z0-9_]+_per_sec|pruned_frac)": [0-9.eE+-]+/)) {
 			kv = substr(rest, RSTART, RLENGTH)
 			rest = substr(rest, RSTART + RLENGTH)
 			sep = index(kv, "\": ")
 			key = substr(kv, 2, sep - 2)
 			val = substr(kv, sep + 3) + 0
-			if (pass == 1) base[name "." key] = val
+			# pruned_frac is a fraction, not a throughput: it feeds the
+			# ratio gates below, never the percent-regression floor.
+			if (key == "pruned_frac") { if (pass == 2) frac[name] = val }
+			else if (pass == 1) base[name "." key] = val
 			else fresh[name "." key] = val
 		}
 	}
@@ -83,6 +94,35 @@ while [ $# -ge 2 ]; do
 				bad = 1
 			} else {
 				printf "ok   query-path speedup: forward %.4g q/s = %.2fx tape %.4g q/s\n", fwd, fwd / tape, tape
+			}
+		}
+		qp = fresh["BenchmarkSearchQueryQuantPrefilter.queries_per_sec"]
+		if (fwd > 0 && qp > 0) {
+			if (qp < 1.3 * fwd) {
+				printf "FAIL fast-path speedup: quant+prefilter %.4g q/s is %.2fx forward %.4g q/s, contract requires >= 1.3x\n",
+					qp, qp / fwd, fwd
+				bad = 1
+			} else {
+				printf "ok   fast-path speedup: quant+prefilter %.4g q/s = %.2fx forward %.4g q/s\n", qp, qp / fwd, fwd
+			}
+		}
+		qz = fresh["BenchmarkSearchQueryQuantized.queries_per_sec"]
+		if (fwd > 0 && qz > 0) {
+			if (qz < 0.7 * fwd) {
+				printf "FAIL quantized head: %.4g q/s is %.2fx forward %.4g q/s, floor is 0.7x\n",
+					qz, qz / fwd, fwd
+				bad = 1
+			} else {
+				printf "ok   quantized head: %.4g q/s = %.2fx forward %.4g q/s\n", qz, qz / fwd, fwd
+			}
+		}
+		if ("BenchmarkSearchQueryQuantPrefilter" in frac) {
+			pf = frac["BenchmarkSearchQueryQuantPrefilter"]
+			if (pf < 0.5) {
+				printf "FAIL pre-filter coverage: pruned_frac %.4f below 0.5 floor\n", pf
+				bad = 1
+			} else {
+				printf "ok   pre-filter coverage: pruned_frac %.4f\n", pf
 			}
 		}
 		exit bad
