@@ -115,6 +115,14 @@ var catalog = []experiment{
 		t.Render(w)
 		return nil
 	}},
+	{"partitioned", "composable formats: partitioned vs single-format SpMM", func(s experiments.Scale, w io.Writer) error {
+		t, err := experiments.PartitionedComparison(s)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}},
 	{"table7", "cross-hardware generalization", func(s experiments.Scale, w io.Writer) error {
 		t, err := experiments.Table7CrossHardware(s)
 		if err != nil {

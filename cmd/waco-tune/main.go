@@ -34,6 +34,7 @@ import (
 	"waco/internal/experiments"
 	"waco/internal/generate"
 	"waco/internal/kernel"
+	"waco/internal/schedule"
 	"waco/internal/tensor"
 )
 
@@ -50,6 +51,7 @@ func main() {
 	topK := flag.Int("topk", 10, "candidates measured on hardware")
 	repeats := flag.Int("repeats", 5, "repetitions per measurement")
 	seed := flag.Int64("seed", 1, "synthetic generator seed")
+	partitioned := flag.Bool("partitioned", false, "after tuning, measure the winner under each format decomposition preset")
 	flag.Parse()
 
 	tuner := loadOrBuildTuner(*artifactPath, *dataPath, *modelPath)
@@ -103,6 +105,36 @@ func main() {
 	if tuned.KernelSeconds < fixed.KernelSeconds {
 		amortize := (tuned.TuningSeconds + tuned.ConvertSeconds) / (fixed.KernelSeconds - tuned.KernelSeconds)
 		fmt.Printf("amortizes after   : %.0f kernel invocations\n", amortize)
+	}
+
+	if *partitioned {
+		reportDecompositions(wl, tuned.Schedule, *repeats)
+	}
+}
+
+// reportDecompositions re-measures the tuned schedule under every format
+// decomposition preset, so the effect of composable storage can be isolated
+// from the rest of the winning schedule. The search already covers the
+// decomposition dimension; this just prints the neighborhood of the winner.
+func reportDecompositions(wl *kernel.Workload, best *schedule.SuperSchedule, repeats int) {
+	if len(schedule.DecompositionChoices(wl.Alg)) == 0 {
+		log.Printf("-partitioned: %v kernels do not support format decomposition", wl.Alg)
+		return
+	}
+	fmt.Printf("\ndecomposition sweep around the winner:\n")
+	for _, dec := range schedule.Decompositions {
+		ss := best.Clone()
+		ss.Decomp = dec
+		d, bytes, err := wl.MeasureSchedule(ss, kernel.DefaultProfile(), 0, repeats)
+		marker := " "
+		if dec == best.Decomp {
+			marker = "*"
+		}
+		if err != nil {
+			fmt.Printf("%s %-10s: %v\n", marker, dec, err)
+			continue
+		}
+		fmt.Printf("%s %-10s: %.6fs  (%d stored bytes)\n", marker, dec, d.Seconds(), bytes)
 	}
 }
 

@@ -161,6 +161,6 @@ func (m *MKLLike) Tune(wl *kernel.Workload, profile kernel.MachineProfile, cfg C
 	}, nil
 }
 
-func kernelCompile(wl *kernel.Workload, ss *schedule.SuperSchedule, profile kernel.MachineProfile, cfg Config) (*kernel.Plan, error) {
+func kernelCompile(wl *kernel.Workload, ss *schedule.SuperSchedule, profile kernel.MachineProfile, cfg Config) (kernel.Executable, error) {
 	return wl.Compile(ss, profile, cfg.MaxEntries)
 }

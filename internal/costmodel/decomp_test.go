@@ -1,0 +1,138 @@
+package costmodel
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"waco/internal/generate"
+	"waco/internal/schedule"
+)
+
+// legacySpace strips the decomposition dimension the way a gob-decoded
+// pre-decomposition artifact arrives: the DecompChoices field simply absent
+// (nil). Everything downstream — CatSizes, encoding, samplers — must treat
+// such a space exactly as before the dimension existed.
+func legacySpace(alg schedule.Algorithm) schedule.Space {
+	sp := schedule.DefaultSpace(alg)
+	sp.DecompChoices = nil
+	return sp
+}
+
+// TestLegacySpaceEncodingUnchanged pins artifact compatibility: a legacy
+// space must produce the pre-decomposition categorical layout, so model
+// snapshots saved before the decomposition dimension restore parameter-for-
+// parameter (the embedder's emb.catN tables and emb.fuse input width are
+// derived from CatSizes).
+func TestLegacySpaceEncodingUnchanged(t *testing.T) {
+	for _, alg := range []schedule.Algorithm{schedule.SpMV, schedule.SpMM, schedule.SDDMM, schedule.MTTKRP} {
+		legacy := legacySpace(alg)
+		modern := schedule.DefaultSpace(alg)
+		lc, mc := legacy.CatSizes(), modern.CatSizes()
+		if schedule.SupportsDecomposition(alg) {
+			if len(mc) != len(lc)+1 {
+				t.Fatalf("%v: modern space has %d categories, legacy %d — want exactly one more", alg, len(mc), len(lc))
+			}
+		} else if len(mc) != len(lc) {
+			t.Fatalf("%v: unsupported algorithm grew a decomposition category", alg)
+		}
+		for i := range lc {
+			if lc[i] != mc[i] {
+				t.Fatalf("%v: category %d size %d, legacy %d — legacy prefix must be stable", alg, i, mc[i], lc[i])
+			}
+		}
+		rng := rand.New(rand.NewSource(9))
+		ss := legacy.Sample(rng)
+		if ss.Decomp != schedule.DecompNone {
+			t.Fatalf("%v: legacy space sampled decomposition %v", alg, ss.Decomp)
+		}
+		if got := len(legacy.Encode(ss).Cats); got != len(lc) {
+			t.Fatalf("%v: legacy encoding has %d cats, CatSizes says %d", alg, got, len(lc))
+		}
+	}
+}
+
+// TestLegacyModelSnapshotLoads saves a model built on a legacy space and
+// loads it with today's code: restoreParams matches by name, so a missing
+// emb.catN or a differently-shaped emb.fuse would fail here.
+func TestLegacyModelSnapshotLoads(t *testing.T) {
+	cfg := Config{Extractor: KindHumanFeature, ConvCfg: tinyConvCfg(2), EmbDim: 12, HeadDims: []int{16}, Seed: 5}
+	m, err := New(legacySpace(schedule.SpMM), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	p := NewPattern(generate.Uniform(rng, 40, 40, 160))
+	ss := schedule.DefaultSchedule(schedule.SpMM, 2)
+	want, err := m.Cost(p, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy snapshot rejected: %v", err)
+	}
+	got, err := loaded.Cost(NewPattern(p.COO), ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want-got) > 1e-9 {
+		t.Fatalf("legacy snapshot prediction drifted: %g vs %g", got, want)
+	}
+	// A legacy model can still score decomposed schedules — the encoder
+	// snaps the unknown choice to index 0 rather than faulting.
+	dec := ss.Clone()
+	dec.Decomp = schedule.DecompFull
+	if _, err := loaded.Cost(NewPattern(p.COO), dec); err != nil {
+		t.Fatalf("legacy model rejected a decomposed schedule: %v", err)
+	}
+}
+
+// TestEmbedderDistinguishesDecomposition: the tuner can only learn the
+// decomposition choice if schedules differing solely in it embed apart.
+func TestEmbedderDistinguishesDecomposition(t *testing.T) {
+	sp := schedule.DefaultSpace(schedule.SpMM)
+	rng := rand.New(rand.NewSource(7))
+	e := NewEmbedder(sp, 16, rng)
+	base := schedule.DefaultSchedule(schedule.SpMM, 2)
+	prev := e.EmbedSchedule(nil, base)
+	for _, dec := range schedule.Decompositions[1:] {
+		ss := base.Clone()
+		ss.Decomp = dec
+		cur := e.EmbedSchedule(nil, ss)
+		var diff float64
+		for i := range prev.V {
+			diff += math.Abs(float64(cur.V[i] - prev.V[i]))
+		}
+		if diff == 0 {
+			t.Fatalf("%v embeds identically to the previous choice", dec)
+		}
+		prev = cur
+	}
+}
+
+// TestModernModelRoundTripWithDecomp pins that the widened space itself
+// save/loads, so new artifacts are stable going forward.
+func TestModernModelRoundTripWithDecomp(t *testing.T) {
+	cfg := Config{Extractor: KindHumanFeature, ConvCfg: tinyConvCfg(2), EmbDim: 12, HeadDims: []int{16}, Seed: 8}
+	m, err := New(schedule.DefaultSpace(schedule.SDDMM), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Space.DecompChoices) != len(schedule.DecompositionChoices(schedule.SDDMM)) {
+		t.Fatalf("decomposition choices lost in round trip: %v", loaded.Space.DecompChoices)
+	}
+}

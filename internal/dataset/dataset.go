@@ -217,7 +217,7 @@ func MeasureSample(wl *kernel.Workload, ss *schedule.SuperSchedule, cfg CollectC
 	if err != nil {
 		return Sample{}, false, err
 	}
-	return Sample{SS: ss, Seconds: med.Seconds(), Bytes: plan.A.Bytes()}, true, nil
+	return Sample{SS: ss, Seconds: med.Seconds(), Bytes: plan.StoredBytes()}, true, nil
 }
 
 // Split partitions entries into train and validation sets (80:20 in the

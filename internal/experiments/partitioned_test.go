@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"waco/internal/format"
+	"waco/internal/schedule"
+)
+
+func TestSkewedFixtureDecomposes(t *testing.T) {
+	s := microScale()
+	coo := SkewedFixture(s)
+	if coo.NNZ() == 0 {
+		t.Fatal("empty fixture")
+	}
+	// The fixture must actually populate all three region archetypes under
+	// the full preset — otherwise the comparison is not exercising the
+	// composable path it claims to showcase.
+	part, err := format.Decompose(coo.Clone(), schedule.DecompFull.Rule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range part.Regions {
+		if r.COO.NNZ() == 0 {
+			t.Fatalf("region %d (%v) empty: fixture does not cover all archetypes", i, r.Class)
+		}
+	}
+}
+
+func TestPartitionedComparison(t *testing.T) {
+	s := microScale()
+	tab, err := PartitionedComparison(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FixedCSR, BCSR, three decomposition presets, and the learned row.
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "FixedCSR" || tab.Rows[5][0] != "WACO (learned)" {
+		t.Fatalf("unexpected row order: %v", tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		if !strings.HasSuffix(row[len(row)-1], "x") {
+			t.Fatalf("bad speedup cell %q", row[len(row)-1])
+		}
+	}
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "learned schedule:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing learned-schedule note: %v", tab.Notes)
+	}
+}

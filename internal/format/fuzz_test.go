@@ -1,0 +1,141 @@
+package format
+
+import (
+	"bytes"
+	"testing"
+
+	"waco/internal/tensor"
+)
+
+// fuzzRule decodes a Rule from four bytes, hitting the full shape space:
+// tail-only, blocks-only, heavy-only, and both extractions, with boundary
+// fills 0 and 1 reachable.
+func fuzzRule(bsel, fsel, hsel, wsel uint8) Rule {
+	var r Rule
+	if bsel%4 != 0 {
+		r.BlockSize = int32(bsel%16) + 1
+		r.BlockFill = float64(fsel%11) / 10
+	}
+	if hsel%4 != 0 {
+		r.HeavyFactor = float64(hsel%32) / 4
+		if r.HeavyFactor == 0 {
+			r.HeavyFactor = 0.25
+		}
+		r.EllWidth = int32(wsel%8) + 1
+	}
+	return r
+}
+
+func fuzzCOO(rows, cols uint8, data []byte) *tensor.COO {
+	dims := []int{int(rows%64) + 1, int(cols%64) + 1}
+	coo := tensor.NewCOO(dims, len(data)/3)
+	for i := 0; i+3 <= len(data); i += 3 {
+		// Strictly positive values so stored entries are distinguishable
+		// from dense-interior padding.
+		coo.Append(float32(data[i+2])+1,
+			int32(int(data[i])%dims[0]), int32(int(data[i+1])%dims[1]))
+	}
+	coo.SortRowMajor()
+	coo.Dedup()
+	return coo
+}
+
+// FuzzPartitionedAssemble drives decompose → assemble → reassemble for
+// arbitrary matrices and rules: the partition must be disjoint and complete
+// in coordinate form, and the assembled regions must reproduce every nonzero
+// exactly once padding is dropped.
+func FuzzPartitionedAssemble(f *testing.F) {
+	f.Add(uint8(16), uint8(16), uint8(5), uint8(5), uint8(5), uint8(3), []byte{0, 0, 1, 1, 1, 2, 3, 3, 3})
+	f.Add(uint8(8), uint8(8), uint8(0), uint8(0), uint8(0), uint8(0), []byte{7, 7, 9})
+	f.Add(uint8(63), uint8(1), uint8(3), uint8(10), uint8(9), uint8(7), []byte{62, 0, 1, 0, 0, 2, 31, 0, 3})
+	f.Add(uint8(32), uint8(32), uint8(4), uint8(0), uint8(0), uint8(0), []byte{})
+	f.Fuzz(func(t *testing.T, rows, cols, bsel, fsel, hsel, wsel uint8, data []byte) {
+		coo := fuzzCOO(rows, cols, data)
+		rule := fuzzRule(bsel, fsel, hsel, wsel)
+		if err := rule.Validate(); err != nil {
+			t.Fatalf("fuzzRule emitted invalid rule %+v: %v", rule, err)
+		}
+		pt, err := Decompose(coo, rule)
+		if err != nil {
+			t.Fatalf("decompose %+v: %v", rule, err)
+		}
+		if pt.NNZ() != coo.NNZ() {
+			t.Fatalf("rule %+v: regions hold %d nonzeros, source has %d", rule, pt.NNZ(), coo.NNZ())
+		}
+		want := coo.Clone()
+		want.SortRowMajor()
+		back := pt.ToCOO()
+		if back.NNZ() != want.NNZ() {
+			t.Fatalf("coordinate reassembly nnz %d, want %d", back.NNZ(), want.NNZ())
+		}
+		for p := 0; p < want.NNZ(); p++ {
+			if back.Coords[0][p] != want.Coords[0][p] || back.Coords[1][p] != want.Coords[1][p] || back.Vals[p] != want.Vals[p] {
+				t.Fatalf("rule %+v: coordinate reassembly differs at %d", rule, p)
+			}
+		}
+		asm, err := pt.Assemble(AssembleOptions{MaxEntries: 1 << 18}, nil)
+		if err != nil {
+			if IsStorageLimit(err) {
+				t.Skip("region exceeds the assembly budget")
+			}
+			t.Fatalf("assemble: %v", err)
+		}
+		if err := asm.Validate(); err != nil {
+			t.Fatalf("assembled partition invalid: %v", err)
+		}
+		got := asm.ToCOO()
+		if got.NNZ() != want.NNZ() {
+			t.Fatalf("rule %+v: stored reassembly nnz %d, want %d", rule, got.NNZ(), want.NNZ())
+		}
+		for p := 0; p < want.NNZ(); p++ {
+			if got.Coords[0][p] != want.Coords[0][p] || got.Coords[1][p] != want.Coords[1][p] || got.Vals[p] != want.Vals[p] {
+				t.Fatalf("rule %+v: stored reassembly differs at %d", rule, p)
+			}
+		}
+	})
+}
+
+// FuzzPartitionedLoad feeds arbitrary bytes to the persistence loader: it
+// must reject garbage with an error (never panic), and anything it accepts
+// must validate and survive a save/load round trip byte-identically.
+func FuzzPartitionedLoad(f *testing.F) {
+	// Seed with a genuine artifact so the fuzzer explores near-valid inputs.
+	coo := fuzzCOO(24, 24, []byte{0, 0, 1, 1, 1, 2, 5, 5, 3, 9, 2, 4, 23, 23, 5})
+	pt, err := Decompose(coo, Rule{BlockSize: 4, BlockFill: 0.5, HeavyFactor: 2, EllWidth: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	asm, err := pt.Assemble(AssembleOptions{}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if err := asm.Save(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(partMagic))
+	f.Add([]byte("WACOPART\x01\x00\x00\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := LoadPartitioned(bytes.NewReader(data))
+		if err != nil {
+			return // rejected, as long as it did not panic
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("loader accepted a partition that fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := p.Save(&out); err != nil {
+			t.Fatalf("re-saving an accepted partition: %v", err)
+		}
+		p2, err := LoadPartitioned(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("reloading a re-saved partition: %v", err)
+		}
+		if p2.NNZStored() != p.NNZStored() || p2.Bytes() != p.Bytes() {
+			t.Fatalf("round trip changed storage: %d/%d bytes %d/%d",
+				p.NNZStored(), p2.NNZStored(), p.Bytes(), p2.Bytes())
+		}
+	})
+}

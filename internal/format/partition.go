@@ -1,0 +1,476 @@
+package format
+
+import (
+	"fmt"
+	"math"
+
+	"waco/internal/tensor"
+)
+
+// This file implements composable format decomposition (SparseTIR-style): a
+// matrix is split by a deterministic Rule into disjoint regions — dense
+// blocks, heavy rows, and the remainder tail — and each region is assembled
+// into its own Stored hierarchy, so a kernel can run the best plan per region
+// and sum partial results. Every region reuses the existing level machinery;
+// the region archetypes are just Formats (BCSR-like U/U blocks, ELL-like
+// fixed-width chunks, CSR-like tail).
+
+// RegionClass names the region archetypes of a decomposition, in canonical
+// region order.
+type RegionClass uint8
+
+const (
+	// RegionBlocks holds nonzeros inside sufficiently filled BlockSize x
+	// BlockSize tiles, stored with dense U/U block levels (BCSR-like).
+	RegionBlocks RegionClass = iota
+	// RegionHeavy holds nonzeros of unusually heavy rows, stored as
+	// fixed-width ELL-like column chunks.
+	RegionHeavy
+	// RegionTail holds everything else, stored compressed (CSR-like by
+	// default; schedules may override the tail format).
+	RegionTail
+)
+
+func (c RegionClass) String() string {
+	switch c {
+	case RegionBlocks:
+		return "blocks"
+	case RegionHeavy:
+		return "heavy"
+	case RegionTail:
+		return "tail"
+	}
+	return fmt.Sprintf("RegionClass(%d)", uint8(c))
+}
+
+// Rule is a deterministic decomposition rule for an order-2 sparse tensor.
+// The zero Rule disables both extraction passes, leaving one tail region.
+type Rule struct {
+	// BlockSize is the dense-tile edge length; 0 disables block extraction.
+	BlockSize int32
+	// BlockFill is the minimum fraction of a tile's cells that must hold
+	// nonzeros for the tile to join the blocks region.
+	BlockFill float64
+	// HeavyFactor extracts rows whose nonzero count is at least HeavyFactor
+	// times the mean count over nonempty rows; 0 disables heavy-row
+	// extraction.
+	HeavyFactor float64
+	// EllWidth is the column-chunk width of the heavy region's storage.
+	EllWidth int32
+}
+
+// maxRuleExtent bounds rule geometry so decomposition arithmetic and the
+// persisted form stay in range.
+const maxRuleExtent = int32(1) << 20
+
+// Validate rejects rules whose geometry cannot decompose deterministically.
+func (r Rule) Validate() error {
+	if r.BlockSize < 0 || r.BlockSize > maxRuleExtent {
+		return fmt.Errorf("format: rule block size %d out of range", r.BlockSize)
+	}
+	if math.IsNaN(r.BlockFill) || r.BlockFill < 0 || r.BlockFill > 1 {
+		return fmt.Errorf("format: rule block fill %v outside [0, 1]", r.BlockFill)
+	}
+	if math.IsNaN(r.HeavyFactor) || math.IsInf(r.HeavyFactor, 0) || r.HeavyFactor < 0 {
+		return fmt.Errorf("format: rule heavy factor %v invalid", r.HeavyFactor)
+	}
+	if r.EllWidth < 0 || r.EllWidth > maxRuleExtent {
+		return fmt.Errorf("format: rule ELL width %d out of range", r.EllWidth)
+	}
+	if r.HeavyFactor > 0 && r.EllWidth < 1 {
+		return fmt.Errorf("format: rule extracts heavy rows but has ELL width %d", r.EllWidth)
+	}
+	return nil
+}
+
+// Classes returns the region classes the rule produces, in canonical order.
+// The tail is always present; extraction regions appear even when they end
+// up empty for a particular matrix, so a rule always yields the same region
+// shape.
+func (r Rule) Classes() []RegionClass {
+	out := make([]RegionClass, 0, 3)
+	if r.BlockSize > 0 {
+		out = append(out, RegionBlocks)
+	}
+	if r.HeavyFactor > 0 {
+		out = append(out, RegionHeavy)
+	}
+	return append(out, RegionTail)
+}
+
+// RegionFormat returns the archetype storage format for a region class under
+// this rule: BCSR(B, B) for blocks, a fixed-width ELL-like format for heavy
+// rows (compressed rows, compressed column chunks, dense width-W interiors),
+// and CSR for the tail.
+func (r Rule) RegionFormat(c RegionClass) Format {
+	switch c {
+	case RegionBlocks:
+		b := r.BlockSize
+		if b < 1 {
+			b = 1
+		}
+		return BCSR(b, b)
+	case RegionHeavy:
+		w := r.EllWidth
+		if w < 1 {
+			w = 1
+		}
+		return Format{
+			Splits: []int32{1, w},
+			Levels: []Level{
+				{Mode: 0, Kind: Compressed},
+				{Mode: 1, Kind: Compressed},
+				{Mode: 0, Inner: true, Kind: Uncompressed},
+				{Mode: 1, Inner: true, Kind: Uncompressed},
+			},
+		}
+	}
+	return CSR()
+}
+
+// PartRegion is one coordinate-form region of a decomposed tensor.
+type PartRegion struct {
+	Class RegionClass
+	COO   *tensor.COO
+}
+
+// Partition is a tensor decomposed into disjoint, complete coordinate
+// regions: every source nonzero appears in exactly one region, with its
+// value bit-identical. Regions keep the full tensor dims so per-region
+// kernels address the same iteration space.
+type Partition struct {
+	Dims    []int
+	Rule    Rule
+	Regions []PartRegion
+}
+
+// Decompose splits an order-2 COO tensor by the rule. Heavy rows are
+// extracted first (so a heavy row's dense tiles stay with the row), then
+// sufficiently filled tiles among the remaining nonzeros, then the tail.
+// The input is not modified. The decomposition is deterministic: identical
+// inputs yield identical partitions.
+func Decompose(c *tensor.COO, r Rule) (*Partition, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Order() != 2 {
+		return nil, fmt.Errorf("format: decompose needs an order-2 tensor, got order %d", c.Order())
+	}
+	nnz := c.NNZ()
+	rowsOf := c.Coords[0]
+	colsOf := c.Coords[1]
+
+	// Heavy-row pass: rows with nnz >= HeavyFactor * mean(nonempty rows).
+	heavyRow := make(map[int32]bool)
+	if r.HeavyFactor > 0 {
+		rowNNZ := make(map[int32]int, 64)
+		for _, i := range rowsOf {
+			rowNNZ[i]++
+		}
+		if len(rowNNZ) > 0 {
+			mean := float64(nnz) / float64(len(rowNNZ))
+			cut := r.HeavyFactor * mean
+			for i, n := range rowNNZ {
+				if float64(n) >= cut {
+					heavyRow[i] = true
+				}
+			}
+		}
+	}
+
+	// Dense-tile pass over the nonzeros not claimed by heavy rows. A tile
+	// qualifies when its fill (over its true area, clipped at the tensor
+	// boundary) reaches BlockFill.
+	type tileKey struct{ bi, bk int32 }
+	denseTile := make(map[tileKey]bool)
+	if r.BlockSize > 0 {
+		b := r.BlockSize
+		count := make(map[tileKey]int, 64)
+		for p := 0; p < nnz; p++ {
+			if heavyRow[rowsOf[p]] {
+				continue
+			}
+			count[tileKey{rowsOf[p] / b, colsOf[p] / b}]++
+		}
+		for k, n := range count {
+			bh := int64(b)
+			if rem := int64(c.Dims[0]) - int64(k.bi)*int64(b); rem < bh {
+				bh = rem
+			}
+			bw := int64(b)
+			if rem := int64(c.Dims[1]) - int64(k.bk)*int64(b); rem < bw {
+				bw = rem
+			}
+			area := bh * bw
+			if area > 0 && float64(n) >= r.BlockFill*float64(area) {
+				denseTile[k] = true
+			}
+		}
+	}
+
+	classes := r.Classes()
+	byClass := make(map[RegionClass]*tensor.COO, len(classes))
+	for _, cl := range classes {
+		byClass[cl] = tensor.NewCOO(c.Dims, 0)
+	}
+	for p := 0; p < nnz; p++ {
+		i, k := rowsOf[p], colsOf[p]
+		cl := RegionTail
+		switch {
+		case heavyRow[i]:
+			cl = RegionHeavy
+		case r.BlockSize > 0 && denseTile[tileKey{i / r.BlockSize, k / r.BlockSize}]:
+			cl = RegionBlocks
+		}
+		byClass[cl].Append(c.Vals[p], i, k)
+	}
+
+	pt := &Partition{Dims: append([]int(nil), c.Dims...), Rule: r}
+	for _, cl := range classes {
+		pt.Regions = append(pt.Regions, PartRegion{Class: cl, COO: byClass[cl]})
+	}
+	return pt, nil
+}
+
+// NNZ returns the total nonzeros across regions.
+func (p *Partition) NNZ() int {
+	total := 0
+	for _, r := range p.Regions {
+		total += r.COO.NNZ()
+	}
+	return total
+}
+
+// ToCOO concatenates the regions back into one row-major-sorted tensor.
+// Values are copied bit-identically; a correct partition of a deduplicated
+// tensor reassembles to exactly the source.
+func (p *Partition) ToCOO() *tensor.COO {
+	out := tensor.NewCOO(p.Dims, p.NNZ())
+	coords := make([]int32, len(p.Dims))
+	for _, r := range p.Regions {
+		for i := 0; i < r.COO.NNZ(); i++ {
+			for m := range coords {
+				coords[m] = r.COO.Coords[m][i]
+			}
+			out.Append(r.COO.Vals[i], coords...)
+		}
+	}
+	out.SortRowMajor()
+	return out
+}
+
+// Region is one assembled region of a Partitioned tensor.
+type Region struct {
+	Class  RegionClass
+	Stored *Stored
+}
+
+// Partitioned is a tensor stored as per-region coordinate hierarchies. The
+// concatenation of the regions' values arrays is the partitioned analog of
+// Stored.Vals: positions are addressed globally by offsetting each region's
+// positions by the preceding regions' value counts (see Locate), which is
+// what per-region SDDMM execution writes into.
+type Partitioned struct {
+	Dims    []int
+	Rule    Rule
+	Regions []Region
+}
+
+// Assemble stores each region of the partition in its archetype format.
+// overrides, if non-nil, substitutes the format for a region class — the
+// kernel layer uses this to store the tail in the SuperSchedule's AFormat.
+// The per-array storage budget applies to each region individually.
+func (p *Partition) Assemble(opts AssembleOptions, overrides map[RegionClass]Format) (*Partitioned, error) {
+	out := &Partitioned{Dims: append([]int(nil), p.Dims...), Rule: p.Rule}
+	for _, reg := range p.Regions {
+		f, ok := overrides[reg.Class]
+		if !ok {
+			f = p.Rule.RegionFormat(reg.Class)
+		}
+		st, err := Assemble(reg.COO, f, opts)
+		if err != nil {
+			return nil, fmt.Errorf("format: assembling %v region: %w", reg.Class, err)
+		}
+		out.Regions = append(out.Regions, Region{Class: reg.Class, Stored: st})
+	}
+	return out, nil
+}
+
+// NNZStored returns the summed stored-entry count (padding included).
+func (p *Partitioned) NNZStored() int {
+	total := 0
+	for _, r := range p.Regions {
+		total += r.Stored.NNZStored()
+	}
+	return total
+}
+
+// Bytes returns the summed storage footprint.
+func (p *Partitioned) Bytes() int64 {
+	var total int64
+	for _, r := range p.Regions {
+		total += r.Stored.Bytes()
+	}
+	return total
+}
+
+// ToCOO merges the regions back to one row-major-sorted coordinate tensor,
+// dropping explicit padding zeros (like Stored.ToCOO).
+func (p *Partitioned) ToCOO() *tensor.COO {
+	out := tensor.NewCOO(p.Dims, 0)
+	coords := make([]int32, len(p.Dims))
+	for _, r := range p.Regions {
+		c := r.Stored.ToCOO()
+		for i := 0; i < c.NNZ(); i++ {
+			for m := range coords {
+				coords[m] = c.Coords[m][i]
+			}
+			out.Append(c.Vals[i], coords...)
+		}
+	}
+	out.SortRowMajor()
+	return out
+}
+
+// Locate returns the global values position of the entry at the given
+// original coordinates: the region-local position plus the value-array
+// offsets of all preceding regions. Regions other than the one holding the
+// entry can still locate the coordinate path — a dense U/U interior
+// materializes padding at every in-block coordinate — so positions holding a
+// nonzero value win, and a padding position is only returned when no region
+// stores a nonzero there (true explicit zeros are indistinguishable from
+// padding, exactly as in Stored.ToCOO).
+func (p *Partitioned) Locate(coords []int32) (int64, bool) {
+	var off int64
+	fallback, found := int64(0), false
+	for _, r := range p.Regions {
+		if pos, ok := r.Stored.Locate(coords); ok {
+			if r.Stored.Vals[pos] != 0 {
+				return off + pos, true
+			}
+			if !found {
+				fallback, found = off+pos, true
+			}
+		}
+		off += int64(len(r.Stored.Vals))
+	}
+	return fallback, found
+}
+
+// Validate checks cross-region structural invariants plus each region's
+// stored hierarchy.
+func (p *Partitioned) Validate() error {
+	if len(p.Dims) == 0 {
+		return fmt.Errorf("format: partitioned tensor has no dims")
+	}
+	for _, d := range p.Dims {
+		if d < 0 {
+			return fmt.Errorf("format: partitioned dim %d < 0", d)
+		}
+	}
+	if err := p.Rule.Validate(); err != nil {
+		return err
+	}
+	if len(p.Regions) == 0 {
+		return fmt.Errorf("format: partitioned tensor has no regions")
+	}
+	seen := make(map[RegionClass]bool, len(p.Regions))
+	for _, r := range p.Regions {
+		if r.Class > RegionTail {
+			return fmt.Errorf("format: unknown region class %d", uint8(r.Class))
+		}
+		if seen[r.Class] {
+			return fmt.Errorf("format: duplicate %v region", r.Class)
+		}
+		seen[r.Class] = true
+		if r.Stored == nil {
+			return fmt.Errorf("format: %v region has no storage", r.Class)
+		}
+		if err := r.Stored.Validate(); err != nil {
+			return fmt.Errorf("format: %v region: %w", r.Class, err)
+		}
+		if len(r.Stored.Dims) != len(p.Dims) {
+			return fmt.Errorf("format: %v region has order %d, partition has %d", r.Class, len(r.Stored.Dims), len(p.Dims))
+		}
+		for m, d := range r.Stored.Dims {
+			if d != p.Dims[m] {
+				return fmt.Errorf("format: %v region dim %d is %d, partition has %d", r.Class, m, d, p.Dims[m])
+			}
+		}
+	}
+	if !seen[RegionTail] {
+		return fmt.Errorf("format: partitioned tensor has no tail region")
+	}
+	return nil
+}
+
+// Validate checks the structural invariants of an assembled hierarchy:
+// level shapes consistent with the format, monotone position arrays, segment
+// coordinates strictly increasing and in extent range, and a values array
+// sized by the leaf position count. Assemble output always validates; the
+// check guards hierarchies read back from disk.
+func (s *Stored) Validate() error {
+	if err := s.Fmt.Validate(); err != nil {
+		return err
+	}
+	if len(s.Dims) != s.Fmt.Order() {
+		return fmt.Errorf("format: stored has %d dims for an order-%d format", len(s.Dims), s.Fmt.Order())
+	}
+	if len(s.Levels) != len(s.Fmt.Levels) {
+		return fmt.Errorf("format: stored has %d levels, format has %d", len(s.Levels), len(s.Fmt.Levels))
+	}
+	parentCount := int64(1)
+	for l := range s.Levels {
+		sl := &s.Levels[l]
+		if sl.Kind != s.Fmt.Levels[l].Kind {
+			return fmt.Errorf("format: stored level %d kind %v, format says %v", l, sl.Kind, s.Fmt.Levels[l].Kind)
+		}
+		if sl.Extent < 0 {
+			return fmt.Errorf("format: stored level %d extent %d < 0", l, sl.Extent)
+		}
+		switch sl.Kind {
+		case Uncompressed:
+			if len(sl.Pos) != 0 || len(sl.Crd) != 0 {
+				return fmt.Errorf("format: stored level %d is U but has pos/crd arrays", l)
+			}
+			parentCount *= int64(sl.Extent)
+			if sl.PosCount != parentCount {
+				return fmt.Errorf("format: stored level %d has pos count %d, want %d", l, sl.PosCount, parentCount)
+			}
+		case Compressed:
+			if int64(len(sl.Pos)) != parentCount+1 {
+				return fmt.Errorf("format: stored level %d has %d pos entries, want %d", l, len(sl.Pos), parentCount+1)
+			}
+			if sl.Pos[0] != 0 {
+				return fmt.Errorf("format: stored level %d pos[0] = %d", l, sl.Pos[0])
+			}
+			for p := 1; p < len(sl.Pos); p++ {
+				if sl.Pos[p] < sl.Pos[p-1] {
+					return fmt.Errorf("format: stored level %d pos decreases at %d", l, p)
+				}
+			}
+			last := sl.Pos[len(sl.Pos)-1]
+			if int64(len(sl.Crd)) != last || sl.PosCount != last {
+				return fmt.Errorf("format: stored level %d has %d coords, pos count %d, pos end %d", l, len(sl.Crd), sl.PosCount, last)
+			}
+			for p := 0; p+1 < len(sl.Pos); p++ {
+				seg := sl.Crd[sl.Pos[p]:sl.Pos[p+1]]
+				for i, crd := range seg {
+					if crd < 0 || crd >= sl.Extent {
+						return fmt.Errorf("format: stored level %d coord %d outside extent %d", l, crd, sl.Extent)
+					}
+					if i > 0 && crd <= seg[i-1] {
+						return fmt.Errorf("format: stored level %d segment %d coords not increasing", l, p)
+					}
+				}
+			}
+			parentCount = last
+		default:
+			return fmt.Errorf("format: stored level %d has unknown kind %d", l, uint8(sl.Kind))
+		}
+	}
+	if int64(len(s.Vals)) != parentCount {
+		return fmt.Errorf("format: stored has %d values, leaf position count is %d", len(s.Vals), parentCount)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package format
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"encoding/gob"
+)
+
+// partMagic identifies a serialized Partitioned tensor; partVersion is
+// bumped on any incompatible layout change so stale artifacts fail loudly
+// instead of deserializing garbage (same discipline as the HNSW artifacts).
+const (
+	partMagic   = "WACOPART"
+	partVersion = uint32(1)
+)
+
+// maxPartRegions bounds the region count a loader will accept; a Rule can
+// produce at most one region per class.
+const maxPartRegions = 8
+
+// partDisk is the on-disk mirror of Partitioned.
+type partDisk struct {
+	Dims    []int
+	Rule    Rule
+	Regions []Region
+}
+
+// Save writes the partitioned tensor in a versioned binary format readable
+// by LoadPartitioned. Identical tensors serialize to identical bytes.
+func (p *Partitioned) Save(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, partMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, partVersion); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(partDisk{Dims: p.Dims, Rule: p.Rule, Regions: p.Regions})
+}
+
+// LoadPartitioned reconstructs a partitioned tensor written by Save,
+// rejecting malformed inputs — bad region boundaries, overlapping or ragged
+// position arrays, out-of-extent coordinates — with an error rather than
+// deserializing a hierarchy that would fault at kernel time.
+func LoadPartitioned(r io.Reader) (*Partitioned, error) {
+	magic := make([]byte, len(partMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("format: reading magic: %w", err)
+	}
+	if string(magic) != partMagic {
+		return nil, fmt.Errorf("format: bad magic %q (not a partitioned tensor file)", magic)
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("format: reading version: %w", err)
+	}
+	if version != partVersion {
+		return nil, fmt.Errorf("format: partitioned version %d, this build reads %d", version, partVersion)
+	}
+	var d partDisk
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("format: decoding partitioned tensor: %w", err)
+	}
+	if len(d.Regions) > maxPartRegions {
+		return nil, fmt.Errorf("format: %d regions exceeds limit %d", len(d.Regions), maxPartRegions)
+	}
+	p := &Partitioned{Dims: d.Dims, Rule: d.Rule, Regions: d.Regions}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,527 @@
+package format
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"waco/internal/generate"
+	"waco/internal/tensor"
+)
+
+// randomRule draws a rule from the space of valid geometries, including the
+// degenerate zero rule (tail only) and rules whose extraction passes match
+// nothing.
+func randomRule(rng *rand.Rand) Rule {
+	var r Rule
+	if rng.Intn(3) > 0 {
+		r.BlockSize = []int32{2, 3, 4, 8, 16}[rng.Intn(5)]
+		r.BlockFill = []float64{0.1, 0.25, 0.5, 0.75, 1.0}[rng.Intn(5)]
+	}
+	if rng.Intn(3) > 0 {
+		r.HeavyFactor = []float64{0.5, 1, 2, 4, 16}[rng.Intn(5)]
+		r.EllWidth = []int32{1, 2, 4, 8}[rng.Intn(4)]
+	}
+	return r
+}
+
+// randomSkewedCOO draws from generator families with genuinely different
+// region structure so every rule archetype gets exercised.
+func randomSkewedCOO(rng *rand.Rand) *tensor.COO {
+	rows, cols := 1+rng.Intn(60), 1+rng.Intn(60)
+	switch rng.Intn(4) {
+	case 0:
+		return generate.Uniform(rng, rows, cols, 1+rng.Intn(200))
+	case 1:
+		return generate.PowerLawRows(rng, rows, cols, 1+rng.Intn(200), 1.2)
+	case 2:
+		return generate.BlockDense(rng, rows, cols, 1+rng.Intn(8), 1+rng.Intn(4), 0.9)
+	default:
+		return generate.Banded(rng, rows, cols, rng.Intn(4), 0.7)
+	}
+}
+
+// TestQuickRandomPartitionRoundTrip is the decomposition soundness property:
+// for any matrix and any valid rule, the regions are disjoint and complete —
+// reassembling them yields the source tensor bit-for-bit.
+func TestQuickRandomPartitionRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomSkewedCOO(rng)
+		rule := randomRule(rng)
+		pt, err := Decompose(c, rule)
+		if err != nil {
+			t.Logf("decompose %+v: %v", rule, err)
+			return false
+		}
+		// Complete: region sizes sum to the source nnz (disjointness then
+		// follows from the bit-identical reassembly below — a duplicated
+		// nonzero would surplus the count, a dropped one would deficit it).
+		if pt.NNZ() != c.NNZ() {
+			t.Logf("rule %+v: regions hold %d nonzeros, source has %d", rule, pt.NNZ(), c.NNZ())
+			return false
+		}
+		// Region shape is determined by the rule alone, tail always last.
+		if want := rule.Classes(); len(pt.Regions) != len(want) {
+			t.Logf("rule %+v: %d regions, want %d", rule, len(pt.Regions), len(want))
+			return false
+		}
+		if pt.Regions[len(pt.Regions)-1].Class != RegionTail {
+			t.Logf("rule %+v: last region is %v", rule, pt.Regions[len(pt.Regions)-1].Class)
+			return false
+		}
+		back := pt.ToCOO()
+		want := c.Clone()
+		want.SortRowMajor()
+		if back.NNZ() != want.NNZ() {
+			return false
+		}
+		for p := 0; p < want.NNZ(); p++ {
+			if back.Coords[0][p] != want.Coords[0][p] ||
+				back.Coords[1][p] != want.Coords[1][p] ||
+				back.Vals[p] != want.Vals[p] {
+				t.Logf("rule %+v: reassembly differs at %d", rule, p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeHeavyRows(t *testing.T) {
+	// Row 0 holds 16 nonzeros, rows 1..8 hold one each: mean over nonempty
+	// rows is 24/9 ≈ 2.67, so HeavyFactor 4 (cut ≈ 10.7) extracts row 0 only.
+	c := tensor.NewCOO([]int{16, 20}, 0)
+	for k := int32(0); k < 16; k++ {
+		c.Append(1, 0, k)
+	}
+	for i := int32(1); i <= 8; i++ {
+		c.Append(float32(i), i, i)
+	}
+	pt, err := Decompose(c, Rule{HeavyFactor: 4, EllWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Regions) != 2 {
+		t.Fatalf("regions = %d, want heavy+tail", len(pt.Regions))
+	}
+	heavy, tail := pt.Regions[0], pt.Regions[1]
+	if heavy.Class != RegionHeavy || tail.Class != RegionTail {
+		t.Fatalf("region classes = %v, %v", heavy.Class, tail.Class)
+	}
+	if heavy.COO.NNZ() != 16 {
+		t.Fatalf("heavy region holds %d nonzeros, want 16", heavy.COO.NNZ())
+	}
+	for _, i := range heavy.COO.Coords[0] {
+		if i != 0 {
+			t.Fatalf("heavy region contains row %d", i)
+		}
+	}
+	if tail.COO.NNZ() != 8 {
+		t.Fatalf("tail holds %d nonzeros, want 8", tail.COO.NNZ())
+	}
+}
+
+func TestDecomposeDenseBlocks(t *testing.T) {
+	// One fully dense 4x4 tile plus scattered singles: BlockFill 0.5 takes
+	// the tile, leaves the strays.
+	c := tensor.NewCOO([]int{16, 16}, 0)
+	for i := int32(4); i < 8; i++ {
+		for k := int32(8); k < 12; k++ {
+			c.Append(2, i, k)
+		}
+	}
+	c.Append(1, 0, 0)
+	c.Append(1, 15, 15)
+	c.Append(1, 3, 12)
+	pt, err := Decompose(c, Rule{BlockSize: 4, BlockFill: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Regions[0].Class != RegionBlocks || pt.Regions[0].COO.NNZ() != 16 {
+		t.Fatalf("blocks region %v with %d nonzeros", pt.Regions[0].Class, pt.Regions[0].COO.NNZ())
+	}
+	if pt.Regions[1].COO.NNZ() != 3 {
+		t.Fatalf("tail holds %d nonzeros, want 3", pt.Regions[1].COO.NNZ())
+	}
+
+	// A boundary tile's fill is judged over its clipped area: the 2-wide
+	// remainder column of an 16x18 matrix fully filled over a 4x2 sliver
+	// must qualify at fill 1.0.
+	c2 := tensor.NewCOO([]int{16, 18}, 0)
+	for i := int32(0); i < 4; i++ {
+		for k := int32(16); k < 18; k++ {
+			c2.Append(1, i, k)
+		}
+	}
+	pt2, err := Decompose(c2, Rule{BlockSize: 4, BlockFill: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt2.Regions[0].COO.NNZ() != 8 {
+		t.Fatalf("clipped boundary tile not extracted: blocks hold %d", pt2.Regions[0].COO.NNZ())
+	}
+}
+
+func TestDecomposeHeavyClaimsBeforeBlocks(t *testing.T) {
+	// A dense tile inside a heavy row belongs to the heavy region: extraction
+	// order is heavy first, so the tile (rows 0..3) loses row 0's nonzeros
+	// and, at fill 1.0, no longer qualifies.
+	c := tensor.NewCOO([]int{8, 8}, 0)
+	for i := int32(0); i < 4; i++ {
+		for k := int32(0); k < 4; k++ {
+			c.Append(1, i, k)
+		}
+	}
+	for k := int32(4); k < 8; k++ {
+		c.Append(1, 0, k) // row 0: 8 nonzeros; rows 1-3: 4 each
+	}
+	pt, err := Decompose(c, Rule{BlockSize: 4, BlockFill: 1.0, HeavyFactor: 1.6, EllWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Regions[0].Class != RegionBlocks || pt.Regions[1].Class != RegionHeavy {
+		t.Fatalf("region order %v, %v", pt.Regions[0].Class, pt.Regions[1].Class)
+	}
+	if got := pt.Regions[1].COO.NNZ(); got != 8 {
+		t.Fatalf("heavy region holds %d, want all 8 of row 0", got)
+	}
+	if got := pt.Regions[0].COO.NNZ(); got != 0 {
+		t.Fatalf("blocks region holds %d, want 0 (tile broken by heavy extraction)", got)
+	}
+	if got := pt.Regions[2].COO.NNZ(); got != 12 {
+		t.Fatalf("tail holds %d, want 12", got)
+	}
+}
+
+func TestDecomposeDegenerateInputs(t *testing.T) {
+	full := Rule{BlockSize: 4, BlockFill: 0.5, HeavyFactor: 4, EllWidth: 4}
+
+	// Empty matrix: all regions empty, reassembly empty.
+	empty := tensor.NewCOO([]int{10, 10}, 0)
+	pt, err := Decompose(empty, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.NNZ() != 0 || len(pt.Regions) != 3 {
+		t.Fatalf("empty matrix: nnz %d, regions %d", pt.NNZ(), len(pt.Regions))
+	}
+	if pt.ToCOO().NNZ() != 0 {
+		t.Fatal("empty reassembly nonempty")
+	}
+
+	// Single nonzero: one row at the mean, so HeavyFactor 4 leaves it (cut =
+	// 4), and a 1/16-filled tile misses BlockFill 0.5 — it lands in the tail.
+	single := tensor.NewCOO([]int{10, 10}, 0)
+	single.Append(3.5, 7, 2)
+	pt, err = Decompose(single, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.Regions[2].COO.NNZ(); got != 1 {
+		t.Fatalf("single nonzero not in tail (tail holds %d)", got)
+	}
+	// At HeavyFactor 1 the cut equals the mean, so the same nonzero is heavy.
+	pt1, err := Decompose(single, Rule{HeavyFactor: 1, EllWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pt1.Regions[0].COO.NNZ(); got != 1 {
+		t.Fatalf("single nonzero not heavy at factor 1 (heavy holds %d)", got)
+	}
+	back := pt.ToCOO()
+	if back.NNZ() != 1 || back.Vals[0] != 3.5 || back.Coords[0][0] != 7 || back.Coords[1][0] != 2 {
+		t.Fatalf("single nonzero round trip broken: %v", back)
+	}
+
+	// Fully dense matrix with uniform rows: every tile qualifies, heavy
+	// extraction takes every row first (factor 1 means every row at the
+	// mean), so everything lands in one region.
+	dense := tensor.NewCOO([]int{8, 8}, 0)
+	for i := int32(0); i < 8; i++ {
+		for k := int32(0); k < 8; k++ {
+			dense.Append(1, i, k)
+		}
+	}
+	pt, err = Decompose(dense, Rule{HeavyFactor: 1, EllWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.Regions[0].COO.NNZ(); got != 64 {
+		t.Fatalf("uniform dense: heavy region holds %d, want all 64", got)
+	}
+	if got := pt.Regions[1].COO.NNZ(); got != 0 {
+		t.Fatalf("uniform dense: tail holds %d, want 0", got)
+	}
+}
+
+func TestDecomposeRejects(t *testing.T) {
+	c3 := tensor.NewCOO([]int{4, 4, 4}, 0)
+	if _, err := Decompose(c3, Rule{}); err == nil {
+		t.Fatal("accepted order-3 tensor")
+	}
+	c := tensor.NewCOO([]int{4, 4}, 0)
+	for _, r := range []Rule{
+		{BlockSize: -1},
+		{BlockSize: maxRuleExtent + 1},
+		{BlockSize: 4, BlockFill: 1.5},
+		{BlockSize: 4, BlockFill: -0.1},
+		{HeavyFactor: -2, EllWidth: 4},
+		{HeavyFactor: 2, EllWidth: 0},
+		{HeavyFactor: 2, EllWidth: -3},
+	} {
+		if _, err := Decompose(c, r); err == nil {
+			t.Errorf("accepted invalid rule %+v", r)
+		}
+	}
+}
+
+// TestPartitionedAssembleRoundTrip checks the stored form: padding zeros are
+// dropped, every original nonzero survives with its exact value.
+func TestPartitionedAssembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := generate.PowerLawRows(rng, 48, 40, 300, 1.3)
+	pt, err := Decompose(c, Rule{BlockSize: 4, BlockFill: 0.5, HeavyFactor: 4, EllWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm, err := pt.Assemble(AssembleOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Validate(); err != nil {
+		t.Fatalf("assembled partition invalid: %v", err)
+	}
+	back := asm.ToCOO()
+	want := c.Clone()
+	want.SortRowMajor()
+	// Explicit zeros (the generators never emit them) aside, ToCOO drops
+	// padding, so the round trip is exact.
+	if back.NNZ() != want.NNZ() {
+		t.Fatalf("round trip nnz %d, want %d", back.NNZ(), want.NNZ())
+	}
+	for p := 0; p < want.NNZ(); p++ {
+		if back.Coords[0][p] != want.Coords[0][p] || back.Coords[1][p] != want.Coords[1][p] || back.Vals[p] != want.Vals[p] {
+			t.Fatalf("round trip differs at %d", p)
+		}
+	}
+}
+
+func TestPartitionedLocate(t *testing.T) {
+	c := tensor.NewCOO([]int{8, 8}, 0)
+	for i := int32(0); i < 4; i++ {
+		for k := int32(0); k < 4; k++ {
+			if i == 1 && k == 2 {
+				continue // hole inside the dense tile → padding position
+			}
+			c.Append(float32(10*i+k+1), i, k)
+		}
+	}
+	c.Append(9, 6, 6)
+	pt, err := Decompose(c, Rule{BlockSize: 4, BlockFill: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm, err := pt.Assemble(AssembleOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range asm.Regions {
+		total += len(r.Stored.Vals)
+	}
+	// Every source nonzero locates to a position holding its value.
+	for p := 0; p < c.NNZ(); p++ {
+		pos, ok := asm.Locate([]int32{c.Coords[0][p], c.Coords[1][p]})
+		if !ok {
+			t.Fatalf("nonzero (%d,%d) not locatable", c.Coords[0][p], c.Coords[1][p])
+		}
+		if pos < 0 || pos >= int64(total) {
+			t.Fatalf("position %d outside concatenated values [0,%d)", pos, total)
+		}
+		var v float32
+		off := int64(0)
+		for _, r := range asm.Regions {
+			if pos < off+int64(len(r.Stored.Vals)) {
+				v = r.Stored.Vals[pos-off]
+				break
+			}
+			off += int64(len(r.Stored.Vals))
+		}
+		if v != c.Vals[p] {
+			t.Fatalf("locate (%d,%d) → value %g, want %g", c.Coords[0][p], c.Coords[1][p], v, c.Vals[p])
+		}
+	}
+	// The in-tile hole is padding: locatable (the dense interior materializes
+	// it) but zero.
+	pos, ok := asm.Locate([]int32{1, 2})
+	if !ok {
+		t.Fatal("padding position inside dense tile not locatable")
+	}
+	if pos < 0 || pos >= int64(total) {
+		t.Fatalf("padding position %d out of range", pos)
+	}
+	// A coordinate in no region at all is not locatable.
+	if _, ok := asm.Locate([]int32{5, 0}); ok {
+		t.Fatal("located a coordinate no region stores")
+	}
+}
+
+func TestPartitionedSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c := generate.BlockDense(rng, 40, 40, 4, 3, 0.9)
+	pt, err := Decompose(c, Rule{BlockSize: 4, BlockFill: 0.6, HeavyFactor: 8, EllWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm, err := pt.Assemble(AssembleOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := asm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPartitioned(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatalf("loaded partition invalid: %v", err)
+	}
+	a, b := asm.ToCOO(), loaded.ToCOO()
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("loaded nnz %d, want %d", b.NNZ(), a.NNZ())
+	}
+	for p := 0; p < a.NNZ(); p++ {
+		if a.Coords[0][p] != b.Coords[0][p] || a.Coords[1][p] != b.Coords[1][p] || a.Vals[p] != b.Vals[p] {
+			t.Fatalf("loaded tensor differs at %d", p)
+		}
+	}
+	// Identical tensors serialize identically.
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialization differs")
+	}
+}
+
+func TestLoadPartitionedRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := generate.Uniform(rng, 20, 20, 60)
+	pt, _ := Decompose(c, Rule{BlockSize: 4, BlockFill: 0.5})
+	asm, err := pt.Assemble(AssembleOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := asm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := LoadPartitioned(strings.NewReader("NOTAPART")); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	if _, err := LoadPartitioned(strings.NewReader("WACO")); err == nil {
+		t.Fatal("accepted truncated magic")
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(partMagic)] = 0xFF // corrupt the version word
+	if _, err := LoadPartitioned(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted wrong version")
+	}
+	if _, err := LoadPartitioned(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("accepted truncated payload")
+	}
+
+	// Corrupt structure must be caught by post-decode validation: a region
+	// with an out-of-extent coordinate.
+	evil := &Partitioned{Dims: asm.Dims, Rule: asm.Rule}
+	for _, r := range asm.Regions {
+		st := *r.Stored
+		evil.Regions = append(evil.Regions, Region{Class: r.Class, Stored: &st})
+	}
+	for _, r := range evil.Regions {
+		for l := range r.Stored.Levels {
+			if len(r.Stored.Levels[l].Crd) > 0 {
+				crd := append([]int32(nil), r.Stored.Levels[l].Crd...)
+				crd[0] = r.Stored.Levels[l].Extent + 5
+				r.Stored.Levels[l].Crd = crd
+			}
+		}
+	}
+	var evilBuf bytes.Buffer
+	// Save validates, so write the header and payload by hand.
+	evilBuf.WriteString(partMagic)
+	evilBuf.Write([]byte{1, 0, 0, 0})
+	if err := gob.NewEncoder(&evilBuf).Encode(partDisk{Dims: evil.Dims, Rule: evil.Rule, Regions: evil.Regions}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPartitioned(bytes.NewReader(evilBuf.Bytes())); err == nil {
+		t.Fatal("accepted out-of-extent coordinates")
+	}
+}
+
+func TestStoredValidateCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	c := generate.Uniform(rng, 30, 30, 120)
+	mk := func() *Stored {
+		st, err := Assemble(c.Clone(), CSR(), AssembleOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("fresh assembly invalid: %v", err)
+	}
+	cases := []struct {
+		name    string
+		corrupt func(*Stored)
+	}{
+		{"values length", func(s *Stored) { s.Vals = s.Vals[:len(s.Vals)-1] }},
+		{"pos monotonicity", func(s *Stored) {
+			for l := range s.Levels {
+				if len(s.Levels[l].Pos) > 2 {
+					s.Levels[l].Pos[1] = s.Levels[l].Pos[len(s.Levels[l].Pos)-1] + 10
+					return
+				}
+			}
+		}},
+		{"pos origin", func(s *Stored) {
+			for l := range s.Levels {
+				if len(s.Levels[l].Pos) > 0 {
+					s.Levels[l].Pos[0] = 1
+					return
+				}
+			}
+		}},
+		{"coord extent", func(s *Stored) {
+			for l := range s.Levels {
+				if len(s.Levels[l].Crd) > 0 {
+					s.Levels[l].Crd[0] = s.Levels[l].Extent
+					return
+				}
+			}
+		}},
+		{"kind mismatch", func(s *Stored) { s.Levels[0].Kind = Compressed }},
+		{"level count", func(s *Stored) { s.Levels = s.Levels[:len(s.Levels)-1] }},
+		{"dims order", func(s *Stored) { s.Dims = s.Dims[:1] }},
+	}
+	for _, tc := range cases {
+		st := mk()
+		tc.corrupt(st)
+		if err := st.Validate(); err == nil {
+			t.Errorf("%s corruption not detected", tc.name)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package difftest is the differential correctness harness for partitioned
+// kernel execution: every workload in a generator zoo is run through a
+// decomposed SuperSchedule and compared against two oracles — the dense
+// reference kernels (kernel.RefSpMM / kernel.RefSDDMM) and the single-format
+// execution path obtained by stripping the schedule's decomposition. The zoo
+// deliberately includes the degenerate shapes that break partition logic:
+// empty matrices, a single nonzero, and matrices whose nonzeros land entirely
+// in one region.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"waco/internal/generate"
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+// Tol is the absolute comparison tolerance. Partial sums accumulate in a
+// different order per region than the reference's row-major walk, so
+// float32 results differ in the low bits; the operand fill patterns keep
+// magnitudes small enough that 2e-3 absolute (the kernel package's own test
+// tolerance) covers reassociation while still catching any dropped or
+// double-counted nonzero, whose error is O(1) or larger.
+const Tol = 2e-3
+
+// Case is one zoo workload.
+type Case struct {
+	Name string
+	COO  *tensor.COO
+}
+
+// Zoo returns the generator families the harness checks, seeded
+// deterministically. Every family stresses a different region mix: banded
+// (no extraction fires), power-law (heavy rows), block-dense (dense tiles),
+// mixed skew (all three regions), plus the degenerate cases.
+func Zoo(seed int64) []Case {
+	rng := rand.New(rand.NewSource(seed))
+	cases := []Case{
+		{"banded", generate.Banded(rng, 48, 48, 2, 0.8)},
+		{"powerlaw", generate.PowerLawRows(rng, 64, 48, 600, 1.4)},
+		{"blockdense", generate.BlockDense(rng, 48, 48, 4, 6, 0.95)},
+		{"uniform", generate.Uniform(rng, 56, 40, 300)},
+		{"mesh", generate.Mesh2D(7)},
+	}
+	// Mixed skew: dense tiles plus a few very heavy rows plus scatter.
+	mixed := generate.BlockDense(rng, 64, 64, 4, 4, 1.0)
+	for r := 0; r < 2; r++ {
+		row := int32(20 + 25*r)
+		for k := int32(0); k < 64; k += 2 {
+			mixed.Append(float32(k%7)+1, row, k)
+		}
+	}
+	scatter := generate.Uniform(rng, 64, 64, 80)
+	for p := 0; p < scatter.NNZ(); p++ {
+		mixed.Append(scatter.Vals[p], scatter.Coords[0][p], scatter.Coords[1][p])
+	}
+	mixed.SortRowMajor()
+	mixed.Dedup()
+	cases = append(cases, Case{"mixedskew", mixed})
+
+	// Degenerate: empty matrix.
+	cases = append(cases, Case{"empty", tensor.NewCOO([]int{16, 16}, 0)})
+
+	// Degenerate: a single nonzero.
+	single := tensor.NewCOO([]int{16, 16}, 0)
+	single.Append(2.5, 9, 3)
+	cases = append(cases, Case{"single", single})
+
+	// Degenerate: everything in the blocks region (one fully dense tile).
+	oneBlock := tensor.NewCOO([]int{16, 16}, 0)
+	for i := int32(8); i < 12; i++ {
+		for k := int32(4); k < 8; k++ {
+			oneBlock.Append(float32(i+k)/8, i, k)
+		}
+	}
+	cases = append(cases, Case{"allinblocks", oneBlock})
+
+	// Degenerate: everything heavy (uniform rows all at the mean).
+	allHeavy := tensor.NewCOO([]int{12, 24}, 0)
+	for i := int32(0); i < 12; i++ {
+		for k := int32(0); k < 24; k += 3 {
+			allHeavy.Append(float32(i%5)+1, i, k)
+		}
+	}
+	cases = append(cases, Case{"allheavy", allHeavy})
+
+	// Adversarial tail: one nonzero per row far apart, so extraction finds
+	// nothing and the tail carries the whole matrix.
+	tail := tensor.NewCOO([]int{40, 40}, 0)
+	for i := int32(0); i < 40; i++ {
+		tail.Append(float32(i%9)+1, i, (i*13)%40)
+	}
+	cases = append(cases, Case{"adversarialtail", tail})
+	return cases
+}
+
+// decompSchedule is the partitioned schedule under test: the fixed-CSR
+// default with the given decomposition, thread count, and dense width.
+func decompSchedule(alg schedule.Algorithm, dec schedule.Decomposition, threads int) *schedule.SuperSchedule {
+	ss := schedule.DefaultSchedule(alg, threads)
+	ss.Decomp = dec
+	return ss
+}
+
+// CheckSpMM compiles ss (partitioned when it carries a decomposition) for
+// the matrix, runs it, and compares the output against the dense reference
+// and against the single-format path with the decomposition stripped. A nil
+// return means both oracles agree within Tol.
+func CheckSpMM(coo *tensor.COO, ss *schedule.SuperSchedule, denseN int, profile kernel.MachineProfile) error {
+	wl, err := kernel.NewWorkload(schedule.SpMM, coo, denseN)
+	if err != nil {
+		return err
+	}
+	p, err := wl.Compile(ss, profile, 0)
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+	if _, err := wl.Run(p); err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	got := wl.OutMat().Clone()
+	if ref := kernel.RefSpMM(coo, wl.BMat()); got.MaxAbsDiff(ref) > Tol {
+		return fmt.Errorf("differs from dense reference by %g", got.MaxAbsDiff(ref))
+	}
+	single := ss.Clone()
+	single.Decomp = schedule.DecompNone
+	sp, err := wl.Compile(single, profile, 0)
+	if err != nil {
+		return fmt.Errorf("single-format compile: %w", err)
+	}
+	if _, err := wl.Run(sp); err != nil {
+		return fmt.Errorf("single-format run: %w", err)
+	}
+	if d := got.MaxAbsDiff(wl.OutMat()); d > Tol {
+		return fmt.Errorf("differs from single-format path by %g", d)
+	}
+	return nil
+}
+
+// CheckSDDMM is CheckSpMM for the sampled dense-dense product. Outputs are
+// compared per original nonzero through each executable's own stored-value
+// addressing, since the partitioned and single-format value layouts differ.
+func CheckSDDMM(coo *tensor.COO, ss *schedule.SuperSchedule, denseN int, profile kernel.MachineProfile) error {
+	wl, err := kernel.NewWorkload(schedule.SDDMM, coo, denseN)
+	if err != nil {
+		return err
+	}
+	p, err := wl.Compile(ss, profile, 0)
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+	out, err := wl.Run(p)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	single := ss.Clone()
+	single.Decomp = schedule.DecompNone
+	sp, err := wl.Compile(single, profile, 0)
+	if err != nil {
+		return fmt.Errorf("single-format compile: %w", err)
+	}
+	sout, err := wl.Run(sp)
+	if err != nil {
+		return fmt.Errorf("single-format run: %w", err)
+	}
+	ref := kernel.RefSDDMM(coo, wl.BMat(), wl.CMat())
+	for q := 0; q < coo.NNZ(); q++ {
+		ij := [2]int32{coo.Coords[0][q], coo.Coords[1][q]}
+		pos, ok := p.LocateStored([]int32{ij[0], ij[1]})
+		if !ok {
+			return fmt.Errorf("nonzero (%d,%d) missing from partitioned storage", ij[0], ij[1])
+		}
+		if d := abs(out[pos] - ref[ij]); d > Tol {
+			return fmt.Errorf("D(%d,%d) = %g, reference %g (diff %g)", ij[0], ij[1], out[pos], ref[ij], d)
+		}
+		spos, ok := sp.LocateStored([]int32{ij[0], ij[1]})
+		if !ok {
+			return fmt.Errorf("nonzero (%d,%d) missing from single-format storage", ij[0], ij[1])
+		}
+		if d := abs(out[pos] - sout[spos]); d > Tol {
+			return fmt.Errorf("D(%d,%d): partitioned %g, single-format %g", ij[0], ij[1], out[pos], sout[spos])
+		}
+	}
+	return nil
+}
+
+func abs(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,115 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"waco/internal/format"
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+)
+
+// TestDifferentialSpMM sweeps the full zoo across every decomposition preset
+// and serial/parallel execution, checking each run against the dense
+// reference and the single-format path.
+func TestDifferentialSpMM(t *testing.T) {
+	profile := kernel.DefaultProfile()
+	for _, tc := range Zoo(101) {
+		for _, dec := range schedule.Decompositions {
+			if dec == schedule.DecompNone {
+				continue // the single-format path is the oracle, not the subject
+			}
+			for _, threads := range []int{1, 4} {
+				name := fmt.Sprintf("%s/%v/t%d", tc.Name, dec, threads)
+				t.Run(name, func(t *testing.T) {
+					ss := decompSchedule(schedule.SpMM, dec, threads)
+					if err := CheckSpMM(tc.COO, ss, 8, profile); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDifferentialSDDMM is the SDDMM sweep, compared per original nonzero.
+func TestDifferentialSDDMM(t *testing.T) {
+	profile := kernel.DefaultProfile()
+	for _, tc := range Zoo(202) {
+		for _, dec := range schedule.Decompositions {
+			if dec == schedule.DecompNone {
+				continue
+			}
+			for _, threads := range []int{1, 4} {
+				name := fmt.Sprintf("%s/%v/t%d", tc.Name, dec, threads)
+				t.Run(name, func(t *testing.T) {
+					ss := decompSchedule(schedule.SDDMM, dec, threads)
+					if err := CheckSDDMM(tc.COO, ss, 8, profile); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDifferentialAlternateTailFormats re-runs the mixed-skew workload with
+// non-CSR tail formats, since the schedule's AFormat governs only the tail
+// region of a partitioned plan.
+func TestDifferentialAlternateTailFormats(t *testing.T) {
+	profile := kernel.DefaultProfile()
+	zoo := Zoo(303)
+	var mixed Case
+	for _, tc := range zoo {
+		if tc.Name == "mixedskew" {
+			mixed = tc
+		}
+	}
+	if mixed.COO == nil {
+		t.Fatal("zoo lost its mixedskew case")
+	}
+	for _, f := range []struct {
+		name string
+		fmt  format.Format
+	}{
+		{"CSC", format.CSC()},
+		{"COOLike", format.COOLike(2)},
+		{"BCSR", format.BCSR(2, 2)},
+	} {
+		t.Run(f.name, func(t *testing.T) {
+			ss := schedule.BestEffortSchedule(schedule.SpMM, f.fmt, 2, 16)
+			ss.Decomp = schedule.DecompFull
+			if err := CheckSpMM(mixed.COO, ss, 8, profile); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestZooShape pins the zoo's degenerate coverage so a refactor cannot
+// silently drop the edge cases the harness exists for.
+func TestZooShape(t *testing.T) {
+	zoo := Zoo(1)
+	want := map[string]bool{
+		"empty": false, "single": false, "allinblocks": false,
+		"allheavy": false, "adversarialtail": false, "mixedskew": false,
+	}
+	for _, tc := range zoo {
+		if _, ok := want[tc.Name]; ok {
+			want[tc.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("zoo is missing the %q case", name)
+		}
+	}
+	for _, tc := range zoo {
+		if tc.Name == "empty" && tc.COO.NNZ() != 0 {
+			t.Errorf("empty case has %d nonzeros", tc.COO.NNZ())
+		}
+		if tc.Name == "single" && tc.COO.NNZ() != 1 {
+			t.Errorf("single case has %d nonzeros", tc.COO.NNZ())
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package kernel
+
+import (
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+// Executable is a compiled sparse tensor program ready to run repeatedly:
+// either a single-format *Plan or a *PartitionedPlan executing one plan per
+// region of a decomposed tensor. The Run methods of the algorithms a value
+// does not implement return an error, mirroring Plan's behavior when invoked
+// with the wrong algorithm.
+type Executable interface {
+	// Algorithm returns the compiled algorithm.
+	Algorithm() schedule.Algorithm
+	// Super returns the SuperSchedule the executable was compiled from.
+	Super() *schedule.SuperSchedule
+	// EstimateWork predicts the loop-nest body visit count of one execution.
+	EstimateWork() float64
+	// CheckWork returns ErrWorkLimit when the estimated work exceeds maxWork
+	// (<= 0 applies DefaultWorkLimit relative to the stored size).
+	CheckWork(maxWork float64) error
+	// StoredBytes returns the sparse operand's storage footprint.
+	StoredBytes() int64
+	// StoredVals returns the stored-entry count (padding included); it is the
+	// length RunSDDMM's output must have.
+	StoredVals() int
+	// LocateStored returns the global values position of the entry at the
+	// given original coordinates, if any region stores that coordinate path.
+	LocateStored(coords []int32) (int64, bool)
+
+	RunSpMV(b, out []float32) error
+	RunSpMM(b, out *tensor.Dense) error
+	RunSDDMM(b, ct *tensor.Dense, outVals []float32) error
+	RunMTTKRP(b, c, out *tensor.Dense) error
+}
+
+var (
+	_ Executable = (*Plan)(nil)
+	_ Executable = (*PartitionedPlan)(nil)
+)
+
+// Algorithm returns the compiled algorithm.
+func (p *Plan) Algorithm() schedule.Algorithm { return p.Alg }
+
+// Super returns the SuperSchedule the plan was compiled from.
+func (p *Plan) Super() *schedule.SuperSchedule { return p.SS }
+
+// StoredBytes returns the stored tensor's footprint.
+func (p *Plan) StoredBytes() int64 { return p.A.Bytes() }
+
+// StoredVals returns the stored-entry count (padding included).
+func (p *Plan) StoredVals() int { return len(p.A.Vals) }
+
+// LocateStored returns the values position of the entry at the given
+// original coordinates.
+func (p *Plan) LocateStored(coords []int32) (int64, bool) { return p.A.Locate(coords) }

@@ -52,7 +52,7 @@ func TestFastPathEngagesForBlockedSpMV(t *testing.T) {
 	}
 	for _, tc := range cases {
 		ss := schedule.BestEffortSchedule(schedule.SpMV, tc.f, 2, 16)
-		p, err := wl.Compile(ss, DefaultProfile(), 0)
+		p, err := compileSingle(wl, ss, DefaultProfile(), 0)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -77,7 +77,7 @@ func TestFastPathCSCConcordant(t *testing.T) {
 	ref := RefSpMV(coo, wl.BVec())
 
 	conc := schedule.ConcordantSchedule(schedule.SpMV, format.CSC(), 1, 16)
-	p, err := wl.Compile(conc, DefaultProfile(), 0)
+	p, err := compileSingle(wl, conc, DefaultProfile(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestFastPathCSCConcordant(t *testing.T) {
 	}
 	hoisted.Parallel = schedule.IVar{Mode: 0}
 	hoisted.Threads = 2
-	p2, err := wl.Compile(hoisted, DefaultProfile(), 0)
+	p2, err := compileSingle(wl, hoisted, DefaultProfile(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestFastPathDisabledBySwappedLayouts(t *testing.T) {
 	// stay correct.
 	ss := schedule.BestEffortSchedule(schedule.SpMV, format.BCSR(4, 4), 1, 16)
 	ss.BLayout = schedule.Swapped
-	p, err := wl.Compile(ss, DefaultProfile(), 0)
+	p, err := compileSingle(wl, ss, DefaultProfile(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestFastPathDisabledBySwappedLayouts(t *testing.T) {
 	// Swapped c layout on the UCU i-blocked format likewise.
 	ss2 := schedule.BestEffortSchedule(schedule.SpMV, ucuFormat(8), 1, 16)
 	ss2.CLayout = schedule.Swapped
-	p2, err := wl.Compile(ss2, DefaultProfile(), 0)
+	p2, err := compileSingle(wl, ss2, DefaultProfile(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestFastPathPaddingClamped(t *testing.T) {
 	ref := RefSpMV(coo, wl.BVec())
 	for _, f := range []format.Format{ucuFormat(8), format.BCSR(8, 8), format.BCSR(3, 7)} {
 		ss := schedule.BestEffortSchedule(schedule.SpMV, f, 2, 8)
-		p, err := wl.Compile(ss, DefaultProfile(), 0)
+		p, err := compileSingle(wl, ss, DefaultProfile(), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +182,7 @@ func TestFastPathParallelSafe(t *testing.T) {
 	wl, _ := NewWorkload(schedule.SpMV, coo, 0)
 	ref := RefSpMV(coo, wl.BVec())
 	ss := schedule.BestEffortSchedule(schedule.SpMV, ucuFormat(16), 4, 2)
-	p, err := wl.Compile(ss, DefaultProfile(), 0)
+	p, err := compileSingle(wl, ss, DefaultProfile(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

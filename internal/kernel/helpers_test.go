@@ -1,0 +1,17 @@
+package kernel
+
+import (
+	"waco/internal/schedule"
+)
+
+// compileSingle compiles a schedule known to be non-decomposed and returns
+// the concrete *Plan so tests can inspect interpreter internals (fast-path
+// mode, resolved thread count). It panics via the type assertion if the
+// schedule unexpectedly yields a partitioned plan.
+func compileSingle(wl *Workload, ss *schedule.SuperSchedule, profile MachineProfile, maxEntries int64) (*Plan, error) {
+	e, err := wl.Compile(ss, profile, maxEntries)
+	if err != nil {
+		return nil, err
+	}
+	return e.(*Plan), nil
+}

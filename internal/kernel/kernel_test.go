@@ -131,7 +131,7 @@ func TestSDDMMRandomSchedulesMatchReference(t *testing.T) {
 		// Check every original nonzero by locating its stored position.
 		for q := 0; q < coo.NNZ(); q++ {
 			ij := [2]int32{coo.Coords[0][q], coo.Coords[1][q]}
-			pos, ok := p.A.Locate([]int32{ij[0], ij[1]})
+			pos, ok := p.LocateStored([]int32{ij[0], ij[1]})
 			if !ok {
 				t.Fatalf("trial %d: nonzero (%d,%d) missing from storage", trial, ij[0], ij[1])
 			}
@@ -247,7 +247,7 @@ func TestMachineProfileCapsThreads(t *testing.T) {
 	coo := testMatrix(13, 64, 64, 400)
 	wl, _ := NewWorkload(schedule.SpMM, coo, 8)
 	ss := schedule.DefaultSchedule(schedule.SpMM, 8)
-	p, err := wl.Compile(ss, MachineProfile{Name: "tiny", ThreadCap: 2}, 0)
+	p, err := compileSingle(wl, ss, MachineProfile{Name: "tiny", ThreadCap: 2}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,185 @@
+package kernel
+
+import (
+	"fmt"
+
+	"waco/internal/format"
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+// PartitionedPlan executes a sparse tensor program over a decomposed tensor:
+// one sub-plan per region, each compiled for the region's own storage.
+// SpMM regions accumulate partial sums into the shared dense output; SDDMM
+// regions write disjoint segments of the concatenated stored-values output.
+// SpMV and MTTKRP do not support decomposition (schedule validation rejects
+// such SuperSchedules before one is built).
+type PartitionedPlan struct {
+	Alg  schedule.Algorithm
+	SS   *schedule.SuperSchedule
+	Part *format.Partitioned
+
+	plans     []*Plan // parallel to Part.Regions
+	dims      []int32 // per mode
+	totalVals int
+}
+
+// regionChunk picks the dynamic chunk size for a region's schedule: the
+// heavy-row region has few, expensive rows, so it balances at chunk 1; the
+// other regions keep the SuperSchedule's chunk.
+func regionChunk(class format.RegionClass, chunk int) int {
+	if class == format.RegionHeavy {
+		return 1
+	}
+	return chunk
+}
+
+// CompilePartitioned decomposes the tensor by the schedule's rule, assembles
+// each region (the tail in ss.AFormat, extraction regions in their archetype
+// formats), and compiles one plan per region. The tail region runs the
+// SuperSchedule's own compute order; extraction regions run the best-effort
+// concordant schedule for their archetype format with the SuperSchedule's
+// thread count, since their formats are fixed by the rule rather than
+// searched.
+func CompilePartitioned(ss *schedule.SuperSchedule, coo *tensor.COO, profile MachineProfile, maxEntries int64) (*PartitionedPlan, error) {
+	if err := ss.Validate(); err != nil {
+		return nil, err
+	}
+	if ss.Decomp == schedule.DecompNone {
+		return nil, fmt.Errorf("kernel: CompilePartitioned needs a decomposed schedule")
+	}
+	part, err := format.Decompose(coo, ss.Decomp.Rule())
+	if err != nil {
+		return nil, err
+	}
+	pt, err := part.Assemble(
+		format.AssembleOptions{MaxEntries: maxEntries},
+		map[format.RegionClass]format.Format{format.RegionTail: ss.AFormat},
+	)
+	if err != nil {
+		return nil, err
+	}
+	pp := &PartitionedPlan{
+		Alg:  ss.Alg,
+		SS:   ss,
+		Part: pt,
+		dims: make([]int32, len(pt.Dims)),
+	}
+	for m, d := range pt.Dims {
+		pp.dims[m] = int32(d)
+	}
+	for _, reg := range pt.Regions {
+		var rss *schedule.SuperSchedule
+		if reg.Class == format.RegionTail {
+			rss = ss.Clone()
+			rss.Decomp = schedule.DecompNone
+		} else {
+			rss = schedule.BestEffortSchedule(ss.Alg, reg.Stored.Fmt, ss.Threads, regionChunk(reg.Class, ss.Chunk))
+		}
+		plan, err := Compile(rss, reg.Stored, profile)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: compiling %v region: %w", reg.Class, err)
+		}
+		pp.plans = append(pp.plans, plan)
+		pp.totalVals += len(reg.Stored.Vals)
+	}
+	return pp, nil
+}
+
+// RegionPlans returns the per-region sub-plans, parallel to Part.Regions.
+func (pp *PartitionedPlan) RegionPlans() []*Plan { return pp.plans }
+
+// Algorithm returns the compiled algorithm.
+func (pp *PartitionedPlan) Algorithm() schedule.Algorithm { return pp.Alg }
+
+// Super returns the decomposed SuperSchedule the plan was compiled from.
+func (pp *PartitionedPlan) Super() *schedule.SuperSchedule { return pp.SS }
+
+// EstimateWork sums the regions' body visit estimates.
+func (pp *PartitionedPlan) EstimateWork() float64 {
+	total := 0.0
+	for _, p := range pp.plans {
+		total += p.EstimateWork()
+	}
+	return total
+}
+
+// CheckWork returns ErrWorkLimit when the summed region estimate exceeds
+// maxWork (<= 0 applies DefaultWorkLimit relative to the total stored size).
+func (pp *PartitionedPlan) CheckWork(maxWork float64) error {
+	limit := maxWork
+	if limit <= 0 {
+		limit = DefaultWorkLimit(pp.totalVals)
+	}
+	if w := pp.EstimateWork(); w > limit {
+		return fmt.Errorf("%w: estimated %.3g body visits (limit %.3g)", ErrWorkLimit, w, limit)
+	}
+	return nil
+}
+
+// StoredBytes sums the regions' storage footprints.
+func (pp *PartitionedPlan) StoredBytes() int64 { return pp.Part.Bytes() }
+
+// StoredVals returns the total stored-entry count across regions.
+func (pp *PartitionedPlan) StoredVals() int { return pp.totalVals }
+
+// LocateStored returns the position of the given coordinates in the
+// concatenated region values arrays.
+func (pp *PartitionedPlan) LocateStored(coords []int32) (int64, bool) {
+	return pp.Part.Locate(coords)
+}
+
+// RunSpMV is unsupported for partitioned plans.
+func (pp *PartitionedPlan) RunSpMV(b, out []float32) error {
+	return fmt.Errorf("kernel: RunSpMV on partitioned %v plan", pp.Alg)
+}
+
+// RunMTTKRP is unsupported for partitioned plans.
+func (pp *PartitionedPlan) RunMTTKRP(b, c, out *tensor.Dense) error {
+	return fmt.Errorf("kernel: RunMTTKRP on partitioned %v plan", pp.Alg)
+}
+
+// RunSpMM computes out = A*b by zeroing out once and accumulating each
+// region's partial product. Regions execute sequentially; each region's plan
+// parallelizes internally per its schedule.
+func (pp *PartitionedPlan) RunSpMM(b, out *tensor.Dense) error {
+	if pp.Alg != schedule.SpMM {
+		return fmt.Errorf("kernel: RunSpMM on %v plan", pp.Alg)
+	}
+	if b.NumRows != int(pp.dims[1]) || out.NumRows != int(pp.dims[0]) || b.NumCols != out.NumCols {
+		return fmt.Errorf("kernel: SpMM shapes A=%dx%d b=%dx%d out=%dx%d",
+			pp.dims[0], pp.dims[1], b.NumRows, b.NumCols, out.NumRows, out.NumCols)
+	}
+	out.Zero()
+	for _, p := range pp.plans {
+		p.runSpMM(b, out)
+	}
+	return nil
+}
+
+// RunSDDMM computes the sampled dense-dense product into the concatenation
+// of the regions' stored-values arrays: region r's stored position q lands
+// at offset(r) + q, which is the addressing Part.Locate reports. outVals
+// must have length StoredVals().
+func (pp *PartitionedPlan) RunSDDMM(b, ct *tensor.Dense, outVals []float32) error {
+	if pp.Alg != schedule.SDDMM {
+		return fmt.Errorf("kernel: RunSDDMM on %v plan", pp.Alg)
+	}
+	if b.NumRows != int(pp.dims[0]) || ct.NumRows != int(pp.dims[1]) || b.NumCols != ct.NumCols {
+		return fmt.Errorf("kernel: SDDMM shapes A=%dx%d b=%dx%d ct=%dx%d",
+			pp.dims[0], pp.dims[1], b.NumRows, b.NumCols, ct.NumRows, ct.NumCols)
+	}
+	if len(outVals) != pp.totalVals {
+		return fmt.Errorf("kernel: SDDMM output length %d, want %d", len(outVals), pp.totalVals)
+	}
+	for i := range outVals {
+		outVals[i] = 0
+	}
+	off := 0
+	for _, p := range pp.plans {
+		n := len(p.A.Vals)
+		p.runSDDMM(b, ct, outVals[off:off+n])
+		off += n
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"waco/internal/format"
+	"waco/internal/generate"
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+// benchSkewedMatrix is the partitioned-kernel benchmark fixture: a matrix
+// whose mass matches the decomposition presets' rules — most nonzeros in
+// fully dense 8x8 tiles, a handful of very heavy rows (well past 4x the row
+// mean), and a scattered tail. A single BCSR pays padding blowup on the
+// scatter and heavy rows; a single CSR pays per-entry interpreter overhead
+// on the dense mass; the partitioned plan runs each region's own fast path.
+func benchSkewedMatrix() *tensor.COO {
+	rng := rand.New(rand.NewSource(77))
+	dim := 768
+	c := generate.BlockDense(rng, dim, dim, 8, 160, 1.0)
+	for r := 0; r < 6; r++ {
+		row := int32(100*r + 50)
+		for k := int32(0); k < int32(dim); k += 2 {
+			c.Append(float32(k%11)+1, row, k)
+		}
+	}
+	sc := generate.Uniform(rng, dim, dim, 2500)
+	for p := 0; p < sc.NNZ(); p++ {
+		c.Append(sc.Vals[p], sc.Coords[0][p], sc.Coords[1][p])
+	}
+	c.SortRowMajor()
+	c.Dedup()
+	return c
+}
+
+const benchDenseN = 32
+
+func benchSpMM(b *testing.B, ss *schedule.SuperSchedule) {
+	coo := benchSkewedMatrix()
+	wl, err := NewWorkload(schedule.SpMM, coo, benchDenseN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := wl.Compile(ss, DefaultProfile(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Correctness guard: a benchmark of a wrong kernel is worse than none.
+	if _, err := wl.Run(p); err != nil {
+		b.Fatal(err)
+	}
+	if d := wl.OutMat().MaxAbsDiff(RefSpMM(coo, wl.BMat())); d > testTol {
+		b.Fatalf("kernel differs from reference by %g", d)
+	}
+	b.SetBytes(p.StoredBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs_per_sec")
+}
+
+// BenchmarkPartSpMMPartitioned runs the full decomposition: blocks in BCSR,
+// heavy rows in ELL-like storage, tail in CSR.
+func BenchmarkPartSpMMPartitioned(b *testing.B) {
+	ss := schedule.DefaultSchedule(schedule.SpMM, 4)
+	ss.Decomp = schedule.DecompFull
+	benchSpMM(b, ss)
+}
+
+// BenchmarkPartSpMMSingleCSR is the best row-compressed single format.
+func BenchmarkPartSpMMSingleCSR(b *testing.B) {
+	benchSpMM(b, schedule.DefaultSchedule(schedule.SpMM, 4))
+}
+
+// BenchmarkPartSpMMSingleBCSR stores the whole matrix in 8x8 blocks.
+func BenchmarkPartSpMMSingleBCSR(b *testing.B) {
+	benchSpMM(b, schedule.BestEffortSchedule(schedule.SpMM, format.BCSR(8, 8), 4, 32))
+}

@@ -1,0 +1,271 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"math/rand"
+	"waco/internal/format"
+	"waco/internal/generate"
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+// skewedMatrix builds the region-mix workload the decomposition targets:
+// dense tiles, a few heavy rows, and a scattered tail.
+func skewedMatrix(seed int64, n int) *tensor.COO {
+	rng := rand.New(rand.NewSource(seed))
+	c := generate.BlockDense(rng, n, n, 4, n/12, 1.0)
+	for r := 0; r < 2; r++ {
+		row := int32((n / 3) * (r + 1))
+		for k := int32(0); k < int32(n); k += 2 {
+			c.Append(float32(k%5)+1, row, k)
+		}
+	}
+	sc := generate.Uniform(rng, n, n, n)
+	for p := 0; p < sc.NNZ(); p++ {
+		c.Append(sc.Vals[p], sc.Coords[0][p], sc.Coords[1][p])
+	}
+	c.SortRowMajor()
+	c.Dedup()
+	return c
+}
+
+func decompSS(alg schedule.Algorithm, dec schedule.Decomposition, threads int) *schedule.SuperSchedule {
+	ss := schedule.DefaultSchedule(alg, threads)
+	ss.Decomp = dec
+	return ss
+}
+
+func TestCompilePartitionedRegions(t *testing.T) {
+	coo := skewedMatrix(21, 48)
+	ss := decompSS(schedule.SpMM, schedule.DecompFull, 2)
+	pp, err := CompilePartitioned(ss, coo, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pp.RegionPlans()); got != 3 {
+		t.Fatalf("full decomposition built %d region plans, want 3", got)
+	}
+	if pp.Algorithm() != schedule.SpMM || pp.Super() != ss {
+		t.Fatal("plan metadata wrong")
+	}
+	if err := pp.Part.Validate(); err != nil {
+		t.Fatalf("assembled partition invalid: %v", err)
+	}
+	// Stored accounting is consistent with the regions.
+	vals := 0
+	var bytes int64
+	for _, reg := range pp.Part.Regions {
+		vals += len(reg.Stored.Vals)
+		bytes += reg.Stored.Bytes()
+	}
+	if pp.StoredVals() != vals || pp.StoredBytes() != bytes {
+		t.Fatalf("accounting: vals %d/%d bytes %d/%d", pp.StoredVals(), vals, pp.StoredBytes(), bytes)
+	}
+	// The tail sub-plan runs the SuperSchedule's own format; extraction
+	// regions run their archetypes.
+	plans := pp.RegionPlans()
+	tail := plans[len(plans)-1]
+	if tail.SS.AFormat.String() != ss.AFormat.String() {
+		t.Fatalf("tail format %v, want schedule's %v", tail.SS.AFormat, ss.AFormat)
+	}
+	if tail.SS.Decomp != schedule.DecompNone {
+		t.Fatal("tail sub-schedule still carries a decomposition")
+	}
+}
+
+func TestCompilePartitionedRejects(t *testing.T) {
+	coo := skewedMatrix(22, 32)
+	// A non-decomposed schedule has no partition to build.
+	if _, err := CompilePartitioned(schedule.DefaultSchedule(schedule.SpMM, 1), coo, DefaultProfile(), 0); err == nil {
+		t.Fatal("accepted DecompNone")
+	}
+	// Decomposition on an unsupported algorithm fails schedule validation.
+	bad := schedule.DefaultSchedule(schedule.SpMV, 1)
+	bad.Decomp = schedule.DecompFull
+	if _, err := CompilePartitioned(bad, coo, DefaultProfile(), 0); err == nil {
+		t.Fatal("accepted SpMV decomposition")
+	}
+	// Workload.Compile routes the same validation error.
+	wl, _ := NewWorkload(schedule.SpMV, coo, 0)
+	if _, err := wl.Compile(bad, DefaultProfile(), 0); err == nil {
+		t.Fatal("workload accepted SpMV decomposition")
+	}
+}
+
+func TestPartitionedEmptyRegions(t *testing.T) {
+	// A banded matrix has no dense 8x8 tiles and no heavy rows: both
+	// extraction regions are empty, everything lands in the tail, and
+	// execution still matches the reference.
+	rng := rand.New(rand.NewSource(23))
+	coo := generate.Banded(rng, 40, 40, 1, 0.6)
+	ss := decompSS(schedule.SpMM, schedule.DecompFull, 2)
+	wl, err := NewWorkload(schedule.SpMM, coo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := wl.Compile(ss, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := e.(*PartitionedPlan)
+	for _, reg := range pp.Part.Regions[:len(pp.Part.Regions)-1] {
+		if reg.Stored.NNZStored() != 0 {
+			t.Fatalf("%v region holds %d stored entries for a banded matrix", reg.Class, reg.Stored.NNZStored())
+		}
+	}
+	if _, err := wl.Run(pp); err != nil {
+		t.Fatal(err)
+	}
+	if d := wl.OutMat().MaxAbsDiff(RefSpMM(coo, wl.BMat())); d > testTol {
+		t.Fatalf("empty-region execution differs by %g", d)
+	}
+}
+
+// TestEstimateWorkFiniteOnEmptyLevels is the regression test for the
+// work-estimate NaN: a compressed level above an empty level made the
+// per-parent average 0/0 = NaN, and since NaN compares false against any
+// limit, CheckWork silently accepted every plan over an empty tensor or
+// empty partition region. The estimate must stay finite.
+func TestEstimateWorkFiniteOnEmptyLevels(t *testing.T) {
+	empty := tensor.NewCOO([]int{16, 16}, 0)
+	wl, err := NewWorkload(schedule.SpMM, empty, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := compileSingle(wl, schedule.DefaultSchedule(schedule.SpMM, 1), DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := p.EstimateWork(); math.IsNaN(w) || math.IsInf(w, 0) {
+		t.Fatalf("empty-tensor estimate = %v", w)
+	}
+	// Partitioned plans over matrices with empty regions sum the region
+	// estimates, so one NaN would poison the total.
+	pp, err := CompilePartitioned(decompSS(schedule.SpMM, schedule.DecompFull, 1), empty, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := pp.EstimateWork(); math.IsNaN(w) || math.IsInf(w, 0) {
+		t.Fatalf("partitioned empty estimate = %v", w)
+	}
+	// The static exclusion must actually fire against a tiny limit on a
+	// non-trivial plan; with the NaN it never did.
+	coo := skewedMatrix(24, 48)
+	pp2, err := CompilePartitioned(decompSS(schedule.SpMM, schedule.DecompFull, 1), coo, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pp2.CheckWork(1); err == nil {
+		t.Fatal("CheckWork(1) accepted a plan with real work")
+	}
+	if err := pp2.CheckWork(0); err != nil {
+		t.Fatalf("CheckWork(default) rejected a healthy plan: %v", err)
+	}
+}
+
+func TestPartitionedLocateStored(t *testing.T) {
+	coo := skewedMatrix(25, 48)
+	pp, err := CompilePartitioned(decompSS(schedule.SDDMM, schedule.DecompFull, 1), coo, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool, coo.NNZ())
+	for p := 0; p < coo.NNZ(); p++ {
+		pos, ok := pp.LocateStored([]int32{coo.Coords[0][p], coo.Coords[1][p]})
+		if !ok {
+			t.Fatalf("nonzero (%d,%d) unlocatable", coo.Coords[0][p], coo.Coords[1][p])
+		}
+		if pos < 0 || pos >= int64(pp.StoredVals()) {
+			t.Fatalf("position %d outside [0,%d)", pos, pp.StoredVals())
+		}
+		if seen[pos] {
+			t.Fatalf("two nonzeros share stored position %d", pos)
+		}
+		seen[pos] = true
+	}
+}
+
+func TestPartitionedWrongAlgorithmAndShapes(t *testing.T) {
+	coo := skewedMatrix(26, 32)
+	pp, err := CompilePartitioned(decompSS(schedule.SpMM, schedule.DecompRowBlocks, 1), coo, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pp.RunSpMV(make([]float32, 32), make([]float32, 32)); err == nil {
+		t.Fatal("partitioned plan accepted SpMV")
+	}
+	if err := pp.RunMTTKRP(nil, nil, nil); err == nil {
+		t.Fatal("partitioned plan accepted MTTKRP")
+	}
+	if err := pp.RunSDDMM(tensor.NewDense(32, 4), tensor.NewDense(32, 4), nil); err == nil {
+		t.Fatal("SDDMM on an SpMM partitioned plan succeeded")
+	}
+	if err := pp.RunSpMM(tensor.NewDense(7, 4), tensor.NewDense(32, 4)); err == nil {
+		t.Fatal("accepted mis-shaped operand")
+	}
+	if err := pp.RunSpMM(tensor.NewDense(32, 4), tensor.NewDense(32, 5)); err == nil {
+		t.Fatal("accepted mismatched output width")
+	}
+	sd, err := CompilePartitioned(decompSS(schedule.SDDMM, schedule.DecompRowBlocks, 1), coo, DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.RunSDDMM(tensor.NewDense(32, 4), tensor.NewDense(32, 4), make([]float32, sd.StoredVals()+1)); err == nil {
+		t.Fatal("accepted wrong output length")
+	}
+}
+
+// TestPartitionedDeterministicAcrossRuns pins run-to-run and thread-count
+// determinism of the partitioned path: regions execute in canonical order
+// and accumulate identically, so outputs are bit-stable.
+func TestPartitionedDeterministicAcrossRuns(t *testing.T) {
+	coo := skewedMatrix(27, 64)
+	wl, err := NewWorkload(schedule.SpMM, coo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := wl.Compile(decompSS(schedule.SpMM, schedule.DecompFull, 1), DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wl.Run(e1); err != nil {
+		t.Fatal(err)
+	}
+	base := wl.OutMat().Clone()
+	for rep := 0; rep < 3; rep++ {
+		if _, err := wl.Run(e1); err != nil {
+			t.Fatal(err)
+		}
+		if d := wl.OutMat().MaxAbsDiff(base); d != 0 {
+			t.Fatalf("rep %d differs by %g from first run", rep, d)
+		}
+	}
+	// Thread-count variation must stay within tolerance of the serial
+	// result (reassociation only).
+	e4, err := wl.Compile(decompSS(schedule.SpMM, schedule.DecompFull, 4), DefaultProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wl.Run(e4); err != nil {
+		t.Fatal(err)
+	}
+	if d := wl.OutMat().MaxAbsDiff(base); d > testTol {
+		t.Fatalf("4-thread run differs by %g", d)
+	}
+}
+
+// TestPartitionedStorageBudget verifies the per-region assembly budget
+// surfaces as the dataset pipeline's exclusion error.
+func TestPartitionedStorageBudget(t *testing.T) {
+	coo := skewedMatrix(28, 64)
+	wl, err := NewWorkload(schedule.SpMM, coo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = wl.Compile(decompSS(schedule.SpMM, schedule.DecompFull, 1), DefaultProfile(), 4)
+	if !format.IsStorageLimit(err) {
+		t.Fatalf("4-entry budget: got %v, want storage-limit error", err)
+	}
+}

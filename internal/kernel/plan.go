@@ -91,11 +91,12 @@ type Plan struct {
 type fastKind uint8
 
 const (
-	fastNone   fastKind = iota
-	fastKTail           // dense tail over the reduction mode: dot product
-	fastITail           // dense tail over the output mode: axpy
-	fastKTailC          // compressed tail over the reduction mode: gather dot
-	fastITailC          // compressed tail over the output mode: scatter axpy
+	fastNone    fastKind = iota
+	fastKTail            // SpMV dense tail over the reduction mode: dot product
+	fastITail            // SpMV dense tail over the output mode: axpy
+	fastKTailC           // SpMV compressed tail over the reduction mode: gather dot
+	fastITailC           // SpMV compressed tail over the output mode: scatter axpy
+	fastKTailMM          // SpMM dense tail over the reduction mode: fused row axpys
 )
 
 // Compile builds an execution plan. A must have been assembled in
@@ -156,28 +157,31 @@ func Compile(ss *schedule.SuperSchedule, a *format.Stored, profile MachineProfil
 		}
 	}
 
-	if ss.Alg == schedule.SpMV {
+	switch ss.Alg {
+	case schedule.SpMV:
 		p.bSwap = ss.BLayout == schedule.Swapped && p.splits[1] > 1
 		p.cSwap = ss.CLayout == schedule.Swapped && p.splits[0] > 1
 		p.bBlocks = (p.dims[1] + p.splits[1] - 1) / p.splits[1]
 		p.cBlocks = (p.dims[0] + p.splits[0] - 1) / p.splits[0]
 		p.detectFastPath()
+	case schedule.SpMM:
+		p.detectFastPathSpMM()
 	}
 	return p, nil
 }
 
-// detectFastPath finds the SpMV dense-tail specialization: starting from the
-// deepest loop, skip trivial tails (extent-1 loops with no locates); the loop
-// reached must drive an Uncompressed level with contiguous value positions
-// (every storage level below it is a trivial U), and the level's coordinate
-// must advance the dense vector contiguously (an inner split part, or an
-// outer part with split 1).
-func (p *Plan) detectFastPath() {
+// tailLoopDepth finds the deepest non-trivial loop whose storage tail is
+// contiguous: starting from the deepest loop, skip trivial tails (extent-1
+// loops with no locates); the loop reached must drive a storage level below
+// which every level is a trivial U (so consecutive iterations touch
+// consecutive value positions). Returns -1 when no such loop exists. Depth 0
+// is excluded: the parallel loop keeps its chunking exact.
+func (p *Plan) tailLoopDepth() int {
 	d := len(p.loops) - 1
 	for d >= 0 {
 		lp := &p.loops[d]
 		if len(lp.resolve) > 0 {
-			return
+			return -1
 		}
 		trivial := false
 		if lp.drives >= 0 {
@@ -191,22 +195,35 @@ func (p *Plan) detectFastPath() {
 		}
 		d--
 	}
-	if d < 1 { // depth 0 is the parallel loop; keep its chunking exact
-		return
+	if d < 1 {
+		return -1
 	}
 	lp := &p.loops[d]
 	if lp.drives < 0 {
-		return
+		return -1
 	}
 	lvl := &p.A.Levels[lp.drives]
 	if lvl.Kind == format.Uncompressed && lvl.Extent <= 1 {
-		return
+		return -1
 	}
 	for l := lp.drives + 1; l < p.nLevels; l++ {
 		if p.A.Levels[l].Kind != format.Uncompressed || p.A.Levels[l].Extent != 1 {
-			return
+			return -1
 		}
 	}
+	return d
+}
+
+// detectFastPath finds the SpMV dense-tail specialization: the tail loop's
+// coordinate must also advance the dense vector contiguously (an inner split
+// part, or an outer part with split 1).
+func (p *Plan) detectFastPath() {
+	d := p.tailLoopDepth()
+	if d < 0 {
+		return
+	}
+	lp := &p.loops[d]
+	lvl := &p.A.Levels[lp.drives]
 	flv := p.SS.AFormat.Levels[lp.drives]
 	contiguous := flv.Inner || p.splits[flv.Mode] == 1
 	if !contiguous {
@@ -237,6 +254,69 @@ func (p *Plan) detectFastPath() {
 	}
 	p.fastDepth = d
 	p.fastInner = flv.Inner
+}
+
+// detectFastPathSpMM finds the SpMM dense-reduction-tail specialization: the
+// tail loop drives an Uncompressed level over the reduction mode whose
+// coordinate advances B's rows contiguously. Its body fuses the per-nonzero
+// row axpys of one dense chunk and skips explicit padding zeros — the tight
+// loop TACO emits for dense blocks, and what makes block/ELL region storage
+// pay off for partitioned execution.
+func (p *Plan) detectFastPathSpMM() {
+	d := p.tailLoopDepth()
+	if d < 0 {
+		return
+	}
+	lp := &p.loops[d]
+	if p.A.Levels[lp.drives].Kind != format.Uncompressed {
+		return
+	}
+	flv := p.SS.AFormat.Levels[lp.drives]
+	if flv.Mode != 1 {
+		return
+	}
+	if !flv.Inner && p.splits[1] != 1 {
+		return
+	}
+	p.fastMode = fastKTailMM
+	p.fastDepth = d
+	p.fastInner = flv.Inner
+}
+
+// fastSpMMTail executes the SpMM dense-tail specialization for the loop at
+// fastDepth: one output row accumulates extent consecutive nonzeros' axpys
+// against consecutive rows of B. Entries whose stored value is exactly zero
+// are dense-interior padding and contribute nothing, so they are skipped
+// before touching B.
+func (w *worker) fastSpMMTail(base int64, extent int32) {
+	p := w.p
+	i := w.coord[0]*p.splits[0] + w.coord[1]
+	if i >= p.dims[0] {
+		return
+	}
+	kBase := int64(0)
+	if p.fastInner {
+		kBase = int64(w.coord[2]) * int64(p.splits[1])
+	}
+	ext := int64(extent)
+	if kBase+ext > int64(p.dims[1]) {
+		ext = int64(p.dims[1]) - kBase
+		if ext <= 0 {
+			return
+		}
+	}
+	vals := p.A.Vals[base : base+ext]
+	n := int64(w.denseN)
+	cr := w.outMat[int64(i)*n : int64(i)*n+n]
+	for x, v := range vals {
+		if v == 0 {
+			continue
+		}
+		br := w.bMat[(kBase+int64(x))*n : (kBase+int64(x))*n+n]
+		for j, bv := range br {
+			cr[j] += v * bv
+		}
+	}
 }
 
 // fastSpMVC executes the compressed-tail specialization: a tight gather dot
@@ -370,7 +450,15 @@ func (p *Plan) EstimateWork() float64 {
 			if lp.drives > 0 {
 				parentCount = float64(p.A.Levels[lp.drives-1].PosCount)
 			}
-			avg := float64(lvl.PosCount) / parentCount
+			// An empty parent level means the subtree is never entered (an
+			// empty tensor, or an empty region of a partitioned one); without
+			// the guard the fan-out average is 0/0 = NaN, which poisons the
+			// whole estimate and defeats CheckWork — NaN compares false
+			// against any limit.
+			avg := 1.0
+			if parentCount > 0 {
+				avg = float64(lvl.PosCount) / parentCount
+			}
 			if avg < 1 {
 				avg = 1
 			}
@@ -476,7 +564,11 @@ func (w *worker) exec(d int) {
 		if level.Kind == format.Uncompressed {
 			base := parent * int64(level.Extent)
 			if p.fastMode != fastNone && d == p.fastDepth {
-				w.fastSpMV(base, level.Extent)
+				if p.fastMode == fastKTailMM {
+					w.fastSpMMTail(base, level.Extent)
+				} else {
+					w.fastSpMV(base, level.Extent)
+				}
 				return
 			}
 			for x := int32(0); x < level.Extent; x++ {

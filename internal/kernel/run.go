@@ -131,8 +131,15 @@ func (p *Plan) RunSpMM(b, out *tensor.Dense) error {
 			p.dims[0], p.dims[1], b.NumRows, b.NumCols, out.NumRows, out.NumCols)
 	}
 	out.Zero()
-	p.run(func(w *worker) { w.bMat, w.outMat, w.denseN = b.Data, out.Data, b.NumCols })
+	p.runSpMM(b, out)
 	return nil
+}
+
+// runSpMM accumulates A*b into out without zeroing it first — the body only
+// ever adds, so per-region plans of a partitioned tensor can share one
+// output, each contributing its region's partial sums.
+func (p *Plan) runSpMM(b, out *tensor.Dense) {
+	p.run(func(w *worker) { w.bMat, w.outMat, w.denseN = b.Data, out.Data, b.NumCols })
 }
 
 // RunSDDMM computes outVals[p] = A.Vals[p] * (B[i,:] . C[:,j]) for every
@@ -153,8 +160,15 @@ func (p *Plan) RunSDDMM(b, ct *tensor.Dense, outVals []float32) error {
 	for i := range outVals {
 		outVals[i] = 0
 	}
-	p.run(func(w *worker) { w.bMat, w.cMat, w.outVals, w.denseN = b.Data, ct.Data, outVals, b.NumCols })
+	p.runSDDMM(b, ct, outVals)
 	return nil
+}
+
+// runSDDMM accumulates into a pre-zeroed outVals slice of length
+// len(p.A.Vals); a partitioned execution hands each region plan its segment
+// of the concatenated output.
+func (p *Plan) runSDDMM(b, ct *tensor.Dense, outVals []float32) {
+	p.run(func(w *worker) { w.bMat, w.cMat, w.outVals, w.denseN = b.Data, ct.Data, outVals, b.NumCols })
 }
 
 // RunMTTKRP computes out[i,j] += A[i,k,l] * b[k,j] * c[l,j] for dense

@@ -66,32 +66,45 @@ func NewWorkload(alg schedule.Algorithm, coo *tensor.COO, denseN int) (*Workload
 	return wl, nil
 }
 
-// Compile assembles the sparse operand in the schedule's format and builds a
-// plan. maxEntries bounds assembly (0 = format.DefaultMaxEntries); formats
-// whose storage blows past it return format.ErrStorageLimit, which the
-// dataset pipeline treats as "excluded configuration".
-func (wl *Workload) Compile(ss *schedule.SuperSchedule, profile MachineProfile, maxEntries int64) (*Plan, error) {
+// Compile assembles the sparse operand in the schedule's format and builds
+// an executable. A schedule with a decomposition yields a PartitionedPlan
+// (per-region storage and sub-plans); otherwise a single-format Plan.
+// maxEntries bounds assembly (0 = format.DefaultMaxEntries); formats whose
+// storage blows past it return format.ErrStorageLimit, which the dataset
+// pipeline treats as "excluded configuration".
+func (wl *Workload) Compile(ss *schedule.SuperSchedule, profile MachineProfile, maxEntries int64) (Executable, error) {
 	if ss.Alg != wl.Alg {
 		return nil, fmt.Errorf("kernel: %v schedule for %v workload", ss.Alg, wl.Alg)
+	}
+	if ss.Decomp != schedule.DecompNone {
+		pp, err := CompilePartitioned(ss, wl.COO, profile, maxEntries)
+		if err != nil {
+			return nil, err
+		}
+		return pp, nil
 	}
 	st, err := format.Assemble(wl.COO, ss.AFormat, format.AssembleOptions{MaxEntries: maxEntries})
 	if err != nil {
 		return nil, err
 	}
-	return Compile(ss, st, profile)
+	p, err := Compile(ss, st, profile)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // Run executes the plan once against the workload operands and returns the
 // SDDMM output values slice when applicable (outputs for the other
 // algorithms are retrievable via OutVec/OutMat).
-func (wl *Workload) Run(p *Plan) ([]float32, error) {
+func (wl *Workload) Run(p Executable) ([]float32, error) {
 	switch wl.Alg {
 	case schedule.SpMV:
 		return nil, p.RunSpMV(wl.bVec, wl.outVec)
 	case schedule.SpMM:
 		return nil, p.RunSpMM(wl.bMat, wl.outMat)
 	case schedule.SDDMM:
-		out := make([]float32, len(p.A.Vals))
+		out := make([]float32, p.StoredVals())
 		return out, p.RunSDDMM(wl.bMat, wl.cMat, out)
 	case schedule.MTTKRP:
 		return nil, p.RunMTTKRP(wl.bMat, wl.cMat, wl.outMat)
@@ -117,7 +130,7 @@ func (wl *Workload) CMat() *tensor.Dense { return wl.cMat }
 // Measure runs the plan repeats times and returns the median wall-clock
 // duration — the paper's ground-truth runtime protocol (§4.1.3 uses the
 // median of 50 rounds; reduced-scale runs use fewer).
-func (wl *Workload) Measure(p *Plan, repeats int) (time.Duration, error) {
+func (wl *Workload) Measure(p Executable, repeats int) (time.Duration, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
@@ -147,5 +160,5 @@ func (wl *Workload) MeasureSchedule(ss *schedule.SuperSchedule, profile MachineP
 	if err != nil {
 		return 0, 0, err
 	}
-	return d, p.A.Bytes(), nil
+	return d, p.StoredBytes(), nil
 }

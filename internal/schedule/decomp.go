@@ -1,0 +1,82 @@
+package schedule
+
+import (
+	"fmt"
+
+	"waco/internal/format"
+)
+
+// Decomposition widens the SuperSchedule template with a composable-format
+// dimension (SparseTIR-style): instead of storing the whole sparse operand in
+// one format, the matrix is split by a deterministic rule into regions — dense
+// row-blocks, skewed heavy rows, and a compressed remainder tail — and a
+// kernel plan executes per region, summing partial results. DecompNone keeps
+// the classic single-format path, so the widened space strictly subsumes the
+// old one.
+type Decomposition uint8
+
+const (
+	// DecompNone stores A in one format (the original WACO template).
+	DecompNone Decomposition = iota
+	// DecompRowBlocks extracts dense blocks into a BCSR-like U/U block region;
+	// the remainder stays in the schedule's AFormat.
+	DecompRowBlocks
+	// DecompHeavyRows extracts unusually heavy rows into an ELL-like
+	// fixed-width region; the remainder stays in the schedule's AFormat.
+	DecompHeavyRows
+	// DecompFull applies both rules: blocks, then heavy rows, then the tail.
+	DecompFull
+)
+
+// Decompositions lists all decomposition choices, DecompNone first.
+var Decompositions = []Decomposition{DecompNone, DecompRowBlocks, DecompHeavyRows, DecompFull}
+
+func (d Decomposition) String() string {
+	switch d {
+	case DecompNone:
+		return "none"
+	case DecompRowBlocks:
+		return "rowblocks"
+	case DecompHeavyRows:
+		return "heavyrows"
+	case DecompFull:
+		return "full"
+	}
+	return fmt.Sprintf("Decomposition(%d)", uint8(d))
+}
+
+// Rule returns the concrete format.Rule preset this choice names. The presets
+// are fixed so a Decomposition stays a small categorical the embedder can
+// learn; the block/width constants match the generator scales the corpus
+// uses (8x8 dense blocks, width-8 ELL chunks, 4x-mean heavy-row cutoff).
+func (d Decomposition) Rule() format.Rule {
+	switch d {
+	case DecompRowBlocks:
+		return format.Rule{BlockSize: 8, BlockFill: 0.5}
+	case DecompHeavyRows:
+		return format.Rule{HeavyFactor: 4, EllWidth: 8}
+	case DecompFull:
+		return format.Rule{BlockSize: 8, BlockFill: 0.5, HeavyFactor: 4, EllWidth: 8}
+	}
+	return format.Rule{}
+}
+
+// SupportsDecomposition reports whether the algorithm's kernels can execute
+// per-region plans. SpMM accumulates into a dense output and SDDMM writes
+// disjoint stored-value segments, so both compose across regions; SpMV's
+// fast paths and MTTKRP's 3-D operand do not yet.
+func SupportsDecomposition(a Algorithm) bool {
+	return a == SpMM || a == SDDMM
+}
+
+// DecompositionChoices returns the decomposition choice set for an algorithm:
+// every preset when the algorithm supports per-region execution, otherwise
+// nil — an unsupported algorithm's space has no decomposition dimension at
+// all, so its encoding (and thus its embedder layout) stays identical to the
+// pre-decomposition one.
+func DecompositionChoices(a Algorithm) []Decomposition {
+	if SupportsDecomposition(a) {
+		return append([]Decomposition(nil), Decompositions...)
+	}
+	return nil
+}

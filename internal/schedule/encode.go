@@ -14,10 +14,14 @@ type Encoded struct {
 
 // CatSizes returns the cardinalities of the categorical parameters in
 // encoding order: per-mode split, per-level kind, parallel variable, threads,
-// chunk, and (SpMV only) the two vector layouts.
+// chunk, (SpMV only) the two vector layouts, and — only when the space
+// declares decomposition choices — the decomposition. Spaces gob-decoded from
+// pre-decomposition artifacts have no choices and must produce the exact
+// encoding their persisted embedder weights were trained against; appending
+// even a size-1 table would change the fuse-layer width and reject the load.
 func (sp Space) CatSizes() []int {
 	n := sp.Alg.SparseOrder()
-	sizes := make([]int, 0, 3*n+5)
+	sizes := make([]int, 0, 3*n+6)
 	for m := 0; m < n; m++ {
 		sizes = append(sizes, len(sp.SplitChoices))
 	}
@@ -27,6 +31,9 @@ func (sp Space) CatSizes() []int {
 	sizes = append(sizes, 2*n, len(sp.ThreadChoices), len(sp.ChunkChoices))
 	if sp.Alg == SpMV {
 		sizes = append(sizes, 2, 2)
+	}
+	if len(sp.DecompChoices) > 0 {
+		sizes = append(sizes, len(sp.DecompChoices))
 	}
 	return sizes
 }
@@ -70,6 +77,9 @@ func (sp Space) Encode(ss *SuperSchedule) Encoded {
 	if sp.Alg == SpMV {
 		e.Cats = append(e.Cats, int(ss.BLayout), int(ss.CLayout))
 	}
+	if len(sp.DecompChoices) > 0 {
+		e.Cats = append(e.Cats, sp.decompIndex(ss.Decomp))
+	}
 
 	loop := make([]int, 2*n)
 	for p, v := range ss.ComputeOrder {
@@ -81,6 +91,18 @@ func (sp Space) Encode(ss *SuperSchedule) Encoded {
 	}
 	e.Perms = [][]int{loop, level}
 	return e
+}
+
+// decompIndex returns the choice index of a decomposition, snapping unknown
+// values to DecompNone (index 0 by construction) so schedules drawn from a
+// widened space stay encodable against a legacy single-choice space.
+func (sp Space) decompIndex(d Decomposition) int {
+	for i, c := range sp.decompChoices() {
+		if c == d {
+			return i
+		}
+	}
+	return 0
 }
 
 func nearestIndex32(choices []int32, v int32) int {

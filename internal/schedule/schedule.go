@@ -153,6 +153,11 @@ type SuperSchedule struct {
 	// BLayout/CLayout are the SpMV dense-vector layouts; ignored for other
 	// algorithms.
 	BLayout, CLayout VecLayout
+	// Decomp selects a composable-format decomposition of A. When non-None
+	// the matrix is split into regions (dense blocks / heavy rows / tail) and
+	// a plan executes per region; AFormat then stores the remainder tail.
+	// Only algorithms for which SupportsDecomposition holds may set it.
+	Decomp Decomposition
 }
 
 // Splits returns the per-mode split sizes (shared with AFormat).
@@ -200,6 +205,14 @@ func (s *SuperSchedule) Validate() error {
 			return fmt.Errorf("schedule: mode of %s is a reduction dimension of %v", s.Parallel.NameIn(s.Alg), s.Alg)
 		}
 	}
+	if s.Decomp != DecompNone {
+		if s.Decomp > DecompFull {
+			return fmt.Errorf("schedule: unknown decomposition %d", uint8(s.Decomp))
+		}
+		if !SupportsDecomposition(s.Alg) {
+			return fmt.Errorf("schedule: decomposition %v is not supported for %v", s.Decomp, s.Alg)
+		}
+	}
 	return nil
 }
 
@@ -216,6 +229,12 @@ func (s *SuperSchedule) String() string {
 	fmt.Fprintf(&b, "|par=%s,t=%d,c=%d", s.Parallel.NameIn(s.Alg), s.Threads, s.Chunk)
 	if s.Alg == SpMV {
 		fmt.Fprintf(&b, "|B=%v,C=%v", s.BLayout, s.CLayout)
+	}
+	// Appended only when set so keys of pre-decomposition artifacts are
+	// unchanged. Omitting this from the dedup key would collapse schedules
+	// differing only in decomposition into one index entry.
+	if s.Decomp != DecompNone {
+		fmt.Fprintf(&b, "|dec=%v", s.Decomp)
 	}
 	return b.String()
 }

@@ -18,6 +18,19 @@ type Space struct {
 	ThreadChoices []int
 	// ChunkChoices are candidate dynamic chunk sizes (paper: 1..256).
 	ChunkChoices []int
+	// DecompChoices are the candidate format decompositions. Empty means
+	// {DecompNone}: spaces gob-decoded from pre-decomposition artifacts carry
+	// no choices, and must keep sampling and encoding exactly as before.
+	DecompChoices []Decomposition
+}
+
+// decompChoices normalizes DecompChoices for samplers and encoders: legacy
+// artifacts decode an empty slice, which means the single-format space.
+func (sp Space) decompChoices() []Decomposition {
+	if len(sp.DecompChoices) == 0 {
+		return []Decomposition{DecompNone}
+	}
+	return sp.DecompChoices
 }
 
 // DefaultSpace returns a reduced-scale space suited to the synthetic corpus:
@@ -28,6 +41,7 @@ func DefaultSpace(alg Algorithm) Space {
 		SplitChoices:  []int32{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096},
 		ThreadChoices: []int{1, 2, 4, 8},
 		ChunkChoices:  []int{1, 2, 4, 8, 16, 32, 64, 128, 256},
+		DecompChoices: DecompositionChoices(alg),
 	}
 }
 
@@ -41,7 +55,13 @@ func PaperSpace(alg Algorithm) Space {
 	for c := 1; c <= 256; c *= 2 {
 		chunks = append(chunks, c)
 	}
-	return Space{Alg: alg, SplitChoices: splits, ThreadChoices: []int{24, 48}, ChunkChoices: chunks}
+	return Space{
+		Alg:           alg,
+		SplitChoices:  splits,
+		ThreadChoices: []int{24, 48},
+		ChunkChoices:  chunks,
+		DecompChoices: DecompositionChoices(alg),
+	}
 }
 
 // Sample draws one valid SuperSchedule uniformly (up to the validity
@@ -85,6 +105,11 @@ func (sp Space) Sample(rng *rand.Rand) *SuperSchedule {
 		ss.BLayout = VecLayout(rng.Intn(2))
 		ss.CLayout = VecLayout(rng.Intn(2))
 	}
+	// Drawn last so spaces without decomposition choices consume the same
+	// random sequence as before the dimension existed.
+	if dc := sp.decompChoices(); len(dc) > 1 {
+		ss.Decomp = dc[rng.Intn(len(dc))]
+	}
 	return ss
 }
 
@@ -104,6 +129,7 @@ func (sp Space) SampleConcordant(rng *rand.Rand) *SuperSchedule {
 	ss := sp.Sample(rng)
 	out := BestEffortSchedule(sp.Alg, ss.AFormat, ss.Threads, ss.Chunk)
 	out.BLayout, out.CLayout = ss.BLayout, ss.CLayout
+	out.Decomp = ss.Decomp
 	return out
 }
 
@@ -113,6 +139,9 @@ func (sp Space) Mutate(rng *rand.Rand, ss *SuperSchedule) *SuperSchedule {
 	out := ss.Clone()
 	n := sp.Alg.SparseOrder()
 	nKnobs := 8
+	if len(sp.decompChoices()) > 1 {
+		nKnobs = 9
+	}
 	switch rng.Intn(nKnobs) {
 	case 0: // one split size
 		m := rng.Intn(n)
@@ -150,6 +179,9 @@ func (sp Space) Mutate(rng *rand.Rand, ss *SuperSchedule) *SuperSchedule {
 				out.CLayout ^= 1
 			}
 		}
+	case 8: // re-draw the decomposition
+		dc := sp.decompChoices()
+		out.Decomp = dc[rng.Intn(len(dc))]
 	}
 	return out
 }

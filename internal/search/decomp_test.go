@@ -1,0 +1,46 @@
+package search
+
+import (
+	"context"
+	"testing"
+
+	"waco/internal/hnsw"
+	"waco/internal/schedule"
+)
+
+// TestWidenedSpaceCoversDecomposition pins that the determinism suite's
+// sampled schedules genuinely exercise the decomposition dimension (the
+// worker-equivalence test above indexes the same widened space), and that
+// the index dedup key separates schedules differing only in it.
+func TestWidenedSpaceCoversDecomposition(t *testing.T) {
+	scheds := sampleSchedules(200, 7)
+	seen := make(map[schedule.Decomposition]int)
+	for _, ss := range scheds {
+		seen[ss.Decomp]++
+	}
+	if len(seen) < 3 {
+		t.Fatalf("200 samples hit only %d decomposition choices: %v", len(seen), seen)
+	}
+	if seen[schedule.DecompNone] == 0 {
+		t.Fatal("widened space stopped sampling the single-format path")
+	}
+
+	// Two schedules identical except for the decomposition must index as two
+	// distinct entries: the dedup key carries |dec= only when one is set, so
+	// legacy keys are unchanged while decomposed variants stay distinct.
+	base := schedule.DefaultSchedule(schedule.SpMM, 2)
+	dec := base.Clone()
+	dec.Decomp = schedule.DecompFull
+	if base.String() == dec.String() {
+		t.Fatal("dedup key ignores the decomposition")
+	}
+	ix, err := BuildIndexContext(context.Background(), testModel(t),
+		[]*schedule.SuperSchedule{base, dec, base.Clone(), dec.Clone()},
+		hnsw.Config{M: 8, EfConstruction: 20, Seed: 2}, BuildOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Schedules) != 2 {
+		t.Fatalf("indexed %d schedules, want 2 (base + decomposed)", len(ix.Schedules))
+	}
+}

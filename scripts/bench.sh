@@ -7,19 +7,24 @@
 #                      (samples/sec, schedules/sec per worker count)
 #   BENCH_search.json  the query path: forward-only batched search vs the
 #                      tape-path baseline (queries/sec, allocs/op)
+#   BENCH_kernel.json  partitioned-kernel SpMM on the skewed fixture vs the
+#                      best single formats (runs/sec; benchdiff gates the
+#                      partitioned speedup ratio)
 #
 # Parsing uses awk only; no jq or other tooling beyond a POSIX shell and the
 # go toolchain.
 #
-# Usage: scripts/bench.sh [train_benchtime] [search_benchtime]
+# Usage: scripts/bench.sh [train_benchtime] [search_benchtime] [kernel_benchtime]
 # Defaults: 1x for the scaling suite (it reports relative per-second metrics
-# a single iteration already measures) and 1s for the query suite (hundreds
-# of queries per iteration set, so queries/sec is stable enough to diff).
+# a single iteration already measures), 1s for the query suite (hundreds
+# of queries per iteration set, so queries/sec is stable enough to diff),
+# and 1s for the kernel suite (sub-millisecond kernels, thousands of runs).
 set -eu
 cd "$(dirname "$0")/.."
 
 train_benchtime=${1:-1x}
 search_benchtime=${2:-1s}
+kernel_benchtime=${3:-1s}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -59,3 +64,5 @@ run_suite 'Workers[14N]$' "$train_benchtime" BENCH_train.json \
 	./internal/costmodel/ ./internal/search/
 run_suite 'SearchQuery' "$search_benchtime" BENCH_search.json \
 	./internal/search/
+run_suite 'PartSpMM' "$kernel_benchtime" BENCH_kernel.json \
+	./internal/kernel/

@@ -18,6 +18,12 @@
 #   - the pre-filter must keep pruning: pruned_frac >= 0.5 on the
 #     quant+prefilter benchmark fixture
 #
+# When the fresh file carries the partitioned-kernel benchmarks, one more
+# ratio gate applies:
+#   - partitioned SpMM >= 1.2x the best single-format plan (CSR or BCSR) on
+#     the skewed fixture (the composable-format contract; measured ~1.4x,
+#     gated with headroom for noisy shared runners)
+#
 # POSIX shell + awk only, no jq.
 #
 # Usage: scripts/benchdiff.sh baseline.json fresh.json [baseline fresh ...]
@@ -114,6 +120,19 @@ while [ $# -ge 2 ]; do
 				bad = 1
 			} else {
 				printf "ok   quantized head: %.4g q/s = %.2fx forward %.4g q/s\n", qz, qz / fwd, fwd
+			}
+		}
+		part = fresh["BenchmarkPartSpMMPartitioned.runs_per_sec"]
+		csr = fresh["BenchmarkPartSpMMSingleCSR.runs_per_sec"]
+		bcsr = fresh["BenchmarkPartSpMMSingleBCSR.runs_per_sec"]
+		best = (csr > bcsr) ? csr : bcsr
+		if (part > 0 && best > 0) {
+			if (part < 1.2 * best) {
+				printf "FAIL partitioned speedup: %.4g runs/s is %.2fx best single format %.4g runs/s, contract requires >= 1.2x\n",
+					part, part / best, best
+				bad = 1
+			} else {
+				printf "ok   partitioned speedup: %.4g runs/s = %.2fx best single format %.4g runs/s\n", part, part / best, best
 			}
 		}
 		if ("BenchmarkSearchQueryQuantPrefilter" in frac) {
