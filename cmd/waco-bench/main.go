@@ -139,6 +139,14 @@ var catalog = []experiment{
 		renderAll(w, t17, experiments.Table8EndToEnd(results))
 		return nil
 	}},
+	{"transfer", "few-shot transfer: rank quality vs measurement budget on a new machine", func(s experiments.Scale, w io.Writer) error {
+		t, _, err := experiments.TransferComparison(s)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}},
 	{"ablations", "executor overhead, ranking-vs-MSE, ANNS recall, sampling strategy", func(s experiments.Scale, w io.Writer) error {
 		a, err := experiments.AblationExecutorOverhead(s)
 		if err != nil {

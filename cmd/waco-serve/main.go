@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"waco/internal/core"
+	"waco/internal/obslog"
 	"waco/internal/serve"
 )
 
@@ -70,6 +71,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "disable per-request structured access logging")
 	quantized := flag.Bool("quantized", false, "serve predictor-head evaluations on the int8 quantized path (requires an artifact sealed with -quantize)")
 	prefilterMargin := flag.Float64("prefilter-margin", 0, "asymptotic-cost pre-filter prune margin in log2 units (0 = disabled)")
+	obslogPath := flag.String("obslog", "", "append-only measurement log file recording every completed tune for waco-retrain (empty = disabled)")
+	obslogHost := flag.String("obslog-host", "", "host tag stamped on measurement records (default: os.Hostname)")
+	obslogBuffer := flag.Int("obslog-buffer", 256, "measurement records buffered between the request path and the log writer; overflow drops (counted in /metrics)")
 	flag.Parse()
 
 	t0 := time.Now()
@@ -80,6 +84,15 @@ func main() {
 	loadSecs := time.Since(t0).Seconds()
 	log.Printf("loaded %v tuner: %d indexed schedules in %.3fs (sealed build took %.3fs, %.0fx faster startup)",
 		tuner.Cfg.Alg, len(tuner.Index.Schedules), loadSecs, tuner.BuildSeconds, speedup(tuner.BuildSeconds, loadSecs))
+
+	var obsLog *obslog.Log
+	if *obslogPath != "" {
+		obsLog, err = obslog.Open(*obslogPath, obslog.Options{Host: *obslogHost, Buffer: *obslogBuffer})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("observation log %s: %d existing records", *obslogPath, obsLog.Existing())
+	}
 
 	var logger *slog.Logger
 	if !*quiet {
@@ -95,6 +108,7 @@ func main() {
 		Logger:          logger,
 		Quantized:       *quantized,
 		PrefilterMargin: *prefilterMargin,
+		ObsLog:          obsLog,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -160,7 +174,15 @@ loop:
 	if err := srv.Close(ctx); err != nil {
 		log.Printf("drain: %v (some searches abandoned)", err)
 	}
+	if obsLog != nil {
+		if err := obsLog.Close(); err != nil {
+			log.Printf("observation log close: %v", err)
+		}
+	}
 	st := srv.Snapshot()
 	log.Printf("served %d tune + %d predict requests (%d searches, %d deduped, %d cache hits, %d async jobs)",
 		st.TuneRequests, st.PredictRequests, st.Searches, st.DedupedSearches, st.CacheHits, st.JobsSubmitted)
+	if obsLog != nil {
+		log.Printf("observation log: %d records appended, %d dropped", obsLog.Appended(), obsLog.Dropped())
+	}
 }

@@ -24,6 +24,15 @@ type Config struct {
 // DefaultConfig uses 5 repetitions.
 func DefaultConfig() Config { return Config{Repeats: 5} }
 
+// Measurement is one candidate actually timed during tuning: the schedule
+// and its probe runtime. Tuners that race several candidates expose every
+// measurement, not just the winner — each one is a (pattern, schedule,
+// runtime) training triple the online learning loop would otherwise lose.
+type Measurement struct {
+	Schedule *schedule.SuperSchedule
+	Seconds  float64
+}
+
 // Tuned is the outcome of one baseline on one workload.
 type Tuned struct {
 	Method         string
@@ -32,6 +41,9 @@ type Tuned struct {
 	ConvertSeconds float64 // format conversion (assembly) cost
 	Schedule       *schedule.SuperSchedule
 	Info           string
+	// Measured holds every candidate timed while tuning (empty for
+	// baselines that only run their single fixed choice).
+	Measured []Measurement
 }
 
 // Method is a tunable sparse-kernel implementation.

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ReloadResult is one replica's outcome in a fleet-wide artifact rotation.
+type ReloadResult struct {
+	Replica string `json:"replica"`
+	// Version and Stamp echo the replica's post-swap serve.ArtifactInfo.
+	Version int    `json:"version,omitempty"`
+	Stamp   string `json:"stamp,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// ReloadAll fans POST /admin/reload out to every replica concurrently,
+// telling each to hot-swap to the sealed artifact at path (empty path = each
+// replica's own configured -artifact file — the rolling-restart-free rotation
+// after waco-retrain promotes a new version onto shared storage). Results
+// come back in replica order. The error is non-nil when any replica failed;
+// the others still swapped — artifact rotation is intentionally not atomic
+// across the fleet (replicas already tolerate mixed versions mid-rotation,
+// exactly like a rolling deploy), so one wedged replica must not leave the
+// rest serving a stale model.
+func ReloadAll(ctx context.Context, client *http.Client, replicas []string, path string) ([]ReloadResult, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	results := make([]ReloadResult, len(replicas))
+	var wg sync.WaitGroup
+	for i, replica := range replicas {
+		wg.Add(1)
+		go func(i int, replica string) {
+			defer wg.Done()
+			results[i] = reloadOne(ctx, client, strings.TrimRight(replica, "/"), path)
+		}(i, replica)
+	}
+	wg.Wait()
+
+	var failed []string
+	for _, r := range results {
+		if r.Err != "" {
+			failed = append(failed, fmt.Sprintf("%s: %s", r.Replica, r.Err))
+		}
+	}
+	if len(failed) > 0 {
+		sort.Strings(failed)
+		return results, fmt.Errorf("cluster: reload failed on %d/%d replicas: %s",
+			len(failed), len(replicas), strings.Join(failed, "; "))
+	}
+	return results, nil
+}
+
+// ReloadAll rotates this router's replica set; see the package function.
+func (rt *Router) ReloadAll(ctx context.Context, path string) ([]ReloadResult, error) {
+	return ReloadAll(ctx, rt.client, rt.opts.Replicas, path)
+}
+
+func reloadOne(ctx context.Context, client *http.Client, replica, path string) ReloadResult {
+	res := ReloadResult{Replica: replica}
+	var body bytes.Buffer
+	if path != "" {
+		if err := json.NewEncoder(&body).Encode(map[string]string{"artifact": path}); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, replica+"/admin/reload", &body)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20)) //waco:nolint errdrop -- best-effort body for the error message; a short read only trims the quoted context
+	if resp.StatusCode != http.StatusOK {
+		res.Err = fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+		return res
+	}
+	var info struct {
+		Version int    `json:"version"`
+		Stamp   string `json:"stamp"`
+	}
+	if err := json.Unmarshal(raw, &info); err != nil {
+		res.Err = fmt.Sprintf("parsing response: %v", err)
+		return res
+	}
+	res.Version = info.Version
+	res.Stamp = info.Stamp
+	return res
+}

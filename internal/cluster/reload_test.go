@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReloadAllRotatesFleet: a fleet-wide /admin/reload swaps every replica
+// to the promoted artifact and reports the per-replica post-swap identity.
+func TestReloadAllRotatesFleet(t *testing.T) {
+	servers, urls := replicaFleet(t, 3)
+	promoted := filepath.Join(t.TempDir(), "model.v2.waco")
+	if err := os.WriteFile(promoted, sealedTunerBytes(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := ReloadAll(context.Background(), nil, urls, promoted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != "" {
+			t.Fatalf("replica %d: %s", i, r.Err)
+		}
+		if r.Version != 2 {
+			t.Fatalf("replica %d at version %d after rotation, want 2", i, r.Version)
+		}
+		if got := servers[i].Artifact().Stamp; got != r.Stamp {
+			t.Fatalf("replica %d reports stamp %.8s, server holds %.8s", i, r.Stamp, got)
+		}
+	}
+}
+
+// TestReloadAllReportsPartialFailure: a dead replica fails the rotation
+// loudly while the healthy ones still swap — the caller learns exactly which
+// replica is stale.
+func TestReloadAllReportsPartialFailure(t *testing.T) {
+	servers, urls := replicaFleet(t, 2)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from now on
+	promoted := filepath.Join(t.TempDir(), "model.v2.waco")
+	if err := os.WriteFile(promoted, sealedTunerBytes(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := ReloadAll(context.Background(), nil, append(urls, dead.URL), promoted)
+	if err == nil {
+		t.Fatal("rotation with a dead replica reported success")
+	}
+	if results[2].Err == "" {
+		t.Fatal("dead replica's result carries no error")
+	}
+	for i := range servers {
+		if results[i].Err != "" {
+			t.Fatalf("healthy replica %d failed: %s", i, results[i].Err)
+		}
+		if servers[i].Artifact().Version != 2 {
+			t.Fatalf("healthy replica %d did not swap", i)
+		}
+	}
+}

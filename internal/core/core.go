@@ -293,6 +293,7 @@ func (t *Tuner) TuneContext(ctx context.Context, wl *kernel.Workload, profile ke
 	var bestTime time.Duration
 	var bestConvert time.Duration
 	measured := 0
+	var probes []baselines.Measurement
 	for _, cand := range res.Candidates {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -317,6 +318,9 @@ func (t *Tuner) TuneContext(ctx context.Context, wl *kernel.Workload, profile ke
 		}
 		tuning += convert + d
 		measured++
+		// Every probed candidate is a (pattern, schedule, runtime) triple;
+		// probe timings share a repeat count, so they rank against each other.
+		probes = append(probes, baselines.Measurement{Schedule: cand.SS, Seconds: d.Seconds()})
 		if best == nil || d < bestTime {
 			best, bestTime, bestConvert = cand.SS, d, convert
 		}
@@ -342,6 +346,7 @@ func (t *Tuner) TuneContext(ctx context.Context, wl *kernel.Workload, profile ke
 		ConvertSeconds: bestConvert.Seconds(),
 		Schedule:       best,
 		Info:           fmt.Sprintf("measured %d of top-%d", measured, k),
+		Measured:       probes,
 	}, nil
 }
 

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Artifact rotation: the retrain loop never overwrites a serving artifact in
+// place. A model directory holds immutable versioned files —
+//
+//	model.v1.waco
+//	model.v2.waco
+//	current            ← JSON manifest naming the live version
+//
+// — and promotion writes the next model.v<N>.waco, fsyncs it, then atomically
+// replaces `current` (tmp + rename on the same filesystem). A crash at any
+// point leaves either the old or the new manifest, both naming an intact
+// artifact; readers (waco-serve startup, /admin/reload) resolve `current` and
+// load exactly one sealed file. The manifest is a plain file rather than a
+// symlink so it can carry the stamp and promotion metadata, and so the scheme
+// works on filesystems without symlink support.
+const (
+	manifestName   = "current"
+	manifestFormat = "waco-manifest-v1"
+)
+
+// ManifestEntry is the persisted pointer to the live artifact version.
+type ManifestEntry struct {
+	Format string `json:"format"`
+	// Version is the live model.v<N>.waco number.
+	Version int `json:"version"`
+	// Stamp is the SHA-256 of the live artifact's bytes — the same value
+	// LoadTuner reports as ArtifactStamp, so a serving process can verify it
+	// loaded what the manifest promised.
+	Stamp string `json:"stamp"`
+	// PromotedUnix is the promotion wall-clock time (seconds).
+	PromotedUnix int64 `json:"promoted_unix"`
+	// Note records why this version was promoted (gate scores, trigger).
+	Note string `json:"note,omitempty"`
+}
+
+// Manifest manages a versioned artifact directory.
+type Manifest struct {
+	dir string
+}
+
+// OpenManifest prepares dir as a versioned artifact directory, creating it if
+// missing. An existing `current` file is validated lazily by Current.
+func OpenManifest(dir string) (*Manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Manifest{dir: dir}, nil
+}
+
+// Dir returns the managed directory.
+func (m *Manifest) Dir() string { return m.dir }
+
+// VersionPath returns the artifact path for a version number.
+func (m *Manifest) VersionPath(v int) string {
+	return filepath.Join(m.dir, fmt.Sprintf("model.v%d.waco", v))
+}
+
+// Current reads the manifest. A directory with no `current` file returns
+// (nil, nil): nothing promoted yet.
+func (m *Manifest) Current() (*ManifestEntry, error) {
+	raw, err := os.ReadFile(filepath.Join(m.dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var e ManifestEntry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, fmt.Errorf("core: manifest %s: %w", m.dir, err)
+	}
+	if e.Format != manifestFormat {
+		return nil, fmt.Errorf("core: manifest %s has format %q, this build reads %q", m.dir, e.Format, manifestFormat)
+	}
+	if e.Version < 1 {
+		return nil, fmt.Errorf("core: manifest %s names version %d", m.dir, e.Version)
+	}
+	return &e, nil
+}
+
+// CurrentPath resolves the live artifact file, or "" when nothing has been
+// promoted.
+func (m *Manifest) CurrentPath() (string, error) {
+	e, err := m.Current()
+	if err != nil || e == nil {
+		return "", err
+	}
+	p := m.VersionPath(e.Version)
+	if _, err := os.Stat(p); err != nil {
+		return "", fmt.Errorf("core: manifest names version %d but %s is unreadable: %w", e.Version, p, err)
+	}
+	return p, nil
+}
+
+// Versions lists the version numbers present in the directory, ascending.
+func (m *Manifest) Versions() ([]int, error) {
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, de := range ents {
+		var v int
+		//waco:nolint errdrop -- Sscanf's error is the non-matching-name case; n == 1 already gates on it
+		if n, _ := fmt.Sscanf(de.Name(), "model.v%d.waco", &v); n == 1 && v >= 1 &&
+			de.Name() == fmt.Sprintf("model.v%d.waco", v) {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// NextVersion returns 1 + the highest version on disk (promoted or not).
+func (m *Manifest) NextVersion() (int, error) {
+	vs, err := m.Versions()
+	if err != nil {
+		return 0, err
+	}
+	if len(vs) == 0 {
+		return 1, nil
+	}
+	return vs[len(vs)-1] + 1, nil
+}
+
+// Promote seals t as the next model.v<N>.waco and rotates `current` to it.
+// The artifact is written to a temp file, fsynced, and renamed into place
+// before the manifest moves — a crash between the two steps strands an
+// unreferenced versioned file, never a manifest naming a torn artifact.
+// Returns the promoted entry (with the new version and stamp).
+func (m *Manifest) Promote(t *Tuner, note string) (*ManifestEntry, error) {
+	v, err := m.NextVersion()
+	if err != nil {
+		return nil, err
+	}
+	// Seal into memory first: stamping needs the exact bytes, and a
+	// serialization failure must not consume a version number's file name.
+	blob, err := sealTuner(t)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(blob)
+	stamp := hex.EncodeToString(sum[:])
+
+	if err := writeFileAtomic(m.VersionPath(v), blob); err != nil {
+		return nil, err
+	}
+	e := &ManifestEntry{
+		Format:       manifestFormat,
+		Version:      v,
+		Stamp:        stamp,
+		PromotedUnix: time.Now().Unix(),
+		Note:         note,
+	}
+	raw, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFileAtomic(filepath.Join(m.dir, manifestName), append(raw, '\n')); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// sealTuner serializes t exactly as SaveTuner would write it to disk.
+func sealTuner(t *Tuner) ([]byte, error) {
+	var buf sealBuffer
+	if err := SaveTuner(&buf, t); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// sealBuffer is a minimal io.Writer; bytes.Buffer would work but this keeps
+// the seal path free of the Buffer's growth copying for large graphs.
+type sealBuffer struct{ b []byte }
+
+func (s *sealBuffer) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file with an
+// fsync before and after the rename, the standard crash-safe publish.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	err = func() error {
+		if _, err := tmp.Write(data); err != nil {
+			return err
+		}
+		return tmp.Sync()
+	}()
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	// fsync the directory so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync() //waco:nolint errdrop -- advisory: some filesystems reject directory fsync, and the data file is already synced; the read-only Close below has nothing to flush
+		_ = d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"waco/internal/schedule"
+)
+
+func TestManifestRotation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "models")
+	m, err := OpenManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty directory: nothing promoted, nothing to resolve.
+	if e, err := m.Current(); err != nil || e != nil {
+		t.Fatalf("fresh manifest: entry %+v, err %v", e, err)
+	}
+	if p, err := m.CurrentPath(); err != nil || p != "" {
+		t.Fatalf("fresh manifest path %q, err %v", p, err)
+	}
+
+	cfg := quickConfig(schedule.SpMM)
+	tuner, _, err := Build(testCorpus(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e1, err := m.Promote(tuner, "initial seal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Version != 1 || e1.Stamp == "" {
+		t.Fatalf("first promotion: %+v", e1)
+	}
+
+	// The manifest stamp must match what LoadTuner computes from the file —
+	// the cross-check serving uses to verify it loaded the promised bytes.
+	p, err := m.CurrentPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTunerFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ArtifactStamp != e1.Stamp {
+		t.Fatalf("manifest stamp %s, loaded artifact stamp %s", e1.Stamp, loaded.ArtifactStamp)
+	}
+
+	// Second promotion rotates to v2 and leaves v1 intact.
+	e2, err := m.Promote(tuner, "retrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Version != 2 {
+		t.Fatalf("second promotion got version %d", e2.Version)
+	}
+	vs, err := m.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0] != 1 || vs[1] != 2 {
+		t.Fatalf("versions on disk: %v", vs)
+	}
+	cur, err := m.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Version != 2 || cur.Note != "retrain" {
+		t.Fatalf("current after rotation: %+v", cur)
+	}
+	if _, err := os.Stat(m.VersionPath(1)); err != nil {
+		t.Fatalf("v1 removed by rotation: %v", err)
+	}
+
+	// Reopening the directory sees the same state.
+	m2, err := OpenManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := m2.NextVersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != 3 {
+		t.Fatalf("next version after reopen: %d", nv)
+	}
+}
+
+func TestManifestRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	m, err := OpenManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garbage manifest: loud error, not a silent empty state.
+	if err := os.WriteFile(filepath.Join(dir, "current"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Current(); err == nil {
+		t.Fatal("corrupt manifest read without error")
+	}
+	// Wrong format marker.
+	if err := os.WriteFile(filepath.Join(dir, "current"), []byte(`{"format":"other","version":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Current(); err == nil {
+		t.Fatal("foreign-format manifest read without error")
+	}
+	// Manifest naming a missing artifact file.
+	if err := os.WriteFile(filepath.Join(dir, "current"),
+		[]byte(`{"format":"waco-manifest-v1","version":7,"stamp":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CurrentPath(); err == nil {
+		t.Fatal("manifest naming a missing version resolved without error")
+	}
+	// Stray files are not mistaken for versions.
+	for _, name := range []string{"model.vX.waco", "model.v2.waco.bak", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs, err := m.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("stray files counted as versions: %v", vs)
+	}
+}

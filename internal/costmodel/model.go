@@ -1,6 +1,7 @@
 package costmodel
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -142,6 +143,17 @@ func (m *Model) Save(w io.Writer) error {
 		return err
 	}
 	return gob.NewEncoder(w).Encode(snapshot{Space: m.Space, Cfg: m.Cfg, Params: params})
+}
+
+// Clone deep-copies the model through its own serialization: the copy can
+// fine-tune without touching the original's weights (the online learning
+// loop clones the incumbent before retraining a candidate).
+func (m *Model) Clone() (*Model, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return LoadModel(&buf)
 }
 
 // LoadModel reconstructs a model saved by Save.

@@ -2,60 +2,12 @@ package costmodel
 
 import (
 	"bytes"
-	"math"
 	"math/rand"
-	"sort"
 	"testing"
 
 	"waco/internal/generate"
 	"waco/internal/schedule"
 )
-
-// ranks assigns average ranks (ties share the mean of their positions), the
-// standard preprocessing for Spearman correlation.
-func ranks(v []float64) []float64 {
-	idx := make([]int, len(v))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
-	r := make([]float64, len(v))
-	for i := 0; i < len(idx); {
-		j := i
-		for j < len(idx) && v[idx[j]] == v[idx[i]] {
-			j++
-		}
-		avg := float64(i+j-1)/2 + 1
-		for k := i; k < j; k++ {
-			r[idx[k]] = avg
-		}
-		i = j
-	}
-	return r
-}
-
-// spearman computes the Spearman rank correlation between two score vectors.
-func spearman(a, b []float64) float64 {
-	ra, rb := ranks(a), ranks(b)
-	var ma, mb float64
-	for i := range ra {
-		ma += ra[i]
-		mb += rb[i]
-	}
-	ma /= float64(len(ra))
-	mb /= float64(len(rb))
-	var num, da, db float64
-	for i := range ra {
-		x, y := ra[i]-ma, rb[i]-mb
-		num += x * y
-		da += x * x
-		db += y * y
-	}
-	if da == 0 || db == 0 {
-		return 0
-	}
-	return num / math.Sqrt(da*db)
-}
 
 // quantFixture builds a tiny model plus a calibrated quantized head from
 // sampled schedules and patterns, returning everything a scoring test needs.
@@ -123,7 +75,7 @@ func TestQuantizedHeadRankCorrelation(t *testing.T) {
 		t.Run(string(kind), func(t *testing.T) {
 			m, q, p, embs := quantFixture(t, kind, 48)
 			flt, qnt := scoreBoth(t, m, q, p, embs)
-			if rho := spearman(flt, qnt); rho < 0.98 {
+			if rho := Spearman(flt, qnt); rho < 0.98 {
 				t.Fatalf("quantized/float Spearman = %.4f, want >= 0.98\nfloat: %v\nquant: %v", rho, flt, qnt)
 			}
 		})

@@ -47,6 +47,14 @@ type TrainConfig struct {
 	// it, but changing it changes the canonical result (it is part of the
 	// training schedule, like the seed).
 	BatchMatrices int
+	// HeadOnly freezes the feature extractor and schedule embedder and
+	// adapts only the predictor head — COGNATE-style few-shot transfer. A
+	// frozen embedder keeps every precomputed schedule embedding (and hence
+	// the HNSW index geometry) valid, so a transfer retrain can reuse the
+	// incumbent index instead of rebuilding it. Determinism is unchanged:
+	// the frozen layers' gradients are still computed and merged in
+	// canonical order, the optimizer just never applies them.
+	HeadOnly bool
 	// Metrics, when non-nil, receives worker-pool and per-phase series.
 	Metrics *parallelism.Metrics
 	// Verbose, if non-nil, receives one line per epoch.
@@ -106,7 +114,11 @@ func TrainContext(ctx context.Context, m *Model, train, val []*dataset.Entry, cf
 	if batch < 1 {
 		batch = 1
 	}
-	opt := nn.NewAdam(cfg.LR, m.Params()...)
+	optParams := m.Params()
+	if cfg.HeadOnly {
+		optParams = m.Head.Params()
+	}
+	opt := nn.NewAdam(cfg.LR, optParams...)
 
 	trainPats := makePatterns(train)
 	valPats := makePatterns(val)
@@ -129,6 +141,13 @@ func TrainContext(ctx context.Context, m *Model, train, val []*dataset.Entry, cf
 		reps[i] = r
 	}
 	canonical := m.Params()
+	// Frozen parameters (HeadOnly mode) still accumulate merged gradients —
+	// Adam only zeroes the G of its own registered params after Step, so the
+	// frozen ones must be cleared by hand or they would grow across batches.
+	var frozen []*nn.Param
+	if cfg.HeadOnly {
+		frozen = canonical[:len(canonical)-len(m.Head.Params())]
+	}
 
 	// itemResult carries one matrix's contribution out of the pool; grads
 	// is nil for skipped matrices (fewer than two samples).
@@ -194,6 +213,9 @@ func TrainContext(ctx context.Context, m *Model, train, val []*dataset.Entry, cf
 			}
 			if stepped {
 				opt.Step()
+				for _, p := range frozen {
+					p.ZeroGrad()
+				}
 			}
 		}
 		stats := EpochStats{TrainLoss: safeDiv(lossSum, lossCount)}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"waco/internal/costmodel"
+	"waco/internal/dataset"
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+)
+
+// TransferPoint is one row of the transfer comparison: rank quality on the
+// target machine's held-out measurements after adapting under a measurement
+// budget, full fine-tune vs frozen-backbone (head-only) transfer.
+type TransferPoint struct {
+	Budget       int     // measurements the adaptation was allowed to see
+	FullRank     float64 // holdout Spearman after full fine-tune
+	TransferRank float64 // holdout Spearman after head-only transfer
+}
+
+// TransferComparison reproduces the COGNATE-style few-shot transfer study
+// behind `waco-retrain -transfer`: a cost model trained on one machine
+// profile adapts to a "new machine" (a serial profile — parallel schedules
+// lose their advantage, so the runtime ordering genuinely shifts) from a
+// small budget of target-machine measurements. At each budget the full
+// fine-tune (every weight moves, index must rebuild) races the transfer
+// fine-tune (extractor and embedder frozen, only the predictor head adapts,
+// index reused); the metric is Spearman rank quality on held-out
+// target-machine measurements. The paper-level claim: a few dozen
+// measurements of head-only adaptation recover most of a full retrain.
+func TransferComparison(s Scale) (*Table, []TransferPoint, error) {
+	// The shipped model's training data: the default (parallel) machine.
+	ds, err := collectSpMM(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The new machine: a serial profile over a disjoint matrix population.
+	target := kernel.MachineProfile{Name: "target-serial", ThreadCap: 1}
+	tcfg := s.collectConfig(schedule.SpMM, target)
+	tcfg.Seed = s.Seed + 31
+	obs, err := dataset.Collect(s.TestCorpus(), tcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return TransferComparisonOn(s, ds, obs)
+}
+
+// TransferComparisonOn runs the transfer comparison against caller-provided
+// datasets: ds trains the shipped base model, obs holds the target machine's
+// observations. The tests label both deterministically (an analytic work
+// proxy) so the 90%-of-full-retrain acceptance bar is not smeared by
+// kernel-timing noise, while TransferComparison measures for real.
+func TransferComparisonOn(s Scale, ds, obs *dataset.Dataset) (*Table, []TransferPoint, error) {
+	train, val := ds.Split(0.25, s.Seed)
+	base, err := costmodel.New(s.space(schedule.SpMM), costmodel.Config{
+		Extractor: s.Extractor,
+		ConvCfg:   s.pipelineConfig(schedule.SpMM, kernel.DefaultProfile()).Model.ConvCfg,
+		EmbDim:    s.EmbDim,
+		HeadDims:  []int{2 * s.FeatDim, s.FeatDim},
+		Seed:      s.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := costmodel.Train(base, train, val, costmodel.TrainConfig{
+		Epochs: s.Epochs, PairsPerMatrix: s.Pairs, LR: s.LR, Seed: s.Seed, Loss: costmodel.LossRank,
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	adapt, holdout := obs.Split(0.4, s.Seed+1)
+	if len(adapt) == 0 || len(holdout) == 0 {
+		return nil, nil, fmt.Errorf("experiments: target dataset too small to split (%d adapt, %d holdout)", len(adapt), len(holdout))
+	}
+
+	budgets := []int{8, 16, 32, 64}
+	points := make([]TransferPoint, 0, len(budgets))
+	t := &Table{
+		Title:  "Transfer: rank quality on a new machine vs measurement budget (full fine-tune vs frozen-backbone transfer)",
+		Header: []string{"budget", "full retrain", "transfer (head-only)", "transfer/full"},
+	}
+	for _, budget := range budgets {
+		entries := budgetEntries(adapt, budget)
+		if len(entries) == 0 {
+			continue
+		}
+		pt := TransferPoint{Budget: budget}
+		for _, headOnly := range []bool{false, true} {
+			c, err := base.Clone()
+			if err != nil {
+				return nil, nil, err
+			}
+			lr := s.LR
+			if headOnly {
+				// With the backbone frozen, only the small head adapts: far
+				// fewer trainable parameters tolerate (and need) much larger
+				// steps to move in a few-shot budget.
+				lr = 8 * s.LR
+			}
+			if _, err := costmodel.Train(c, entries, nil, costmodel.TrainConfig{
+				Epochs: s.Epochs, PairsPerMatrix: s.Pairs, LR: lr, Seed: s.Seed + 2,
+				Loss: costmodel.LossRank, HeadOnly: headOnly,
+			}); err != nil {
+				return nil, nil, err
+			}
+			rank, err := costmodel.RankQuality(c, holdout)
+			if err != nil {
+				return nil, nil, err
+			}
+			if headOnly {
+				pt.TransferRank = rank
+			} else {
+				pt.FullRank = rank
+			}
+		}
+		points = append(points, pt)
+		ratio := "—"
+		if pt.FullRank > 0.05 {
+			ratio = fmt.Sprintf("%.2f", pt.TransferRank/pt.FullRank)
+		}
+		t.AddRow(fmt.Sprint(budget), f2(pt.FullRank), f2(pt.TransferRank), ratio)
+	}
+	t.AddNote("Spearman on %d held-out target-machine entries; adaptation pool %d entries (serial target profile)",
+		len(holdout), len(adapt))
+	t.AddNote("transfer freezes extractor+embedder: the HNSW index stays valid, no rebuild on the new machine")
+	return t, points, nil
+}
+
+// budgetEntries truncates the adaptation pool to at most budget measurements
+// (samples), keeping entries in order and requiring at least two samples per
+// kept entry so every entry still yields ranking pairs.
+func budgetEntries(pool []*dataset.Entry, budget int) []*dataset.Entry {
+	var out []*dataset.Entry
+	remaining := budget
+	for _, e := range pool {
+		if remaining < 2 {
+			break
+		}
+		n := len(e.Samples)
+		if n > remaining {
+			n = remaining
+		}
+		if n < 2 {
+			continue
+		}
+		cp := *e
+		cp.Samples = append([]dataset.Sample(nil), e.Samples[:n]...)
+		out = append(out, &cp)
+		remaining -= n
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"waco/internal/dataset"
+	"waco/internal/kernel"
+	"waco/internal/schedule"
+)
+
+// relabelAnalytic replaces every measured runtime in ds with a deterministic
+// analytic proxy: the compiled plan's loop-nest work estimate, divided by the
+// schedule's thread count when the simulated machine is parallel. The two
+// proxies order schedules differently in exactly the way a serial "new
+// machine" does (parallel schedules lose their edge), and — unlike wall-clock
+// kernel timings — they are bit-identical on every run, so the acceptance
+// ratio below cannot flake on measurement noise.
+func relabelAnalytic(t *testing.T, ds *dataset.Dataset, profile kernel.MachineProfile, parallel bool) {
+	t.Helper()
+	for _, e := range ds.Entries {
+		wl, err := kernel.NewWorkload(schedule.SpMM, e.COO, ds.DenseN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range e.Samples {
+			ss := e.Samples[i].SS
+			plan, err := wl.Compile(ss, profile, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			secs := plan.EstimateWork() * 1e-9
+			if parallel && ss.Threads > 1 {
+				secs /= float64(ss.Threads)
+			}
+			e.Samples[i].Seconds = secs
+		}
+	}
+}
+
+// TestTransferComparison pins the few-shot transfer claim the online
+// learning loop rests on: with a budget of 64 target-machine measurements,
+// frozen-backbone (head-only) adaptation reaches at least 90% of the full
+// fine-tune's holdout rank quality — while keeping the index reusable.
+func TestTransferComparison(t *testing.T) {
+	s := microScale()
+	// The claim needs a base model worth transferring from: still well under
+	// two seconds total at this scale.
+	s.TrainMatrices = 10
+	s.TestMatrices = 8
+	s.SchedulesPerMatrix = 12
+	s.Epochs = 20
+	s.Pairs = 16
+	s.Repeats = 1 // timings are replaced with the analytic proxy below
+
+	base, err := collectSpMM(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relabelAnalytic(t, base, kernel.DefaultProfile(), true)
+
+	target := kernel.MachineProfile{Name: "target-serial", ThreadCap: 1}
+	tcfg := s.collectConfig(schedule.SpMM, target)
+	tcfg.Seed = s.Seed + 31
+	obs, err := dataset.Collect(s.TestCorpus(), tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relabelAnalytic(t, obs, target, false)
+
+	tab, points, err := TransferComparisonOn(s, base, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no budget points")
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	if !strings.Contains(buf.String(), "budget") {
+		t.Fatalf("table missing budget column:\n%s", buf.String())
+	}
+	var at64 *TransferPoint
+	for i := range points {
+		p := &points[i]
+		if p.FullRank < -1.001 || p.FullRank > 1.001 || p.TransferRank < -1.001 || p.TransferRank > 1.001 {
+			t.Fatalf("rank out of Spearman range: %+v", *p)
+		}
+		if p.Budget == 64 {
+			at64 = p
+		}
+	}
+	if at64 == nil {
+		t.Fatalf("no budget-64 point in %+v", points)
+	}
+	// The acceptance bar: transfer at budget 64 within 90% of full retrain.
+	// Labels are the deterministic analytic proxy and the trainer is
+	// deterministic, so this ratio is reproducible run to run.
+	if at64.TransferRank < 0.9*at64.FullRank {
+		t.Fatalf("budget-64 transfer rank %.4f below 0.9 x full %.4f", at64.TransferRank, at64.FullRank)
+	}
+	t.Logf("budget 64: full %.4f transfer %.4f", at64.FullRank, at64.TransferRank)
+}
+
+func TestBudgetEntries(t *testing.T) {
+	mk := func(n int) *dataset.Entry {
+		e := &dataset.Entry{Name: "e"}
+		for i := 0; i < n; i++ {
+			e.Samples = append(e.Samples, dataset.Sample{Seconds: float64(i + 1)})
+		}
+		return e
+	}
+	pool := []*dataset.Entry{mk(5), mk(1), mk(5), mk(5)}
+	got := budgetEntries(pool, 8)
+	if len(got) != 2 || len(got[0].Samples) != 5 || len(got[1].Samples) != 3 {
+		t.Fatalf("budget 8 gave %d entries", len(got))
+	}
+	// Single-sample entries are skipped: they yield no ranking pairs.
+	if budgetEntries([]*dataset.Entry{mk(1), mk(1)}, 10) != nil {
+		t.Fatal("single-sample entries should be dropped")
+	}
+	// The originals are never truncated in place.
+	if len(pool[2].Samples) != 5 {
+		t.Fatal("budgetEntries mutated the pool")
+	}
+	if budgetEntries(pool, 1) != nil {
+		t.Fatal("budget below a pair should yield nothing")
+	}
+}

@@ -1,0 +1,72 @@
+package obslog
+
+import (
+	"bytes"
+	"testing"
+
+	"waco/internal/schedule"
+)
+
+// FuzzObslogOpen throws arbitrary bytes at the framed reader. The contract
+// under fuzz: Read never panics, never errors on inputs carrying a valid
+// header, never reports goodBytes past the input, and every record it does
+// return is Validate-clean. Seeds include a well-formed two-record log and
+// assorted truncations/corruptions of it.
+func FuzzObslogOpen(f *testing.F) {
+	var valid bytes.Buffer
+	if err := writeHeader(&valid); err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		rec := &Record{
+			Fingerprint: "fuzz-seed",
+			Dims:        []int{4, 4},
+			Coords:      [][]int32{{0, 1, 2}, {1, 2, 3}},
+			Schedule:    schedule.DefaultSchedule(schedule.SpMM, 1),
+			Decomp:      "none",
+			Seconds:     1e-6,
+			Host:        "h",
+			UnixNano:    1,
+		}
+		if err := encodeFrame(&valid, rec); err != nil {
+			f.Fatal(err)
+		}
+	}
+	whole := valid.Bytes()
+	f.Add(whole)
+	f.Add(whole[:len(whole)-3])               // torn tail
+	f.Add(whole[:headerSize])                 // header only
+	f.Add(whole[:headerSize-2])               // torn header
+	f.Add([]byte{})                           // empty log
+	f.Add([]byte("WACOOBSLxxxxgarbage"))      // bad version bytes
+	f.Add([]byte("NOTMAGIC\x01\x00\x00\x00")) // wrong magic
+	flipped := append([]byte(nil), whole...)
+	flipped[len(flipped)/2] ^= 0xa5
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, good, err := Read(bytes.NewReader(data))
+		if good < 0 || good > int64(len(data)) {
+			t.Fatalf("goodBytes %d outside input of %d bytes", good, len(data))
+		}
+		if err != nil {
+			if len(recs) != 0 || good != 0 {
+				t.Fatalf("error %v alongside %d records / %d goodBytes", err, len(recs), good)
+			}
+			return
+		}
+		for i, rec := range recs {
+			if verr := rec.Validate(); verr != nil {
+				t.Fatalf("record %d fails validation after Read accepted it: %v", i, verr)
+			}
+		}
+		// The intact prefix must re-read to the same records.
+		if good > 0 {
+			again, good2, err2 := Read(bytes.NewReader(data[:good]))
+			if err2 != nil || good2 != good || len(again) != len(recs) {
+				t.Fatalf("prefix re-read diverged: %d/%d records, %d/%d bytes, err %v",
+					len(again), len(recs), good2, good, err2)
+			}
+		}
+	})
+}

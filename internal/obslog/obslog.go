@@ -1,0 +1,241 @@
+// Package obslog is the serving-observed measurement log: every completed
+// /v1/tune measures ground-truth kernel runtimes, and this package persists
+// the resulting (fingerprint, schedule, measured runtime) triples instead of
+// throwing them away (ROADMAP item 4). The log is the bridge from serving
+// back into training: cmd/waco-retrain replays it into dataset entries,
+// fine-tunes the sealed cost model, and rotates a new artifact in behind the
+// rank-quality promotion gates.
+//
+// The on-disk format is an append-only framed binary file built to survive
+// crashes mid-write: an 8-byte magic plus a version header, then one frame
+// per record — a little-endian payload length, a CRC-32 (IEEE) of the
+// payload, and the gob-encoded payload itself, each record encoded with a
+// fresh encoder so every frame is self-contained. Open validates the file
+// from the start and truncates the first torn or corrupt frame and
+// everything after it (a partially flushed tail must never poison a future
+// replay), then appends after the intact prefix.
+//
+// Writing is batched off the serving hot path: Append enqueues into a
+// bounded buffer and never blocks a request — when the buffer is full the
+// record is dropped and counted (the drop counter is exported in /metrics).
+// A background writer drains the buffer in batches, issuing one fsync per
+// batch rather than per record; Flush and Close force the remaining buffer
+// to stable storage.
+package obslog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"waco/internal/schedule"
+	"waco/internal/tensor"
+)
+
+const (
+	logMagic   = "WACOOBSL"
+	logVersion = uint32(1)
+	// headerSize is the byte length of the magic + version prefix.
+	headerSize = len(logMagic) + 4
+	// frameOverhead is the per-record length + CRC prefix.
+	frameOverhead = 8
+	// maxRecordBytes bounds one frame's payload. A corrupt length field must
+	// not make the reader allocate gigabytes; real records (a reduced-scale
+	// matrix pattern plus one schedule) are kilobytes.
+	maxRecordBytes = 16 << 20
+)
+
+// Record is one serving-observed measurement: the tuned matrix's sparsity
+// pattern, the winning SuperSchedule, and the ground-truth runtime measured
+// on the serving host, stamped with the artifact that chose the schedule and
+// the host that measured it.
+//
+// The pattern is carried as dims + mode-major coordinates (values are
+// irrelevant: WACO tunes the sparsity pattern) so a retrainer can rebuild
+// the exact training input without access to the original request.
+type Record struct {
+	// Fingerprint is the serving cache key (serve.Fingerprint) of the
+	// pattern — records with equal fingerprints describe the same matrix.
+	Fingerprint string
+	// Dims and Coords reconstruct the pattern (tensor.COO layout).
+	Dims   []int
+	Coords [][]int32
+	// Schedule is the measured SuperSchedule (the tune's winner).
+	Schedule *schedule.SuperSchedule
+	// Decomp names the schedule's format decomposition ("none",
+	// "rowblocks", ...) redundantly with Schedule.Decomp, so log analysis
+	// can slice by decomposition without decoding schedules.
+	Decomp string
+	// Seconds is the measured median kernel runtime.
+	Seconds float64
+	// Stamp is the SHA-256 stamp of the sealed artifact that served the
+	// tune (empty for in-process tuners).
+	Stamp string
+	// Host tags the measuring machine — measurements from different hosts
+	// must not be mixed into one fine-tune (COGNATE adapts per machine).
+	Host string
+	// UnixNano is the append wall-clock time.
+	UnixNano int64
+}
+
+// Validate checks structural integrity of a decoded record.
+func (r *Record) Validate() error {
+	if r.Fingerprint == "" {
+		return errors.New("obslog: record has no fingerprint")
+	}
+	if len(r.Dims) < 2 || len(r.Dims) > 3 {
+		return fmt.Errorf("obslog: record has %d dims, want 2 or 3", len(r.Dims))
+	}
+	if len(r.Coords) != len(r.Dims) {
+		return fmt.Errorf("obslog: record has %d coord modes for %d dims", len(r.Coords), len(r.Dims))
+	}
+	nnz := len(r.Coords[0])
+	if nnz == 0 {
+		return errors.New("obslog: record has no nonzeros")
+	}
+	for m, cs := range r.Coords {
+		if len(cs) != nnz {
+			return fmt.Errorf("obslog: coord mode %d has %d points, mode 0 has %d", m, len(cs), nnz)
+		}
+	}
+	if r.Schedule == nil {
+		return errors.New("obslog: record has no schedule")
+	}
+	if err := r.Schedule.Validate(); err != nil {
+		return fmt.Errorf("obslog: record schedule: %w", err)
+	}
+	if !(r.Seconds > 0) {
+		return fmt.Errorf("obslog: non-positive measured runtime %v", r.Seconds)
+	}
+	return nil
+}
+
+// COO rebuilds the record's sparsity pattern (all values 1, like MatrixJSON
+// bodies without vals). The returned tensor is validated.
+func (r *Record) COO() (*tensor.COO, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	nnz := len(r.Coords[0])
+	coo := tensor.NewCOO(r.Dims, nnz)
+	point := make([]int32, len(r.Dims))
+	for p := 0; p < nnz; p++ {
+		for m := range r.Coords {
+			point[m] = r.Coords[m][p]
+		}
+		coo.Append(1, point...)
+	}
+	if err := coo.Validate(); err != nil {
+		return nil, err
+	}
+	return coo, nil
+}
+
+// encodeFrame appends one framed record to buf: length, CRC, payload.
+func encodeFrame(buf *bytes.Buffer, rec *Record) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return fmt.Errorf("obslog: encoding record: %w", err)
+	}
+	if payload.Len() > maxRecordBytes {
+		return fmt.Errorf("obslog: record payload %d bytes exceeds the %d frame limit", payload.Len(), maxRecordBytes)
+	}
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	buf.Write(hdr[:])
+	buf.Write(payload.Bytes())
+	return nil
+}
+
+// writeHeader writes the magic + version prefix.
+func writeHeader(w io.Writer) error {
+	if _, err := io.WriteString(w, logMagic); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, logVersion)
+}
+
+// Read decodes every intact record from r. It stops — without error — at
+// the first torn or corrupt frame (short header, short payload, CRC
+// mismatch, undecodable or invalid payload): a crash mid-append must yield
+// the intact prefix, not a read failure. goodBytes is the file offset just
+// past the last intact frame — the truncation point Open uses. An empty
+// input is a valid empty log; a non-empty input that is not an obslog file
+// (bad magic, unknown version) is an error.
+func Read(r io.Reader) (recs []*Record, goodBytes int64, err error) {
+	hdr := make([]byte, headerSize)
+	n, err := io.ReadFull(r, hdr)
+	if err == io.EOF && n == 0 {
+		return nil, 0, nil
+	}
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		// A file shorter than the header is a torn header write: treat the
+		// whole file as tail.
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("obslog: reading header: %w", err)
+	}
+	if string(hdr[:len(logMagic)]) != logMagic {
+		return nil, 0, fmt.Errorf("obslog: bad magic %q (not a measurement log)", hdr[:len(logMagic)])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[len(logMagic):]); v != logVersion {
+		return nil, 0, fmt.Errorf("obslog: log version %d, this build reads %d", v, logVersion)
+	}
+	goodBytes = int64(headerSize)
+
+	var frame [frameOverhead]byte
+	for {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			return recs, goodBytes, nil // torn or clean EOF: intact prefix ends here
+		}
+		size := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if size == 0 || size > maxRecordBytes {
+			return recs, goodBytes, nil
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return recs, goodBytes, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, goodBytes, nil
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return recs, goodBytes, nil
+		}
+		if rec.Validate() != nil {
+			return recs, goodBytes, nil
+		}
+		recs = append(recs, &rec)
+		goodBytes += int64(frameOverhead) + int64(size)
+	}
+}
+
+// ReadFile reads every intact record of the log at path. A missing file is
+// an empty log, matching Open's semantics.
+func ReadFile(path string) ([]*Record, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	recs, _, err := Read(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return recs, err
+}
+
+// Now returns wall-clock nanoseconds for record timestamps; swapped in tests.
+var now = func() int64 { return time.Now().UnixNano() }

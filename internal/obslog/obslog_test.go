@@ -1,0 +1,309 @@
+package obslog
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"waco/internal/generate"
+	"waco/internal/schedule"
+)
+
+// testRecord builds a valid record over a small random pattern.
+func testRecord(t *testing.T, seed int64, fp string) Record {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	coo := generate.Uniform(rng, 16, 16, 24)
+	ss := schedule.DefaultSchedule(schedule.SpMM, 2)
+	return Record{
+		Fingerprint: fp,
+		Dims:        coo.Dims,
+		Coords:      coo.Coords,
+		Schedule:    ss,
+		Decomp:      ss.Decomp.String(),
+		Seconds:     1e-5 * float64(1+seed%7),
+		Stamp:       "deadbeef",
+		Host:        "testhost",
+		UnixNano:    123,
+	}
+}
+
+func openTestLog(t *testing.T, path string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.log")
+	l := openTestLog(t, path, Options{Host: "h1"})
+	const n = 20
+	for i := 0; i < n; i++ {
+		if !l.Append(testRecord(t, int64(i), fmt.Sprintf("fp-%d", i%5))) {
+			t.Fatalf("append %d dropped", i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Appended(); got != n {
+		t.Fatalf("appended = %d, want %d", got, n)
+	}
+	if got := l.Dropped(); got != 0 {
+		t.Fatalf("dropped = %d, want 0", got)
+	}
+
+	recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("read %d records, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		want := testRecord(t, int64(i), fmt.Sprintf("fp-%d", i%5))
+		if rec.Fingerprint != want.Fingerprint || rec.Seconds != want.Seconds ||
+			rec.Schedule.String() != want.Schedule.String() || rec.Host != want.Host {
+			t.Fatalf("record %d mismatch: got %+v", i, rec)
+		}
+		if _, err := rec.COO(); err != nil {
+			t.Fatalf("record %d pattern does not rebuild: %v", i, err)
+		}
+	}
+
+	// Reopen for append: existing records counted, new records land after.
+	l2 := openTestLog(t, path, Options{})
+	if got := l2.Existing(); got != n {
+		t.Fatalf("existing = %d, want %d", got, n)
+	}
+	if !l2.Append(testRecord(t, 99, "fp-new")) {
+		t.Fatal("append to reopened log dropped")
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n+1 || recs[n].Fingerprint != "fp-new" {
+		t.Fatalf("after reopen: %d records, last %q", len(recs), recs[len(recs)-1].Fingerprint)
+	}
+}
+
+// TestTornWriteRecovery is the crash-safety contract: truncate the file
+// mid-record (simulating a crash between write and sync), reopen, and the
+// intact prefix must survive while the torn tail is discarded — and the
+// reopened log must keep accepting appends.
+func TestTornWriteRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.log")
+	l := openTestLog(t, path, Options{})
+	const n = 8
+	for i := 0; i < n; i++ {
+		if !l.Append(testRecord(t, int64(i), fmt.Sprintf("fp-%d", i))) {
+			t.Fatalf("append %d dropped", i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, good, err := Read(bytes.NewReader(whole))
+	if err != nil || len(recs) != n {
+		t.Fatalf("pre-damage read: %d records, err %v", len(recs), err)
+	}
+	if good != int64(len(whole)) {
+		t.Fatalf("goodBytes %d != file size %d", good, len(whole))
+	}
+
+	// Chop the file at every byte offset inside the last record's frame:
+	// every prefix must recover exactly n-1 records (or n at the very end).
+	_, prefixEnd, err := Read(bytes.NewReader(whole[:good-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int64{prefixEnd + 1, prefixEnd + frameOverhead, prefixEnd + frameOverhead + 3, good - 1} {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2 := openTestLog(t, path, Options{})
+		if got := l2.Existing(); got != n-1 {
+			t.Fatalf("cut at %d: existing = %d, want %d", cut, got, n-1)
+		}
+		if !l2.Append(testRecord(t, 50, "fp-after-recovery")) {
+			t.Fatal("append after recovery dropped")
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != n {
+			t.Fatalf("cut at %d: recovered %d records, want %d", cut, len(recs), n)
+		}
+		for i := 0; i < n-1; i++ {
+			if recs[i].Fingerprint != fmt.Sprintf("fp-%d", i) {
+				t.Fatalf("cut at %d: record %d is %q", cut, i, recs[i].Fingerprint)
+			}
+		}
+		if recs[n-1].Fingerprint != "fp-after-recovery" {
+			t.Fatalf("cut at %d: recovered tail record is %q", cut, recs[n-1].Fingerprint)
+		}
+	}
+
+	// Corrupt (rather than truncate) a byte inside the last record: the CRC
+	// must reject it and recovery proceeds identically.
+	damaged := append([]byte(nil), whole...)
+	damaged[good-2] ^= 0xff
+	if err := os.WriteFile(path, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l3 := openTestLog(t, path, Options{})
+	if got := l3.Existing(); got != n-1 {
+		t.Fatalf("bit flip: existing = %d, want %d", got, n-1)
+	}
+	if err := l3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A header that is not an obslog file must refuse to open, not truncate
+	// someone else's data.
+	if err := os.WriteFile(path, []byte("NOTANOBSLOGFILE AT ALL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("opened a non-obslog file without error")
+	}
+}
+
+func TestBoundedBufferDropsAndCounts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.log")
+	l := openTestLog(t, path, Options{Buffer: 2})
+	// Stall the writer by never yielding: enqueue from this goroutine only.
+	// With a buffer of 2 the writer may drain some, so drops are not exact
+	// — but appended + dropped must equal attempts, and a closed log drops
+	// everything.
+	const attempts = 500
+	for i := 0; i < attempts; i++ {
+		l.Append(testRecord(t, int64(i), "fp"))
+	}
+	if got := l.Appended() + l.Dropped(); got != attempts {
+		t.Fatalf("appended+dropped = %d, want %d", got, attempts)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Dropped()
+	if l.Append(testRecord(t, 1, "fp")) {
+		t.Fatal("append after Close succeeded")
+	}
+	if l.Dropped() != before+1 {
+		t.Fatal("post-close append not counted as dropped")
+	}
+	recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(recs)) != l.Appended() {
+		t.Fatalf("file has %d records, appended counter says %d", len(recs), l.Appended())
+	}
+}
+
+func TestConcurrentAppendFlushClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.log")
+	l := openTestLog(t, path, Options{Buffer: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Append(testRecord(t, int64(g*100+i), fmt.Sprintf("fp-%d", g)))
+				if i%10 == 0 {
+					_ = l.Flush()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(recs)) != l.Appended() {
+		t.Fatalf("file has %d records, appended counter says %d (dropped %d)",
+			len(recs), l.Appended(), l.Dropped())
+	}
+	if l.Syncs() == 0 {
+		t.Fatal("writer never synced")
+	}
+}
+
+func TestReplayEntriesAndHoldout(t *testing.T) {
+	var recs []*Record
+	for i := 0; i < 30; i++ {
+		r := testRecord(t, int64(i%5), fmt.Sprintf("fp-%d", i%5))
+		r.Seconds = 1e-5 + 1e-6*float64(i)
+		recs = append(recs, &r)
+	}
+	// One poisoned record: pattern cannot rebuild.
+	bad := testRecord(t, 3, "fp-bad")
+	bad.Coords = [][]int32{{1}, {2, 3}}
+	recs = append(recs, &bad)
+
+	entries, skipped := Entries(recs)
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("entries = %d, want 5", len(entries))
+	}
+	total := 0
+	for _, e := range entries {
+		if e.COO == nil || len(e.Samples) == 0 {
+			t.Fatalf("entry %s is hollow", e.Name)
+		}
+		total += len(e.Samples)
+	}
+	if total != 30 {
+		t.Fatalf("replayed %d samples, want 30", total)
+	}
+
+	train, holdout, err := SplitHoldout(entries, 0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train)+len(holdout) != len(entries) || len(holdout) < 1 || len(train) < 1 {
+		t.Fatalf("bad split: %d train, %d holdout", len(train), len(holdout))
+	}
+	// Deterministic in the seed.
+	train2, holdout2, err := SplitHoldout(entries, 0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train2) != len(train) || holdout2[0] != holdout[0] {
+		t.Fatal("split is not deterministic in the seed")
+	}
+
+	if _, _, err := SplitHoldout(entries[:1], 0.5, 1); err == nil {
+		t.Fatal("single-entry split should fail")
+	}
+}

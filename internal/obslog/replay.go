@@ -1,0 +1,91 @@
+package obslog
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"waco/internal/dataset"
+)
+
+// Entries replays log records into dataset entries, grouping by fingerprint
+// — all measurements of the same sparsity pattern become one entry's sample
+// set, exactly the (matrix, SuperSchedule, runtime) triples the trainer
+// consumes. Entry order is deterministic: fingerprints in first-appearance
+// order of the record stream, samples in record order. Records whose
+// pattern fails to rebuild are skipped and counted, never fatal — one bad
+// record must not block a retrain over thousands of good ones.
+func Entries(recs []*Record) (entries []*dataset.Entry, skipped int) {
+	byFP := make(map[string]*dataset.Entry)
+	for _, rec := range recs {
+		e, ok := byFP[rec.Fingerprint]
+		if !ok {
+			coo, err := rec.COO()
+			if err != nil {
+				skipped++
+				continue
+			}
+			e = &dataset.Entry{
+				Name:   "obs-" + shortFP(rec.Fingerprint),
+				Family: "serving",
+				COO:    coo,
+			}
+			byFP[rec.Fingerprint] = e
+			entries = append(entries, e)
+		}
+		e.Samples = append(e.Samples, dataset.Sample{SS: rec.Schedule, Seconds: rec.Seconds})
+	}
+	return entries, skipped
+}
+
+// shortFP abbreviates a fingerprint for entry names.
+func shortFP(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
+// SplitHoldout deterministically partitions replayed entries into a
+// fine-tune set and a held-out gate slice: frac of the entries (at least
+// one, at most all but one) are held out, chosen by a seeded permutation.
+// The held-out slice is what the promotion gate scores the candidate and
+// the incumbent on — data neither model fine-tuned on.
+func SplitHoldout(entries []*dataset.Entry, frac float64, seed int64) (train, holdout []*dataset.Entry, err error) {
+	if len(entries) < 2 {
+		return nil, nil, fmt.Errorf("obslog: %d replayed entries, need at least 2 to hold out a gate slice", len(entries))
+	}
+	n := int(float64(len(entries)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	if n >= len(entries) {
+		n = len(entries) - 1
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(len(entries))
+	held := make(map[int]bool, n)
+	// Prefer holding out entries with enough samples to rank (>= 3): a
+	// holdout of single-sample entries gates nothing.
+	ranked := append([]int(nil), idx...)
+	sort.SliceStable(ranked, func(a, b int) bool {
+		return len(entries[ranked[a]].Samples) > len(entries[ranked[b]].Samples)
+	})
+	// Interleave: walk the seeded permutation, but guarantee the single
+	// best-sampled entry is held out so the gate always has a rankable
+	// slice.
+	held[ranked[0]] = true
+	for _, i := range idx {
+		if len(held) >= n {
+			break
+		}
+		held[i] = true
+	}
+	for i, e := range entries {
+		if held[i] {
+			holdout = append(holdout, e)
+		} else {
+			train = append(train, e)
+		}
+	}
+	return train, holdout, nil
+}

@@ -1,0 +1,287 @@
+package obslog
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures an open measurement log.
+type Options struct {
+	// Host tags every appended record with the measuring machine. Defaults
+	// to os.Hostname (best effort; empty on failure).
+	Host string
+	// Buffer bounds the records queued between Append and the background
+	// writer. A full buffer drops (and counts) new records rather than
+	// blocking the serving hot path. Default 256.
+	Buffer int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Host == "" {
+		o.Host, _ = os.Hostname() //waco:nolint errdrop -- best-effort tag; the field is documented to stay empty on failure
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = 256
+	}
+	return o
+}
+
+// item is one unit of writer-goroutine work: a record to append, or (when
+// ack is non-nil) a flush barrier — everything enqueued before it is forced
+// to stable storage before ack closes.
+type item struct {
+	rec *Record
+	ack chan error
+}
+
+// Log is an open measurement log accepting concurrent appends. One
+// background goroutine owns the file: it drains the bounded buffer in
+// batches and fsyncs once per batch, so no request ever waits on disk.
+type Log struct {
+	path string
+	opts Options
+	f    *os.File
+	ch   chan item
+	done chan struct{}
+
+	// mu serializes Append admission against Close: Close takes the write
+	// half, waits out in-flight Appends, and marks the log closed before
+	// closing the channel, so a send can never race the close.
+	mu     sync.RWMutex
+	closed bool
+
+	existing int64
+	appended atomic.Uint64
+	dropped  atomic.Uint64
+	synced   atomic.Uint64
+
+	// wedged flips once the writer hits a write/sync error; later appends
+	// are dropped up front instead of being counted as durable.
+	wedged  atomic.Bool
+	errMu   sync.Mutex
+	lastErr error
+}
+
+// Open validates (and, if needed, repairs) the log at path and opens it for
+// appending. An existing file is scanned from the start; a torn or corrupt
+// tail — the signature of a crash mid-append — is truncated away so the
+// file resumes from its intact prefix. A missing file is created with a
+// fresh header.
+func Open(path string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	existing, err := repair(f)
+	if err != nil {
+		if cerr := f.Close(); cerr != nil {
+			err = fmt.Errorf("%w (and closing: %v)", err, cerr)
+		}
+		return nil, err
+	}
+	l := &Log{
+		path:     path,
+		opts:     opts,
+		f:        f,
+		ch:       make(chan item, opts.Buffer),
+		done:     make(chan struct{}),
+		existing: existing,
+	}
+	go l.run()
+	return l, nil
+}
+
+// repair scans f from the start, truncates any torn or corrupt tail, and
+// leaves the offset positioned for appending. It returns the intact record
+// count; on error the caller owns closing f.
+func repair(f *os.File) (int64, error) {
+	recs, good, err := Read(f)
+	if err != nil {
+		return 0, err
+	}
+	if good < int64(headerSize) {
+		// New or header-torn file: rewrite from scratch.
+		if err := f.Truncate(0); err != nil {
+			return 0, err
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			return 0, err
+		}
+		if err := writeHeader(f); err != nil {
+			return 0, err
+		}
+		good = int64(headerSize)
+	} else if err := f.Truncate(good); err != nil {
+		return 0, err
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		return 0, err
+	}
+	return int64(len(recs)), nil
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Existing returns how many intact records the file already held at Open.
+func (l *Log) Existing() int64 { return l.existing }
+
+// Appended returns records accepted by Append over this Log's lifetime
+// (enqueued; durability lags by at most one batch until Flush/Close).
+func (l *Log) Appended() uint64 { return l.appended.Load() }
+
+// Dropped returns records rejected because the buffer was full, the log was
+// closed, or a write error had already wedged the file.
+func (l *Log) Dropped() uint64 { return l.dropped.Load() }
+
+// Syncs returns how many batch fsyncs the writer has issued.
+func (l *Log) Syncs() uint64 { return l.synced.Load() }
+
+// Err returns the first write/sync error the background writer hit, if any.
+func (l *Log) Err() error {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.lastErr
+}
+
+func (l *Log) setErr(err error) {
+	l.errMu.Lock()
+	if l.lastErr == nil {
+		l.lastErr = err
+	}
+	l.errMu.Unlock()
+	l.wedged.Store(true)
+}
+
+// Append enqueues one record, filling Host and UnixNano when unset. It
+// never blocks: false means the record was dropped (buffer full or log
+// closed) and counted in Dropped.
+func (l *Log) Append(rec Record) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed || l.wedged.Load() {
+		l.dropped.Add(1)
+		return false
+	}
+	if err := rec.Validate(); err != nil {
+		// An invalid record would end the readable prefix at its frame (Read
+		// stops at the first invalid record), silently hiding everything
+		// appended after it. Refuse it here instead.
+		l.dropped.Add(1)
+		return false
+	}
+	if rec.Host == "" {
+		rec.Host = l.opts.Host
+	}
+	if rec.UnixNano == 0 {
+		rec.UnixNano = now()
+	}
+	select {
+	case l.ch <- item{rec: &rec}:
+		l.appended.Add(1)
+		return true
+	default:
+		l.dropped.Add(1)
+		return false
+	}
+}
+
+// Flush blocks until every record enqueued before the call is written and
+// fsynced, and returns the writer's sticky error state. Called on serving
+// drain so a shutdown never strands buffered measurements.
+func (l *Log) Flush() error {
+	l.mu.RLock()
+	if l.closed {
+		l.mu.RUnlock()
+		return l.Err()
+	}
+	ack := make(chan error, 1)
+	// Blocking send on purpose: Flush is not the hot path, and the barrier
+	// must land behind every prior Append.
+	l.ch <- item{ack: ack} //waco:nolint lockhold -- the writer goroutine drains ch without touching mu, so the send always completes; the read-lock only fences Close's channel-close
+	l.mu.RUnlock()
+	return <-ack
+}
+
+// Close flushes, fsyncs, and closes the file. Appends racing Close complete
+// or are dropped; appends after Close are dropped. Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return l.Err()
+	}
+	l.closed = true
+	close(l.ch)
+	l.mu.Unlock()
+	<-l.done
+	if err := l.f.Close(); err != nil {
+		l.setErr(err)
+	}
+	return l.Err()
+}
+
+// run is the background writer: it batches whatever has accumulated in the
+// buffer into one write + one fsync, so the per-record serving cost is a
+// channel send and the disk sees large sequential appends.
+func (l *Log) run() {
+	defer close(l.done)
+	var batch bytes.Buffer
+	var acks []chan error
+	flush := func() {
+		if batch.Len() > 0 {
+			if _, err := l.f.Write(batch.Bytes()); err != nil {
+				l.setErr(fmt.Errorf("obslog: append: %w", err))
+			} else if err := l.f.Sync(); err != nil {
+				l.setErr(fmt.Errorf("obslog: sync: %w", err))
+			} else {
+				l.synced.Add(1)
+			}
+			batch.Reset()
+		}
+		err := l.Err()
+		for _, ack := range acks {
+			ack <- err
+		}
+		acks = acks[:0]
+	}
+	for it := range l.ch {
+		l.consume(&batch, &acks, it)
+		// Drain whatever else is already queued into the same batch.
+	drain:
+		for {
+			select {
+			case more, ok := <-l.ch:
+				if !ok {
+					flush()
+					return
+				}
+				l.consume(&batch, &acks, more)
+			default:
+				break drain
+			}
+		}
+		flush()
+	}
+	flush()
+}
+
+// consume folds one item into the pending batch.
+func (l *Log) consume(batch *bytes.Buffer, acks *[]chan error, it item) {
+	if it.ack != nil {
+		*acks = append(*acks, it.ack)
+		return
+	}
+	if err := encodeFrame(batch, it.rec); err != nil {
+		// An unencodable record (oversized payload) is dropped, not fatal:
+		// one pathological matrix must not wedge the log.
+		l.appended.Add(^uint64(0)) // undo the optimistic count
+		l.dropped.Add(1)
+		l.setErr(err)
+	}
+}

@@ -1,0 +1,386 @@
+package retrain
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"waco/internal/core"
+	"waco/internal/costmodel"
+	"waco/internal/generate"
+	"waco/internal/obslog"
+	"waco/internal/schedule"
+	"waco/internal/serve"
+	"waco/internal/sparseconv"
+)
+
+// The incumbent fixture: one small sealed SpMM tuner shared by every test,
+// the artifact a serving fleet would have deployed before the first retrain.
+var (
+	seedOnce   sync.Once
+	seedSealed []byte
+	seedErr    error
+)
+
+func sealedSeedBytes(t *testing.T) []byte {
+	t.Helper()
+	seedOnce.Do(func() {
+		cfg := core.DefaultConfig(schedule.SpMM)
+		cfg.Collect.SchedulesPerMatrix = 8
+		cfg.Collect.Repeats = 1
+		cfg.Collect.DenseN = 8
+		sp := schedule.DefaultSpace(schedule.SpMM)
+		sp.SplitChoices = []int32{1, 2, 4, 8}
+		sp.ThreadChoices = []int{1, 2}
+		cfg.Collect.Space = sp
+		cfg.Model = costmodel.Config{
+			Extractor: costmodel.KindHumanFeature,
+			ConvCfg:   sparseconv.Config{Dim: 2, Channels: 4, Depth: 2, FirstKernel: 3, OutDim: 12},
+			EmbDim:    12,
+			HeadDims:  []int{16},
+			Seed:      1,
+		}
+		cfg.Train = costmodel.TrainConfig{Epochs: 3, PairsPerMatrix: 8, LR: 1e-3, Seed: 2, Loss: costmodel.LossRank}
+		cfg.TopK = 3
+		cfg.SearchEf = 24
+		cc := generate.DefaultCorpusConfig()
+		cc.Count = 5
+		cc.MinDim, cc.MaxDim, cc.MaxNNZ = 64, 160, 2500
+		var tuner *core.Tuner
+		tuner, _, seedErr = core.Build(generate.Corpus(cc), cfg)
+		if seedErr != nil {
+			return
+		}
+		var buf bytes.Buffer
+		seedErr = core.SaveTuner(&buf, tuner)
+		seedSealed = buf.Bytes()
+	})
+	if seedErr != nil {
+		t.Fatal(seedErr)
+	}
+	return seedSealed
+}
+
+func sealedSeedFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "seed.tuner")
+	if err := os.WriteFile(path, sealedSeedBytes(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestPromotionGateRejection: a candidate that regresses on the held-out
+// slice never rotates in. The log is constructed so the incumbent ranks the
+// holdout perfectly (its labels follow the incumbent's own predictions)
+// while the training slice is labeled with the inverse ordering — the
+// fine-tune can only move the candidate away from the incumbent, and the
+// gate must catch that.
+func TestPromotionGateRejection(t *testing.T) {
+	artifact := sealedSeedFile(t)
+	incumbent, err := core.LoadTunerFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incumbent.Index.Schedules) < 5 {
+		t.Fatalf("fixture index holds %d schedules, need 5", len(incumbent.Index.Schedules))
+	}
+	scheds := incumbent.Index.Schedules[:5]
+
+	// First pass with placeholder runtimes, just to learn which entries the
+	// seeded split holds out (grouping and the split ignore the runtimes).
+	const nEntries, seed, frac = 6, int64(1), 0.34
+	rng := rand.New(rand.NewSource(7))
+	var draft []*obslog.Record
+	type entrySpec struct {
+		fp    string
+		dims  []int
+		crd   [][]int32
+		preds []float64
+	}
+	specs := make([]entrySpec, nEntries)
+	for i := range specs {
+		coo := generate.Uniform(rng, 48, 48, 300)
+		pat := costmodel.NewPattern(coo)
+		sp := entrySpec{fp: fmt.Sprintf("fp-%02d", i), dims: coo.Dims, crd: coo.Coords}
+		for _, ss := range scheds {
+			p, err := incumbent.Model.Cost(pat, ss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp.preds = append(sp.preds, p)
+		}
+		specs[i] = sp
+		for range scheds {
+			draft = append(draft, &obslog.Record{
+				Fingerprint: sp.fp, Dims: sp.dims, Coords: sp.crd,
+				Schedule: scheds[0], Seconds: 1,
+			})
+		}
+	}
+	entries, skipped := obslog.Entries(draft)
+	if skipped != 0 || len(entries) != nEntries {
+		t.Fatalf("draft replay: %d entries, %d skipped", len(entries), skipped)
+	}
+	_, holdout, err := obslog.SplitHoldout(entries, frac, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := make(map[string]bool)
+	for _, e := range holdout {
+		// Entry names are derived from the fingerprint prefix.
+		held[e.Name] = true
+	}
+
+	// Second pass: holdout entries labeled by the incumbent's own ordering
+	// (incumbent Spearman = 1 by construction), training entries inverted.
+	logPath := filepath.Join(t.TempDir(), "obs.log")
+	l, err := obslog.Open(logPath, obslog.Options{Host: "gate-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sp := range specs {
+		lo, hi := sp.preds[0], sp.preds[0]
+		for _, p := range sp.preds {
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		inverted := !held["obs-"+sp.fp] // fingerprints here are short, names keep them whole
+		for j, ss := range scheds {
+			secs := 1e-3 + (sp.preds[j] - lo)
+			if inverted {
+				secs = 1e-3 + (hi - sp.preds[j])
+			}
+			if ok := l.Append(obslog.Record{
+				Fingerprint: sp.fp, Dims: sp.dims, Coords: sp.crd,
+				Schedule: ss, Decomp: ss.Decomp.String(), Seconds: secs,
+			}); !ok {
+				t.Fatalf("append %d/%d refused", i, j)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	modelDir := filepath.Join(t.TempDir(), "models")
+	res, err := Run(context.Background(), Config{
+		LogPath:      logPath,
+		ArtifactPath: artifact,
+		ModelDir:     modelDir,
+		MinRecords:   8,
+		HoldoutFrac:  frac,
+		GateSlack:    0.001,
+		Epochs:       8,
+		LR:           5e-2,
+		Seed:         seed,
+		Workers:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Promoted {
+		t.Fatalf("regressed candidate promoted: candidate %.4f vs incumbent %.4f",
+			res.CandidateRank, res.IncumbentRank)
+	}
+	if res.IncumbentRank < 0.999 {
+		t.Fatalf("incumbent should rank its own labels perfectly, got %.4f", res.IncumbentRank)
+	}
+	if res.CandidateRank+0.001 >= res.IncumbentRank {
+		t.Fatalf("rejection without a regression? candidate %.4f incumbent %.4f",
+			res.CandidateRank, res.IncumbentRank)
+	}
+	// Nothing rotated: the model directory was never even created.
+	if _, err := os.Stat(modelDir); !os.IsNotExist(err) {
+		ents, _ := os.ReadDir(modelDir)
+		if len(ents) != 0 {
+			t.Fatalf("gate rejection left artifacts in %s: %v", modelDir, ents)
+		}
+	}
+}
+
+func tuneBody(t *testing.T, seed int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	coo := generate.Uniform(rng, 96, 96, 900)
+	m := serve.MatrixJSON{Dims: coo.Dims, Coords: coo.Coords, Vals: coo.Vals}
+	body, err := json.Marshal(serve.TuneRequest{Matrix: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestRetrainE2E drives the whole online learning loop in-process: a serving
+// replica observes real tunes into the measurement log, a full retrain and a
+// budgeted transfer retrain replay it through the gates and rotate versioned
+// artifacts, and /admin/reload hot-swaps the promoted artifact under
+// concurrent traffic with zero 5xx responses. This is the test the CI
+// retrain-e2e job runs under -race.
+func TestRetrainE2E(t *testing.T) {
+	artifact := sealedSeedFile(t)
+	tuner, err := core.LoadTunerFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(t.TempDir(), "obs.log")
+	l, err := obslog.Open(logPath, obslog.Options{Host: "e2e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.NewServer(tuner, serve.Options{
+		MaxWorkers:   2,
+		ArtifactPath: artifact,
+		ObsLog:       l,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Observe: real tunes through the HTTP surface, each probing several
+	// candidates — the log accumulates rankable per-candidate measurements.
+	const matrices = 8
+	for i := int64(0); i < matrices; i++ {
+		resp, err := http.Post(ts.URL+"/v1/tune", "application/json", bytes.NewReader(tuneBody(t, 500+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tune %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("%d observations dropped", l.Dropped())
+	}
+	if got := l.Appended(); got < matrices {
+		t.Fatalf("only %d records for %d tunes", got, matrices)
+	}
+
+	// Retrain (full): replay the log, gate, promote v1.
+	modelDir := filepath.Join(t.TempDir(), "models")
+	full, err := Run(context.Background(), Config{
+		LogPath:      logPath,
+		ArtifactPath: artifact,
+		ModelDir:     modelDir,
+		MinRecords:   int(matrices),
+		GateSlack:    0.5, // kernel probes are noisy at this fixture scale
+		Epochs:       2,
+		Seed:         3,
+		Workers:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Promoted || full.Version != 1 || full.Stamp == "" {
+		t.Fatalf("full retrain did not promote v1: %+v", full)
+	}
+	if _, err := os.Stat(full.PromotedPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Retrain (transfer): frozen backbone, measurement budget, promote v2.
+	transfer, err := Run(context.Background(), Config{
+		LogPath:      logPath,
+		ArtifactPath: artifact,
+		ModelDir:     modelDir,
+		Transfer:     true,
+		Budget:       64,
+		MinRecords:   int(matrices),
+		GateSlack:    0.5,
+		Epochs:       2,
+		Seed:         3,
+		Workers:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !transfer.Promoted || transfer.Version != 2 {
+		t.Fatalf("transfer retrain did not promote v2: %+v", transfer)
+	}
+	if transfer.Used > 64 {
+		t.Fatalf("budget ignored: used %d records", transfer.Used)
+	}
+
+	// Reload under traffic: hot-swap to the promoted artifact while cached
+	// tunes keep flowing; not a single request may see a 5xx.
+	before := srv.Artifact().Stamp
+	var fails atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/v1/tune", "application/json",
+					bytes.NewReader(tuneBody(t, 500+int64(i%matrices))))
+				if err != nil {
+					fails.Add(1)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode >= 500 {
+					fails.Add(1)
+				}
+			}
+		}(g)
+	}
+	body, _ := json.Marshal(map[string]string{"artifact": transfer.PromotedPath})
+	resp, err := http.Post(ts.URL+"/admin/reload", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Version int    `json:"version"`
+		Stamp   string `json:"stamp"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload returned %d", resp.StatusCode)
+	}
+	close(stop)
+	wg.Wait()
+	if n := fails.Load(); n != 0 {
+		t.Fatalf("%d requests failed or saw 5xx during the reload", n)
+	}
+	if info.Stamp != transfer.Stamp {
+		t.Fatalf("reload swapped to stamp %.16s, promoted %.16s", info.Stamp, transfer.Stamp)
+	}
+	if got := srv.Artifact().Stamp; got != transfer.Stamp || got == before {
+		t.Fatalf("serving stamp %.16s after reload (was %.16s, promoted %.16s)", got, before, transfer.Stamp)
+	}
+
+	if err := srv.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

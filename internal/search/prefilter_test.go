@@ -4,7 +4,6 @@ import (
 	"context"
 	"math"
 	"math/rand"
-	"sort"
 	"testing"
 
 	"waco/internal/costmodel"
@@ -119,50 +118,6 @@ func TestPrefilterPrunesDominatedCandidates(t *testing.T) {
 	}
 }
 
-// searchRanks assigns average ranks for the Spearman helper below.
-func searchRanks(v []float64) []float64 {
-	idx := make([]int, len(v))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
-	r := make([]float64, len(v))
-	for i := 0; i < len(idx); {
-		j := i
-		for j < len(idx) && v[idx[j]] == v[idx[i]] {
-			j++
-		}
-		avg := float64(i+j-1)/2 + 1
-		for k := i; k < j; k++ {
-			r[idx[k]] = avg
-		}
-		i = j
-	}
-	return r
-}
-
-func searchSpearman(a, b []float64) float64 {
-	ra, rb := searchRanks(a), searchRanks(b)
-	var ma, mb float64
-	for i := range ra {
-		ma += ra[i]
-		mb += rb[i]
-	}
-	ma /= float64(len(ra))
-	mb /= float64(len(rb))
-	var num, da, db float64
-	for i := range ra {
-		x, y := ra[i]-ma, rb[i]-mb
-		num += x * y
-		da += x * x
-		db += y * y
-	}
-	if da == 0 || db == 0 {
-		return 0
-	}
-	return num / math.Sqrt(da*db)
-}
-
 // calibratedHead quantizes the index's model head using the query feature and
 // the index's own stored embeddings as the calibration set.
 func calibratedHead(t testing.TB, ix *Index, p *costmodel.Pattern) *costmodel.QuantizedHead {
@@ -232,7 +187,7 @@ func TestQuantizedSearchPreservesRanking(t *testing.T) {
 		q.QuantizeEmbedding(qemb, ix.Graph.Vector(id))
 		qnt[id] = m.PredictHeadQuantized(b, q, feat, qemb)
 	}
-	if rho := searchSpearman(flt, qnt); rho < 0.98 {
+	if rho := costmodel.Spearman(flt, qnt); rho < 0.98 {
 		t.Fatalf("quantized/float Spearman over the index = %.4f, want >= 0.98", rho)
 	}
 

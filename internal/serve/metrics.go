@@ -67,6 +67,11 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 	counterFunc("waco_jobs_done_total", "Async jobs that finished with a result.", s.jobs.done.Load)
 	counterFunc("waco_jobs_failed_total", "Async jobs whose tune errored.", s.jobs.failed.Load)
 	counterFunc("waco_jobs_aborted_total", "Async jobs aborted by a hard drain deadline.", s.jobs.aborted.Load)
+	if l := s.opts.ObsLog; l != nil {
+		counterFunc("waco_obslog_records_total", "Measurement records accepted into the observation log.", l.Appended)
+		counterFunc("waco_obslog_dropped_total", "Measurement records dropped (buffer full, log closed, or write error).", l.Dropped)
+		counterFunc("waco_obslog_syncs_total", "Batched fsyncs issued by the observation-log writer.", l.Syncs)
+	}
 
 	for _, c := range []struct {
 		class string

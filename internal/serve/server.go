@@ -28,10 +28,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"waco/internal/baselines"
 	"waco/internal/core"
 	"waco/internal/costmodel"
 	"waco/internal/kernel"
 	"waco/internal/metrics"
+	"waco/internal/obslog"
 	"waco/internal/search"
 	"waco/internal/tensor"
 )
@@ -87,6 +89,12 @@ type Options struct {
 	// path with the given prune margin (log2 units — orders of magnitude of
 	// asymptotic work). 0 disables.
 	PrefilterMargin float64
+	// ObsLog, when non-nil, receives one measurement record per completed
+	// (uncached, undeduped) tune — the observe half of the online learning
+	// loop. Appends are non-blocking: a full buffer drops the record and
+	// bumps waco_obslog_dropped_total rather than slowing the request. The
+	// server flushes the log on drain; the caller owns Open/Close.
+	ObsLog *obslog.Log
 	// Registry receives the server's metrics (exposed at GET /metrics).
 	// nil creates a private registry, retrievable via Server.Registry.
 	Registry *metrics.Registry
@@ -488,6 +496,7 @@ func (s *Server) tune(ctx context.Context, coo *tensor.COO, fp string) (*TuneRes
 			Info:           tuned.Info,
 		}
 		s.cache.Put(fp, res)
+		s.observe(fp, coo, tun, tuned)
 		return res, nil
 	})
 	if shared {
@@ -499,6 +508,41 @@ func (s *Server) tune(ctx context.Context, coo *tensor.COO, fp string) (*TuneRes
 	out := *v.(*TuneResult)
 	out.Deduped = shared
 	return &out, nil
+}
+
+// observe appends a completed tune's measurements to the log — one record
+// per probed candidate (the full rankable sample set a retrain needs), with
+// the winner's final timing as a fallback when no probes were exposed.
+// Called once per actual search (cache hits and deduped joiners re-deliver
+// already-logged measurements), inside the flight so the tuner pinned for
+// the search supplies the artifact stamp — a racing reload cannot mislabel
+// the measurements. The pattern is copied once and shared across the
+// records: they outlive the request in the writer's buffer.
+func (s *Server) observe(fp string, coo *tensor.COO, tun *core.Tuner, tuned *baselines.Tuned) {
+	l := s.opts.ObsLog
+	if l == nil {
+		return
+	}
+	coords := make([][]int32, len(coo.Coords))
+	for m, cs := range coo.Coords {
+		coords[m] = append([]int32(nil), cs...)
+	}
+	dims := append([]int(nil), coo.Dims...)
+	measured := tuned.Measured
+	if len(measured) == 0 {
+		measured = []baselines.Measurement{{Schedule: tuned.Schedule, Seconds: tuned.KernelSeconds}}
+	}
+	for _, m := range measured {
+		l.Append(obslog.Record{
+			Fingerprint: fp,
+			Dims:        dims,
+			Coords:      coords,
+			Schedule:    m.Schedule,
+			Decomp:      m.Schedule.Decomp.String(),
+			Seconds:     m.Seconds,
+			Stamp:       tun.ArtifactStamp,
+		})
+	}
 }
 
 // Predict runs a pure cost-model query: the top-k indexed SuperSchedules by
@@ -585,13 +629,16 @@ type Stats struct {
 	JobsFailed      uint64  `json:"jobs_failed"`
 	JobsAborted     uint64  `json:"jobs_aborted"`
 	JobsStored      int     `json:"jobs_stored"`
+	ObsLogPath      string  `json:"obslog_path,omitempty"`
+	ObsLogRecords   uint64  `json:"obslog_records,omitempty"`
+	ObsLogDropped   uint64  `json:"obslog_dropped,omitempty"`
 }
 
 // Snapshot returns current counters.
 func (s *Server) Snapshot() Stats {
 	tun := s.tuner.Load()
 	art := s.artifact.Load()
-	return Stats{
+	st := Stats{
 		Alg:             tun.Cfg.Alg.String(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		IndexSize:       len(tun.Index.Schedules),
@@ -625,6 +672,12 @@ func (s *Server) Snapshot() Stats {
 		JobsAborted:     s.jobs.aborted.Load(),
 		JobsStored:      s.jobs.Len(),
 	}
+	if l := s.opts.ObsLog; l != nil {
+		st.ObsLogPath = l.Path()
+		st.ObsLogRecords = l.Appended()
+		st.ObsLogDropped = l.Dropped()
+	}
+	return st
 }
 
 // Close stops admitting requests and drains the in-flight ones — including
@@ -644,6 +697,11 @@ func (s *Server) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Drained cleanly: force buffered measurements to disk so a rolling
+		// restart never strands the tail of the observation log.
+		if l := s.opts.ObsLog; l != nil {
+			_ = l.Flush() //waco:nolint errdrop -- a flush failure is sticky in Log.Err and counted in /metrics; drain success is about requests, not the advisory log
+		}
 		return nil
 	case <-ctx.Done():
 	}
@@ -655,6 +713,9 @@ func (s *Server) Close(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-grace.C:
+	}
+	if l := s.opts.ObsLog; l != nil {
+		_ = l.Flush() //waco:nolint errdrop -- same as the clean-drain flush above: sticky in Log.Err, surfaced via /metrics
 	}
 	return ctx.Err()
 }

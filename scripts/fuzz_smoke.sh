@@ -1,0 +1,47 @@
+#!/bin/sh
+# Fuzz-smoke: run every Fuzz target in the tree for a short burst, feeding
+# the corpus-backed invariants (persistence loaders, framed-log recovery,
+# tensor parsing) continuous adversarial input.
+#
+# The target list is derived ONCE from a single `go test -list` sweep; each
+# package with targets is compiled ONCE into a coverage-instrumented test
+# binary (-gcflags=all=-d=libfuzzer turns on the fuzz counters in prebuilt
+# binaries), and every target of that package runs from the same binary.
+# That replaces the old per-target `go test -fuzz` loop, which relinked the
+# same package for every target. Failures stop the run immediately (set -e);
+# a crasher lands in <pkg>/testdata/fuzz/<Target>/ where CI uploads it.
+#
+# FUZZTIME is the per-target budget: push/PR CI uses the 10s default, the
+# nightly schedule raises it to 60s.
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+FUZZCACHE="$(go env GOCACHE)/fuzz"
+bindir=$(mktemp -d)
+trap 'rm -rf "$bindir"' EXIT
+
+# One sweep: "package target" pairs, targets listed before their ok line.
+pairs=$(go test -list '^Fuzz' ./... | awk '
+	/^Fuzz/ { names[n++] = $1 }
+	/^ok/   { for (i = 0; i < n; i++) print $2, names[i]; n = 0 }')
+if [ -z "$pairs" ]; then
+	echo "no fuzz targets found" >&2
+	exit 1
+fi
+echo "==> targets ($FUZZTIME each):"
+echo "$pairs" | sed 's/^/    /'
+
+for pkg in $(printf '%s\n' "$pairs" | awk '{ print $1 }' | sort -u); do
+	bin="$bindir/$(printf '%s' "$pkg" | tr '/' '_').test"
+	echo "==> build $pkg"
+	go test -c -o "$bin" -gcflags=all=-d=libfuzzer "$pkg"
+	dir=$(go list -f '{{.Dir}}' "$pkg")
+	for target in $(printf '%s\n' "$pairs" | awk -v p="$pkg" '$1 == p { print $2 }'); do
+		echo "==> fuzz $pkg $target"
+		(cd "$dir" && "$bin" -test.run '^$' -test.fuzz "^${target}\$" \
+			-test.fuzztime "$FUZZTIME" -test.fuzzcachedir "$FUZZCACHE")
+	done
+done
+
+echo "fuzz smoke passed"
